@@ -1,0 +1,130 @@
+// Future-work experiment (paper §6.1, direction 1): FairKM performance
+// trends with an increasing number of sensitive attributes and an
+// increasing number of values per sensitive attribute.
+//
+// Workload: Gaussian blobs (n = 1200, 4 blobs, 6 dims, min-max scaled
+// regime) with synthetic sensitive attributes correlated with blob
+// membership (70% majority value per blob), so S-blind clustering is
+// unfair on every attribute. FairKM runs with the (n/k)^2 lambda heuristic.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/timer.h"
+#include "core/fairkm.h"
+#include "data/preprocess.h"
+#include "exp/table.h"
+#include "metrics/fairness.h"
+
+namespace {
+
+using namespace fairkm;
+
+struct SyntheticWorld {
+  data::Matrix points;
+  data::SensitiveView sensitive;
+};
+
+// Blob data plus `num_attrs` sensitive attributes of cardinality `m`, each
+// correlated with blob identity through a per-attribute random value map.
+SyntheticWorld MakeWorld(int num_attrs, int cardinality, uint64_t seed) {
+  const int blobs = 4, per_blob = 300, dim = 6;
+  Rng rng(seed);
+  SyntheticWorld w;
+  const size_t n = static_cast<size_t>(blobs) * per_blob;
+  w.points = data::Matrix(n, static_cast<size_t>(dim));
+  size_t row = 0;
+  for (int b = 0; b < blobs; ++b) {
+    for (int p = 0; p < per_blob; ++p, ++row) {
+      for (int j = 0; j < dim; ++j) {
+        const double center = ((b >> (j % 2)) & 1) ? 4.0 : 0.0;
+        w.points.At(row, static_cast<size_t>(j)) = center + rng.Normal(0, 0.8);
+      }
+    }
+  }
+  data::MinMaxNormalize(&w.points);
+
+  for (int a = 0; a < num_attrs; ++a) {
+    std::vector<int32_t> majority_value(static_cast<size_t>(blobs));
+    for (int b = 0; b < blobs; ++b) {
+      majority_value[static_cast<size_t>(b)] =
+          static_cast<int32_t>(rng.UniformInt(static_cast<uint64_t>(cardinality)));
+    }
+    std::vector<int32_t> codes(n);
+    for (size_t i = 0; i < n; ++i) {
+      const int b = static_cast<int>(i / static_cast<size_t>(per_blob));
+      codes[i] = rng.UniformDouble() < 0.7
+                     ? majority_value[static_cast<size_t>(b)]
+                     : static_cast<int32_t>(
+                           rng.UniformInt(static_cast<uint64_t>(cardinality)));
+    }
+    data::CategoricalSensitive attr;
+    attr.name = "s" + std::to_string(a);
+    attr.cardinality = cardinality;
+    attr.codes = std::move(codes);
+    attr.dataset_fractions.assign(static_cast<size_t>(cardinality), 0.0);
+    for (int32_t c : attr.codes) {
+      attr.dataset_fractions[static_cast<size_t>(c)] += 1.0 / static_cast<double>(n);
+    }
+    w.sensitive.categorical.push_back(std::move(attr));
+  }
+  return w;
+}
+
+void RunSweep(const char* title, const std::vector<std::pair<int, int>>& settings,
+              size_t seeds) {
+  std::printf("\n%s\n", title);
+  exp::TablePrinter table({"#attrs", "cardinality", "AE blind", "AE FairKM",
+                           "CO ratio", "sec/run"});
+  const int k = 4;
+  for (auto [num_attrs, cardinality] : settings) {
+    RunningStats blind_ae, fair_ae, co_ratio, seconds;
+    for (size_t s = 0; s < seeds; ++s) {
+      SyntheticWorld w = MakeWorld(num_attrs, cardinality, 100 + s);
+      core::FairKMOptions blind_opt;
+      blind_opt.k = k;
+      blind_opt.lambda = 0.0;
+      Rng r1(500 + s);
+      auto blind =
+          core::RunFairKM(w.points, w.sensitive, blind_opt, &r1).ValueOrDie();
+
+      core::FairKMOptions fair_opt;
+      fair_opt.k = k;  // lambda auto = (n/k)^2.
+      Rng r2(500 + s);
+      Timer timer;
+      auto fair =
+          core::RunFairKM(w.points, w.sensitive, fair_opt, &r2).ValueOrDie();
+      seconds.Add(timer.ElapsedSeconds());
+
+      blind_ae.Add(
+          metrics::EvaluateFairness(w.sensitive, blind.assignment, k).mean.ae);
+      fair_ae.Add(
+          metrics::EvaluateFairness(w.sensitive, fair.assignment, k).mean.ae);
+      co_ratio.Add(fair.kmeans_objective / blind.kmeans_objective);
+    }
+    table.AddRow({std::to_string(num_attrs), std::to_string(cardinality),
+                  exp::Cell(blind_ae.mean()), exp::Cell(fair_ae.mean()),
+                  exp::Cell(co_ratio.mean(), 3), exp::Cell(seconds.mean(), 4)});
+  }
+  table.Print();
+}
+
+}  // namespace
+
+int main() {
+  using namespace fairkm::bench;
+  BenchEnv env = LoadBenchEnv();
+  PrintBanner("Future work §6.1(1) — FairKM vs #attributes and cardinality", env);
+
+  RunSweep("Sweep 1: number of sensitive attributes (cardinality 4)",
+           {{1, 4}, {2, 4}, {4, 4}, {8, 4}, {16, 4}}, env.seeds);
+  RunSweep("Sweep 2: values per attribute (single attribute)",
+           {{1, 2}, {1, 4}, {1, 8}, {1, 16}, {1, 32}}, env.seeds);
+
+  std::printf(
+      "\nReading guide: fairness gains should persist as attributes are added\n"
+      "(the per-attribute deviations are separable), while very high\n"
+      "cardinalities make deviations harder to control at fixed k — the\n"
+      "effect behind the paper's native_country observations (§5.5.3).\n");
+  return 0;
+}

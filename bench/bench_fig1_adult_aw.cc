@@ -1,0 +1,12 @@
+// Reproduces paper Figure 1: Adult, Average Wasserstein (AW) per sensitive
+// attribute — ZGYA(S) vs FairKM (All) vs FairKM(S), k = 5.
+
+#include "bench_tables.h"
+
+int main() {
+  using namespace fairkm::bench;
+  BenchEnv env = LoadBenchEnv();
+  PrintBanner("Figure 1 — Adult: AW comparison per attribute (k = 5)", env);
+  RunFigureComparison(AdultData(env), "aw", env);
+  return 0;
+}

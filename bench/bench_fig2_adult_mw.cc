@@ -1,0 +1,12 @@
+// Reproduces paper Figure 2: Adult, Max Wasserstein (MW) per sensitive
+// attribute — ZGYA(S) vs FairKM (All) vs FairKM(S), k = 5.
+
+#include "bench_tables.h"
+
+int main() {
+  using namespace fairkm::bench;
+  BenchEnv env = LoadBenchEnv();
+  PrintBanner("Figure 2 — Adult: MW comparison per attribute (k = 5)", env);
+  RunFigureComparison(AdultData(env), "mw", env);
+  return 0;
+}

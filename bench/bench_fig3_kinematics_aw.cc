@@ -1,0 +1,12 @@
+// Reproduces paper Figure 3: Kinematics, Average Wasserstein (AW) per type
+// attribute — ZGYA(S) vs FairKM (All) vs FairKM(S), k = 5.
+
+#include "bench_tables.h"
+
+int main() {
+  using namespace fairkm::bench;
+  BenchEnv env = LoadBenchEnv();
+  PrintBanner("Figure 3 — Kinematics: AW comparison per attribute (k = 5)", env);
+  RunFigureComparison(KinematicsData(), "aw", env);
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Reproduces paper Figure 4: Kinematics, Max Wasserstein (MW) per type
+// attribute — ZGYA(S) vs FairKM (All) vs FairKM(S), k = 5.
+
+#include "bench_tables.h"
+
+int main() {
+  using namespace fairkm::bench;
+  BenchEnv env = LoadBenchEnv();
+  PrintBanner("Figure 4 — Kinematics: MW comparison per attribute (k = 5)", env);
+  RunFigureComparison(KinematicsData(), "mw", env);
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Reproduces paper Figure 5: Kinematics — CO and SH vs lambda in
+// [1000, 10000], FairKM over all sensitive attributes, k = 5.
+
+#include "bench_tables.h"
+
+int main() {
+  using namespace fairkm::bench;
+  BenchEnv env = LoadBenchEnv();
+  PrintBanner("Figure 5 — Kinematics: (CO, SH) vs lambda", env);
+  RunLambdaSweep(KinematicsData(), "quality", env);
+  return 0;
+}

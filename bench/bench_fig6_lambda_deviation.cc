@@ -1,0 +1,12 @@
+// Reproduces paper Figure 6: Kinematics — DevC and DevO vs lambda in
+// [1000, 10000], FairKM over all sensitive attributes, k = 5.
+
+#include "bench_tables.h"
+
+int main() {
+  using namespace fairkm::bench;
+  BenchEnv env = LoadBenchEnv();
+  PrintBanner("Figure 6 — Kinematics: (DevC, DevO) vs lambda", env);
+  RunLambdaSweep(KinematicsData(), "deviation", env);
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Reproduces paper Figure 7: Kinematics — fairness measures (AE/AW/ME/MW,
+// mean across S) vs lambda in [1000, 10000], FairKM, k = 5.
+
+#include "bench_tables.h"
+
+int main() {
+  using namespace fairkm::bench;
+  BenchEnv env = LoadBenchEnv();
+  PrintBanner("Figure 7 — Kinematics: fairness measures vs lambda", env);
+  RunLambdaSweep(KinematicsData(), "fairness", env);
+  return 0;
+}

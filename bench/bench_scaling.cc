@@ -1,0 +1,183 @@
+// Scaling and micro benchmarks (google-benchmark) backing the paper's §4.3.1
+// complexity discussion:
+//   * FairKM wall time vs dataset size (the incremental optimizer is
+//     O(n k (d + sum_S m_S)) per sweep, not the naive quadratic form),
+//   * fast incremental deltas vs naive full-objective recomputation,
+//   * FairKM vs K-Means vs ZGYA (hard and soft) at a fixed size,
+//   * single move-delta evaluation cost.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench_common.h"
+#include "cluster/kmeans.h"
+#include "cluster/zgya.h"
+#include "core/fairkm.h"
+#include "core/fairkm_naive.h"
+#include "core/fairkm_state.h"
+#include "data/preprocess.h"
+
+namespace {
+
+using namespace fairkm;
+
+const exp::ExperimentData& AdultSlice(size_t rows) {
+  static std::map<size_t, std::unique_ptr<exp::ExperimentData>> cache;
+  auto& slot = cache[rows];
+  if (!slot) {
+    exp::AdultExperimentOptions options;
+    options.subsample = rows;
+    slot = std::make_unique<exp::ExperimentData>(
+        exp::LoadAdultExperiment(options).ValueOrDie());
+  }
+  return *slot;
+}
+
+void BM_FairKM_DatasetSize(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto& data = AdultSlice(n);
+  core::FairKMOptions options;
+  options.k = 5;
+  options.lambda = core::SuggestLambda(n, 5);
+  options.max_iterations = 10;
+  for (auto _ : state) {
+    Rng rng(42);
+    auto result = core::RunFairKM(data.features, data.sensitive, options, &rng);
+    benchmark::DoNotOptimize(result.ok());
+  }
+  state.SetComplexityN(static_cast<int64_t>(n));
+}
+BENCHMARK(BM_FairKM_DatasetSize)
+    ->Arg(500)
+    ->Arg(1000)
+    ->Arg(2000)
+    ->Arg(4000)
+    ->Unit(benchmark::kMillisecond)
+    ->Complexity();
+
+void BM_FairKM_Fast(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto& data = AdultSlice(n);
+  core::FairKMOptions options;
+  options.k = 4;
+  options.lambda = core::SuggestLambda(n, 4);
+  options.max_iterations = 5;
+  for (auto _ : state) {
+    Rng rng(7);
+    auto result = core::RunFairKM(data.features, data.sensitive, options, &rng);
+    benchmark::DoNotOptimize(result.ok());
+  }
+}
+BENCHMARK(BM_FairKM_Fast)->Arg(100)->Arg(200)->Arg(400)->Unit(benchmark::kMillisecond);
+
+void BM_FairKM_NaiveReference(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto& data = AdultSlice(n);
+  core::FairKMOptions options;
+  options.k = 4;
+  options.lambda = core::SuggestLambda(n, 4);
+  options.max_iterations = 5;
+  for (auto _ : state) {
+    Rng rng(7);
+    auto result =
+        core::RunFairKMNaive(data.features, data.sensitive, options, &rng);
+    benchmark::DoNotOptimize(result.ok());
+  }
+}
+BENCHMARK(BM_FairKM_NaiveReference)
+    ->Arg(100)
+    ->Arg(200)
+    ->Arg(400)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_KMeansBlind(benchmark::State& state) {
+  const auto& data = AdultSlice(2000);
+  cluster::KMeansOptions options;
+  options.k = 5;
+  for (auto _ : state) {
+    Rng rng(42);
+    auto result = cluster::RunKMeans(data.features, options, &rng);
+    benchmark::DoNotOptimize(result.ok());
+  }
+}
+BENCHMARK(BM_KMeansBlind)->Unit(benchmark::kMillisecond);
+
+void BM_FairKM_AllAttributes(benchmark::State& state) {
+  const auto& data = AdultSlice(2000);
+  core::FairKMOptions options;
+  options.k = 5;
+  options.lambda = data.paper_lambda;
+  for (auto _ : state) {
+    Rng rng(42);
+    auto result = core::RunFairKM(data.features, data.sensitive, options, &rng);
+    benchmark::DoNotOptimize(result.ok());
+  }
+}
+BENCHMARK(BM_FairKM_AllAttributes)->Unit(benchmark::kMillisecond);
+
+void BM_FairKM_MiniBatch(benchmark::State& state) {
+  const auto& data = AdultSlice(2000);
+  core::FairKMOptions options;
+  options.k = 5;
+  options.lambda = data.paper_lambda;
+  options.minibatch_size = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Rng rng(42);
+    auto result = core::RunFairKM(data.features, data.sensitive, options, &rng);
+    benchmark::DoNotOptimize(result.ok());
+  }
+}
+BENCHMARK(BM_FairKM_MiniBatch)->Arg(64)->Arg(512)->Unit(benchmark::kMillisecond);
+
+void BM_ZgyaHard(benchmark::State& state) {
+  const auto& data = AdultSlice(2000);
+  cluster::ZgyaOptions options;
+  options.k = 5;
+  options.mode = cluster::ZgyaOptions::Mode::kHardMoves;
+  for (auto _ : state) {
+    Rng rng(42);
+    auto result = cluster::RunZgya(data.features, data.sensitive.categorical[3],
+                                   options, &rng);
+    benchmark::DoNotOptimize(result.ok());
+  }
+}
+BENCHMARK(BM_ZgyaHard)->Unit(benchmark::kMillisecond);
+
+void BM_ZgyaSoft(benchmark::State& state) {
+  const auto& data = AdultSlice(2000);
+  cluster::ZgyaOptions options;
+  options.k = 5;
+  options.mode = cluster::ZgyaOptions::Mode::kSoftVariational;
+  for (auto _ : state) {
+    Rng rng(42);
+    auto result = cluster::RunZgya(data.features, data.sensitive.categorical[3],
+                                   options, &rng);
+    benchmark::DoNotOptimize(result.ok());
+  }
+}
+BENCHMARK(BM_ZgyaSoft)->Unit(benchmark::kMillisecond);
+
+void BM_MoveDeltaEvaluation(benchmark::State& state) {
+  const auto& data = AdultSlice(2000);
+  const int k = 5;
+  Rng rng(3);
+  cluster::Assignment initial(data.features.rows());
+  for (auto& a : initial) a = static_cast<int32_t>(rng.UniformInt(uint64_t{5}));
+  auto fairness_state =
+      core::FairKMState::Create(&data.features, &data.sensitive, k, initial)
+          .ValueOrDie();
+  size_t i = 0;
+  for (auto _ : state) {
+    const int to = static_cast<int>(i % k);
+    double delta = fairness_state.DeltaKMeans(i % data.features.rows(), to) +
+                   fairness_state.DeltaFairness(i % data.features.rows(), to);
+    benchmark::DoNotOptimize(delta);
+    ++i;
+  }
+}
+BENCHMARK(BM_MoveDeltaEvaluation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,20 @@
+// Reproduces paper Table 5: clustering quality on the Adult dataset —
+// CO / SH / DevC / DevO for K-Means(N), Avg. ZGYA and FairKM at k = 5 and 15.
+
+#include "bench_tables.h"
+
+int main() {
+  using namespace fairkm::bench;
+  BenchEnv env = LoadBenchEnv();
+  PrintBanner("Table 5 — Clustering quality on Adult (paper values alongside)",
+              env);
+  // Paper Table 5 rows: CO, SH, DevC, DevO.
+  PaperQualityReference k5{{1120.9112, 0.7212, 0.0, 0.0},
+                           {10791.8311, 0.0557, 8.4597, 0.0306},
+                           {1345.1688, 0.3918, 8.4707, 0.0233}};
+  PaperQualityReference k15{{837.9785, 0.6076, 0.0, 0.0},
+                            {4095.8366, 0.0573, 39.3615, 0.0360},
+                            {1235.2859, 0.3747, 13.1244, 0.0256}};
+  RunQualityTable(AdultData(env), {5, 15}, env, {k5, k15});
+  return 0;
+}

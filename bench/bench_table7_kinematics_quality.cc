@@ -1,0 +1,16 @@
+// Reproduces paper Table 7: clustering quality on the Kinematics dataset at
+// k = 5 — CO / SH / DevC / DevO for K-Means(N), Avg. ZGYA and FairKM.
+
+#include "bench_tables.h"
+
+int main() {
+  using namespace fairkm::bench;
+  BenchEnv env = LoadBenchEnv();
+  PrintBanner("Table 7 — Clustering quality on Kinematics (paper values alongside)",
+              env);
+  PaperQualityReference k5{{145.6441, 0.0390, 0.0, 0.0},
+                           {164.4703, -0.0001, 1.1844, 0.0032},
+                           {148.1003, 0.0149, 1.1241, 0.0038}};
+  RunQualityTable(KinematicsData(), {5}, env, {k5});
+  return 0;
+}

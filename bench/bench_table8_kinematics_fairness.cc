@@ -1,0 +1,13 @@
+// Reproduces paper Table 8: fairness on the Kinematics dataset at k = 5 —
+// AE/AW/ME/MW for the mean across S and each problem-type attribute;
+// K-Means(N) vs ZGYA(S) vs FairKM, with FairKM Impr(%).
+
+#include "bench_tables.h"
+
+int main() {
+  using namespace fairkm::bench;
+  BenchEnv env = LoadBenchEnv();
+  PrintBanner("Table 8 — Fairness evaluation on Kinematics", env);
+  RunFairnessTable(KinematicsData(), {5}, env);
+  return 0;
+}

@@ -1,0 +1,249 @@
+#include "bench_tables.h"
+
+#include <cstdio>
+
+#include "exp/table.h"
+
+namespace fairkm {
+namespace bench {
+namespace {
+
+exp::AggregateOutcome RunOrDie(const exp::ExperimentRunner& runner,
+                               const exp::RunConfig& config, size_t seeds) {
+  return runner.Run(config, seeds, /*base_seed=*/1000).ValueOrDie();
+}
+
+exp::RunConfig BlindConfig(int k) {
+  exp::RunConfig c;
+  c.method = exp::Method::kKMeansBlind;
+  c.k = k;
+  return c;
+}
+
+exp::RunConfig FairKMConfig(const exp::ExperimentData& data, int k) {
+  exp::RunConfig c;
+  c.method = exp::Method::kFairKMAll;
+  c.k = k;
+  c.lambda = data.paper_lambda;
+  return c;
+}
+
+exp::RunConfig FairKMSingleConfig(const exp::ExperimentData& data, int k,
+                                  const std::string& attr) {
+  exp::RunConfig c;
+  c.method = exp::Method::kFairKMSingle;
+  c.k = k;
+  c.lambda = data.paper_lambda;
+  c.single_attribute = attr;
+  return c;
+}
+
+exp::RunConfig ZgyaConfig(const exp::ExperimentData& data, int k,
+                          const std::string& attr) {
+  exp::RunConfig c;
+  c.method = exp::Method::kZgyaSingle;
+  c.k = k;
+  c.zgya_lambda = data.zgya_lambda;
+  c.zgya_soft_temperature = data.zgya_soft_temperature;
+  c.single_attribute = attr;
+  return c;
+}
+
+}  // namespace
+
+void RunQualityTable(const exp::ExperimentData& data, const std::vector<int>& ks,
+                     const BenchEnv& env,
+                     const std::vector<PaperQualityReference>& paper_refs) {
+  exp::ExperimentRunner runner(&data, env.threads);
+  for (size_t ki = 0; ki < ks.size(); ++ki) {
+    const int k = ks[ki];
+    auto blind = RunOrDie(runner, BlindConfig(k), env.seeds);
+    auto fairkm = RunOrDie(runner, FairKMConfig(data, k), env.seeds);
+
+    // Avg. ZGYA: each evaluation measure averaged across the per-attribute
+    // ZGYA(S) invocations (paper §5.5.1).
+    double z_co = 0, z_sh = 0, z_devc = 0, z_devo = 0;
+    for (const auto& attr : data.sensitive_names) {
+      auto z = RunOrDie(runner, ZgyaConfig(data, k, attr), env.seeds);
+      z_co += z.co.mean();
+      z_sh += z.sh.mean();
+      z_devc += z.devc.mean();
+      z_devo += z.devo.mean();
+    }
+    const double inv = 1.0 / static_cast<double>(data.sensitive_names.size());
+
+    std::printf("\n--- k = %d ---\n", k);
+    const bool have_paper = ki < paper_refs.size();
+    exp::TablePrinter table(
+        have_paper
+            ? std::vector<std::string>{"Measure", "K-Means(N)", "Avg. ZGYA",
+                                       "FairKM", "paper:K-Means", "paper:ZGYA",
+                                       "paper:FairKM"}
+            : std::vector<std::string>{"Measure", "K-Means(N)", "Avg. ZGYA",
+                                       "FairKM"});
+    auto add = [&](const std::string& name, double b, double z, double f,
+                   size_t paper_row) {
+      std::vector<std::string> row = {name, exp::Cell(b), exp::Cell(z),
+                                      exp::Cell(f)};
+      if (have_paper) {
+        const auto& p = paper_refs[ki];
+        row.push_back(exp::Cell(p.kmeans[paper_row]));
+        row.push_back(exp::Cell(p.zgya[paper_row]));
+        row.push_back(exp::Cell(p.fairkm[paper_row]));
+      }
+      table.AddRow(std::move(row));
+    };
+    add("CO (down)", blind.co.mean(), z_co * inv, fairkm.co.mean(), 0);
+    add("SH (up)", blind.sh.mean(), z_sh * inv, fairkm.sh.mean(), 1);
+    add("DevC (down)", blind.devc.mean(), z_devc * inv, fairkm.devc.mean(), 2);
+    add("DevO (down)", blind.devo.mean(), z_devo * inv, fairkm.devo.mean(), 3);
+    table.Print();
+  }
+  std::printf(
+      "\nExpected shape (paper): K-Means(N) best on CO/SH; FairKM close behind;\n"
+      "ZGYA far worse on CO and SH. Absolute values differ (synthetic data,\n"
+      "min-max scaling); the ordering and rough ratios are the reproduction\n"
+      "target. See EXPERIMENTS.md.\n");
+}
+
+void RunFairnessTable(const exp::ExperimentData& data, const std::vector<int>& ks,
+                      const BenchEnv& env) {
+  exp::ExperimentRunner runner(&data, env.threads);
+  for (int k : ks) {
+    auto blind = RunOrDie(runner, BlindConfig(k), env.seeds);
+    auto fairkm = RunOrDie(runner, FairKMConfig(data, k), env.seeds);
+
+    struct AttrRow {
+      std::string attr;
+      exp::AggregateOutcome zgya;
+    };
+    std::vector<AttrRow> zgya_rows;
+    for (const auto& attr : data.sensitive_names) {
+      zgya_rows.push_back({attr, RunOrDie(runner, ZgyaConfig(data, k, attr),
+                                          env.seeds)});
+    }
+
+    std::printf("\n--- k = %d (FairKM lambda = %g, ZGYA lambda = %.3g) ---\n", k,
+                data.paper_lambda, data.zgya_lambda);
+    exp::TablePrinter table({"Attribute", "Measure", "K-Means(N)", "ZGYA(S)",
+                             "FairKM", "FairKM Impr(%)"});
+
+    auto add_block = [&](const std::string& label, double b_ae, double b_aw,
+                         double b_me, double b_mw, double z_ae, double z_aw,
+                         double z_me, double z_mw, double f_ae, double f_aw,
+                         double f_me, double f_mw) {
+      auto add = [&](const char* m, double b, double z, double f) {
+        table.AddRow({label, m, exp::Cell(b), exp::Cell(z), exp::Cell(f),
+                      exp::Cell(ImprovementPercent(f, b, z), 2)});
+      };
+      add("AE", b_ae, z_ae, f_ae);
+      add("AW", b_aw, z_aw, f_aw);
+      add("ME", b_me, z_me, f_me);
+      add("MW", b_mw, z_mw, f_mw);
+      table.AddSeparator();
+    };
+
+    // Mean across S: ZGYA's column averages each invocation's fairness on
+    // its own target attribute — the paper's synthetically favorable setting.
+    double z_ae = 0, z_aw = 0, z_me = 0, z_mw = 0;
+    for (const auto& row : zgya_rows) {
+      const auto& f = row.zgya.FairnessOf(row.attr);
+      z_ae += f.ae.mean();
+      z_aw += f.aw.mean();
+      z_me += f.me.mean();
+      z_mw += f.mw.mean();
+    }
+    const double inv = 1.0 / static_cast<double>(zgya_rows.size());
+    const auto& b_mean = blind.FairnessOf("mean");
+    const auto& f_mean = fairkm.FairnessOf("mean");
+    add_block("Mean across S", b_mean.ae.mean(), b_mean.aw.mean(), b_mean.me.mean(),
+              b_mean.mw.mean(), z_ae * inv, z_aw * inv, z_me * inv, z_mw * inv,
+              f_mean.ae.mean(), f_mean.aw.mean(), f_mean.me.mean(),
+              f_mean.mw.mean());
+
+    for (const auto& row : zgya_rows) {
+      const auto& b = blind.FairnessOf(row.attr);
+      const auto& z = row.zgya.FairnessOf(row.attr);
+      const auto& f = fairkm.FairnessOf(row.attr);
+      add_block(row.attr, b.ae.mean(), b.aw.mean(), b.me.mean(), b.mw.mean(),
+                z.ae.mean(), z.aw.mean(), z.me.mean(), z.mw.mean(), f.ae.mean(),
+                f.aw.mean(), f.me.mean(), f.mw.mean());
+    }
+    table.Print();
+  }
+  std::printf(
+      "\nExpected shape (paper): FairKM wins the Mean-across-S block on all four\n"
+      "measures with large margins; ZGYA(S) trails K-Means(N) on the Adult\n"
+      "high-cardinality attributes but improves on the binary Kinematics types.\n");
+}
+
+void RunFigureComparison(const exp::ExperimentData& data, const std::string& measure,
+                         const BenchEnv& env) {
+  const int k = 5;
+  exp::ExperimentRunner runner(&data, env.threads);
+  auto fair_all = RunOrDie(runner, FairKMConfig(data, k), env.seeds);
+
+  exp::TablePrinter table({"Attribute", "ZGYA(S)", "FairKM (All)", "FairKM(S)"});
+  auto pick = [&](const exp::FairnessAggregate& f) {
+    return measure == "mw" ? f.mw.mean() : f.aw.mean();
+  };
+  for (const auto& attr : data.sensitive_names) {
+    auto zgya = RunOrDie(runner, ZgyaConfig(data, k, attr), env.seeds);
+    auto fair_single =
+        RunOrDie(runner, FairKMSingleConfig(data, k, attr), env.seeds);
+    table.AddRow({attr, exp::Cell(pick(zgya.FairnessOf(attr))),
+                  exp::Cell(pick(fair_all.FairnessOf(attr))),
+                  exp::Cell(pick(fair_single.FairnessOf(attr)))});
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape (paper Figures 1-4): FairKM(S), which spends all of its\n"
+      "fairness budget on the one attribute, beats ZGYA(S); FairKM (All) sits\n"
+      "close while covering every attribute at once.\n");
+}
+
+void RunLambdaSweep(const exp::ExperimentData& data, const std::string& what,
+                    const BenchEnv& env) {
+  const int k = 5;
+  exp::ExperimentRunner runner(&data, env.threads);
+
+  std::vector<std::string> header = {"lambda"};
+  if (what == "quality") {
+    header.insert(header.end(), {"CO (down)", "SH (up)"});
+  } else if (what == "deviation") {
+    header.insert(header.end(), {"DevC (down)", "DevO (down)"});
+  } else {
+    header.insert(header.end(), {"AE", "AW", "ME", "MW"});
+  }
+  exp::TablePrinter table(header);
+
+  for (double lambda = 1000.0; lambda <= 10000.0; lambda += 1000.0) {
+    exp::RunConfig config;
+    config.method = exp::Method::kFairKMAll;
+    config.k = k;
+    config.lambda = lambda;
+    auto agg = RunOrDie(runner, config, env.seeds);
+    std::vector<std::string> row = {exp::Cell(lambda, 0)};
+    if (what == "quality") {
+      row.push_back(exp::Cell(agg.co.mean()));
+      row.push_back(exp::Cell(agg.sh.mean()));
+    } else if (what == "deviation") {
+      row.push_back(exp::Cell(agg.devc.mean()));
+      row.push_back(exp::Cell(agg.devo.mean()));
+    } else {
+      const auto& f = agg.FairnessOf("mean");
+      row.push_back(exp::Cell(f.ae.mean()));
+      row.push_back(exp::Cell(f.aw.mean()));
+      row.push_back(exp::Cell(f.me.mean()));
+      row.push_back(exp::Cell(f.mw.mean()));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape (paper Figures 5-7): quality measures degrade slowly and\n"
+      "steadily as lambda grows; the fairness deviations improve gradually.\n");
+}
+
+}  // namespace bench
+}  // namespace fairkm

@@ -1,0 +1,46 @@
+// Reusable drivers behind the per-table/per-figure bench binaries.
+
+#ifndef FAIRKM_BENCH_BENCH_TABLES_H_
+#define FAIRKM_BENCH_BENCH_TABLES_H_
+
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace fairkm {
+namespace bench {
+
+/// \brief Reference values lifted from the paper, printed next to ours.
+struct PaperQualityReference {
+  // Indexed like the table rows: CO, SH, DevC, DevO per method.
+  std::vector<double> kmeans, zgya, fairkm;
+};
+
+/// \brief Reproduces a clustering-quality table (paper Tables 5 / 7):
+/// CO / SH / DevC / DevO for K-Means(N), Avg. ZGYA and FairKM at each k.
+void RunQualityTable(const exp::ExperimentData& data, const std::vector<int>& ks,
+                     const BenchEnv& env,
+                     const std::vector<PaperQualityReference>& paper_refs);
+
+/// \brief Reproduces a fairness table (paper Tables 6 / 8): AE/AW/ME/MW for
+/// the mean across S and per attribute; K-Means(N) vs attribute-targeted
+/// ZGYA(S) vs all-attribute FairKM, with the FairKM Impr(%) column.
+void RunFairnessTable(const exp::ExperimentData& data, const std::vector<int>& ks,
+                      const BenchEnv& env);
+
+/// \brief Reproduces a per-attribute comparison figure (paper Figures 1-4):
+/// ZGYA(S) vs FairKM(All) vs FairKM(S) on one measure ("aw" or "mw"), k = 5.
+void RunFigureComparison(const exp::ExperimentData& data, const std::string& measure,
+                         const BenchEnv& env);
+
+/// \brief Reproduces a lambda-sensitivity figure (paper Figures 5-7) on the
+/// Kinematics dataset: `what` selects "quality" (CO, SH), "deviation"
+/// (DevC, DevO) or "fairness" (AE/AW/ME/MW).
+void RunLambdaSweep(const exp::ExperimentData& data, const std::string& what,
+                    const BenchEnv& env);
+
+}  // namespace bench
+}  // namespace fairkm
+
+#endif  // FAIRKM_BENCH_BENCH_TABLES_H_

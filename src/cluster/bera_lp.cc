@@ -1,0 +1,113 @@
+#include "cluster/bera_lp.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fairkm {
+namespace cluster {
+
+Result<BeraResult> RunBeraFairAssignment(const data::Matrix& points,
+                                         const data::Matrix& centers,
+                                         const data::SensitiveView& sensitive,
+                                         const BeraOptions& options) {
+  const size_t n = points.rows();
+  const size_t k = centers.rows();
+  if (n == 0) return Status::InvalidArgument("no points");
+  if (k == 0) return Status::InvalidArgument("no centers");
+  if (points.cols() != centers.cols()) {
+    return Status::InvalidArgument("points/centers dimensionality mismatch");
+  }
+  if (sensitive.categorical.empty()) {
+    return Status::InvalidArgument("Bera fair assignment needs categorical groups");
+  }
+  if (sensitive.num_rows() != n) {
+    return Status::InvalidArgument("sensitive view row count mismatch");
+  }
+  if (options.bound_slack < 0) {
+    return Status::InvalidArgument("bound_slack must be non-negative");
+  }
+
+  // Variables: x[i*k + j] = fractional assignment of point i to center j.
+  // No explicit upper bound: sum_j x_ij = 1 with x >= 0 already implies
+  // x_ij <= 1, and explicit bounds would add n*k tableau rows.
+  lp::Model model;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < k; ++j) {
+      const double cost =
+          data::SquaredDistance(points.Row(i), centers.Row(j), points.cols());
+      model.AddVariable(cost);
+    }
+  }
+  auto var = [&](size_t i, size_t j) { return static_cast<int>(i * k + j); };
+
+  // Full assignment of each point.
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<std::pair<int, double>> terms;
+    terms.reserve(k);
+    for (size_t j = 0; j < k; ++j) terms.emplace_back(var(i, j), 1.0);
+    FAIRKM_RETURN_NOT_OK(model.AddConstraint(std::move(terms), lp::Sense::kEqual, 1.0,
+                                             "assign_" + std::to_string(i)));
+  }
+
+  // Group bounds: for each (attribute, value) group g and cluster j,
+  //   beta_g * sum_i x_ij  <=  sum_{i in g} x_ij  <=  alpha_g * sum_i x_ij.
+  for (const auto& attr : sensitive.categorical) {
+    for (int s = 0; s < attr.cardinality; ++s) {
+      const double share = attr.dataset_fractions[static_cast<size_t>(s)];
+      if (share <= 0.0) continue;  // Absent value: no constraint needed.
+      const double alpha = std::min(1.0, share * (1.0 + options.bound_slack));
+      const double beta = share / (1.0 + options.bound_slack);
+      for (size_t j = 0; j < k; ++j) {
+        std::vector<std::pair<int, double>> upper;
+        std::vector<std::pair<int, double>> lower;
+        upper.reserve(n);
+        lower.reserve(n);
+        for (size_t i = 0; i < n; ++i) {
+          const bool in_group = attr.codes[i] == s;
+          const double coeff_up = (in_group ? 1.0 : 0.0) - alpha;
+          const double coeff_lo = beta - (in_group ? 1.0 : 0.0);
+          if (coeff_up != 0.0) upper.emplace_back(var(i, j), coeff_up);
+          if (coeff_lo != 0.0) lower.emplace_back(var(i, j), coeff_lo);
+        }
+        FAIRKM_RETURN_NOT_OK(model.AddConstraint(
+            std::move(upper), lp::Sense::kLessEqual, 0.0,
+            attr.name + "=" + std::to_string(s) + "_ub_" + std::to_string(j)));
+        FAIRKM_RETURN_NOT_OK(model.AddConstraint(
+            std::move(lower), lp::Sense::kLessEqual, 0.0,
+            attr.name + "=" + std::to_string(s) + "_lb_" + std::to_string(j)));
+      }
+    }
+  }
+
+  FAIRKM_ASSIGN_OR_RETURN(lp::Solution solution, lp::Solve(model, options.simplex));
+
+  BeraResult result;
+  result.lp_objective = solution.objective;
+  result.assignment.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    size_t best = 0;
+    double best_w = -1.0;
+    for (size_t j = 0; j < k; ++j) {
+      const double w = solution.values[i * k + j];
+      if (w > best_w) {
+        best_w = w;
+        best = j;
+      }
+    }
+    result.assignment[i] = static_cast<int32_t>(best);
+  }
+  FinalizeResult(points, static_cast<int>(k), &result);
+  result.rounded_objective = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    result.rounded_objective += data::SquaredDistance(
+        points.Row(i), centers.Row(static_cast<size_t>(result.assignment[i])),
+        points.cols());
+  }
+  result.total_objective = result.rounded_objective;
+  result.converged = true;
+  result.iterations = solution.iterations;
+  return result;
+}
+
+}  // namespace cluster
+}  // namespace fairkm

@@ -1,0 +1,51 @@
+// LP-based fair assignment in the style of Bera, Chakrabarty & Negahbani,
+// "Fair Algorithms for Clustering" (arXiv:1901.02393) — the related-work
+// family [4] of the FairKM paper (cluster perturbation via linear
+// programming).
+//
+// Given centers from a vanilla clustering, a fractional assignment LP is
+// solved: minimize sum_ij x_ij * d(i, j) subject to each point fully
+// assigned and, for every protected group g and cluster j, the group's mass
+// staying within [beta_g, alpha_g] of the cluster's mass. The fractional
+// solution is rounded by maximum weight per point (a simplification of the
+// original iterative rounding; documented in DESIGN.md §3). Exercises the
+// lp/ substrate and is only intended for small-to-medium inputs (the LP has
+// n*k variables).
+
+#ifndef FAIRKM_CLUSTER_BERA_LP_H_
+#define FAIRKM_CLUSTER_BERA_LP_H_
+
+#include "cluster/types.h"
+#include "common/status.h"
+#include "data/matrix.h"
+#include "data/sensitive.h"
+#include "lp/simplex.h"
+
+namespace fairkm {
+namespace cluster {
+
+/// \brief Bera-style fair assignment configuration.
+struct BeraOptions {
+  /// Bounds per group g with dataset share r_g:
+  /// alpha_g = min(1, r_g * (1 + bound_slack)), beta_g = r_g / (1 + bound_slack).
+  double bound_slack = 0.2;
+  lp::SimplexOptions simplex;
+};
+
+/// \brief Output: rounded assignment plus the fractional LP value.
+struct BeraResult : ClusteringResult {
+  double lp_objective = 0.0;        ///< Cost of the fractional assignment.
+  double rounded_objective = 0.0;   ///< Cost after rounding.
+};
+
+/// \brief Solves the fair-assignment LP against the given centers. Groups
+/// are every (attribute, value) pair of the view's categorical attributes.
+Result<BeraResult> RunBeraFairAssignment(const data::Matrix& points,
+                                         const data::Matrix& centers,
+                                         const data::SensitiveView& sensitive,
+                                         const BeraOptions& options = {});
+
+}  // namespace cluster
+}  // namespace fairkm
+
+#endif  // FAIRKM_CLUSTER_BERA_LP_H_

@@ -1,0 +1,245 @@
+#include "cluster/fairlet.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "lp/model.h"
+#include "lp/simplex.h"
+
+namespace fairkm {
+namespace cluster {
+namespace {
+
+// Assigns every majority point to a fairlet (anchored at a minority point)
+// greedily by distance, respecting per-fairlet capacities [low, high].
+std::vector<std::vector<size_t>> GreedyAssign(const data::Matrix& points,
+                                              const std::vector<size_t>& minority,
+                                              const std::vector<size_t>& majority,
+                                              size_t low, size_t high) {
+  const size_t b = minority.size();
+  std::vector<std::vector<size_t>> fairlets(b);
+  for (size_t f = 0; f < b; ++f) fairlets[f].push_back(minority[f]);
+
+  // Order majority points by distance to their nearest anchor so that close
+  // pairs claim capacity first.
+  struct Cand {
+    size_t point;
+    size_t fairlet;
+    double dist;
+  };
+  std::vector<Cand> order;
+  order.reserve(majority.size());
+  for (size_t p : majority) {
+    double best = std::numeric_limits<double>::infinity();
+    size_t best_f = 0;
+    for (size_t f = 0; f < b; ++f) {
+      const double d =
+          data::SquaredDistance(points.Row(p), points.Row(minority[f]), points.cols());
+      if (d < best) {
+        best = d;
+        best_f = f;
+      }
+    }
+    order.push_back({p, best_f, best});
+  }
+  std::sort(order.begin(), order.end(),
+            [](const Cand& a, const Cand& bb) { return a.dist < bb.dist; });
+
+  std::vector<size_t> load(b, 0);
+  std::vector<size_t> deferred;
+  // Phase 1: everyone tries their nearest anchor until it reaches `low`.
+  for (const Cand& c : order) {
+    if (load[c.fairlet] < low) {
+      fairlets[c.fairlet].push_back(c.point);
+      ++load[c.fairlet];
+    } else {
+      deferred.push_back(c.point);
+    }
+  }
+  // Phase 2: deferred points take the nearest fairlet with spare capacity,
+  // preferring fairlets still under `low`, then those under `high`.
+  for (size_t p : deferred) {
+    double best = std::numeric_limits<double>::infinity();
+    size_t best_f = b;  // Sentinel.
+    bool best_under_low = false;
+    for (size_t f = 0; f < b; ++f) {
+      const bool under_low = load[f] < low;
+      const bool usable = under_low || load[f] < high;
+      if (!usable) continue;
+      const double d =
+          data::SquaredDistance(points.Row(p), points.Row(minority[f]), points.cols());
+      if (best_f == b || (under_low && !best_under_low) ||
+          (under_low == best_under_low && d < best)) {
+        best = d;
+        best_f = f;
+        best_under_low = under_low;
+      }
+    }
+    FAIRKM_DCHECK(best_f < b);
+    fairlets[best_f].push_back(p);
+    ++load[best_f];
+  }
+  return fairlets;
+}
+
+// Exact transportation LP: majority point i -> fairlet anchor f, capacities
+// [low, high] per fairlet. The constraint matrix is totally unimodular, so
+// the LP optimum is integral.
+Result<std::vector<std::vector<size_t>>> LpAssign(const data::Matrix& points,
+                                                  const std::vector<size_t>& minority,
+                                                  const std::vector<size_t>& majority,
+                                                  size_t low, size_t high) {
+  const size_t b = minority.size();
+  const size_t r = majority.size();
+  // No explicit upper bounds: each majority point's full-assignment equality
+  // already implies x <= 1 (explicit bounds would add r*b tableau rows).
+  lp::Model model;
+  for (size_t i = 0; i < r; ++i) {
+    for (size_t f = 0; f < b; ++f) {
+      model.AddVariable(data::SquaredDistance(
+          points.Row(majority[i]), points.Row(minority[f]), points.cols()));
+    }
+  }
+  auto var = [&](size_t i, size_t f) { return static_cast<int>(i * b + f); };
+  for (size_t i = 0; i < r; ++i) {
+    std::vector<std::pair<int, double>> terms;
+    for (size_t f = 0; f < b; ++f) terms.emplace_back(var(i, f), 1.0);
+    FAIRKM_RETURN_NOT_OK(
+        model.AddConstraint(std::move(terms), lp::Sense::kEqual, 1.0));
+  }
+  for (size_t f = 0; f < b; ++f) {
+    std::vector<std::pair<int, double>> terms;
+    for (size_t i = 0; i < r; ++i) terms.emplace_back(var(i, f), 1.0);
+    auto terms_copy = terms;
+    FAIRKM_RETURN_NOT_OK(model.AddConstraint(std::move(terms), lp::Sense::kGreaterEqual,
+                                             static_cast<double>(low)));
+    FAIRKM_RETURN_NOT_OK(model.AddConstraint(std::move(terms_copy),
+                                             lp::Sense::kLessEqual,
+                                             static_cast<double>(high)));
+  }
+  FAIRKM_ASSIGN_OR_RETURN(lp::Solution solution, lp::Solve(model));
+
+  std::vector<std::vector<size_t>> fairlets(b);
+  for (size_t f = 0; f < b; ++f) fairlets[f].push_back(minority[f]);
+  for (size_t i = 0; i < r; ++i) {
+    size_t best_f = 0;
+    double best_w = -1.0;
+    for (size_t f = 0; f < b; ++f) {
+      if (solution.values[i * b + f] > best_w) {
+        best_w = solution.values[i * b + f];
+        best_f = f;
+      }
+    }
+    fairlets[best_f].push_back(majority[i]);
+  }
+  return fairlets;
+}
+
+double DecompositionCost(const data::Matrix& points,
+                         const std::vector<std::vector<size_t>>& fairlets) {
+  double cost = 0.0;
+  for (const auto& f : fairlets) {
+    for (size_t i = 1; i < f.size(); ++i) {
+      cost += data::SquaredDistance(points.Row(f[i]), points.Row(f[0]), points.cols());
+    }
+  }
+  return cost;
+}
+
+}  // namespace
+
+double Balance(const data::CategoricalSensitive& attr,
+               const std::vector<size_t>& members) {
+  size_t zero = 0, one = 0;
+  for (size_t i : members) {
+    if (attr.codes[i] == 0) {
+      ++zero;
+    } else {
+      ++one;
+    }
+  }
+  if (zero == 0 || one == 0) return 0.0;
+  return std::min(static_cast<double>(zero) / static_cast<double>(one),
+                  static_cast<double>(one) / static_cast<double>(zero));
+}
+
+Result<FairletResult> RunFairletClustering(const data::Matrix& points,
+                                           const data::CategoricalSensitive& attr,
+                                           const FairletOptions& options, Rng* rng) {
+  if (rng == nullptr) return Status::InvalidArgument("rng must not be null");
+  if (attr.cardinality != 2) {
+    return Status::InvalidArgument("fairlet decomposition needs a binary attribute");
+  }
+  if (attr.codes.size() != points.rows()) {
+    return Status::InvalidArgument("sensitive attribute row count mismatch");
+  }
+  std::vector<size_t> zeros, ones;
+  for (size_t i = 0; i < attr.codes.size(); ++i) {
+    (attr.codes[i] == 0 ? zeros : ones).push_back(i);
+  }
+  if (zeros.empty() || ones.empty()) {
+    return Status::InvalidArgument("both attribute values must be present");
+  }
+  const std::vector<size_t>& minority = zeros.size() <= ones.size() ? zeros : ones;
+  const std::vector<size_t>& majority = zeros.size() <= ones.size() ? ones : zeros;
+  const size_t low = majority.size() / minority.size();
+  const size_t high = (majority.size() + minority.size() - 1) / minority.size();
+  if (static_cast<size_t>(options.k) > minority.size()) {
+    return Status::InvalidArgument("k exceeds the number of fairlets (" +
+                                   std::to_string(minority.size()) + ")");
+  }
+
+  FairletResult result;
+  result.fairlets = GreedyAssign(points, minority, majority, low, high);
+  result.decomposition_cost = DecompositionCost(points, result.fairlets);
+  if (options.refine_with_lp) {
+    auto refined = LpAssign(points, minority, majority, low, high);
+    if (refined.ok()) {
+      const double cost = DecompositionCost(points, refined.ValueOrDie());
+      if (cost < result.decomposition_cost) {
+        result.fairlets = std::move(refined).ValueOrDie();
+        result.decomposition_cost = cost;
+      }
+    }
+  }
+
+  // Cluster fairlet centers (member means).
+  data::Matrix centers(result.fairlets.size(), points.cols());
+  for (size_t f = 0; f < result.fairlets.size(); ++f) {
+    double* dst = centers.Row(f);
+    for (size_t idx : result.fairlets[f]) {
+      const double* src = points.Row(idx);
+      for (size_t j = 0; j < points.cols(); ++j) dst[j] += src[j];
+    }
+    const double inv = 1.0 / static_cast<double>(result.fairlets[f].size());
+    for (size_t j = 0; j < points.cols(); ++j) dst[j] *= inv;
+  }
+  KMeansOptions kopts = options.kmeans;
+  kopts.k = options.k;
+  FAIRKM_ASSIGN_OR_RETURN(ClusteringResult center_clustering,
+                          RunKMeans(centers, kopts, rng));
+
+  result.assignment.assign(points.rows(), 0);
+  for (size_t f = 0; f < result.fairlets.size(); ++f) {
+    for (size_t idx : result.fairlets[f]) {
+      result.assignment[idx] = center_clustering.assignment[f];
+    }
+  }
+  FinalizeResult(points, options.k, &result);
+  result.total_objective = result.kmeans_objective;
+  result.iterations = center_clustering.iterations;
+  result.converged = center_clustering.converged;
+
+  result.min_cluster_balance = std::numeric_limits<double>::infinity();
+  for (const auto& members : GroupByCluster(result.assignment, options.k)) {
+    if (members.empty()) continue;
+    result.min_cluster_balance =
+        std::min(result.min_cluster_balance, Balance(attr, members));
+  }
+  if (!std::isfinite(result.min_cluster_balance)) result.min_cluster_balance = 0.0;
+  return result;
+}
+
+}  // namespace cluster
+}  // namespace fairkm

@@ -1,0 +1,67 @@
+// Fairlet decomposition for a single binary sensitive attribute, after
+// Chierichetti, Kumar, Lattanzi & Vassilvitskii, "Fair Clustering Through
+// Fairlets" (NIPS 2017) — related-work family [6] of the FairKM paper.
+//
+// The dataset is decomposed into fairlets, each holding exactly one minority
+// point and between floor(R/B) and ceil(R/B) majority points (R, B the
+// majority/minority counts), so every fairlet's balance is at least
+// B/R-optimal. Fairlet centers are then clustered with K-Means and every
+// member inherits its fairlet's cluster, which guarantees per-cluster
+// balance >= 1/ceil(R/B).
+//
+// Construction is greedy nearest-neighbour; when `refine_with_lp` is set the
+// majority-to-fairlet assignment is re-solved exactly as a transportation LP
+// (integral at optimum) via the lp/ substrate — the original paper's
+// min-cost-flow step (DESIGN.md §3).
+
+#ifndef FAIRKM_CLUSTER_FAIRLET_H_
+#define FAIRKM_CLUSTER_FAIRLET_H_
+
+#include <vector>
+
+#include "cluster/kmeans.h"
+#include "cluster/types.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "data/matrix.h"
+#include "data/sensitive.h"
+
+namespace fairkm {
+namespace cluster {
+
+/// \brief Fairlet clustering configuration.
+struct FairletOptions {
+  int k = 5;
+  /// Re-solve the majority assignment exactly via a transportation LP
+  /// (practical for a few hundred points; the greedy result is kept when the
+  /// LP is not beneficial or fails).
+  bool refine_with_lp = false;
+  KMeansOptions kmeans;  ///< Used to cluster the fairlet centers (k is taken
+                         ///< from FairletOptions.k).
+};
+
+/// \brief Output of fairlet clustering.
+struct FairletResult : ClusteringResult {
+  /// Point indices per fairlet (first entry is the minority point).
+  std::vector<std::vector<size_t>> fairlets;
+  /// Total within-fairlet cost sum_f sum_{i in f} d(i, anchor_f).
+  double decomposition_cost = 0.0;
+  /// Smallest per-cluster balance min(#x/#y, #y/#x) achieved.
+  double min_cluster_balance = 0.0;
+};
+
+/// \brief Balance min(#x/#y, #y/#x) of a binary attribute within one point
+/// subset; 0 when a side is empty.
+double Balance(const data::CategoricalSensitive& attr,
+               const std::vector<size_t>& members);
+
+/// \brief Runs fairlet decomposition + K-Means over fairlet centers. The
+/// attribute must be binary and both values must be present.
+Result<FairletResult> RunFairletClustering(const data::Matrix& points,
+                                           const data::CategoricalSensitive& attr,
+                                           const FairletOptions& options, Rng* rng);
+
+}  // namespace cluster
+}  // namespace fairkm
+
+#endif  // FAIRKM_CLUSTER_FAIRLET_H_

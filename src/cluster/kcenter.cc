@@ -1,0 +1,168 @@
+#include "cluster/kcenter.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace fairkm {
+namespace cluster {
+namespace {
+
+Status CheckInputs(const data::Matrix& points, int k) {
+  if (k <= 0) return Status::InvalidArgument("k must be positive");
+  if (points.rows() == 0) return Status::InvalidArgument("no points");
+  if (static_cast<size_t>(k) > points.rows()) {
+    return Status::InvalidArgument("k exceeds the number of points");
+  }
+  return Status::OK();
+}
+
+// Assigns every point to its nearest chosen center and computes the radius.
+void Finalize(const data::Matrix& points, KCenterResult* result) {
+  const size_t n = points.rows();
+  result->assignment.assign(n, 0);
+  result->radius = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double best = std::numeric_limits<double>::infinity();
+    int32_t best_c = 0;
+    for (size_t c = 0; c < result->centers.size(); ++c) {
+      const double d = data::SquaredDistance(points.Row(i),
+                                             points.Row(result->centers[c]),
+                                             points.cols());
+      if (d < best) {
+        best = d;
+        best_c = static_cast<int32_t>(c);
+      }
+    }
+    result->assignment[i] = best_c;
+    result->radius = std::max(result->radius, std::sqrt(best));
+  }
+}
+
+// Farthest-point ordering starting from a random seed point: orders[0] is
+// random; orders[t] maximizes the distance to {orders[0..t-1]}.
+std::vector<size_t> FarthestFirstOrder(const data::Matrix& points, size_t count,
+                                       Rng* rng) {
+  const size_t n = points.rows();
+  std::vector<size_t> order;
+  order.reserve(count);
+  std::vector<double> dist(n, std::numeric_limits<double>::infinity());
+  size_t current = static_cast<size_t>(rng->UniformInt(n));
+  order.push_back(current);
+  while (order.size() < count) {
+    double far_d = -1.0;
+    size_t far_i = 0;
+    for (size_t i = 0; i < n; ++i) {
+      const double d = data::SquaredDistance(points.Row(i), points.Row(current),
+                                             points.cols());
+      if (d < dist[i]) dist[i] = d;
+      if (dist[i] > far_d) {
+        far_d = dist[i];
+        far_i = i;
+      }
+    }
+    if (far_d <= 0.0) break;  // All remaining points coincide with centers.
+    order.push_back(far_i);
+    current = far_i;
+  }
+  return order;
+}
+
+}  // namespace
+
+Result<KCenterResult> RunKCenter(const data::Matrix& points, int k, Rng* rng) {
+  if (rng == nullptr) return Status::InvalidArgument("rng must not be null");
+  FAIRKM_RETURN_NOT_OK(CheckInputs(points, k));
+  KCenterResult result;
+  result.centers = FarthestFirstOrder(points, static_cast<size_t>(k), rng);
+  Finalize(points, &result);
+  return result;
+}
+
+std::vector<int> ProportionalQuota(const data::CategoricalSensitive& attr, int k) {
+  const int m = attr.cardinality;
+  std::vector<int> quota(static_cast<size_t>(m), 0);
+  std::vector<double> remainder(static_cast<size_t>(m), 0.0);
+  int assigned = 0;
+  for (int g = 0; g < m; ++g) {
+    const double exact = attr.dataset_fractions[static_cast<size_t>(g)] * k;
+    quota[static_cast<size_t>(g)] = static_cast<int>(exact);
+    remainder[static_cast<size_t>(g)] = exact - quota[static_cast<size_t>(g)];
+    assigned += quota[static_cast<size_t>(g)];
+  }
+  // Largest remainder: hand out the leftover seats.
+  std::vector<int> by_remainder(static_cast<size_t>(m));
+  std::iota(by_remainder.begin(), by_remainder.end(), 0);
+  std::sort(by_remainder.begin(), by_remainder.end(), [&](int a, int b) {
+    if (remainder[static_cast<size_t>(a)] != remainder[static_cast<size_t>(b)]) {
+      return remainder[static_cast<size_t>(a)] > remainder[static_cast<size_t>(b)];
+    }
+    return a < b;
+  });
+  for (int i = 0; assigned < k; ++i) {
+    ++quota[static_cast<size_t>(by_remainder[static_cast<size_t>(i % m)])];
+    ++assigned;
+  }
+  return quota;
+}
+
+Result<KCenterResult> RunFairKCenter(const data::Matrix& points,
+                                     const data::CategoricalSensitive& attr,
+                                     const std::vector<int>& quota, Rng* rng) {
+  if (rng == nullptr) return Status::InvalidArgument("rng must not be null");
+  if (attr.codes.size() != points.rows()) {
+    return Status::InvalidArgument("sensitive attribute row count mismatch");
+  }
+  if (quota.size() != static_cast<size_t>(attr.cardinality)) {
+    return Status::InvalidArgument("quota must have one entry per attribute value");
+  }
+  int k = 0;
+  std::vector<int64_t> available(quota.size(), 0);
+  for (int32_t code : attr.codes) ++available[static_cast<size_t>(code)];
+  for (size_t g = 0; g < quota.size(); ++g) {
+    if (quota[g] < 0) return Status::InvalidArgument("negative quota");
+    if (quota[g] > available[g]) {
+      return Status::InvalidArgument(
+          "quota for value " + std::to_string(g) + " (" + std::to_string(quota[g]) +
+          ") exceeds its population (" + std::to_string(available[g]) + ")");
+    }
+    k += quota[g];
+  }
+  FAIRKM_RETURN_NOT_OK(CheckInputs(points, k));
+
+  // Walk the full farthest-first order; take a point while its group has
+  // quota left. This preserves the geometric spread of Gonzalez's traversal
+  // subject to the group constraints.
+  std::vector<size_t> order = FarthestFirstOrder(points, points.rows(), rng);
+  std::vector<int> left = quota;
+  KCenterResult result;
+  for (size_t idx : order) {
+    int& budget = left[static_cast<size_t>(attr.codes[idx])];
+    if (budget > 0) {
+      --budget;
+      result.centers.push_back(idx);
+      if (result.centers.size() == static_cast<size_t>(k)) break;
+    }
+  }
+  // Degenerate duplicates can truncate the farthest-first order; fill any
+  // remaining quota with unused points of the right group, in row order.
+  if (result.centers.size() < static_cast<size_t>(k)) {
+    std::vector<bool> used(points.rows(), false);
+    for (size_t c : result.centers) used[c] = true;
+    for (size_t i = 0; i < points.rows() && result.centers.size() <
+                                                static_cast<size_t>(k);
+         ++i) {
+      int& budget = left[static_cast<size_t>(attr.codes[i])];
+      if (!used[i] && budget > 0) {
+        --budget;
+        result.centers.push_back(i);
+      }
+    }
+  }
+  Finalize(points, &result);
+  return result;
+}
+
+}  // namespace cluster
+}  // namespace fairkm

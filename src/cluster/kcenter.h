@@ -1,0 +1,53 @@
+// Fair k-center clustering for data summarization, after Kleindessner,
+// Awasthi & Morgenstern, "Fair k-Center Clustering for Data Summarization"
+// (arXiv:1901.08628) — related-work family [13] of the FairKM paper.
+//
+// Plain k-center: greedy farthest-point traversal (Gonzalez), a 2-approx.
+// Fair k-center: the number of centers per protected group is prescribed
+// (e.g. proportional to the dataset mix), so the returned summary is a
+// demographically representative subset. This implementation uses the
+// natural greedy heuristic over the farthest-point ordering: walk points in
+// farthest-first order and take a point as a center while its group still
+// has quota; a final pass fills any unfilled quota with the farthest
+// remaining points of the missing groups.
+
+#ifndef FAIRKM_CLUSTER_KCENTER_H_
+#define FAIRKM_CLUSTER_KCENTER_H_
+
+#include <vector>
+
+#include "cluster/types.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "data/matrix.h"
+#include "data/sensitive.h"
+
+namespace fairkm {
+namespace cluster {
+
+/// \brief Output of (fair) k-center: chosen center indices, the induced
+/// assignment, and the covering radius.
+struct KCenterResult {
+  std::vector<size_t> centers;  ///< Row indices of the chosen centers.
+  Assignment assignment;        ///< Nearest-center index (into `centers`).
+  double radius = 0.0;          ///< max_i d(i, nearest center).
+};
+
+/// \brief Greedy 2-approximate k-center (Gonzalez farthest-point).
+/// The first center is drawn uniformly via `rng`.
+Result<KCenterResult> RunKCenter(const data::Matrix& points, int k, Rng* rng);
+
+/// \brief Fair k-center: exactly `quota[g]` centers from each value g of the
+/// attribute; sum(quota) defines k. Every quota must be satisfiable.
+Result<KCenterResult> RunFairKCenter(const data::Matrix& points,
+                                     const data::CategoricalSensitive& attr,
+                                     const std::vector<int>& quota, Rng* rng);
+
+/// \brief Quota proportional to the dataset mix (largest-remainder rounding
+/// to sum exactly k) — the paper [13]'s "fair summary" setting.
+std::vector<int> ProportionalQuota(const data::CategoricalSensitive& attr, int k);
+
+}  // namespace cluster
+}  // namespace fairkm
+
+#endif  // FAIRKM_CLUSTER_KCENTER_H_

@@ -1,0 +1,78 @@
+#include "cluster/types.h"
+
+namespace fairkm {
+namespace cluster {
+
+Status ValidateAssignment(const Assignment& assignment, size_t num_rows, int k) {
+  if (assignment.size() != num_rows) {
+    return Status::InvalidArgument("assignment covers " +
+                                   std::to_string(assignment.size()) + " rows, expected " +
+                                   std::to_string(num_rows));
+  }
+  for (int32_t c : assignment) {
+    if (c < 0 || c >= k) {
+      return Status::OutOfRange("cluster id " + std::to_string(c) +
+                                " outside [0, " + std::to_string(k) + ")");
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<size_t> ClusterSizes(const Assignment& assignment, int k) {
+  std::vector<size_t> sizes(static_cast<size_t>(k), 0);
+  for (int32_t c : assignment) {
+    FAIRKM_DCHECK(c >= 0 && c < k);
+    ++sizes[static_cast<size_t>(c)];
+  }
+  return sizes;
+}
+
+std::vector<std::vector<size_t>> GroupByCluster(const Assignment& assignment, int k) {
+  std::vector<std::vector<size_t>> groups(static_cast<size_t>(k));
+  for (size_t i = 0; i < assignment.size(); ++i) {
+    groups[static_cast<size_t>(assignment[i])].push_back(i);
+  }
+  return groups;
+}
+
+data::Matrix ComputeCentroids(const data::Matrix& points, const Assignment& assignment,
+                              int k) {
+  const size_t d = points.cols();
+  data::Matrix centroids(static_cast<size_t>(k), d);
+  std::vector<size_t> sizes(static_cast<size_t>(k), 0);
+  for (size_t i = 0; i < points.rows(); ++i) {
+    const size_t c = static_cast<size_t>(assignment[i]);
+    ++sizes[c];
+    const double* row = points.Row(i);
+    double* acc = centroids.Row(c);
+    for (size_t j = 0; j < d; ++j) acc[j] += row[j];
+  }
+  for (size_t c = 0; c < static_cast<size_t>(k); ++c) {
+    if (sizes[c] == 0) continue;
+    double* acc = centroids.Row(c);
+    const double inv = 1.0 / static_cast<double>(sizes[c]);
+    for (size_t j = 0; j < d; ++j) acc[j] *= inv;
+  }
+  return centroids;
+}
+
+double SumOfSquaredErrors(const data::Matrix& points, const Assignment& assignment,
+                          const data::Matrix& centroids) {
+  double sse = 0.0;
+  for (size_t i = 0; i < points.rows(); ++i) {
+    sse += data::SquaredDistance(
+        points.Row(i), centroids.Row(static_cast<size_t>(assignment[i])),
+        points.cols());
+  }
+  return sse;
+}
+
+void FinalizeResult(const data::Matrix& points, int k, ClusteringResult* result) {
+  result->centroids = ComputeCentroids(points, result->assignment, k);
+  result->sizes = ClusterSizes(result->assignment, k);
+  result->kmeans_objective =
+      SumOfSquaredErrors(points, result->assignment, result->centroids);
+}
+
+}  // namespace cluster
+}  // namespace fairkm

@@ -1,0 +1,54 @@
+// Shared clustering types: assignments, results, centroid helpers.
+
+#ifndef FAIRKM_CLUSTER_TYPES_H_
+#define FAIRKM_CLUSTER_TYPES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "data/matrix.h"
+
+namespace fairkm {
+namespace cluster {
+
+/// \brief Cluster id per row; ids are dense in [0, k).
+using Assignment = std::vector<int32_t>;
+
+/// \brief Output of a (fair) clustering run.
+struct ClusteringResult {
+  Assignment assignment;
+  data::Matrix centroids;      ///< k x d; rows of empty clusters are zero.
+  std::vector<size_t> sizes;   ///< Cluster cardinalities, length k.
+  double kmeans_objective = 0.0;  ///< SSE over the task attributes N (Eq. 24).
+  double total_objective = 0.0;   ///< Method objective (= SSE for plain K-Means).
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// \brief Validates that every id is within [0, k) and sizes match.
+Status ValidateAssignment(const Assignment& assignment, size_t num_rows, int k);
+
+/// \brief Cluster cardinalities.
+std::vector<size_t> ClusterSizes(const Assignment& assignment, int k);
+
+/// \brief Row indices grouped by cluster id.
+std::vector<std::vector<size_t>> GroupByCluster(const Assignment& assignment, int k);
+
+/// \brief Mean vector per cluster (zeros for empty clusters).
+data::Matrix ComputeCentroids(const data::Matrix& points, const Assignment& assignment,
+                              int k);
+
+/// \brief Sum over points of squared distance to their cluster centroid — the
+/// clustering objective CO of the paper's Eq. 24.
+double SumOfSquaredErrors(const data::Matrix& points, const Assignment& assignment,
+                          const data::Matrix& centroids);
+
+/// \brief Fills `result->centroids`, `result->sizes` and
+/// `result->kmeans_objective` from `result->assignment`.
+void FinalizeResult(const data::Matrix& points, int k, ClusteringResult* result);
+
+}  // namespace cluster
+}  // namespace fairkm
+
+#endif  // FAIRKM_CLUSTER_TYPES_H_

@@ -1,0 +1,375 @@
+#include "cluster/zgya.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace fairkm {
+namespace cluster {
+namespace {
+
+constexpr double kEps = 1e-12;
+
+// KL(P_C || U) for one cluster given its value counts and size.
+double ClusterKl(const int64_t* counts, int m, size_t size,
+                 const std::vector<double>& u) {
+  if (size == 0) return 0.0;
+  const double inv = 1.0 / static_cast<double>(size);
+  double kl = 0.0;
+  for (int s = 0; s < m; ++s) {
+    const double p = static_cast<double>(counts[s]) * inv;
+    if (p <= 0.0) continue;
+    kl += p * std::log(p / std::max(u[static_cast<size_t>(s)], kEps));
+  }
+  return kl;
+}
+
+double AutoLambda(const data::Matrix& points, int k) {
+  // Mean squared distance to the global mean ~ per-point SSE scale.
+  const size_t n = points.rows();
+  const size_t d = points.cols();
+  std::vector<double> mean(d, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    const double* row = points.Row(i);
+    for (size_t j = 0; j < d; ++j) mean[j] += row[j];
+  }
+  for (double& v : mean) v /= static_cast<double>(n);
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    total += data::SquaredDistance(points.Row(i), mean.data(), d);
+  }
+  const double avg_var = total / static_cast<double>(n);
+  return 0.4 * avg_var * static_cast<double>(n) / static_cast<double>(k);
+}
+
+// Incremental hard-move state: cluster sizes, feature sums, value counts.
+class HardState {
+ public:
+  HardState(const data::Matrix& points, const data::CategoricalSensitive& attr, int k,
+            Assignment assignment)
+      : points_(points),
+        attr_(attr),
+        k_(k),
+        d_(points.cols()),
+        assignment_(std::move(assignment)),
+        counts_(static_cast<size_t>(k), 0),
+        sums_(static_cast<size_t>(k) * points.cols(), 0.0),
+        value_counts_(static_cast<size_t>(k) * attr.cardinality, 0) {
+    for (size_t i = 0; i < points_.rows(); ++i) {
+      const size_t c = static_cast<size_t>(assignment_[i]);
+      ++counts_[c];
+      const double* row = points_.Row(i);
+      double* acc = sums_.data() + c * d_;
+      for (size_t j = 0; j < d_; ++j) acc[j] += row[j];
+      ++value_counts_[c * attr_.cardinality + attr_.codes[i]];
+    }
+  }
+
+  double DeltaKMeans(size_t i, int to) const {
+    const int from = assignment_[i];
+    if (to == from) return 0.0;
+    double delta = 0.0;
+    const size_t c_from = counts_[static_cast<size_t>(from)];
+    if (c_from > 1) {
+      delta -= static_cast<double>(c_from) / static_cast<double>(c_from - 1) *
+               DistanceToMean(i, from, c_from);
+    }
+    const size_t c_to = counts_[static_cast<size_t>(to)];
+    if (c_to > 0) {
+      delta += static_cast<double>(c_to) / static_cast<double>(c_to + 1) *
+               DistanceToMean(i, to, c_to);
+    }
+    return delta;
+  }
+
+  // Change of sum_C KL(P_C || U) when moving point i to cluster `to`:
+  // recompute the two affected clusters' KL before/after in O(m).
+  double DeltaKl(size_t i, int to) const {
+    const int from = assignment_[i];
+    if (to == from) return 0.0;
+    const int m = attr_.cardinality;
+    const int32_t v = attr_.codes[i];
+
+    std::vector<int64_t> buf(static_cast<size_t>(m));
+    const int64_t* from_counts = value_counts_.data() + static_cast<size_t>(from) * m;
+    const int64_t* to_counts = value_counts_.data() + static_cast<size_t>(to) * m;
+
+    double delta = 0.0;
+    delta -= ClusterKl(from_counts, m, counts_[static_cast<size_t>(from)],
+                       attr_.dataset_fractions);
+    delta -= ClusterKl(to_counts, m, counts_[static_cast<size_t>(to)],
+                       attr_.dataset_fractions);
+    std::copy(from_counts, from_counts + m, buf.begin());
+    --buf[static_cast<size_t>(v)];
+    delta += ClusterKl(buf.data(), m, counts_[static_cast<size_t>(from)] - 1,
+                       attr_.dataset_fractions);
+    std::copy(to_counts, to_counts + m, buf.begin());
+    ++buf[static_cast<size_t>(v)];
+    delta += ClusterKl(buf.data(), m, counts_[static_cast<size_t>(to)] + 1,
+                       attr_.dataset_fractions);
+    return delta;
+  }
+
+  void Move(size_t i, int to) {
+    const int from = assignment_[i];
+    if (to == from) return;
+    const double* row = points_.Row(i);
+    double* from_sums = sums_.data() + static_cast<size_t>(from) * d_;
+    double* to_sums = sums_.data() + static_cast<size_t>(to) * d_;
+    for (size_t j = 0; j < d_; ++j) {
+      from_sums[j] -= row[j];
+      to_sums[j] += row[j];
+    }
+    --counts_[static_cast<size_t>(from)];
+    ++counts_[static_cast<size_t>(to)];
+    const int32_t v = attr_.codes[i];
+    --value_counts_[static_cast<size_t>(from) * attr_.cardinality + v];
+    ++value_counts_[static_cast<size_t>(to) * attr_.cardinality + v];
+    assignment_[i] = static_cast<int32_t>(to);
+  }
+
+  double KlTerm() const {
+    double total = 0.0;
+    for (int c = 0; c < k_; ++c) {
+      total += ClusterKl(value_counts_.data() + static_cast<size_t>(c) * attr_.cardinality,
+                         attr_.cardinality, counts_[static_cast<size_t>(c)],
+                         attr_.dataset_fractions);
+    }
+    return total;
+  }
+
+  const Assignment& assignment() const { return assignment_; }
+  int cluster_of(size_t i) const { return assignment_[i]; }
+
+ private:
+  double DistanceToMean(size_t i, int c, size_t count) const {
+    const double* row = points_.Row(i);
+    const double* sums = sums_.data() + static_cast<size_t>(c) * d_;
+    const double inv = 1.0 / static_cast<double>(count);
+    double total = 0.0;
+    for (size_t j = 0; j < d_; ++j) {
+      const double diff = row[j] - sums[j] * inv;
+      total += diff * diff;
+    }
+    return total;
+  }
+
+  const data::Matrix& points_;
+  const data::CategoricalSensitive& attr_;
+  int k_;
+  size_t d_;
+  Assignment assignment_;
+  std::vector<size_t> counts_;
+  std::vector<double> sums_;
+  std::vector<int64_t> value_counts_;
+};
+
+Result<ZgyaResult> RunHard(const data::Matrix& points,
+                           const data::CategoricalSensitive& attr,
+                           const ZgyaOptions& options, double lambda, Rng* rng) {
+  FAIRKM_ASSIGN_OR_RETURN(
+      Assignment initial,
+      MakeInitialAssignment(points, options.k, options.init, rng));
+  HardState state(points, attr, options.k, std::move(initial));
+
+  ZgyaResult result;
+  result.lambda_used = lambda;
+  const size_t n = points.rows();
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    size_t moves = 0;
+    for (size_t i = 0; i < n; ++i) {
+      const int from = state.cluster_of(i);
+      double best_delta = -options.min_improvement;
+      int best_cluster = from;
+      for (int c = 0; c < options.k; ++c) {
+        if (c == from) continue;
+        const double delta = state.DeltaKMeans(i, c) + lambda * state.DeltaKl(i, c);
+        if (delta < best_delta) {
+          best_delta = delta;
+          best_cluster = c;
+        }
+      }
+      if (best_cluster != from) {
+        state.Move(i, best_cluster);
+        ++moves;
+      }
+    }
+    result.iterations = iter + 1;
+    if (moves == 0) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.assignment = state.assignment();
+  result.kl_term = state.KlTerm();
+  return result;
+}
+
+Result<ZgyaResult> RunSoft(const data::Matrix& points,
+                           const data::CategoricalSensitive& attr,
+                           const ZgyaOptions& options, double lambda, Rng* rng) {
+  const size_t n = points.rows();
+  const size_t d = points.cols();
+  const int k = options.k;
+  const int m = attr.cardinality;
+
+  // Soft assignment matrix s (n x k). Soft K-Means collapses from a uniform
+  // random start (all centroids land on the global mean), so the soft mode
+  // always seeds from k-means++ centers regardless of options.init.
+  FAIRKM_ASSIGN_OR_RETURN(
+      Assignment hard,
+      MakeInitialAssignment(points, k, KMeansInit::kKMeansPlusPlus, rng));
+  std::vector<double> s(n * static_cast<size_t>(k), 0.0);
+  for (size_t i = 0; i < n; ++i) s[i * k + static_cast<size_t>(hard[i])] = 1.0;
+
+  data::Matrix centers(static_cast<size_t>(k), d);
+  std::vector<double> dist(n * static_cast<size_t>(k), 0.0);
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    // Soft centroid update: mu_k = sum_p s_pk x_p / sum_p s_pk.
+    std::vector<double> weights(static_cast<size_t>(k), 0.0);
+    std::fill(centers.data().begin(), centers.data().end(), 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      const double* row = points.Row(i);
+      for (int c = 0; c < k; ++c) {
+        const double w = s[i * k + static_cast<size_t>(c)];
+        if (w <= 0.0) continue;
+        weights[static_cast<size_t>(c)] += w;
+        double* mu = centers.Row(static_cast<size_t>(c));
+        for (size_t j = 0; j < d; ++j) mu[j] += w * row[j];
+      }
+    }
+    double mean_dist = 0.0;
+    for (int c = 0; c < k; ++c) {
+      if (weights[static_cast<size_t>(c)] > kEps) {
+        double* mu = centers.Row(static_cast<size_t>(c));
+        for (size_t j = 0; j < d; ++j) mu[j] /= weights[static_cast<size_t>(c)];
+      }
+    }
+    for (size_t i = 0; i < n; ++i) {
+      for (int c = 0; c < k; ++c) {
+        dist[i * k + static_cast<size_t>(c)] = data::SquaredDistance(
+            points.Row(i), centers.Row(static_cast<size_t>(c)), d);
+        mean_dist += dist[i * k + static_cast<size_t>(c)];
+      }
+    }
+    mean_dist /= static_cast<double>(n * static_cast<size_t>(k));
+    // Anneal: early iterations explore, later ones sharpen towards a hard
+    // assignment so the final argmax is meaningful.
+    const double anneal =
+        1.0 / (1.0 + static_cast<double>(iter) * 0.5);
+    const double temperature =
+        std::max(kEps, options.soft_temperature * mean_dist * anneal);
+
+    // Inner bound updates: first-order expansion of the KL term around the
+    // current soft counts gives per-point gradients
+    //   g_pk = 1/n_k - U_{j(p)} / m_{j(p)k}
+    // (see DESIGN.md §3.3); points then redistribute by softmax.
+    for (int inner = 0; inner < options.soft_inner_iterations; ++inner) {
+      std::vector<double> nk(static_cast<size_t>(k), 0.0);
+      std::vector<double> mjk(static_cast<size_t>(k) * m, 0.0);
+      for (size_t i = 0; i < n; ++i) {
+        for (int c = 0; c < k; ++c) {
+          const double w = s[i * k + static_cast<size_t>(c)];
+          nk[static_cast<size_t>(c)] += w;
+          mjk[static_cast<size_t>(c) * m + attr.codes[i]] += w;
+        }
+      }
+      for (size_t i = 0; i < n; ++i) {
+        const int32_t j = attr.codes[i];
+        const double u = attr.dataset_fractions[static_cast<size_t>(j)];
+        double best = std::numeric_limits<double>::infinity();
+        std::vector<double> cost(static_cast<size_t>(k));
+        for (int c = 0; c < k; ++c) {
+          const double g =
+              1.0 / std::max(nk[static_cast<size_t>(c)], kEps) -
+              u / std::max(mjk[static_cast<size_t>(c) * m + j], kEps);
+          cost[static_cast<size_t>(c)] =
+              dist[i * k + static_cast<size_t>(c)] + lambda * g;
+          best = std::min(best, cost[static_cast<size_t>(c)]);
+        }
+        double total = 0.0;
+        std::vector<double> fresh(static_cast<size_t>(k));
+        for (int c = 0; c < k; ++c) {
+          const double e =
+              std::exp(-(cost[static_cast<size_t>(c)] - best) / temperature);
+          fresh[static_cast<size_t>(c)] = e;
+          total += e;
+        }
+        const double keep = options.soft_damping;
+        for (int c = 0; c < k; ++c) {
+          double& cell = s[i * k + static_cast<size_t>(c)];
+          cell = keep * cell + (1.0 - keep) * fresh[static_cast<size_t>(c)] / total;
+        }
+      }
+    }
+  }
+
+  // Harden.
+  ZgyaResult result;
+  result.lambda_used = lambda;
+  result.iterations = options.max_iterations;
+  result.assignment.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    int best = 0;
+    double best_w = -1.0;
+    for (int c = 0; c < k; ++c) {
+      if (s[i * k + static_cast<size_t>(c)] > best_w) {
+        best_w = s[i * k + static_cast<size_t>(c)];
+        best = c;
+      }
+    }
+    result.assignment[i] = static_cast<int32_t>(best);
+  }
+  result.kl_term = ZgyaKlTerm(attr, result.assignment, k);
+  return result;
+}
+
+}  // namespace
+
+double ZgyaKlTerm(const data::CategoricalSensitive& attr, const Assignment& assignment,
+                  int k) {
+  const int m = attr.cardinality;
+  std::vector<int64_t> counts(static_cast<size_t>(k) * m, 0);
+  std::vector<size_t> sizes(static_cast<size_t>(k), 0);
+  for (size_t i = 0; i < assignment.size(); ++i) {
+    ++counts[static_cast<size_t>(assignment[i]) * m + attr.codes[i]];
+    ++sizes[static_cast<size_t>(assignment[i])];
+  }
+  double total = 0.0;
+  for (int c = 0; c < k; ++c) {
+    total += ClusterKl(counts.data() + static_cast<size_t>(c) * m, m,
+                       sizes[static_cast<size_t>(c)], attr.dataset_fractions);
+  }
+  return total;
+}
+
+Result<ZgyaResult> RunZgya(const data::Matrix& points,
+                           const data::CategoricalSensitive& attr,
+                           const ZgyaOptions& options, Rng* rng) {
+  if (rng == nullptr) return Status::InvalidArgument("rng must not be null");
+  if (options.k <= 0) return Status::InvalidArgument("k must be positive");
+  if (points.rows() == 0) return Status::InvalidArgument("no points to cluster");
+  if (attr.codes.size() != points.rows()) {
+    return Status::InvalidArgument("sensitive attribute row count mismatch");
+  }
+  if (options.max_iterations <= 0) {
+    return Status::InvalidArgument("max_iterations must be positive");
+  }
+  const double lambda =
+      options.lambda < 0 ? AutoLambda(points, options.k) : options.lambda;
+
+  ZgyaResult result;
+  if (options.mode == ZgyaOptions::Mode::kHardMoves) {
+    FAIRKM_ASSIGN_OR_RETURN(result, RunHard(points, attr, options, lambda, rng));
+  } else {
+    FAIRKM_ASSIGN_OR_RETURN(result, RunSoft(points, attr, options, lambda, rng));
+  }
+  FinalizeResult(points, options.k, &result);
+  result.kmeans_term = result.kmeans_objective;
+  result.total_objective = result.kmeans_term + lambda * result.kl_term;
+  return result;
+}
+
+}  // namespace cluster
+}  // namespace fairkm

@@ -1,0 +1,87 @@
+// ZGYA baseline: K-Means with a per-cluster KL-divergence fairness loss for a
+// single multi-valued sensitive attribute (Ziko, Granger, Yuan & Ben Ayed,
+// "Clustering with Fairness Constraints: A Flexible and Scalable Approach",
+// arXiv:1906.08207 — the FairKM paper's primary baseline, referred to as
+// ZGYA after the authors).
+//
+// No reference implementation is available offline, so this module implements
+// the description given in the FairKM paper §2.2 (DESIGN.md §3.3):
+//
+//   E = sum_C SSE_N(C) + lambda * sum_C KL(P_C || U)
+//
+// where P_C is the distribution of the sensitive attribute's values inside
+// cluster C and U is the dataset-level distribution. Two optimizers are
+// provided:
+//   * kHardMoves (default): the same round-robin single-point move scheme as
+//     FairKM, against the exact objective above. Deterministic given a seed
+//     and directly comparable with FairKM in the benches.
+//   * kSoftVariational: soft assignments updated by softmax bound updates on
+//     a first-order expansion of the KL term, then hardened — the flavour of
+//     the published algorithm.
+//
+// The two deltas FairKM's design changes relative to this construction —
+// cluster-cardinality weighting and domain-cardinality normalization — are
+// exactly what the paper credits for FairKM's empirical wins; keeping this
+// baseline faithful to the unweighted, unnormalized KL loss is therefore
+// load-bearing for reproduction.
+
+#ifndef FAIRKM_CLUSTER_ZGYA_H_
+#define FAIRKM_CLUSTER_ZGYA_H_
+
+#include "cluster/kmeans.h"
+#include "cluster/types.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "data/matrix.h"
+#include "data/sensitive.h"
+
+namespace fairkm {
+namespace cluster {
+
+/// \brief ZGYA configuration.
+struct ZgyaOptions {
+  int k = 5;
+  /// Fairness weight. Negative means "auto": 2 * avg_var * n / k, where
+  /// avg_var is the mean squared distance of points to the global mean. This
+  /// balances the magnitude of a single-point move's effect on both terms.
+  double lambda = -1.0;
+  int max_iterations = 30;
+  KMeansInit init = KMeansInit::kRandomAssignment;
+
+  enum class Mode { kHardMoves, kSoftVariational };
+  Mode mode = Mode::kHardMoves;
+
+  /// Soft mode: inner bound-update rounds per outer (centroid) iteration.
+  int soft_inner_iterations = 5;
+  /// Soft mode: softmax temperature relative to the mean point-center
+  /// distance (keeps the updates scale-free).
+  double soft_temperature = 1.0;
+  /// Soft mode: damping for the bound updates; each round keeps this much of
+  /// the previous assignment (0 = undamped). Stabilizes the linearized KL
+  /// gradient, which otherwise overshoots the target proportions.
+  double soft_damping = 0.5;
+
+  double min_improvement = 1e-9;
+};
+
+/// \brief ZGYA output with the decomposed objective.
+struct ZgyaResult : ClusteringResult {
+  double lambda_used = 0.0;
+  double kmeans_term = 0.0;
+  double kl_term = 0.0;  ///< sum_C KL(P_C || U) at the final state.
+};
+
+/// \brief sum over clusters of KL(P_C || U) for the given attribute.
+double ZgyaKlTerm(const data::CategoricalSensitive& attr, const Assignment& assignment,
+                  int k);
+
+/// \brief Runs ZGYA for one sensitive attribute (the method is defined for a
+/// single multi-valued attribute; the paper invokes it once per attribute).
+Result<ZgyaResult> RunZgya(const data::Matrix& points,
+                           const data::CategoricalSensitive& attr,
+                           const ZgyaOptions& options, Rng* rng);
+
+}  // namespace cluster
+}  // namespace fairkm
+
+#endif  // FAIRKM_CLUSTER_ZGYA_H_

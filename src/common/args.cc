@@ -1,0 +1,94 @@
+#include "common/args.h"
+
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace fairkm {
+
+void ArgParser::AddFlag(const std::string& name, const std::string& default_value,
+                        const std::string& help) {
+  flags_[name] = Flag{default_value, default_value, help};
+}
+
+Status ArgParser::Parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!StartsWith(arg, "--")) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    std::string name, value;
+    bool has_value = false;
+    size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      name = body.substr(0, eq);
+      value = body.substr(eq + 1);
+      has_value = true;
+    } else {
+      name = body;
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end()) return Status::InvalidArgument("unknown flag --" + name);
+    if (!has_value) {
+      // --flag value form, unless the next token is a flag; then treat as bool.
+      if (i + 1 < argc && !StartsWith(argv[i + 1], "--")) {
+        value = argv[++i];
+      } else {
+        value = "true";
+      }
+    }
+    it->second.value = value;
+  }
+  return Status::OK();
+}
+
+std::string ArgParser::GetString(const std::string& name) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    Status::Internal("undeclared flag read: " + name).Abort();
+  }
+  return it->second.value;
+}
+
+int64_t ArgParser::GetInt(const std::string& name) const {
+  int64_t v = 0;
+  std::string s = GetString(name);
+  if (!ParseInt64(s, &v)) {
+    Status::InvalidArgument("flag --" + name + " is not an integer: " + s).Abort();
+  }
+  return v;
+}
+
+double ArgParser::GetDouble(const std::string& name) const {
+  double v = 0;
+  std::string s = GetString(name);
+  if (!ParseDouble(s, &v)) {
+    Status::InvalidArgument("flag --" + name + " is not a number: " + s).Abort();
+  }
+  return v;
+}
+
+bool ArgParser::GetBool(const std::string& name) const {
+  std::string s = ToLower(GetString(name));
+  return s == "1" || s == "true" || s == "yes" || s == "on";
+}
+
+std::string ArgParser::HelpString(const std::string& program) const {
+  std::string out = "usage: " + program + " [flags]\n";
+  for (const auto& [name, flag] : flags_) {
+    out += "  --" + name + " (default: " + flag.default_value + ")  " + flag.help + "\n";
+  }
+  return out;
+}
+
+int64_t EnvInt(const char* name, int64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr) return fallback;
+  int64_t v = 0;
+  if (!ParseInt64(raw, &v)) return fallback;
+  return v;
+}
+
+}  // namespace fairkm

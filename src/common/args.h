@@ -1,0 +1,55 @@
+// Tiny command-line flag parser for the example and bench executables.
+//
+// Accepts --name=value, --name value and boolean --name forms. Unknown flags
+// are rejected so typos surface immediately.
+
+#ifndef FAIRKM_COMMON_ARGS_H_
+#define FAIRKM_COMMON_ARGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace fairkm {
+
+/// \brief Parsed command line: flags plus positional arguments.
+class ArgParser {
+ public:
+  /// \brief Declares a flag with a default value and help text (all flags are
+  /// string-typed internally; use the typed getters).
+  void AddFlag(const std::string& name, const std::string& default_value,
+               const std::string& help);
+
+  /// \brief Parses argv. Returns error on unknown or malformed flags.
+  Status Parse(int argc, const char* const* argv);
+
+  /// \brief Typed getters (abort on undeclared names — programming error).
+  std::string GetString(const std::string& name) const;
+  int64_t GetInt(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  bool GetBool(const std::string& name) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// \brief Renders a usage block listing all declared flags.
+  std::string HelpString(const std::string& program) const;
+
+ private:
+  struct Flag {
+    std::string value;
+    std::string default_value;
+    std::string help;
+  };
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+};
+
+/// \brief Reads an environment variable as int64, returning `fallback` when the
+/// variable is unset or unparseable. Used for bench scaling knobs.
+int64_t EnvInt(const char* name, int64_t fallback);
+
+}  // namespace fairkm
+
+#endif  // FAIRKM_COMMON_ARGS_H_

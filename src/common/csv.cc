@@ -1,0 +1,152 @@
+#include "common/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace fairkm {
+namespace {
+
+// Parses the CSV body into rows of fields. Returns an error on an unterminated
+// quoted field.
+Status ParseBody(const std::string& text, char delim,
+                 std::vector<std::vector<std::string>>* out) {
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+  size_t line = 1;
+
+  auto end_field = [&]() {
+    row.push_back(std::move(field));
+    field.clear();
+    field_started = false;
+  };
+  auto end_row = [&]() {
+    end_field();
+    out->push_back(std::move(row));
+    row.clear();
+  };
+
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        if (c == '\n') ++line;
+        field += c;
+      }
+      continue;
+    }
+    if (c == '"' && !field_started) {
+      in_quotes = true;
+      field_started = true;
+    } else if (c == delim) {
+      end_field();
+    } else if (c == '\r') {
+      // Swallow; handled with the following '\n' (or ignored if bare).
+    } else if (c == '\n') {
+      ++line;
+      end_row();
+    } else {
+      field += c;
+      field_started = true;
+    }
+  }
+  if (in_quotes) {
+    return Status::IOError("unterminated quoted CSV field (line " +
+                           std::to_string(line) + ")");
+  }
+  // Trailing row without final newline.
+  if (field_started || !field.empty() || !row.empty()) end_row();
+  return Status::OK();
+}
+
+bool NeedsQuoting(const std::string& s, char delim) {
+  for (char c : s) {
+    if (c == delim || c == '"' || c == '\n' || c == '\r') return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<size_t> CsvTable::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return i;
+  }
+  return Status::NotFound("CSV column not found: " + name);
+}
+
+Result<CsvTable> ParseCsv(const std::string& text, char delim, bool has_header) {
+  std::vector<std::vector<std::string>> raw;
+  FAIRKM_RETURN_NOT_OK(ParseBody(text, delim, &raw));
+  CsvTable table;
+  if (raw.empty()) return table;
+  size_t start = 0;
+  if (has_header) {
+    table.header = raw[0];
+    start = 1;
+  } else {
+    table.header.reserve(raw[0].size());
+    for (size_t i = 0; i < raw[0].size(); ++i) {
+      table.header.push_back("c" + std::to_string(i));
+    }
+  }
+  const size_t width = table.header.size();
+  for (size_t r = start; r < raw.size(); ++r) {
+    if (raw[r].size() != width) {
+      return Status::IOError("CSV row " + std::to_string(r) + " has " +
+                             std::to_string(raw[r].size()) + " fields, expected " +
+                             std::to_string(width));
+    }
+    table.rows.push_back(std::move(raw[r]));
+  }
+  return table;
+}
+
+Result<CsvTable> ReadCsvFile(const std::string& path, char delim, bool has_header) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open file for reading: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseCsv(buf.str(), delim, has_header);
+}
+
+std::string WriteCsv(const CsvTable& table, char delim) {
+  std::string out;
+  auto write_row = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i) out += delim;
+      if (NeedsQuoting(row[i], delim)) {
+        out += '"';
+        for (char c : row[i]) {
+          if (c == '"') out += '"';
+          out += c;
+        }
+        out += '"';
+      } else {
+        out += row[i];
+      }
+    }
+    out += '\n';
+  };
+  write_row(table.header);
+  for (const auto& row : table.rows) write_row(row);
+  return out;
+}
+
+Status WriteCsvFile(const CsvTable& table, const std::string& path, char delim) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open file for writing: " + path);
+  out << WriteCsv(table, delim);
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace fairkm

@@ -1,0 +1,83 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fairkm {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  return KahanSum(values) / static_cast<double>(values.size());
+}
+
+double StdDev(const std::vector<double>& values) {
+  RunningStats rs;
+  for (double v : values) rs.Add(v);
+  return rs.stddev();
+}
+
+double Median(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  const size_t mid = values.size() / 2;
+  std::nth_element(values.begin(), values.begin() + mid, values.end());
+  double hi = values[mid];
+  if (values.size() % 2 == 1) return hi;
+  double lo = *std::max_element(values.begin(), values.begin() + mid);
+  return 0.5 * (lo + hi);
+}
+
+double KahanSum(const std::vector<double>& values) {
+  double sum = 0.0, comp = 0.0;
+  for (double v : values) {
+    double y = v - comp;
+    double t = sum + y;
+    comp = (t - sum) - y;
+    sum = t;
+  }
+  return sum;
+}
+
+bool AlmostEqual(double a, double b, double abs_tol, double rel_tol) {
+  double diff = std::fabs(a - b);
+  double scale = std::max(std::fabs(a), std::fabs(b));
+  return diff <= abs_tol + rel_tol * scale;
+}
+
+}  // namespace fairkm

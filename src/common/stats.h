@@ -1,0 +1,55 @@
+// Small numerically-careful statistics helpers shared across the library.
+
+#ifndef FAIRKM_COMMON_STATS_H_
+#define FAIRKM_COMMON_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace fairkm {
+
+/// \brief Streaming mean/variance accumulator (Welford's algorithm).
+///
+/// Single pass, numerically stable, O(1) memory. Used for aggregating metric
+/// values across experiment seeds.
+class RunningStats {
+ public:
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  /// \brief Sample variance (n-1 denominator); 0 when fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+
+  /// \brief Pools another accumulator into this one (Chan et al. merge).
+  void Merge(const RunningStats& other);
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// \brief Arithmetic mean; 0 for an empty vector.
+double Mean(const std::vector<double>& values);
+
+/// \brief Sample standard deviation (n-1); 0 with fewer than two values.
+double StdDev(const std::vector<double>& values);
+
+/// \brief Median (averages the middle pair for even sizes); 0 for empty input.
+double Median(std::vector<double> values);
+
+/// \brief Kahan-compensated sum.
+double KahanSum(const std::vector<double>& values);
+
+/// \brief True when |a - b| <= abs_tol + rel_tol * max(|a|, |b|).
+bool AlmostEqual(double a, double b, double abs_tol = 1e-9, double rel_tol = 1e-9);
+
+}  // namespace fairkm
+
+#endif  // FAIRKM_COMMON_STATS_H_

@@ -1,0 +1,175 @@
+// Status / Result error model, in the style of Apache Arrow and RocksDB.
+//
+// Fallible operations (I/O, solver failures, configuration validation) return
+// Status or Result<T> instead of throwing. Programming errors are guarded with
+// FAIRKM_DCHECK, which aborts in debug builds.
+
+#ifndef FAIRKM_COMMON_STATUS_H_
+#define FAIRKM_COMMON_STATUS_H_
+
+#include <cassert>
+#include <cstdlib>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace fairkm {
+
+/// \brief Machine-readable category of a Status.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kNotFound = 3,
+  kAlreadyExists = 4,
+  kIOError = 5,
+  kNotImplemented = 6,
+  kInternal = 7,
+  kUnbounded = 8,    ///< LP objective unbounded below.
+  kInfeasible = 9,   ///< LP constraint system infeasible.
+  kNotConverged = 10 ///< Iterative solver hit its iteration cap without converging.
+};
+
+/// \brief Returns a human-readable name for a StatusCode ("OK", "Invalid argument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of a fallible operation: a code plus a context message.
+///
+/// A default-constructed Status is OK. Statuses are cheap to copy; error
+/// construction allocates only for the message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unbounded(std::string msg) {
+    return Status(StatusCode::kUnbounded, std::move(msg));
+  }
+  static Status Infeasible(std::string msg) {
+    return Status(StatusCode::kInfeasible, std::move(msg));
+  }
+  static Status NotConverged(std::string msg) {
+    return Status(StatusCode::kNotConverged, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// \brief Renders "<code name>: <message>" (or "OK").
+  std::string ToString() const;
+
+  /// \brief Aborts the process with the status message if not OK.
+  ///
+  /// Intended for examples and benches where an error is unrecoverable.
+  void Abort() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// \brief Either a value of type T or an error Status.
+///
+/// Mirrors arrow::Result. Access to the value of an errored Result aborts.
+template <typename T>
+class Result {
+ public:
+  /*implicit*/ Result(T value) : payload_(std::move(value)) {}
+  /*implicit*/ Result(Status status) : payload_(std::move(status)) {
+    assert(!std::get<Status>(payload_).ok() && "Result constructed from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  /// \brief The error status; OK when a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(payload_);
+  }
+
+  const T& ValueOrDie() const& {
+    CheckOk();
+    return std::get<T>(payload_);
+  }
+  T& ValueOrDie() & {
+    CheckOk();
+    return std::get<T>(payload_);
+  }
+  T ValueOrDie() && {
+    CheckOk();
+    return std::move(std::get<T>(payload_));
+  }
+
+  /// \brief Moves the value out, aborting with the status message on error.
+  T MoveValueUnsafe() { return std::move(std::get<T>(payload_)); }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) {
+      std::get<Status>(payload_).Abort();
+    }
+  }
+
+  std::variant<T, Status> payload_;
+};
+
+/// \brief Propagates a non-OK Status from expr to the caller.
+#define FAIRKM_RETURN_NOT_OK(expr)                 \
+  do {                                             \
+    ::fairkm::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                     \
+  } while (false)
+
+/// \brief Assigns the value of a Result expression to lhs, or propagates its error.
+#define FAIRKM_ASSIGN_OR_RETURN(lhs, rexpr)        \
+  auto FAIRKM_CONCAT_(_res_, __LINE__) = (rexpr);  \
+  if (!FAIRKM_CONCAT_(_res_, __LINE__).ok())       \
+    return FAIRKM_CONCAT_(_res_, __LINE__).status(); \
+  lhs = FAIRKM_CONCAT_(_res_, __LINE__).MoveValueUnsafe()
+
+#define FAIRKM_CONCAT_IMPL_(a, b) a##b
+#define FAIRKM_CONCAT_(a, b) FAIRKM_CONCAT_IMPL_(a, b)
+
+/// \brief Debug-build invariant check (no-op in NDEBUG builds).
+#ifdef NDEBUG
+#define FAIRKM_DCHECK(cond) \
+  do {                      \
+  } while (false)
+#else
+#define FAIRKM_DCHECK(cond) assert(cond)
+#endif
+
+}  // namespace fairkm
+
+#endif  // FAIRKM_COMMON_STATUS_H_

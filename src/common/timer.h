@@ -1,0 +1,33 @@
+// Wall-clock timing helper.
+
+#ifndef FAIRKM_COMMON_TIMER_H_
+#define FAIRKM_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace fairkm {
+
+/// \brief Monotonic stopwatch started at construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// \brief Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// \brief Elapsed seconds since construction/Reset.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// \brief Elapsed milliseconds since construction/Reset.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace fairkm
+
+#endif  // FAIRKM_COMMON_TIMER_H_

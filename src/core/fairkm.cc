@@ -1,0 +1,86 @@
+#include "core/fairkm.h"
+
+#include "core/fairkm_state.h"
+
+namespace fairkm {
+namespace core {
+
+double SuggestLambda(size_t num_rows, int k) {
+  FAIRKM_DCHECK(k > 0);
+  const double ratio = static_cast<double>(num_rows) / static_cast<double>(k);
+  return ratio * ratio;
+}
+
+Result<FairKMResult> RunFairKM(const data::Matrix& points,
+                               const data::SensitiveView& sensitive,
+                               const FairKMOptions& options, Rng* rng) {
+  if (rng == nullptr) return Status::InvalidArgument("rng must not be null");
+  if (options.max_iterations <= 0) {
+    return Status::InvalidArgument("max_iterations must be positive");
+  }
+  if (options.minibatch_size < 0) {
+    return Status::InvalidArgument("minibatch_size must be non-negative");
+  }
+  const size_t n = points.rows();
+  const double lambda =
+      options.lambda < 0 ? SuggestLambda(n, options.k) : options.lambda;
+
+  FAIRKM_ASSIGN_OR_RETURN(
+      cluster::Assignment initial,
+      cluster::MakeInitialAssignment(points, options.k, options.init, rng));
+  FAIRKM_ASSIGN_OR_RETURN(FairKMState state,
+                          FairKMState::Create(&points, &sensitive, options.k,
+                                              std::move(initial), options.fairness));
+
+  const bool minibatch = options.minibatch_size > 0;
+  state.EnablePrototypeSnapshot(minibatch);
+
+  FairKMResult result;
+  result.lambda_used = lambda;
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    size_t moves = 0;
+    // Round-robin over objects (paper Algorithm 1, step 4): each object is
+    // re-assigned to the cluster minimizing the exact objective change
+    // (Eq. 9), with prototypes and fractional representations updated
+    // immediately (steps 6-7) — or in mini-batches when configured.
+    for (size_t i = 0; i < n; ++i) {
+      const int from = state.cluster_of(i);
+      double best_delta = -options.min_improvement;
+      int best_cluster = from;
+      for (int c = 0; c < options.k; ++c) {
+        if (c == from) continue;
+        const double delta =
+            state.DeltaKMeans(i, c) + lambda * state.DeltaFairness(i, c);
+        if (delta < best_delta) {
+          best_delta = delta;
+          best_cluster = c;
+        }
+      }
+      if (best_cluster != from) {
+        state.Move(i, best_cluster);
+        ++moves;
+      }
+      if (minibatch && (i + 1) % static_cast<size_t>(options.minibatch_size) == 0) {
+        state.RefreshPrototypes();
+      }
+    }
+    if (minibatch) state.RefreshPrototypes();
+    result.iterations = iter + 1;
+    result.objective_history.push_back(state.KMeansTerm() +
+                                       lambda * state.FairnessTerm());
+    if (moves == 0) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.assignment = state.assignment();
+  cluster::FinalizeResult(points, options.k, &result);
+  result.kmeans_term = result.kmeans_objective;
+  result.fairness_term = state.FairnessTerm();
+  result.total_objective = result.kmeans_term + lambda * result.fairness_term;
+  return result;
+}
+
+}  // namespace core
+}  // namespace fairkm

@@ -1,0 +1,74 @@
+// FairKM — Fair K-Means clustering with multiple sensitive attributes.
+//
+// Reproduces the algorithm of Abraham, Deepak P & Sundaram, "Fairness in
+// Clustering with Multiple Sensitive Attributes" (EDBT 2020). The objective
+// (Eq. 1) couples the classical K-Means loss over the task attributes N with
+// a fairness deviation term over the sensitive attributes S (Eq. 7),
+// balanced by lambda. Optimization is the paper's Algorithm 1: round-robin
+// single-point reassignment with immediate prototype and fractional-
+// representation updates, run until convergence or max_iterations.
+//
+// Supported paper extensions: numeric sensitive attributes (§4.4.1,
+// Eq. 22), per-attribute fairness weights (§4.4.2, Eq. 23), and mini-batch
+// prototype updates (§6.1 future work).
+
+#ifndef FAIRKM_CORE_FAIRKM_H_
+#define FAIRKM_CORE_FAIRKM_H_
+
+#include <vector>
+
+#include "cluster/kmeans.h"
+#include "cluster/types.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/objective.h"
+#include "data/matrix.h"
+#include "data/sensitive.h"
+
+namespace fairkm {
+namespace core {
+
+/// \brief FairKM configuration.
+struct FairKMOptions {
+  int k = 5;
+  /// Fairness weight lambda of Eq. 1. Negative means "auto": the paper's §5.4
+  /// heuristic lambda = (n/k)^2.
+  double lambda = -1.0;
+  /// The paper uses 30 for its empirical study (§5.4).
+  int max_iterations = 30;
+  /// Paper Algorithm 1 step 1 initializes clusters randomly.
+  cluster::KMeansInit init = cluster::KMeansInit::kRandomAssignment;
+  /// Fairness-term construction knobs (ablations; paper defaults).
+  FairnessTermConfig fairness;
+  /// Mini-batch prototype updates (§6.1): 0 = update after every move
+  /// (paper behaviour); B > 0 = refresh prototypes every B processed points.
+  int minibatch_size = 0;
+  /// A move must improve the objective by at least this much, which guards
+  /// against floating-point oscillation across sweeps.
+  double min_improvement = 1e-9;
+};
+
+/// \brief FairKM output: clustering plus the decomposed objective.
+struct FairKMResult : cluster::ClusteringResult {
+  double lambda_used = 0.0;
+  double kmeans_term = 0.0;    ///< First term of Eq. 1 at the final state.
+  double fairness_term = 0.0;  ///< deviation_S(C, X) at the final state.
+  /// Total objective after every sweep (non-increasing when minibatch_size
+  /// is 0, since every accepted move strictly decreases Eq. 1).
+  std::vector<double> objective_history;
+};
+
+/// \brief The paper's §5.4 heuristic: lambda = (n/k)^2.
+double SuggestLambda(size_t num_rows, int k);
+
+/// \brief Runs FairKM. `sensitive` may contain any mix of categorical and
+/// numeric attributes; with an empty view (or lambda = 0) FairKM degenerates
+/// to a move-based K-Means.
+Result<FairKMResult> RunFairKM(const data::Matrix& points,
+                               const data::SensitiveView& sensitive,
+                               const FairKMOptions& options, Rng* rng);
+
+}  // namespace core
+}  // namespace fairkm
+
+#endif  // FAIRKM_CORE_FAIRKM_H_

@@ -1,0 +1,239 @@
+#include "core/fairkm_state.h"
+
+namespace fairkm {
+namespace core {
+
+FairKMState::FairKMState(const data::Matrix* points,
+                         const data::SensitiveView* sensitive, int k,
+                         FairnessTermConfig config)
+    : points_(points),
+      sensitive_(sensitive),
+      k_(k),
+      n_(points->rows()),
+      d_(points->cols()),
+      config_(config) {}
+
+Result<FairKMState> FairKMState::Create(const data::Matrix* points,
+                                        const data::SensitiveView* sensitive, int k,
+                                        cluster::Assignment initial,
+                                        FairnessTermConfig config) {
+  if (points == nullptr || sensitive == nullptr) {
+    return Status::InvalidArgument("points/sensitive must not be null");
+  }
+  if (k <= 0) return Status::InvalidArgument("k must be positive");
+  FAIRKM_RETURN_NOT_OK(cluster::ValidateAssignment(initial, points->rows(), k));
+  if (!sensitive->empty() && sensitive->num_rows() != points->rows()) {
+    return Status::InvalidArgument("sensitive view covers " +
+                                   std::to_string(sensitive->num_rows()) +
+                                   " rows, points have " +
+                                   std::to_string(points->rows()));
+  }
+  FairKMState state(points, sensitive, k, config);
+  state.BuildAggregates(std::move(initial));
+  return state;
+}
+
+void FairKMState::BuildAggregates(cluster::Assignment initial) {
+  assignment_ = std::move(initial);
+  counts_.assign(static_cast<size_t>(k_), 0);
+  sums_.assign(static_cast<size_t>(k_) * d_, 0.0);
+  for (size_t i = 0; i < n_; ++i) {
+    const size_t c = static_cast<size_t>(assignment_[i]);
+    ++counts_[c];
+    const double* row = points_->Row(i);
+    double* acc = sums_.data() + c * d_;
+    for (size_t j = 0; j < d_; ++j) acc[j] += row[j];
+  }
+  cat_counts_.clear();
+  for (const auto& attr : sensitive_->categorical) {
+    std::vector<int64_t> counts(static_cast<size_t>(k_) * attr.cardinality, 0);
+    for (size_t i = 0; i < n_; ++i) {
+      ++counts[static_cast<size_t>(assignment_[i]) * attr.cardinality +
+               attr.codes[i]];
+    }
+    cat_counts_.push_back(std::move(counts));
+  }
+  num_sums_.clear();
+  for (const auto& attr : sensitive_->numeric) {
+    std::vector<double> sums(static_cast<size_t>(k_), 0.0);
+    for (size_t i = 0; i < n_; ++i) {
+      sums[static_cast<size_t>(assignment_[i])] += attr.values[i];
+    }
+    num_sums_.push_back(std::move(sums));
+  }
+  proto_counts_ = counts_;
+  proto_sums_ = sums_;
+}
+
+double FairKMState::DistanceToMean(size_t i, const double* sums, double count) const {
+  const double* row = points_->Row(i);
+  const double inv = 1.0 / count;
+  double total = 0.0;
+  for (size_t j = 0; j < d_; ++j) {
+    const double diff = row[j] - sums[j] * inv;
+    total += diff * diff;
+  }
+  return total;
+}
+
+double FairKMState::DeltaKMeans(size_t i, int to) const {
+  const int from = assignment_[i];
+  if (to == from) return 0.0;
+  const std::vector<size_t>& counts = use_snapshot_ ? proto_counts_ : counts_;
+  const std::vector<double>& sums = use_snapshot_ ? proto_sums_ : sums_;
+
+  double delta = 0.0;
+  // Removing i from its cluster: SSE decreases by c/(c-1) * ||x - mu||^2
+  // (equivalently the paper's Eqs. 11-12). A singleton cluster's SSE is
+  // already 0, so removal contributes nothing.
+  const size_t c_from = counts[static_cast<size_t>(from)];
+  if (c_from > 1) {
+    const double dist =
+        DistanceToMean(i, sums.data() + static_cast<size_t>(from) * d_,
+                       static_cast<double>(c_from));
+    delta -= static_cast<double>(c_from) / static_cast<double>(c_from - 1) * dist;
+  }
+  // Adding i to the target: SSE increases by c/(c+1) * ||x - mu||^2
+  // (Eqs. 13-14); adding to an empty cluster costs nothing.
+  const size_t c_to = counts[static_cast<size_t>(to)];
+  if (c_to > 0) {
+    const double dist = DistanceToMean(i, sums.data() + static_cast<size_t>(to) * d_,
+                                       static_cast<double>(c_to));
+    delta += static_cast<double>(c_to) / static_cast<double>(c_to + 1) * dist;
+  }
+  return delta;
+}
+
+double FairKMState::DeltaFairness(size_t i, int to) const {
+  const int from = assignment_[i];
+  if (to == from || sensitive_->empty()) return 0.0;
+  const size_t c_from = counts_[static_cast<size_t>(from)];
+  const size_t c_to = counts_[static_cast<size_t>(to)];
+  FAIRKM_DCHECK(c_from >= 1);
+
+  double delta = 0.0;
+
+  for (size_t a = 0; a < sensitive_->categorical.size(); ++a) {
+    const auto& attr = sensitive_->categorical[a];
+    const int m = attr.cardinality;
+    const int32_t v = attr.codes[i];
+    const int64_t* from_counts =
+        cat_counts_[a].data() + static_cast<size_t>(from) * m;
+    const int64_t* to_counts = cat_counts_[a].data() + static_cast<size_t>(to) * m;
+    const double norm =
+        config_.normalize_domain ? 1.0 / static_cast<double>(m) : 1.0;
+
+    // Origin cluster: u_s = C_s - c q_s before; after removing i the size is
+    // c-1 and C_v drops by one, so u'_s = (C_s - I[s=v]) - (c-1) q_s.
+    double before_from = 0.0, after_from = 0.0;
+    for (int s = 0; s < m; ++s) {
+      const double q = attr.dataset_fractions[s];
+      const double cs = static_cast<double>(from_counts[s]);
+      const double u = cs - static_cast<double>(c_from) * q;
+      const double u_after =
+          (cs - (s == v ? 1.0 : 0.0)) - static_cast<double>(c_from - 1) * q;
+      before_from += u * u;
+      after_from += u_after * u_after;
+    }
+    // Target cluster: size grows to c+1 and C_v gains one.
+    double before_to = 0.0, after_to = 0.0;
+    for (int s = 0; s < m; ++s) {
+      const double q = attr.dataset_fractions[s];
+      const double cs = static_cast<double>(to_counts[s]);
+      const double u = cs - static_cast<double>(c_to) * q;
+      const double u_after =
+          (cs + (s == v ? 1.0 : 0.0)) - static_cast<double>(c_to + 1) * q;
+      before_to += u * u;
+      after_to += u_after * u_after;
+    }
+    const double scale_from_before = ClusterScale(config_.weighting, c_from, n_);
+    const double scale_from_after = ClusterScale(config_.weighting, c_from - 1, n_);
+    const double scale_to_before = ClusterScale(config_.weighting, c_to, n_);
+    const double scale_to_after = ClusterScale(config_.weighting, c_to + 1, n_);
+    delta += attr.weight * norm *
+             ((scale_from_after * after_from - scale_from_before * before_from) +
+              (scale_to_after * after_to - scale_to_before * before_to));
+  }
+
+  for (size_t a = 0; a < sensitive_->numeric.size(); ++a) {
+    const auto& attr = sensitive_->numeric[a];
+    const double x = attr.values[i];
+    const double mean = attr.dataset_mean;
+    const double t_from = num_sums_[a][static_cast<size_t>(from)];
+    const double t_to = num_sums_[a][static_cast<size_t>(to)];
+    // u = T_C - c * mean; removal: u' = u - x + mean; insertion: u' = u + x - mean.
+    const double u_from = t_from - static_cast<double>(c_from) * mean;
+    const double u_from_after = u_from - x + mean;
+    const double u_to = t_to - static_cast<double>(c_to) * mean;
+    const double u_to_after = u_to + x - mean;
+    delta += attr.weight *
+             ((ClusterScale(config_.weighting, c_from - 1, n_) * u_from_after *
+                   u_from_after -
+               ClusterScale(config_.weighting, c_from, n_) * u_from * u_from) +
+              (ClusterScale(config_.weighting, c_to + 1, n_) * u_to_after * u_to_after -
+               ClusterScale(config_.weighting, c_to, n_) * u_to * u_to));
+  }
+  return delta;
+}
+
+void FairKMState::Move(size_t i, int to) {
+  const int from = assignment_[i];
+  if (to == from) return;
+  FAIRKM_DCHECK(to >= 0 && to < k_);
+  const double* row = points_->Row(i);
+  double* from_sums = sums_.data() + static_cast<size_t>(from) * d_;
+  double* to_sums = sums_.data() + static_cast<size_t>(to) * d_;
+  for (size_t j = 0; j < d_; ++j) {
+    from_sums[j] -= row[j];
+    to_sums[j] += row[j];
+  }
+  --counts_[static_cast<size_t>(from)];
+  ++counts_[static_cast<size_t>(to)];
+  for (size_t a = 0; a < sensitive_->categorical.size(); ++a) {
+    const auto& attr = sensitive_->categorical[a];
+    const int32_t v = attr.codes[i];
+    --cat_counts_[a][static_cast<size_t>(from) * attr.cardinality + v];
+    ++cat_counts_[a][static_cast<size_t>(to) * attr.cardinality + v];
+  }
+  for (size_t a = 0; a < sensitive_->numeric.size(); ++a) {
+    const double x = sensitive_->numeric[a].values[i];
+    num_sums_[a][static_cast<size_t>(from)] -= x;
+    num_sums_[a][static_cast<size_t>(to)] += x;
+  }
+  assignment_[i] = static_cast<int32_t>(to);
+}
+
+double FairKMState::KMeansTerm() const {
+  data::Matrix centroids = Centroids();
+  return cluster::SumOfSquaredErrors(*points_, assignment_, centroids);
+}
+
+double FairKMState::FairnessTerm() const {
+  return ComputeFairnessTerm(*sensitive_, assignment_, k_, config_);
+}
+
+data::Matrix FairKMState::Centroids() const {
+  data::Matrix centroids(static_cast<size_t>(k_), d_);
+  for (int c = 0; c < k_; ++c) {
+    const size_t size = counts_[static_cast<size_t>(c)];
+    if (size == 0) continue;
+    const double inv = 1.0 / static_cast<double>(size);
+    const double* src = sums_.data() + static_cast<size_t>(c) * d_;
+    double* dst = centroids.Row(static_cast<size_t>(c));
+    for (size_t j = 0; j < d_; ++j) dst[j] = src[j] * inv;
+  }
+  return centroids;
+}
+
+void FairKMState::EnablePrototypeSnapshot(bool enable) {
+  use_snapshot_ = enable;
+  if (enable) RefreshPrototypes();
+}
+
+void FairKMState::RefreshPrototypes() {
+  proto_counts_ = counts_;
+  proto_sums_ = sums_;
+}
+
+}  // namespace core
+}  // namespace fairkm

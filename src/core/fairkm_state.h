@@ -1,0 +1,105 @@
+// Incremental FairKM optimizer state.
+//
+// Maintains, for a live clustering assignment:
+//   * per-cluster sizes and feature sums (exact centroids at all times),
+//   * per-cluster value counts for every categorical sensitive attribute,
+//   * per-cluster value sums for every numeric sensitive attribute,
+// and computes the exact change of both objective terms for a candidate move
+// of one point in O(d) (K-Means term, paper Eqs. 11-15 — equivalently the
+// classical closed forms) + O(sum_S |Values(S)|) (fairness term, Eqs. 16-19)
+// instead of the naive O(n d) full recomputation. Property tests
+// (tests/core/fairkm_state_test.cc) verify the deltas against scratch
+// recomputation to 1e-9.
+
+#ifndef FAIRKM_CORE_FAIRKM_STATE_H_
+#define FAIRKM_CORE_FAIRKM_STATE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/types.h"
+#include "common/status.h"
+#include "core/objective.h"
+#include "data/matrix.h"
+#include "data/sensitive.h"
+
+namespace fairkm {
+namespace core {
+
+/// \brief Mutable aggregates backing the round-robin optimization (§4.2).
+///
+/// The referenced points/sensitive views must outlive the state.
+class FairKMState {
+ public:
+  /// \brief Builds aggregates for an initial assignment. `sensitive` may be
+  /// empty (state degenerates to incremental K-Means bookkeeping).
+  static Result<FairKMState> Create(const data::Matrix* points,
+                                    const data::SensitiveView* sensitive, int k,
+                                    cluster::Assignment initial,
+                                    FairnessTermConfig config = {});
+
+  /// \brief Exact change of the K-Means term if point `i` moved to `to`
+  /// (0 when `to` is its current cluster).
+  double DeltaKMeans(size_t i, int to) const;
+
+  /// \brief Exact change of the fairness deviation term for the same move.
+  double DeltaFairness(size_t i, int to) const;
+
+  /// \brief Applies the move, updating all aggregates in O(d + sum_S m_S).
+  void Move(size_t i, int to);
+
+  /// \brief K-Means term recomputed from scratch against exact centroids.
+  double KMeansTerm() const;
+
+  /// \brief Fairness term recomputed from the count aggregates (O(k sum m)).
+  double FairnessTerm() const;
+
+  /// \brief Exact centroid matrix (k x d) of the current assignment.
+  data::Matrix Centroids() const;
+
+  const cluster::Assignment& assignment() const { return assignment_; }
+  int cluster_of(size_t i) const { return assignment_[i]; }
+  size_t cluster_size(int c) const { return counts_[static_cast<size_t>(c)]; }
+  int k() const { return k_; }
+  size_t num_rows() const { return n_; }
+
+  /// \brief Mini-batch support (paper §6.1): when enabled, DeltaKMeans reads
+  /// a prototype snapshot instead of the live sums; RefreshPrototypes()
+  /// re-synchronizes the snapshot. Fairness aggregates are always live (they
+  /// are O(1) to maintain; the paper's bottleneck is the centroid update).
+  void EnablePrototypeSnapshot(bool enable);
+  void RefreshPrototypes();
+
+ private:
+  FairKMState(const data::Matrix* points, const data::SensitiveView* sensitive, int k,
+              FairnessTermConfig config);
+
+  void BuildAggregates(cluster::Assignment initial);
+
+  // Squared distance from point i to the mean of the given sums/count pair.
+  double DistanceToMean(size_t i, const double* sums, double count) const;
+
+  const data::Matrix* points_;
+  const data::SensitiveView* sensitive_;
+  int k_;
+  size_t n_;
+  size_t d_;
+  FairnessTermConfig config_;
+
+  cluster::Assignment assignment_;
+  std::vector<size_t> counts_;        // Cluster sizes.
+  std::vector<double> sums_;          // k x d feature sums (row-major).
+  // cat_counts_[a][c * m_a + s] = |C_s| for attribute a.
+  std::vector<std::vector<int64_t>> cat_counts_;
+  // num_sums_[a][c] = sum of attribute a over cluster c.
+  std::vector<std::vector<double>> num_sums_;
+
+  bool use_snapshot_ = false;
+  std::vector<size_t> proto_counts_;
+  std::vector<double> proto_sums_;
+};
+
+}  // namespace core
+}  // namespace fairkm
+
+#endif  // FAIRKM_CORE_FAIRKM_STATE_H_

@@ -1,0 +1,71 @@
+// Standalone evaluation of the FairKM objective (paper Eq. 1).
+//
+//   O = sum_C sum_{X in C} dist_N(X, C)  +  lambda * deviation_S(C, X)
+//
+// The K-Means term is cluster::SumOfSquaredErrors. The fairness deviation
+// term (Eq. 7 for categorical, Eq. 22 for numeric sensitive attributes, with
+// the Eq. 23 per-attribute weights) is computed here, including the two
+// design knobs the paper motivates in §4.1 and which our ablation benches
+// toggle: domain-cardinality normalization (Eq. 4) and cluster weighting by
+// squared fractional cardinality (Eq. 6).
+
+#ifndef FAIRKM_CORE_OBJECTIVE_H_
+#define FAIRKM_CORE_OBJECTIVE_H_
+
+#include "cluster/types.h"
+#include "common/status.h"
+#include "data/matrix.h"
+#include "data/sensitive.h"
+
+namespace fairkm {
+namespace core {
+
+/// \brief How each cluster's deviation is weighted in the sum over clusters.
+enum class ClusterWeighting {
+  /// (|C|/|X|)^2 — the paper's choice (Eq. 6).
+  kSquaredFraction,
+  /// |C|/|X| — cardinality-weighted sum (a boundary-case-prone alternative
+  /// the paper argues against in §4.1).
+  kFractional,
+  /// 1 — unweighted sum (the other alternative argued against).
+  kUnweighted,
+};
+
+/// \brief Knobs of the fairness deviation term.
+struct FairnessTermConfig {
+  /// Divide each categorical attribute's deviation by |Values(S)| (Eq. 4).
+  bool normalize_domain = true;
+  ClusterWeighting weighting = ClusterWeighting::kSquaredFraction;
+};
+
+/// \brief Evaluates deviation_S(C, X) (Eq. 7 / 22 / 23) from scratch.
+///
+/// Attribute weights are taken from the SensitiveView (w_S of Eq. 23).
+double ComputeFairnessTerm(const data::SensitiveView& sensitive,
+                           const cluster::Assignment& assignment, int k,
+                           const FairnessTermConfig& config = {});
+
+/// \brief Both terms of Eq. 1, evaluated from scratch.
+struct ObjectiveValue {
+  double kmeans_term = 0.0;
+  double fairness_term = 0.0;
+
+  double Total(double lambda) const { return kmeans_term + lambda * fairness_term; }
+};
+
+/// \brief Evaluates the full FairKM objective from scratch (reference path;
+/// the optimizer uses incremental deltas — see core/fairkm_state.h).
+ObjectiveValue ComputeObjective(const data::Matrix& points,
+                                const data::SensitiveView& sensitive,
+                                const cluster::Assignment& assignment, int k,
+                                const FairnessTermConfig& config = {});
+
+/// \brief Per-cluster scale factor applied to sum_s u_s^2 where
+/// u_s = |C_s| - |C| * Fr_X(s); see fairkm_state.cc for the derivation.
+/// Returns 0 for empty clusters.
+double ClusterScale(ClusterWeighting weighting, size_t cluster_size, size_t num_rows);
+
+}  // namespace core
+}  // namespace fairkm
+
+#endif  // FAIRKM_CORE_OBJECTIVE_H_

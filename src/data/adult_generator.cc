@@ -1,0 +1,307 @@
+#include "data/adult_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/rng.h"
+#include "data/preprocess.h"
+
+namespace fairkm {
+namespace data {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Category dictionaries. Cardinalities match the paper's Table 3 exactly:
+// marital 7, relationship 6, race 5, gender 2, native country 41.
+// ---------------------------------------------------------------------------
+
+const std::vector<std::string>& GenderLabels() {
+  static const std::vector<std::string> kLabels = {"Male", "Female"};
+  return kLabels;
+}
+
+const std::vector<std::string>& RaceLabels() {
+  static const std::vector<std::string> kLabels = {
+      "White", "Black", "Asian-Pac-Islander", "Amer-Indian-Eskimo", "Other"};
+  return kLabels;
+}
+
+const std::vector<std::string>& MaritalLabels() {
+  static const std::vector<std::string> kLabels = {
+      "Married-civ-spouse", "Never-married",         "Divorced", "Separated",
+      "Widowed",            "Married-spouse-absent", "Married-AF-spouse"};
+  return kLabels;
+}
+
+const std::vector<std::string>& RelationshipLabels() {
+  static const std::vector<std::string> kLabels = {
+      "Husband", "Not-in-family", "Own-child", "Unmarried", "Wife", "Other-relative"};
+  return kLabels;
+}
+
+const std::vector<std::string>& CountryLabels() {
+  static const std::vector<std::string> kLabels = {
+      "United-States", "Mexico",        "Philippines", "Germany",
+      "Canada",        "Puerto-Rico",   "El-Salvador", "India",
+      "Cuba",          "England",       "Jamaica",     "South",
+      "China",         "Italy",         "Dominican-Republic", "Vietnam",
+      "Guatemala",     "Japan",         "Poland",      "Columbia",
+      "Taiwan",        "Haiti",         "Iran",        "Portugal",
+      "Nicaragua",     "Peru",          "Greece",      "France",
+      "Ecuador",       "Ireland",       "Hong",        "Trinadad&Tobago",
+      "Cambodia",      "Laos",          "Thailand",    "Yugoslavia",
+      "Outlying-US",   "Hungary",       "Honduras",    "Scotland",
+      "Holand-Netherlands"};
+  return kLabels;
+}
+
+// Latent socioeconomic profiles driving the numeric task attributes.
+enum Profile : int {
+  kProfessional = 0,
+  kWhiteCollar = 1,
+  kClerical = 2,
+  kBlueCollar = 3,
+  kService = 4,
+  kPartTime = 5,
+  kNumProfiles = 6,
+};
+
+// P(profile | gender, race): moderate, deliberate skew. This is the channel
+// through which gender/race information leaks into the task attributes N, so
+// that an S-blind clustering on N is demographically skewed (paper §3).
+std::vector<double> ProfileWeights(int gender, int race) {
+  // Baseline: professional, white-collar, clerical, blue-collar, service, part-time.
+  std::vector<double> w = {0.14, 0.18, 0.15, 0.28, 0.15, 0.10};
+  if (gender == 1) {  // Female: more clerical/service/part-time, less blue-collar.
+    w = {0.11, 0.15, 0.26, 0.10, 0.22, 0.16};
+  }
+  switch (race) {
+    case 1:  // Black: shifted towards service/blue-collar.
+      w[0] *= 0.55;
+      w[1] *= 0.75;
+      w[4] *= 1.5;
+      w[3] *= 1.2;
+      break;
+    case 2:  // Asian-Pac-Islander: shifted towards professional.
+      w[0] *= 1.8;
+      w[1] *= 1.2;
+      break;
+    case 3:  // Amer-Indian-Eskimo.
+      w[0] *= 0.6;
+      w[3] *= 1.3;
+      break;
+    case 4:  // Other.
+      w[0] *= 0.6;
+      w[4] *= 1.35;
+      break;
+    default:
+      break;
+  }
+  return w;
+}
+
+// P(marital | gender).
+std::vector<double> MaritalWeights(int gender) {
+  if (gender == 0) {
+    // Male: married-civ, never, divorced, separated, widowed, absent, AF.
+    return {0.56, 0.29, 0.10, 0.02, 0.015, 0.013, 0.002};
+  }
+  return {0.26, 0.38, 0.21, 0.05, 0.075, 0.022, 0.003};
+}
+
+// P(relationship | gender, is_married_civ_or_af).
+int SampleRelationship(Rng* rng, int gender, bool married) {
+  if (married) {
+    // Spouse role follows gender deterministically except for rare noise.
+    if (rng->UniformDouble() < 0.985) return gender == 0 ? 0 : 4;  // Husband / Wife.
+    return 5;  // Other-relative.
+  }
+  // Not married: not-in-family, own-child, unmarried, other-relative.
+  const std::vector<double> w = {0.0, 0.45, 0.27, 0.21, 0.0, 0.07};
+  return static_cast<int>(rng->Categorical(w));
+}
+
+// P(native country | race): US dominates; the tail decays geometrically and
+// its composition shifts with race so that country correlates with race.
+int SampleCountry(Rng* rng, int race) {
+  double p_us = 0.92;
+  if (race == 1) p_us = 0.90;
+  if (race == 2) p_us = 0.62;  // Asian-Pac-Islander: biggest immigrant share.
+  if (race == 3) p_us = 0.985;
+  if (race == 4) p_us = 0.70;
+  if (rng->UniformDouble() < p_us) return 0;
+
+  const int num_countries = static_cast<int>(CountryLabels().size());
+  std::vector<double> w(static_cast<size_t>(num_countries), 0.0);
+  double decay = 1.0;
+  for (int c = 1; c < num_countries; ++c) {
+    w[static_cast<size_t>(c)] = decay;
+    decay *= 0.88;
+  }
+  if (race == 2) {
+    // Boost Asian countries: Philippines, India, China, Vietnam, Japan,
+    // Taiwan, Hong, Cambodia, Laos, Thailand, South(-Korea).
+    for (int c : {2, 7, 12, 15, 17, 20, 30, 32, 33, 34, 11}) {
+      w[static_cast<size_t>(c)] *= 14.0;
+    }
+  } else if (race == 4) {
+    // Boost Latin-American countries for "Other".
+    for (int c : {1, 5, 6, 8, 14, 16, 19, 24, 25, 28, 38}) {
+      w[static_cast<size_t>(c)] *= 8.0;
+    }
+  } else if (race == 1) {
+    // Boost Caribbean countries for Black.
+    for (int c : {10, 21, 31, 8, 14}) {
+      w[static_cast<size_t>(c)] *= 6.0;
+    }
+  }
+  return static_cast<int>(rng->Categorical(w));
+}
+
+double Clamp(double v, double lo, double hi) { return std::min(hi, std::max(lo, v)); }
+
+struct Record {
+  int gender, race, marital, relationship, country, profile;
+  double age, education_num, hours, capital_gain_log, capital_loss_log;
+  double occupation_skill, workclass_stability, tenure_years;
+  double income_score;
+};
+
+Record GenerateRecord(Rng* rng) {
+  Record r;
+  r.gender = rng->UniformDouble() < 0.669 ? 0 : 1;
+  r.race = static_cast<int>(rng->Categorical({0.854, 0.096, 0.031, 0.010, 0.009}));
+  r.marital = static_cast<int>(rng->Categorical(MaritalWeights(r.gender)));
+  const bool married = r.marital == 0 || r.marital == 6;
+  r.relationship = SampleRelationship(rng, r.gender, married);
+  r.country = SampleCountry(rng, r.race);
+  r.profile = static_cast<int>(rng->Categorical(ProfileWeights(r.gender, r.race)));
+
+  // Age by marital status.
+  static const double kAgeMean[7] = {43.2, 28.4, 45.0, 40.8, 58.9, 42.2, 29.7};
+  static const double kAgeSd[7] = {11.0, 9.5, 10.0, 10.5, 11.5, 11.0, 6.5};
+  r.age = Clamp(rng->Normal(kAgeMean[r.marital], kAgeSd[r.marital]), 17, 90);
+
+  // Education by profile with a race shift.
+  static const double kEduMean[kNumProfiles] = {13.6, 12.4, 10.8, 9.3, 9.8, 10.4};
+  static const double kEduRaceShift[5] = {0.0, -0.55, 0.65, -0.55, -0.60};
+  r.education_num =
+      Clamp(rng->Normal(kEduMean[r.profile] + kEduRaceShift[r.race], 2.0), 1, 16);
+
+  // Hours per week by profile with a gender shift.
+  static const double kHoursMean[kNumProfiles] = {45.5, 43.8, 38.9, 42.0, 37.5, 24.0};
+  const double gender_hours = r.gender == 1 ? -3.6 : 0.0;
+  r.hours = Clamp(rng->Normal(kHoursMean[r.profile] + gender_hours, 8.5), 1, 99);
+
+  // Fiscal attributes: sparse heavy tails, stored on a log1p scale.
+  static const double kGainProb[kNumProfiles] = {0.15, 0.10, 0.05, 0.035, 0.03, 0.02};
+  r.capital_gain_log =
+      rng->Bernoulli(kGainProb[r.profile]) ? rng->Normal(8.6, 1.1) : 0.0;
+  if (r.capital_gain_log < 0) r.capital_gain_log = 0.0;
+  r.capital_loss_log = rng->Bernoulli(0.047) ? rng->Normal(7.45, 0.35) : 0.0;
+  if (r.capital_loss_log < 0) r.capital_loss_log = 0.0;
+
+  // Occupation skill / workclass stability: continuous profile proxies.
+  static const double kSkill[kNumProfiles] = {8.6, 7.1, 5.2, 4.1, 3.3, 2.8};
+  r.occupation_skill = rng->Normal(kSkill[r.profile], 1.0);
+  static const double kStability[kNumProfiles] = {6.8, 6.1, 5.6, 4.9, 4.2, 2.9};
+  r.workclass_stability = rng->Normal(kStability[r.profile], 1.2);
+
+  // Tenure grows with age.
+  r.tenure_years = Clamp(0.38 * (r.age - 18.0) + rng->Normal(0.0, 4.0), 0.0, 55.0);
+
+  // Socioeconomic score; ranking on it assigns the income label.
+  r.income_score = 0.30 * r.education_num + 0.045 * r.hours +
+                   0.52 * (r.capital_gain_log > 0 ? 1.0 : 0.0) * r.capital_gain_log /
+                       8.6 * 8.0 +
+                   0.34 * r.occupation_skill + 0.022 * r.age +
+                   (r.gender == 0 ? 0.85 : 0.0) + (married ? 0.55 : 0.0) +
+                   rng->Normal(0.0, 1.45);
+  return r;
+}
+
+}  // namespace
+
+const std::vector<std::string>& AdultSensitiveNames() {
+  static const std::vector<std::string> kNames = {
+      "marital_status", "relationship_status", "race", "gender", "native_country"};
+  return kNames;
+}
+
+const std::vector<std::string>& AdultTaskNames() {
+  static const std::vector<std::string> kNames = {
+      "age",          "education_num",    "hours_per_week",      "capital_gain_log",
+      "capital_loss_log", "occupation_skill", "workclass_stability", "tenure_years"};
+  return kNames;
+}
+
+Result<Dataset> GenerateAdult(const AdultOptions& options) {
+  if (options.num_rows == 0) {
+    return Status::InvalidArgument("AdultOptions.num_rows must be positive");
+  }
+  if (options.target_positive >= options.num_rows) {
+    return Status::InvalidArgument("target_positive must be below num_rows");
+  }
+  Rng rng(options.seed);
+  const size_t n = options.num_rows;
+  std::vector<Record> records;
+  records.reserve(n);
+  for (size_t i = 0; i < n; ++i) records.push_back(GenerateRecord(&rng));
+
+  // Rank-based labelling: exactly target_positive rows become ">50K".
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (records[a].income_score != records[b].income_score) {
+      return records[a].income_score > records[b].income_score;
+    }
+    return a < b;
+  });
+  std::vector<int32_t> income(n, 0);  // 0 = "<=50K", 1 = ">50K".
+  for (size_t i = 0; i < options.target_positive; ++i) income[order[i]] = 1;
+
+  Dataset out;
+  auto numeric = [&](const std::string& name, auto getter) {
+    std::vector<double> values;
+    values.reserve(n);
+    for (const auto& r : records) values.push_back(getter(r));
+    out.AddNumeric(name, std::move(values)).Abort();
+  };
+  numeric("age", [](const Record& r) { return r.age; });
+  numeric("education_num", [](const Record& r) { return r.education_num; });
+  numeric("hours_per_week", [](const Record& r) { return r.hours; });
+  numeric("capital_gain_log", [](const Record& r) { return r.capital_gain_log; });
+  numeric("capital_loss_log", [](const Record& r) { return r.capital_loss_log; });
+  numeric("occupation_skill", [](const Record& r) { return r.occupation_skill; });
+  numeric("workclass_stability",
+          [](const Record& r) { return r.workclass_stability; });
+  numeric("tenure_years", [](const Record& r) { return r.tenure_years; });
+
+  auto categorical = [&](const std::string& name, const std::vector<std::string>& labels,
+                         auto getter) {
+    std::vector<int32_t> codes;
+    codes.reserve(n);
+    for (const auto& r : records) codes.push_back(static_cast<int32_t>(getter(r)));
+    out.AddCategorical(name, std::move(codes), labels).Abort();
+  };
+  categorical("marital_status", MaritalLabels(),
+              [](const Record& r) { return r.marital; });
+  categorical("relationship_status", RelationshipLabels(),
+              [](const Record& r) { return r.relationship; });
+  categorical("race", RaceLabels(), [](const Record& r) { return r.race; });
+  categorical("gender", GenderLabels(), [](const Record& r) { return r.gender; });
+  categorical("native_country", CountryLabels(),
+              [](const Record& r) { return r.country; });
+  out.AddCategorical("income", std::move(income), {"<=50K", ">50K"}).Abort();
+  return out;
+}
+
+Result<Dataset> GenerateAdultParity(const AdultOptions& options) {
+  FAIRKM_ASSIGN_OR_RETURN(Dataset full, GenerateAdult(options));
+  Rng rng(options.seed ^ 0x5DEECE66DULL);
+  return UndersampleToParity(full, "income", &rng);
+}
+
+}  // namespace data
+}  // namespace fairkm

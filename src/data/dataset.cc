@@ -1,0 +1,174 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/string_util.h"
+
+namespace fairkm {
+namespace data {
+
+std::vector<double> CategoricalColumn::Fractions() const {
+  std::vector<double> fractions(labels.size(), 0.0);
+  if (codes.empty()) return fractions;
+  for (int32_t c : codes) {
+    FAIRKM_DCHECK(c >= 0 && c < cardinality());
+    fractions[static_cast<size_t>(c)] += 1.0;
+  }
+  const double inv = 1.0 / static_cast<double>(codes.size());
+  for (double& f : fractions) f *= inv;
+  return fractions;
+}
+
+Status Dataset::CheckLength(size_t len, const std::string& name) {
+  if (!has_columns_) {
+    num_rows_ = len;
+    has_columns_ = true;
+    return Status::OK();
+  }
+  if (len != num_rows_) {
+    return Status::InvalidArgument("column '" + name + "' has " + std::to_string(len) +
+                                   " rows, dataset has " + std::to_string(num_rows_));
+  }
+  return Status::OK();
+}
+
+Status Dataset::AddNumeric(std::string name, std::vector<double> values) {
+  for (const auto& c : numeric_) {
+    if (c.name == name) return Status::AlreadyExists("numeric column '" + name + "'");
+  }
+  FAIRKM_RETURN_NOT_OK(CheckLength(values.size(), name));
+  numeric_.push_back(NumericColumn{std::move(name), std::move(values)});
+  return Status::OK();
+}
+
+Status Dataset::AddCategorical(std::string name, std::vector<int32_t> codes,
+                               std::vector<std::string> labels) {
+  for (const auto& c : categorical_) {
+    if (c.name == name) {
+      return Status::AlreadyExists("categorical column '" + name + "'");
+    }
+  }
+  FAIRKM_RETURN_NOT_OK(CheckLength(codes.size(), name));
+  const int32_t card = static_cast<int32_t>(labels.size());
+  for (int32_t code : codes) {
+    if (code < 0 || code >= card) {
+      return Status::OutOfRange("code " + std::to_string(code) + " out of range for '" +
+                                name + "' (cardinality " + std::to_string(card) + ")");
+    }
+  }
+  categorical_.push_back(
+      CategoricalColumn{std::move(name), std::move(codes), std::move(labels)});
+  return Status::OK();
+}
+
+Result<const NumericColumn*> Dataset::FindNumeric(const std::string& name) const {
+  for (const auto& c : numeric_) {
+    if (c.name == name) return &c;
+  }
+  return Status::NotFound("numeric column '" + name + "'");
+}
+
+Result<const CategoricalColumn*> Dataset::FindCategorical(
+    const std::string& name) const {
+  for (const auto& c : categorical_) {
+    if (c.name == name) return &c;
+  }
+  return Status::NotFound("categorical column '" + name + "'");
+}
+
+Result<Matrix> Dataset::ToMatrix(const std::vector<std::string>& column_names) const {
+  Matrix out(num_rows_, column_names.size());
+  for (size_t j = 0; j < column_names.size(); ++j) {
+    FAIRKM_ASSIGN_OR_RETURN(const NumericColumn* col, FindNumeric(column_names[j]));
+    for (size_t i = 0; i < num_rows_; ++i) out.At(i, j) = col->values[i];
+  }
+  return out;
+}
+
+std::vector<std::string> Dataset::NumericNames() const {
+  std::vector<std::string> names;
+  names.reserve(numeric_.size());
+  for (const auto& c : numeric_) names.push_back(c.name);
+  return names;
+}
+
+Dataset Dataset::SelectRows(const std::vector<size_t>& indices) const {
+  Dataset out;
+  for (const auto& col : numeric_) {
+    std::vector<double> values;
+    values.reserve(indices.size());
+    for (size_t idx : indices) {
+      FAIRKM_DCHECK(idx < num_rows_);
+      values.push_back(col.values[idx]);
+    }
+    out.AddNumeric(col.name, std::move(values)).Abort();
+  }
+  for (const auto& col : categorical_) {
+    std::vector<int32_t> codes;
+    codes.reserve(indices.size());
+    for (size_t idx : indices) codes.push_back(col.codes[idx]);
+    out.AddCategorical(col.name, std::move(codes), col.labels).Abort();
+  }
+  // A dataset with zero columns still carries a row count of zero, which is
+  // the correct degenerate behaviour here.
+  return out;
+}
+
+CsvTable Dataset::ToCsv() const {
+  CsvTable table;
+  for (const auto& c : numeric_) table.header.push_back(c.name);
+  for (const auto& c : categorical_) table.header.push_back(c.name);
+  table.rows.reserve(num_rows_);
+  for (size_t i = 0; i < num_rows_; ++i) {
+    std::vector<std::string> row;
+    row.reserve(table.header.size());
+    for (const auto& c : numeric_) row.push_back(FormatDouble(c.values[i], 6));
+    for (const auto& c : categorical_) {
+      row.push_back(c.labels[static_cast<size_t>(c.codes[i])]);
+    }
+    table.rows.push_back(std::move(row));
+  }
+  return table;
+}
+
+Result<Dataset> Dataset::FromCsv(const CsvTable& table) {
+  Dataset out;
+  const size_t n = table.num_rows();
+  for (size_t j = 0; j < table.num_cols(); ++j) {
+    // Numeric if every field parses as a double.
+    bool numeric = n > 0;
+    std::vector<double> values;
+    values.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      double v = 0;
+      if (!ParseDouble(table.rows[i][j], &v)) {
+        numeric = false;
+        break;
+      }
+      values.push_back(v);
+    }
+    if (numeric) {
+      FAIRKM_RETURN_NOT_OK(out.AddNumeric(table.header[j], std::move(values)));
+      continue;
+    }
+    // Categorical: deterministic codes via sorted label dictionary.
+    std::map<std::string, int32_t> dict;
+    for (size_t i = 0; i < n; ++i) dict.emplace(table.rows[i][j], 0);
+    std::vector<std::string> labels;
+    labels.reserve(dict.size());
+    for (auto& [label, code] : dict) {
+      code = static_cast<int32_t>(labels.size());
+      labels.push_back(label);
+    }
+    std::vector<int32_t> codes;
+    codes.reserve(n);
+    for (size_t i = 0; i < n; ++i) codes.push_back(dict[table.rows[i][j]]);
+    FAIRKM_RETURN_NOT_OK(
+        out.AddCategorical(table.header[j], std::move(codes), std::move(labels)));
+  }
+  return out;
+}
+
+}  // namespace data
+}  // namespace fairkm

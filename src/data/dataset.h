@@ -1,0 +1,96 @@
+// Typed tabular dataset: named numeric and categorical columns.
+//
+// A Dataset is the on-ramp for every experiment: generators and CSV loaders
+// produce one, the preprocessing helpers standardize / subsample it, and the
+// clustering algorithms consume (a) a numeric Matrix built from the
+// non-sensitive attribute set N and (b) a SensitiveView built from the
+// sensitive attribute set S (see data/sensitive.h).
+
+#ifndef FAIRKM_DATA_DATASET_H_
+#define FAIRKM_DATA_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/csv.h"
+#include "common/status.h"
+#include "data/matrix.h"
+
+namespace fairkm {
+namespace data {
+
+/// \brief A named column of doubles.
+struct NumericColumn {
+  std::string name;
+  std::vector<double> values;
+};
+
+/// \brief A named categorical column: integer codes into a label dictionary.
+struct CategoricalColumn {
+  std::string name;
+  std::vector<int32_t> codes;       ///< Each in [0, labels.size()).
+  std::vector<std::string> labels;  ///< Dictionary; index == code.
+
+  int cardinality() const { return static_cast<int>(labels.size()); }
+
+  /// \brief Fraction of rows taking each code (the dataset distribution
+  /// Fr_X(s) of Eq. 2).
+  std::vector<double> Fractions() const;
+};
+
+/// \brief Column-oriented table with uniform row count across columns.
+class Dataset {
+ public:
+  size_t num_rows() const { return num_rows_; }
+  bool empty() const { return num_rows_ == 0; }
+
+  /// \brief Adds a numeric column; all columns must share the same length.
+  Status AddNumeric(std::string name, std::vector<double> values);
+
+  /// \brief Adds a categorical column; codes must be within [0, labels.size()).
+  Status AddCategorical(std::string name, std::vector<int32_t> codes,
+                        std::vector<std::string> labels);
+
+  const std::vector<NumericColumn>& numeric_columns() const { return numeric_; }
+  const std::vector<CategoricalColumn>& categorical_columns() const {
+    return categorical_;
+  }
+
+  /// \brief Looks up a numeric column by name.
+  Result<const NumericColumn*> FindNumeric(const std::string& name) const;
+
+  /// \brief Looks up a categorical column by name.
+  Result<const CategoricalColumn*> FindCategorical(const std::string& name) const;
+
+  /// \brief Builds a row-major matrix from the named numeric columns, in the
+  /// given order.
+  Result<Matrix> ToMatrix(const std::vector<std::string>& column_names) const;
+
+  /// \brief Names of all numeric columns, in insertion order.
+  std::vector<std::string> NumericNames() const;
+
+  /// \brief Returns a new dataset containing the given rows, in order.
+  Dataset SelectRows(const std::vector<size_t>& indices) const;
+
+  /// \brief Serializes all columns to a CSV table (categoricals as labels).
+  CsvTable ToCsv() const;
+
+  /// \brief Parses a dataset from CSV: columns whose every value parses as a
+  /// number become numeric; the rest become categoricals with labels sorted
+  /// lexicographically (deterministic codes).
+  static Result<Dataset> FromCsv(const CsvTable& table);
+
+ private:
+  Status CheckLength(size_t len, const std::string& name);
+
+  size_t num_rows_ = 0;
+  bool has_columns_ = false;
+  std::vector<NumericColumn> numeric_;
+  std::vector<CategoricalColumn> categorical_;
+};
+
+}  // namespace data
+}  // namespace fairkm
+
+#endif  // FAIRKM_DATA_DATASET_H_

@@ -1,0 +1,66 @@
+// Dense row-major matrix of doubles — the numeric feature representation
+// handed to every clustering algorithm.
+
+#ifndef FAIRKM_DATA_MATRIX_H_
+#define FAIRKM_DATA_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+
+namespace fairkm {
+namespace data {
+
+/// \brief Row-major dense matrix (n_rows x n_cols) of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  double* Row(size_t r) { return data_.data() + r * cols_; }
+  const double* Row(size_t r) const { return data_.data() + r * cols_; }
+
+  double& At(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double At(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  std::vector<double>& data() { return data_; }
+  const std::vector<double>& data() const { return data_; }
+
+  /// \brief Returns a new matrix containing the given rows, in order.
+  Matrix SelectRows(const std::vector<size_t>& indices) const {
+    Matrix out(indices.size(), cols_);
+    for (size_t i = 0; i < indices.size(); ++i) {
+      FAIRKM_DCHECK(indices[i] < rows_);
+      const double* src = Row(indices[i]);
+      double* dst = out.Row(i);
+      for (size_t c = 0; c < cols_; ++c) dst[c] = src[c];
+    }
+    return out;
+  }
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// \brief Squared Euclidean distance between two rows of length `dim`.
+inline double SquaredDistance(const double* a, const double* b, size_t dim) {
+  double sum = 0.0;
+  for (size_t i = 0; i < dim; ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+}  // namespace data
+}  // namespace fairkm
+
+#endif  // FAIRKM_DATA_MATRIX_H_

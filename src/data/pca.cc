@@ -1,0 +1,127 @@
+#include "data/pca.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace fairkm {
+namespace data {
+namespace {
+
+// y = C * x for the deflated covariance C = X'X/n - sum_j l_j v_j v_j'.
+void CovarianceMultiply(const Matrix& centered, const PcaModel& model,
+                        size_t fitted, const std::vector<double>& x,
+                        std::vector<double>* y) {
+  const size_t n = centered.rows();
+  const size_t d = centered.cols();
+  y->assign(d, 0.0);
+  // X' (X x) / n without materializing the covariance.
+  for (size_t i = 0; i < n; ++i) {
+    const double* row = centered.Row(i);
+    double dot = 0.0;
+    for (size_t j = 0; j < d; ++j) dot += row[j] * x[j];
+    for (size_t j = 0; j < d; ++j) (*y)[j] += dot * row[j];
+  }
+  const double inv_n = 1.0 / static_cast<double>(n);
+  for (size_t j = 0; j < d; ++j) (*y)[j] *= inv_n;
+  // Deflate the already-extracted components.
+  for (size_t c = 0; c < fitted; ++c) {
+    const double* v = model.components.Row(c);
+    double dot = 0.0;
+    for (size_t j = 0; j < d; ++j) dot += v[j] * x[j];
+    const double scale = model.variances[c] * dot;
+    for (size_t j = 0; j < d; ++j) (*y)[j] -= scale * v[j];
+  }
+}
+
+double Normalize(std::vector<double>* v) {
+  double norm2 = 0.0;
+  for (double x : *v) norm2 += x * x;
+  const double norm = std::sqrt(norm2);
+  if (norm > 0.0) {
+    for (double& x : *v) x /= norm;
+  }
+  return norm;
+}
+
+}  // namespace
+
+Result<PcaModel> FitPca(const Matrix& points, const PcaOptions& options) {
+  const size_t n = points.rows();
+  const size_t d = points.cols();
+  if (n == 0 || d == 0) return Status::InvalidArgument("empty input matrix");
+  if (options.num_components < 1 ||
+      static_cast<size_t>(options.num_components) > d) {
+    return Status::InvalidArgument("num_components must be in [1, cols]");
+  }
+  if (options.power_iterations < 1) {
+    return Status::InvalidArgument("power_iterations must be positive");
+  }
+
+  PcaModel model;
+  model.means.assign(d, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    const double* row = points.Row(i);
+    for (size_t j = 0; j < d; ++j) model.means[j] += row[j];
+  }
+  for (double& m : model.means) m /= static_cast<double>(n);
+
+  Matrix centered(n, d);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < d; ++j) {
+      centered.At(i, j) = points.At(i, j) - model.means[j];
+    }
+  }
+
+  model.components = Matrix(static_cast<size_t>(options.num_components), d);
+  model.variances.assign(static_cast<size_t>(options.num_components), 0.0);
+
+  Rng rng(options.seed);
+  std::vector<double> v(d), next(d);
+  for (size_t c = 0; c < static_cast<size_t>(options.num_components); ++c) {
+    for (size_t j = 0; j < d; ++j) v[j] = rng.Normal();
+    Normalize(&v);
+    double eigenvalue = 0.0;
+    for (int it = 0; it < options.power_iterations; ++it) {
+      CovarianceMultiply(centered, model, c, v, &next);
+      eigenvalue = Normalize(&next);
+      double movement = 0.0;
+      for (size_t j = 0; j < d; ++j) {
+        movement += (next[j] - v[j]) * (next[j] - v[j]);
+      }
+      v = next;
+      // Sign flips indicate a negative-adjacent eigenvalue direction; the
+      // squared movement handles it: also check the flipped distance.
+      double flipped = 0.0;
+      for (size_t j = 0; j < d; ++j) {
+        flipped += (-next[j] - v[j]) * (-next[j] - v[j]);
+      }
+      if (std::min(movement, flipped) < options.tol) break;
+    }
+    for (size_t j = 0; j < d; ++j) model.components.At(c, j) = v[j];
+    model.variances[c] = eigenvalue;
+  }
+  return model;
+}
+
+Result<Matrix> PcaTransform(const PcaModel& model, const Matrix& points) {
+  const size_t d = model.components.cols();
+  if (points.cols() != d) {
+    return Status::InvalidArgument("points do not match the fitted dimensionality");
+  }
+  const size_t c = model.components.rows();
+  Matrix out(points.rows(), c);
+  for (size_t i = 0; i < points.rows(); ++i) {
+    const double* row = points.Row(i);
+    for (size_t comp = 0; comp < c; ++comp) {
+      const double* v = model.components.Row(comp);
+      double dot = 0.0;
+      for (size_t j = 0; j < d; ++j) dot += (row[j] - model.means[j]) * v[j];
+      out.At(i, comp) = dot;
+    }
+  }
+  return out;
+}
+
+}  // namespace data
+}  // namespace fairkm

@@ -1,0 +1,45 @@
+// Principal component analysis via power iteration with deflation.
+//
+// Dimensionality-reduction substrate for clustering pipelines, and the
+// building block of the space-transformation family of fair-clustering
+// methods the paper surveys in §2.1 (e.g. fair PCA [17]). Deterministic in
+// the seed; suitable for the moderate dimensionalities used here (<= a few
+// hundred columns).
+
+#ifndef FAIRKM_DATA_PCA_H_
+#define FAIRKM_DATA_PCA_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "data/matrix.h"
+
+namespace fairkm {
+namespace data {
+
+/// \brief A fitted PCA basis.
+struct PcaModel {
+  Matrix components;             ///< num_components x d, orthonormal rows.
+  std::vector<double> variances; ///< Eigenvalue (explained variance) per row.
+  std::vector<double> means;     ///< Column means removed before fitting.
+};
+
+/// \brief PCA knobs.
+struct PcaOptions {
+  int num_components = 2;
+  int power_iterations = 100;    ///< Per component.
+  double tol = 1e-10;            ///< Early-exit on eigenvector movement.
+  uint64_t seed = 29;            ///< Start-vector randomization.
+};
+
+/// \brief Fits PCA on the rows of `points` (covariance power iteration with
+/// deflation). num_components must be in [1, cols].
+Result<PcaModel> FitPca(const Matrix& points, const PcaOptions& options);
+
+/// \brief Projects rows into the fitted basis: (x - mean) * components^T.
+Result<Matrix> PcaTransform(const PcaModel& model, const Matrix& points);
+
+}  // namespace data
+}  // namespace fairkm
+
+#endif  // FAIRKM_DATA_PCA_H_

@@ -1,0 +1,118 @@
+#include "data/preprocess.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stats.h"
+
+namespace fairkm {
+namespace data {
+
+StandardizationParams Standardize(Matrix* m) {
+  StandardizationParams params;
+  const size_t rows = m->rows();
+  const size_t cols = m->cols();
+  params.means.assign(cols, 0.0);
+  params.stddevs.assign(cols, 1.0);
+  if (rows == 0) return params;
+  for (size_t j = 0; j < cols; ++j) {
+    RunningStats rs;
+    for (size_t i = 0; i < rows; ++i) rs.Add(m->At(i, j));
+    params.means[j] = rs.mean();
+    // Population stddev keeps unit-variance exactness irrelevant here; use
+    // sample stddev and guard constant columns.
+    const double sd = rs.stddev();
+    params.stddevs[j] = sd > 1e-12 ? sd : 1.0;
+  }
+  ApplyStandardization(params, m).Abort();
+  return params;
+}
+
+Status ApplyStandardization(const StandardizationParams& params, Matrix* m) {
+  if (params.means.size() != m->cols() || params.stddevs.size() != m->cols()) {
+    return Status::InvalidArgument("standardization params do not match matrix width");
+  }
+  for (size_t j = 0; j < m->cols(); ++j) {
+    const double mean = params.means[j];
+    const double inv = 1.0 / params.stddevs[j];
+    for (size_t i = 0; i < m->rows(); ++i) {
+      m->At(i, j) = (m->At(i, j) - mean) * inv;
+    }
+  }
+  return Status::OK();
+}
+
+MinMaxParams MinMaxNormalize(Matrix* m) {
+  MinMaxParams params;
+  const size_t rows = m->rows();
+  const size_t cols = m->cols();
+  params.mins.assign(cols, 0.0);
+  params.ranges.assign(cols, 1.0);
+  if (rows == 0) return params;
+  for (size_t j = 0; j < cols; ++j) {
+    double lo = m->At(0, j), hi = m->At(0, j);
+    for (size_t i = 1; i < rows; ++i) {
+      lo = std::min(lo, m->At(i, j));
+      hi = std::max(hi, m->At(i, j));
+    }
+    params.mins[j] = lo;
+    params.ranges[j] = hi - lo > 1e-12 ? hi - lo : 1.0;
+  }
+  ApplyMinMax(params, m).Abort();
+  return params;
+}
+
+Status ApplyMinMax(const MinMaxParams& params, Matrix* m) {
+  if (params.mins.size() != m->cols() || params.ranges.size() != m->cols()) {
+    return Status::InvalidArgument("min-max params do not match matrix width");
+  }
+  for (size_t j = 0; j < m->cols(); ++j) {
+    const double lo = params.mins[j];
+    const double inv = 1.0 / params.ranges[j];
+    for (size_t i = 0; i < m->rows(); ++i) {
+      m->At(i, j) = (m->At(i, j) - lo) * inv;
+    }
+  }
+  return Status::OK();
+}
+
+Result<Dataset> UndersampleToParity(const Dataset& dataset,
+                                    const std::string& class_column, Rng* rng) {
+  FAIRKM_ASSIGN_OR_RETURN(const CategoricalColumn* col,
+                          dataset.FindCategorical(class_column));
+  const int card = col->cardinality();
+  if (card == 0) return Status::InvalidArgument("class column has no categories");
+
+  std::vector<std::vector<size_t>> by_class(static_cast<size_t>(card));
+  for (size_t i = 0; i < dataset.num_rows(); ++i) {
+    by_class[static_cast<size_t>(col->codes[i])].push_back(i);
+  }
+  size_t minority = dataset.num_rows();
+  for (const auto& rows : by_class) {
+    if (!rows.empty()) minority = std::min(minority, rows.size());
+  }
+  std::vector<size_t> keep;
+  for (auto& rows : by_class) {
+    if (rows.empty()) continue;
+    if (rows.size() > minority) {
+      std::vector<size_t> picked = rng->SampleWithoutReplacement(rows.size(), minority);
+      std::sort(picked.begin(), picked.end());
+      for (size_t p : picked) keep.push_back(rows[p]);
+    } else {
+      keep.insert(keep.end(), rows.begin(), rows.end());
+    }
+  }
+  rng->Shuffle(&keep);
+  return dataset.SelectRows(keep);
+}
+
+Result<Dataset> SampleRows(const Dataset& dataset, size_t count, Rng* rng) {
+  if (count > dataset.num_rows()) {
+    return Status::InvalidArgument("sample count exceeds dataset size");
+  }
+  std::vector<size_t> picked = rng->SampleWithoutReplacement(dataset.num_rows(), count);
+  return dataset.SelectRows(picked);
+}
+
+}  // namespace data
+}  // namespace fairkm

@@ -1,0 +1,57 @@
+// Preprocessing helpers: z-score standardization and parity undersampling.
+
+#ifndef FAIRKM_DATA_PREPROCESS_H_
+#define FAIRKM_DATA_PREPROCESS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "data/dataset.h"
+#include "data/matrix.h"
+
+namespace fairkm {
+namespace data {
+
+/// \brief Per-column mean/stddev captured by Standardize (for inverse maps
+/// and for applying a fit to held-out data).
+struct StandardizationParams {
+  std::vector<double> means;
+  std::vector<double> stddevs;  ///< Constant columns get stddev 1 (left centered).
+};
+
+/// \brief Z-scores every column of `m` in place; returns the fitted params.
+StandardizationParams Standardize(Matrix* m);
+
+/// \brief Applies previously fitted params ((x - mean) / stddev) to `m`.
+Status ApplyStandardization(const StandardizationParams& params, Matrix* m);
+
+/// \brief Per-column min/range captured by MinMaxNormalize.
+struct MinMaxParams {
+  std::vector<double> mins;
+  std::vector<double> ranges;  ///< Constant columns get range 1 (mapped to 0).
+};
+
+/// \brief Rescales every column of `m` to [0, 1] in place; returns the fitted
+/// params. This is the scaling under which the paper's lambda heuristics
+/// (1e6 for Adult) balance the two objective terms — see DESIGN.md.
+MinMaxParams MinMaxNormalize(Matrix* m);
+
+/// \brief Applies previously fitted min-max params ((x - min) / range).
+Status ApplyMinMax(const MinMaxParams& params, Matrix* m);
+
+/// \brief Undersamples to class parity on a categorical column: every row of
+/// the minority class is kept and each other class is randomly downsampled to
+/// the minority count. Row order is shuffled. This reproduces the paper's
+/// §5.1 Adult preparation (parity across the income attribute).
+Result<Dataset> UndersampleToParity(const Dataset& dataset,
+                                    const std::string& class_column, Rng* rng);
+
+/// \brief Uniformly samples `count` rows without replacement.
+Result<Dataset> SampleRows(const Dataset& dataset, size_t count, Rng* rng);
+
+}  // namespace data
+}  // namespace fairkm
+
+#endif  // FAIRKM_DATA_PREPROCESS_H_

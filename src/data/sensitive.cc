@@ -1,0 +1,58 @@
+#include "data/sensitive.h"
+
+#include "common/stats.h"
+
+namespace fairkm {
+namespace data {
+
+Result<SensitiveView> SensitiveView::SelectCategorical(const std::string& name) const {
+  for (const auto& attr : categorical) {
+    if (attr.name == name) {
+      SensitiveView out;
+      out.categorical.push_back(attr);
+      return out;
+    }
+  }
+  return Status::NotFound("sensitive attribute '" + name + "'");
+}
+
+Result<SensitiveView> MakeSensitiveView(const Dataset& dataset,
+                                        const std::vector<std::string>& cat_names,
+                                        const std::vector<std::string>& num_names,
+                                        const std::vector<double>& weights) {
+  if (!weights.empty() && weights.size() != cat_names.size() + num_names.size()) {
+    return Status::InvalidArgument("weights must parallel cat_names + num_names");
+  }
+  SensitiveView view;
+  size_t w = 0;
+  for (const auto& name : cat_names) {
+    FAIRKM_ASSIGN_OR_RETURN(const CategoricalColumn* col,
+                            dataset.FindCategorical(name));
+    CategoricalSensitive attr;
+    attr.name = name;
+    attr.cardinality = col->cardinality();
+    if (attr.cardinality == 0) {
+      return Status::InvalidArgument("sensitive attribute '" + name +
+                                     "' has no categories");
+    }
+    attr.codes = col->codes;
+    attr.dataset_fractions = col->Fractions();
+    attr.weight = weights.empty() ? 1.0 : weights[w];
+    ++w;
+    view.categorical.push_back(std::move(attr));
+  }
+  for (const auto& name : num_names) {
+    FAIRKM_ASSIGN_OR_RETURN(const NumericColumn* col, dataset.FindNumeric(name));
+    NumericSensitive attr;
+    attr.name = name;
+    attr.values = col->values;
+    attr.dataset_mean = Mean(col->values);
+    attr.weight = weights.empty() ? 1.0 : weights[w];
+    ++w;
+    view.numeric.push_back(std::move(attr));
+  }
+  return view;
+}
+
+}  // namespace data
+}  // namespace fairkm

@@ -1,0 +1,66 @@
+// SensitiveView: the sensitive-attribute set S extracted into the compact
+// representation the fair clustering algorithms consume.
+//
+// FairKM (Eq. 7/22/23) needs, per categorical sensitive attribute, the code of
+// every object plus the dataset-level fractional representation of each value;
+// per numeric sensitive attribute, the values plus the dataset mean. Both can
+// carry a fairness weight w_S (Eq. 23).
+
+#ifndef FAIRKM_DATA_SENSITIVE_H_
+#define FAIRKM_DATA_SENSITIVE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace fairkm {
+namespace data {
+
+/// \brief One categorical sensitive attribute over all rows.
+struct CategoricalSensitive {
+  std::string name;
+  int cardinality = 0;
+  std::vector<int32_t> codes;              ///< Per-row value code.
+  std::vector<double> dataset_fractions;   ///< Fr_X(s) for each value s.
+  double weight = 1.0;                     ///< w_S of Eq. 23.
+};
+
+/// \brief One numeric sensitive attribute over all rows (Eq. 22 extension).
+struct NumericSensitive {
+  std::string name;
+  std::vector<double> values;  ///< Per-row value.
+  double dataset_mean = 0.0;   ///< Dataset-level average X.S.
+  double weight = 1.0;
+};
+
+/// \brief All sensitive attributes for one dataset.
+struct SensitiveView {
+  std::vector<CategoricalSensitive> categorical;
+  std::vector<NumericSensitive> numeric;
+
+  size_t num_rows() const {
+    if (!categorical.empty()) return categorical[0].codes.size();
+    if (!numeric.empty()) return numeric[0].values.size();
+    return 0;
+  }
+  bool empty() const { return categorical.empty() && numeric.empty(); }
+
+  /// \brief View restricted to a single categorical attribute (used for the
+  /// per-attribute ZGYA(S) / FairKM(S) invocations of the paper's §5.6).
+  Result<SensitiveView> SelectCategorical(const std::string& name) const;
+};
+
+/// \brief Builds a SensitiveView from named dataset columns. `weights`, when
+/// non-empty, must parallel cat_names followed by num_names.
+Result<SensitiveView> MakeSensitiveView(const Dataset& dataset,
+                                        const std::vector<std::string>& cat_names,
+                                        const std::vector<std::string>& num_names = {},
+                                        const std::vector<double>& weights = {});
+
+}  // namespace data
+}  // namespace fairkm
+
+#endif  // FAIRKM_DATA_SENSITIVE_H_

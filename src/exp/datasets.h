@@ -1,0 +1,57 @@
+// Experiment dataset loading: the two evaluation datasets of the paper (§5.1)
+// prepared exactly as the study requires — task attributes standardized into
+// a feature matrix, sensitive attributes extracted into a SensitiveView.
+
+#ifndef FAIRKM_EXP_DATASETS_H_
+#define FAIRKM_EXP_DATASETS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+#include "data/matrix.h"
+#include "data/sensitive.h"
+
+namespace fairkm {
+namespace exp {
+
+/// \brief A dataset prepared for the experiment pipeline.
+struct ExperimentData {
+  std::string name;
+  data::Dataset dataset;
+  data::Matrix features;             ///< Standardized task attributes N.
+  data::SensitiveView sensitive;     ///< All sensitive attributes S.
+  std::vector<std::string> sensitive_names;
+  double paper_lambda = 0.0;         ///< The lambda the paper uses (§5.4).
+  /// ZGYA's fairness weight for this dataset. The paper never discloses the
+  /// value it ran the baseline with; these are calibrated (DESIGN.md §3.3,
+  /// EXPERIMENTS.md) so that the baseline reproduces the paper's observed
+  /// per-dataset behaviour: modest fairness gains on Kinematics, coherence
+  /// collapse plus worse-than-blind fairness on Adult.
+  double zgya_lambda = -1.0;
+  /// Calibrated softmax temperature for ZGYA's soft bound updates (same
+  /// rationale as zgya_lambda; see EXPERIMENTS.md).
+  double zgya_soft_temperature = 1.0;
+};
+
+/// \brief Adult experiment options.
+struct AdultExperimentOptions {
+  uint64_t seed = 42;
+  /// When positive, uniformly subsample the parity dataset to this many rows
+  /// (used by fast bench modes; 0 = full 15,682 rows).
+  size_t subsample = 0;
+};
+
+/// \brief Generates + prepares the Adult dataset (15,682 rows, 8 standardized
+/// task attributes, 5 sensitive attributes; paper lambda 1e6).
+Result<ExperimentData> LoadAdultExperiment(const AdultExperimentOptions& options = {});
+
+/// \brief Generates + prepares the Kinematics dataset (161 problems, 100
+/// embedding dimensions, 5 binary sensitive attributes; paper lambda 1e3).
+Result<ExperimentData> LoadKinematicsExperiment(uint64_t seed = 7);
+
+}  // namespace exp
+}  // namespace fairkm
+
+#endif  // FAIRKM_EXP_DATASETS_H_

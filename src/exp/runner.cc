@@ -1,0 +1,187 @@
+#include "exp/runner.h"
+
+#include <optional>
+
+#include "cluster/kmeans.h"
+#include "cluster/zgya.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "core/fairkm.h"
+
+namespace fairkm {
+namespace exp {
+
+std::string MethodName(Method method) {
+  switch (method) {
+    case Method::kKMeansBlind:
+      return "K-Means(N)";
+    case Method::kFairKMAll:
+      return "FairKM";
+    case Method::kFairKMSingle:
+      return "FairKM(S)";
+    case Method::kZgyaSingle:
+      return "ZGYA(S)";
+    case Method::kZgyaHard:
+      return "ZGYA-hard(S)";
+  }
+  return "unknown";
+}
+
+const FairnessAggregate& AggregateOutcome::FairnessOf(
+    const std::string& attribute) const {
+  static const FairnessAggregate kEmpty;
+  auto it = fairness.find(attribute);
+  return it == fairness.end() ? kEmpty : it->second;
+}
+
+ExperimentRunner::ExperimentRunner(const ExperimentData* data, size_t num_threads)
+    : data_(data), num_threads_(num_threads == 0 ? 1 : num_threads) {}
+
+Result<cluster::ClusteringResult> ExperimentRunner::RunBlindReference(
+    int k, uint64_t seed) const {
+  Rng rng(seed);
+  cluster::KMeansOptions options;
+  options.k = k;
+  options.init = cluster::KMeansInit::kRandomAssignment;
+  options.max_iterations = 100;
+  return cluster::RunKMeans(data_->features, options, &rng);
+}
+
+Result<cluster::Assignment> ExperimentRunner::RunMethod(const RunConfig& config,
+                                                        uint64_t seed,
+                                                        int* iterations,
+                                                        bool* converged) const {
+  Rng rng(seed);
+  switch (config.method) {
+    case Method::kKMeansBlind: {
+      FAIRKM_ASSIGN_OR_RETURN(cluster::ClusteringResult result,
+                              RunBlindReference(config.k, seed));
+      *iterations = result.iterations;
+      *converged = result.converged;
+      return result.assignment;
+    }
+    case Method::kFairKMAll:
+    case Method::kFairKMSingle: {
+      core::FairKMOptions options;
+      options.k = config.k;
+      options.lambda = config.lambda;
+      options.max_iterations = config.max_iterations;
+      options.fairness = config.fairness;
+      options.minibatch_size = config.minibatch;
+      data::SensitiveView view;
+      if (config.method == Method::kFairKMSingle) {
+        FAIRKM_ASSIGN_OR_RETURN(
+            view, data_->sensitive.SelectCategorical(config.single_attribute));
+      } else {
+        view = data_->sensitive;
+      }
+      FAIRKM_ASSIGN_OR_RETURN(core::FairKMResult result,
+                              core::RunFairKM(data_->features, view, options, &rng));
+      *iterations = result.iterations;
+      *converged = result.converged;
+      return result.assignment;
+    }
+    case Method::kZgyaSingle:
+    case Method::kZgyaHard: {
+      FAIRKM_ASSIGN_OR_RETURN(
+          data::SensitiveView view,
+          data_->sensitive.SelectCategorical(config.single_attribute));
+      cluster::ZgyaOptions options;
+      options.k = config.k;
+      options.lambda = config.zgya_lambda;
+      options.max_iterations = config.max_iterations;
+      options.mode = config.method == Method::kZgyaHard
+                         ? cluster::ZgyaOptions::Mode::kHardMoves
+                         : cluster::ZgyaOptions::Mode::kSoftVariational;
+      if (config.zgya_soft_temperature > 0) {
+        options.soft_temperature = config.zgya_soft_temperature;
+      }
+      FAIRKM_ASSIGN_OR_RETURN(
+          cluster::ZgyaResult result,
+          cluster::RunZgya(data_->features, view.categorical[0], options, &rng));
+      *iterations = result.iterations;
+      *converged = result.converged;
+      return result.assignment;
+    }
+  }
+  return Status::InvalidArgument("unknown method");
+}
+
+Result<SeedOutcome> ExperimentRunner::RunSeed(const RunConfig& config,
+                                              uint64_t seed) const {
+  SeedOutcome outcome;
+  Timer timer;
+  FAIRKM_ASSIGN_OR_RETURN(
+      outcome.assignment,
+      RunMethod(config, seed, &outcome.iterations, &outcome.converged));
+  outcome.seconds = timer.ElapsedSeconds();
+
+  const int k = config.k;
+  outcome.co = metrics::ClusteringObjective(data_->features, outcome.assignment, k);
+  metrics::SilhouetteOptions sil;
+  sil.seed = seed ^ 0x51L;
+  outcome.sh = metrics::SilhouetteScore(data_->features, outcome.assignment, k, sil);
+
+  FAIRKM_ASSIGN_OR_RETURN(cluster::ClusteringResult reference,
+                          RunBlindReference(k, seed));
+  data::Matrix centroids =
+      cluster::ComputeCentroids(data_->features, outcome.assignment, k);
+  FAIRKM_ASSIGN_OR_RETURN(outcome.devc,
+                          metrics::CentroidDeviation(centroids, reference.centroids));
+  FAIRKM_ASSIGN_OR_RETURN(
+      outcome.devo,
+      metrics::ObjectPairDeviation(outcome.assignment, k, reference.assignment, k));
+
+  outcome.fairness = metrics::EvaluateFairness(data_->sensitive, outcome.assignment, k);
+  return outcome;
+}
+
+Result<AggregateOutcome> ExperimentRunner::Run(const RunConfig& config,
+                                               size_t num_seeds,
+                                               uint64_t base_seed) const {
+  if (num_seeds == 0) return Status::InvalidArgument("num_seeds must be positive");
+  std::vector<std::optional<SeedOutcome>> outcomes(num_seeds);
+  std::vector<Status> statuses(num_seeds, Status::OK());
+
+  ParallelFor(num_seeds, num_threads_, [&](size_t s) {
+    Result<SeedOutcome> r = RunSeed(config, base_seed + s);
+    if (r.ok()) {
+      outcomes[s] = std::move(r).ValueOrDie();
+    } else {
+      statuses[s] = r.status();
+    }
+  });
+  for (const Status& st : statuses) {
+    FAIRKM_RETURN_NOT_OK(st);
+  }
+
+  AggregateOutcome agg;
+  agg.total_runs = num_seeds;
+  for (size_t s = 0; s < num_seeds; ++s) {
+    const SeedOutcome& o = *outcomes[s];
+    agg.co.Add(o.co);
+    agg.sh.Add(o.sh);
+    agg.devc.Add(o.devc);
+    agg.devo.Add(o.devo);
+    agg.seconds.Add(o.seconds);
+    agg.iterations.Add(static_cast<double>(o.iterations));
+    if (o.converged) ++agg.converged_runs;
+    for (const auto& attr : o.fairness.per_attribute) {
+      FairnessAggregate& fa = agg.fairness[attr.attribute];
+      fa.ae.Add(attr.ae);
+      fa.aw.Add(attr.aw);
+      fa.me.Add(attr.me);
+      fa.mw.Add(attr.mw);
+    }
+    FairnessAggregate& mean = agg.fairness["mean"];
+    mean.ae.Add(o.fairness.mean.ae);
+    mean.aw.Add(o.fairness.mean.aw);
+    mean.me.Add(o.fairness.mean.me);
+    mean.mw.Add(o.fairness.mean.mw);
+  }
+  return agg;
+}
+
+}  // namespace exp
+}  // namespace fairkm

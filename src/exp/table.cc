@@ -1,0 +1,70 @@
+#include "exp/table.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/status.h"
+#include "common/string_util.h"
+
+namespace fairkm {
+namespace exp {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  FAIRKM_DCHECK(row.size() == header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::AddSeparator() { rows_.emplace_back(); }
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t j = 0; j < header_.size(); ++j) widths[j] = header_[j].size();
+  for (const auto& row : rows_) {
+    for (size_t j = 0; j < row.size(); ++j) {
+      widths[j] = std::max(widths[j], row[j].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (size_t j = 0; j < header_.size(); ++j) {
+      const std::string& cell = j < row.size() ? row[j] : "";
+      line += " ";
+      // First column left-aligned (labels), the rest right-aligned (numbers).
+      line += j == 0 ? PadRight(cell, widths[j]) : PadLeft(cell, widths[j]);
+      line += " |";
+    }
+    return line + "\n";
+  };
+  std::string sep = "+";
+  for (size_t j = 0; j < header_.size(); ++j) {
+    sep += std::string(widths[j] + 2, '-') + "+";
+  }
+  sep += "\n";
+
+  std::string out = sep + render_row(header_) + sep;
+  bool last_was_separator = true;  // Collapse a leading/trailing separator.
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      if (!last_was_separator) out += sep;
+      last_was_separator = true;
+    } else {
+      out += render_row(row);
+      last_was_separator = false;
+    }
+  }
+  if (!last_was_separator) out += sep;
+  return out;
+}
+
+void TablePrinter::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+std::string Cell(double value, int precision) {
+  if (std::isnan(value)) return "-";
+  return FormatDouble(value, precision);
+}
+
+}  // namespace exp
+}  // namespace fairkm

@@ -1,0 +1,41 @@
+// Fixed-width table printer for the bench binaries, which re-create the
+// paper's tables on stdout.
+
+#ifndef FAIRKM_EXP_TABLE_H_
+#define FAIRKM_EXP_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace fairkm {
+namespace exp {
+
+/// \brief Accumulates rows of string cells and renders an aligned table.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// \brief Adds a row; it must have exactly as many cells as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// \brief Convenience for a separator row rendered as dashes.
+  void AddSeparator();
+
+  /// \brief Renders the table (header, separator, rows).
+  std::string ToString() const;
+
+  /// \brief Prints to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // Empty vector = separator.
+};
+
+/// \brief Formats a double with `precision` decimals ("-" for NaN).
+std::string Cell(double value, int precision = 4);
+
+}  // namespace exp
+}  // namespace fairkm
+
+#endif  // FAIRKM_EXP_TABLE_H_

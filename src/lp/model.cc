@@ -1,0 +1,37 @@
+#include "lp/model.h"
+
+#include <map>
+
+namespace fairkm {
+namespace lp {
+
+int Model::AddVariable(double cost, double upper, std::string name) {
+  costs_.push_back(cost);
+  uppers_.push_back(upper);
+  if (name.empty()) name = "x" + std::to_string(costs_.size() - 1);
+  names_.push_back(std::move(name));
+  return static_cast<int>(costs_.size()) - 1;
+}
+
+Status Model::AddConstraint(std::vector<std::pair<int, double>> terms, Sense sense,
+                            double rhs, std::string name) {
+  // Merge duplicate indices so the solver sees each column once per row.
+  std::map<int, double> merged;
+  for (const auto& [var, coeff] : terms) {
+    if (var < 0 || var >= num_variables()) {
+      return Status::InvalidArgument("constraint references unknown variable index " +
+                                     std::to_string(var));
+    }
+    merged[var] += coeff;
+  }
+  Constraint c;
+  c.terms.assign(merged.begin(), merged.end());
+  c.sense = sense;
+  c.rhs = rhs;
+  c.name = name.empty() ? ("r" + std::to_string(constraints_.size())) : std::move(name);
+  constraints_.push_back(std::move(c));
+  return Status::OK();
+}
+
+}  // namespace lp
+}  // namespace fairkm

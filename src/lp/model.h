@@ -1,0 +1,66 @@
+// Linear-program model builder.
+//
+// Models are built variable-by-variable and constraint-by-constraint, then
+// handed to the simplex solver (lp/simplex.h). The builder is deliberately
+// dense-solver oriented: problems in this library (fair assignment LPs,
+// transportation LPs for fairlet refinement) have at most a few thousand
+// variables.
+
+#ifndef FAIRKM_LP_MODEL_H_
+#define FAIRKM_LP_MODEL_H_
+
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace fairkm {
+namespace lp {
+
+/// \brief Constraint sense.
+enum class Sense { kLessEqual, kGreaterEqual, kEqual };
+
+/// \brief One linear constraint: sum(coeff_i * x_i) sense rhs.
+struct Constraint {
+  std::vector<std::pair<int, double>> terms;
+  Sense sense = Sense::kLessEqual;
+  double rhs = 0.0;
+  std::string name;
+};
+
+/// \brief A minimization LP over non-negative (optionally upper-bounded)
+/// variables: min c'x  s.t. constraints, 0 <= x <= upper.
+class Model {
+ public:
+  /// \brief Adds a variable with objective coefficient `cost` and an optional
+  /// upper bound; returns its index.
+  int AddVariable(double cost, double upper = kInfinity, std::string name = "");
+
+  /// \brief Adds a constraint; duplicate variable indices in `terms` are
+  /// summed. Returns error on out-of-range variable indices.
+  Status AddConstraint(std::vector<std::pair<int, double>> terms, Sense sense,
+                       double rhs, std::string name = "");
+
+  int num_variables() const { return static_cast<int>(costs_.size()); }
+  int num_constraints() const { return static_cast<int>(constraints_.size()); }
+
+  const std::vector<double>& costs() const { return costs_; }
+  const std::vector<double>& upper_bounds() const { return uppers_; }
+  const std::vector<Constraint>& constraints() const { return constraints_; }
+  const std::string& variable_name(int index) const { return names_[index]; }
+
+  static constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+ private:
+  std::vector<double> costs_;
+  std::vector<double> uppers_;
+  std::vector<std::string> names_;
+  std::vector<Constraint> constraints_;
+};
+
+}  // namespace lp
+}  // namespace fairkm
+
+#endif  // FAIRKM_LP_MODEL_H_

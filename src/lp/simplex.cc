@@ -1,0 +1,302 @@
+#include "lp/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace fairkm {
+namespace lp {
+namespace {
+
+// Dense tableau in canonical form: rows_ x (num_cols_ + 1); the last column
+// holds the right-hand side. basis_[i] is the column basic in row i.
+class Tableau {
+ public:
+  Tableau(int rows, int cols)
+      : rows_(rows), cols_(cols), data_(static_cast<size_t>(rows) * (cols + 1), 0.0),
+        basis_(rows, -1) {}
+
+  double& At(int r, int c) { return data_[static_cast<size_t>(r) * (cols_ + 1) + c]; }
+  double At(int r, int c) const {
+    return data_[static_cast<size_t>(r) * (cols_ + 1) + c];
+  }
+  double& Rhs(int r) { return At(r, cols_); }
+  double Rhs(int r) const { return At(r, cols_); }
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int basis(int r) const { return basis_[r]; }
+  void set_basis(int r, int col) { basis_[r] = col; }
+
+  // Gauss-Jordan pivot on (pivot_row, pivot_col); afterwards pivot_col is the
+  // unit column for pivot_row.
+  void Pivot(int pivot_row, int pivot_col) {
+    const double pivot = At(pivot_row, pivot_col);
+    const double inv = 1.0 / pivot;
+    for (int c = 0; c <= cols_; ++c) At(pivot_row, c) *= inv;
+    At(pivot_row, pivot_col) = 1.0;  // Cancel residual rounding error.
+    for (int r = 0; r < rows_; ++r) {
+      if (r == pivot_row) continue;
+      const double factor = At(r, pivot_col);
+      if (factor == 0.0) continue;
+      for (int c = 0; c <= cols_; ++c) At(r, c) -= factor * At(pivot_row, c);
+      At(r, pivot_col) = 0.0;
+    }
+    basis_[pivot_row] = pivot_col;
+  }
+
+ private:
+  int rows_;
+  int cols_;
+  std::vector<double> data_;
+  std::vector<int> basis_;
+};
+
+// Reduced-cost row: r_j = c_j - sum_i c_basis(i) * T[i][j]; also returns the
+// current objective value c_B' b.
+void ComputeReducedCosts(const Tableau& t, const std::vector<double>& costs,
+                         std::vector<double>* reduced, double* objective) {
+  const int m = t.rows();
+  const int n = t.cols();
+  reduced->assign(n, 0.0);
+  double obj = 0.0;
+  std::vector<double> basic_costs(m);
+  for (int i = 0; i < m; ++i) {
+    basic_costs[i] = costs[t.basis(i)];
+    obj += basic_costs[i] * t.Rhs(i);
+  }
+  for (int j = 0; j < n; ++j) {
+    double dot = 0.0;
+    for (int i = 0; i < m; ++i) {
+      if (basic_costs[i] != 0.0) dot += basic_costs[i] * t.At(i, j);
+    }
+    (*reduced)[j] = costs[j] - dot;
+  }
+  *objective = obj;
+}
+
+enum class PhaseOutcome { kOptimal, kUnbounded, kIterationCap };
+
+// Runs primal simplex until optimality for the given cost vector. Columns at
+// or beyond `allowed_cols` (artificials in phase 2) may never enter the basis.
+PhaseOutcome RunPhase(Tableau* t, const std::vector<double>& costs, int allowed_cols,
+                      const SimplexOptions& options, int* iteration_budget,
+                      int* iterations_used) {
+  const int m = t->rows();
+  std::vector<double> reduced;
+  double objective = 0.0;
+  ComputeReducedCosts(*t, costs, &reduced, &objective);
+
+  double last_objective = objective;
+  int stall = 0;
+  bool bland = false;
+  // Degenerate pivots do not change the objective; after this many such
+  // pivots in a row we switch to Bland's rule, which cannot cycle.
+  const int stall_limit = 2 * (m + t->cols()) + 16;
+
+  while (*iteration_budget > 0) {
+    // Entering column.
+    int enter = -1;
+    if (bland) {
+      for (int j = 0; j < allowed_cols; ++j) {
+        if (reduced[j] < -options.tol) {
+          enter = j;
+          break;
+        }
+      }
+    } else {
+      double best = -options.tol;
+      for (int j = 0; j < allowed_cols; ++j) {
+        if (reduced[j] < best) {
+          best = reduced[j];
+          enter = j;
+        }
+      }
+    }
+    if (enter < 0) return PhaseOutcome::kOptimal;
+
+    // Ratio test for the leaving row; Bland tie-break on basis index.
+    int leave = -1;
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (int i = 0; i < m; ++i) {
+      const double a = t->At(i, enter);
+      if (a > options.tol) {
+        const double ratio = t->Rhs(i) / a;
+        if (ratio < best_ratio - options.tol ||
+            (ratio < best_ratio + options.tol && leave >= 0 &&
+             t->basis(i) < t->basis(leave))) {
+          best_ratio = ratio;
+          leave = i;
+        }
+      }
+    }
+    if (leave < 0) return PhaseOutcome::kUnbounded;
+
+    t->Pivot(leave, enter);
+    --(*iteration_budget);
+    ++(*iterations_used);
+
+    ComputeReducedCosts(*t, costs, &reduced, &objective);
+    if (objective < last_objective - options.tol) {
+      stall = 0;
+      last_objective = objective;
+    } else {
+      if (++stall > stall_limit) bland = true;
+    }
+  }
+  return PhaseOutcome::kIterationCap;
+}
+
+}  // namespace
+
+Result<Solution> Solve(const Model& model, const SimplexOptions& options) {
+  const int n = model.num_variables();
+  if (n == 0) return Status::InvalidArgument("LP model has no variables");
+
+  // --- Standard-form assembly -------------------------------------------
+  // Upper-bounded variables contribute an extra `x_j <= u_j` row.
+  struct Row {
+    std::vector<std::pair<int, double>> terms;
+    Sense sense;
+    double rhs;
+  };
+  std::vector<Row> rows;
+  rows.reserve(model.num_constraints());
+  for (const auto& c : model.constraints()) {
+    rows.push_back(Row{c.terms, c.sense, c.rhs});
+  }
+  for (int j = 0; j < n; ++j) {
+    const double u = model.upper_bounds()[j];
+    if (std::isfinite(u)) {
+      rows.push_back(Row{{{j, 1.0}}, Sense::kLessEqual, u});
+    }
+  }
+  const int m = static_cast<int>(rows.size());
+  if (m == 0) {
+    // Unconstrained non-negative minimization: x = 0 unless a cost is
+    // negative, in which case the problem is unbounded.
+    for (int j = 0; j < n; ++j) {
+      if (model.costs()[j] < 0) {
+        return Status::Unbounded("negative cost on unconstrained variable " +
+                                 model.variable_name(j));
+      }
+    }
+    Solution sol;
+    sol.values.assign(n, 0.0);
+    return sol;
+  }
+
+  // Column layout: [structural | slack/surplus | artificial].
+  int num_slacks = 0;
+  for (const auto& r : rows) {
+    if (r.sense != Sense::kEqual) ++num_slacks;
+  }
+  // Worst case every row needs an artificial; trim later via `allowed`.
+  const int slack_base = n;
+  const int art_base = n + num_slacks;
+  const int total_cols = art_base + m;
+
+  Tableau tableau(m, total_cols);
+  std::vector<bool> is_artificial(total_cols, false);
+  int next_slack = slack_base;
+  int next_art = art_base;
+  int num_artificials = 0;
+
+  for (int i = 0; i < m; ++i) {
+    double sign = rows[i].rhs < 0 ? -1.0 : 1.0;
+    for (const auto& [var, coeff] : rows[i].terms) {
+      tableau.At(i, var) = sign * coeff;
+    }
+    tableau.Rhs(i) = sign * rows[i].rhs;
+
+    double slack_coeff = 0.0;
+    if (rows[i].sense == Sense::kLessEqual) slack_coeff = sign * 1.0;
+    if (rows[i].sense == Sense::kGreaterEqual) slack_coeff = sign * -1.0;
+    int slack_col = -1;
+    if (slack_coeff != 0.0) {
+      slack_col = next_slack++;
+      tableau.At(i, slack_col) = slack_coeff;
+    }
+
+    if (slack_coeff > 0.0) {
+      // Slack with +1 coefficient can start basic.
+      tableau.set_basis(i, slack_col);
+    } else {
+      const int art_col = next_art++;
+      tableau.At(i, art_col) = 1.0;
+      tableau.set_basis(i, art_col);
+      is_artificial[art_col] = true;
+      ++num_artificials;
+    }
+  }
+
+  int iteration_budget = options.max_iterations;
+  int iterations_used = 0;
+
+  // --- Phase 1 ------------------------------------------------------------
+  if (num_artificials > 0) {
+    std::vector<double> phase1_costs(total_cols, 0.0);
+    for (int j = 0; j < total_cols; ++j) {
+      if (is_artificial[j]) phase1_costs[j] = 1.0;
+    }
+    PhaseOutcome out = RunPhase(&tableau, phase1_costs, total_cols, options,
+                                &iteration_budget, &iterations_used);
+    if (out == PhaseOutcome::kIterationCap) {
+      return Status::NotConverged("simplex phase 1 exceeded max_iterations");
+    }
+    if (out == PhaseOutcome::kUnbounded) {
+      return Status::Internal("phase-1 objective unbounded (bug)");
+    }
+    double infeasibility = 0.0;
+    for (int i = 0; i < m; ++i) {
+      if (is_artificial[tableau.basis(i)]) infeasibility += tableau.Rhs(i);
+    }
+    if (infeasibility > options.feasibility_tol) {
+      return Status::Infeasible("LP infeasible (phase-1 residual " +
+                                std::to_string(infeasibility) + ")");
+    }
+    // Drive artificials that linger in the basis at value 0 out of it.
+    for (int i = 0; i < m; ++i) {
+      if (!is_artificial[tableau.basis(i)]) continue;
+      int pivot_col = -1;
+      for (int j = 0; j < art_base; ++j) {
+        if (std::fabs(tableau.At(i, j)) > options.tol) {
+          pivot_col = j;
+          break;
+        }
+      }
+      if (pivot_col >= 0) {
+        tableau.Pivot(i, pivot_col);
+      }
+      // If the row is zero across structural columns it is redundant; the
+      // artificial stays basic at 0 and phase 2 forbids it from moving.
+    }
+  }
+
+  // --- Phase 2 ------------------------------------------------------------
+  std::vector<double> phase2_costs(total_cols, 0.0);
+  for (int j = 0; j < n; ++j) phase2_costs[j] = model.costs()[j];
+  PhaseOutcome out = RunPhase(&tableau, phase2_costs, art_base, options,
+                              &iteration_budget, &iterations_used);
+  if (out == PhaseOutcome::kIterationCap) {
+    return Status::NotConverged("simplex phase 2 exceeded max_iterations");
+  }
+  if (out == PhaseOutcome::kUnbounded) {
+    return Status::Unbounded("LP objective unbounded below");
+  }
+
+  Solution sol;
+  sol.values.assign(n, 0.0);
+  for (int i = 0; i < m; ++i) {
+    const int b = tableau.basis(i);
+    if (b < n) sol.values[b] = tableau.Rhs(i);
+  }
+  double obj = 0.0;
+  for (int j = 0; j < n; ++j) obj += model.costs()[j] * sol.values[j];
+  sol.objective = obj;
+  sol.iterations = iterations_used;
+  return sol;
+}
+
+}  // namespace lp
+}  // namespace fairkm

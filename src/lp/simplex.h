@@ -1,0 +1,47 @@
+// Dense two-phase primal simplex solver.
+//
+// Solves min c'x s.t. Ax {<=,>=,=} b, 0 <= x <= u over a full dense tableau.
+// Pivoting uses Dantzig's rule with an automatic switch to Bland's rule when
+// progress stalls, which guarantees termination on degenerate problems.
+//
+// This is the library's substitute for an external LP library (GLPK /
+// OR-tools are not available offline); it is sized for the transportation-
+// structured LPs used by the fair-assignment and fairlet comparators
+// (thousands of variables, not millions).
+
+#ifndef FAIRKM_LP_SIMPLEX_H_
+#define FAIRKM_LP_SIMPLEX_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "lp/model.h"
+
+namespace fairkm {
+namespace lp {
+
+/// \brief Solver knobs.
+struct SimplexOptions {
+  /// Hard cap across both phases; exceeding it returns NotConverged.
+  int max_iterations = 200000;
+  /// Pivot / reduced-cost tolerance.
+  double tol = 1e-9;
+  /// Phase-1 residual above which the problem is declared infeasible.
+  double feasibility_tol = 1e-7;
+};
+
+/// \brief Optimal solution of an LP.
+struct Solution {
+  std::vector<double> values;  ///< One value per model variable.
+  double objective = 0.0;      ///< c'x at the optimum.
+  int iterations = 0;          ///< Total simplex pivots performed.
+};
+
+/// \brief Solves the model. Error codes: kInfeasible, kUnbounded,
+/// kNotConverged (iteration cap), kInvalidArgument (empty model).
+Result<Solution> Solve(const Model& model, const SimplexOptions& options = {});
+
+}  // namespace lp
+}  // namespace fairkm
+
+#endif  // FAIRKM_LP_SIMPLEX_H_

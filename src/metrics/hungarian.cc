@@ -1,0 +1,71 @@
+#include "metrics/hungarian.h"
+
+#include <limits>
+
+namespace fairkm {
+namespace metrics {
+
+// Classic potentials ("e-maxx") formulation with 1-based auxiliary arrays.
+Result<double> HungarianAssign(const data::Matrix& cost, std::vector<int>* matching) {
+  const size_t r = cost.rows();
+  const size_t c = cost.cols();
+  if (r == 0 || c == 0) return Status::InvalidArgument("empty cost matrix");
+  if (r > c) return Status::InvalidArgument("cost matrix needs rows <= cols");
+
+  const double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> u(r + 1, 0.0), v(c + 1, 0.0);
+  std::vector<size_t> match(c + 1, 0);  // match[j] = row matched to column j.
+  std::vector<size_t> way(c + 1, 0);
+
+  for (size_t i = 1; i <= r; ++i) {
+    match[0] = i;
+    size_t j0 = 0;
+    std::vector<double> minv(c + 1, kInf);
+    std::vector<bool> used(c + 1, false);
+    do {
+      used[j0] = true;
+      const size_t i0 = match[j0];
+      double delta = kInf;
+      size_t j1 = 0;
+      for (size_t j = 1; j <= c; ++j) {
+        if (used[j]) continue;
+        const double cur = cost.At(i0 - 1, j - 1) - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (size_t j = 0; j <= c; ++j) {
+        if (used[j]) {
+          u[match[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (match[j0] != 0);
+    // Augment along the found path.
+    do {
+      const size_t j1 = way[j0];
+      match[j0] = match[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  matching->assign(r, -1);
+  double total = 0.0;
+  for (size_t j = 1; j <= c; ++j) {
+    if (match[j] == 0) continue;
+    (*matching)[match[j] - 1] = static_cast<int>(j - 1);
+    total += cost.At(match[j] - 1, j - 1);
+  }
+  return total;
+}
+
+}  // namespace metrics
+}  // namespace fairkm

@@ -1,0 +1,26 @@
+// Hungarian algorithm (Kuhn-Munkres) for min-cost perfect assignment.
+//
+// Used by the DevC centroid-deviation metric to optimally pair fair-clustering
+// centroids with S-blind centroids.
+
+#ifndef FAIRKM_METRICS_HUNGARIAN_H_
+#define FAIRKM_METRICS_HUNGARIAN_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "data/matrix.h"
+
+namespace fairkm {
+namespace metrics {
+
+/// \brief Solves min-cost assignment over an r x c cost matrix with r <= c.
+///
+/// Returns the matched column per row in `*matching` and the total cost.
+/// O(r^2 c) potentials implementation; exact.
+Result<double> HungarianAssign(const data::Matrix& cost, std::vector<int>* matching);
+
+}  // namespace metrics
+}  // namespace fairkm
+
+#endif  // FAIRKM_METRICS_HUNGARIAN_H_

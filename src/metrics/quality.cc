@@ -1,0 +1,128 @@
+#include "metrics/quality.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "metrics/hungarian.h"
+
+namespace fairkm {
+namespace metrics {
+namespace {
+
+// Mean silhouette of the given probe points, each evaluated against every row.
+double SilhouetteOverProbes(const data::Matrix& points,
+                            const cluster::Assignment& assignment, int k,
+                            const std::vector<size_t>& probes) {
+  const std::vector<size_t> sizes = cluster::ClusterSizes(assignment, k);
+  double total = 0.0;
+  size_t counted = 0;
+  std::vector<double> dist_sum(static_cast<size_t>(k));
+  for (size_t p : probes) {
+    const size_t own = static_cast<size_t>(assignment[p]);
+    if (sizes[own] <= 1) {
+      // Singleton: silhouette defined as 0.
+      ++counted;
+      continue;
+    }
+    std::fill(dist_sum.begin(), dist_sum.end(), 0.0);
+    for (size_t i = 0; i < points.rows(); ++i) {
+      if (i == p) continue;
+      const double d = std::sqrt(
+          data::SquaredDistance(points.Row(p), points.Row(i), points.cols()));
+      dist_sum[static_cast<size_t>(assignment[i])] += d;
+    }
+    const double a =
+        dist_sum[own] / static_cast<double>(sizes[own] - 1);
+    double b = std::numeric_limits<double>::infinity();
+    for (int c = 0; c < k; ++c) {
+      const size_t cc = static_cast<size_t>(c);
+      if (cc == own || sizes[cc] == 0) continue;
+      b = std::min(b, dist_sum[cc] / static_cast<double>(sizes[cc]));
+    }
+    if (!std::isfinite(b)) {
+      // Single non-empty cluster: silhouette undefined; count as 0.
+      ++counted;
+      continue;
+    }
+    const double denom = std::max(a, b);
+    total += denom > 0.0 ? (b - a) / denom : 0.0;
+    ++counted;
+  }
+  return counted > 0 ? total / static_cast<double>(counted) : 0.0;
+}
+
+}  // namespace
+
+double ClusteringObjective(const data::Matrix& points,
+                           const cluster::Assignment& assignment, int k) {
+  data::Matrix centroids = cluster::ComputeCentroids(points, assignment, k);
+  return cluster::SumOfSquaredErrors(points, assignment, centroids);
+}
+
+double SilhouetteScore(const data::Matrix& points,
+                       const cluster::Assignment& assignment, int k,
+                       const SilhouetteOptions& options) {
+  const size_t n = points.rows();
+  if (n == 0) return 0.0;
+  std::vector<size_t> probes;
+  if (n <= options.max_exact_rows || options.sample_size >= n) {
+    probes.resize(n);
+    for (size_t i = 0; i < n; ++i) probes[i] = i;
+  } else {
+    Rng rng(options.seed);
+    probes = rng.SampleWithoutReplacement(n, options.sample_size);
+  }
+  return SilhouetteOverProbes(points, assignment, k, probes);
+}
+
+Result<double> CentroidDeviation(const data::Matrix& centroids,
+                                 const data::Matrix& reference_centroids) {
+  if (centroids.cols() != reference_centroids.cols()) {
+    return Status::InvalidArgument("centroid dimensionality mismatch");
+  }
+  if (centroids.rows() != reference_centroids.rows()) {
+    return Status::InvalidArgument("centroid count mismatch (DevC compares equal k)");
+  }
+  const size_t k = centroids.rows();
+  data::Matrix cost(k, k);
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t j = 0; j < k; ++j) {
+      cost.At(i, j) = data::SquaredDistance(centroids.Row(i),
+                                            reference_centroids.Row(j),
+                                            centroids.cols());
+    }
+  }
+  std::vector<int> matching;
+  return HungarianAssign(cost, &matching);
+}
+
+Result<double> ObjectPairDeviation(const cluster::Assignment& a, int k_a,
+                                   const cluster::Assignment& b, int k_b) {
+  if (a.size() != b.size()) {
+    return Status::InvalidArgument("assignments cover different row counts");
+  }
+  const size_t n = a.size();
+  if (n < 2) return 0.0;
+  // Contingency table n_ij, marginals a_i, b_j.
+  std::vector<int64_t> table(static_cast<size_t>(k_a) * k_b, 0);
+  std::vector<int64_t> ma(static_cast<size_t>(k_a), 0);
+  std::vector<int64_t> mb(static_cast<size_t>(k_b), 0);
+  for (size_t i = 0; i < n; ++i) {
+    ++table[static_cast<size_t>(a[i]) * k_b + static_cast<size_t>(b[i])];
+    ++ma[static_cast<size_t>(a[i])];
+    ++mb[static_cast<size_t>(b[i])];
+  }
+  auto choose2 = [](int64_t x) { return x * (x - 1) / 2; };
+  int64_t sum_table = 0, sum_a = 0, sum_b = 0;
+  for (int64_t v : table) sum_table += choose2(v);
+  for (int64_t v : ma) sum_a += choose2(v);
+  for (int64_t v : mb) sum_b += choose2(v);
+  // Pairs together in one clustering but apart in the other.
+  const int64_t disagreements = (sum_a - sum_table) + (sum_b - sum_table);
+  const int64_t total_pairs = choose2(static_cast<int64_t>(n));
+  return static_cast<double>(disagreements) / static_cast<double>(total_pairs);
+}
+
+}  // namespace metrics
+}  // namespace fairkm

@@ -1,0 +1,272 @@
+#include "text/kinematics_generator.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "text/random_projection.h"
+#include "text/tfidf.h"
+#include "text/tokenizer.h"
+
+namespace fairkm {
+namespace text {
+namespace {
+
+std::string Num(Rng* rng, double lo, double hi, int precision = 0) {
+  double v = rng->UniformDouble(lo, hi);
+  if (precision == 0) return std::to_string(static_cast<long long>(std::lround(v)));
+  return FormatDouble(v, precision);
+}
+
+std::string Pick(Rng* rng, const std::vector<std::string>& options) {
+  return options[rng->UniformInt(options.size())];
+}
+
+// Type 1: horizontal straight-line motion.
+std::string MakeType1(Rng* rng) {
+  const std::string obj = Pick(rng, {"car", "train", "cyclist", "runner", "truck",
+                                     "bus", "motorbike", "ship"});
+  const std::string v = Num(rng, 5, 40);
+  const std::string t = Num(rng, 2, 60);
+  const std::string d = Num(rng, 50, 2000);
+  const std::string a = Num(rng, 1, 6, 1);
+  switch (rng->UniformInt(5)) {
+    case 0:
+      return "A " + obj + " travels along a straight road at a constant speed of " +
+             v + " metres per second. How far does the " + obj + " travel in " + t +
+             " seconds?";
+    case 1:
+      return "A " + obj + " moving in a straight line covers a distance of " + d +
+             " metres in " + t + " seconds at uniform velocity. Find the speed of the " +
+             obj + ".";
+    case 2:
+      return "A " + obj + " starts from rest and accelerates uniformly at " + a +
+             " metres per second squared along a level track. What is its velocity after " +
+             t + " seconds?";
+    case 3:
+      return "A " + obj + " moving at " + v +
+             " metres per second applies its brakes and decelerates uniformly at " + a +
+             " metres per second squared on a straight horizontal road. How long does it take to stop?";
+    default:
+      return "Two " + obj + "s start from the same point on a straight highway. One moves at " +
+             v + " metres per second and the other at " + Num(rng, 5, 40) +
+             " metres per second in the same direction. What is the distance between them after " +
+             t + " seconds?";
+  }
+}
+
+// Type 2: vertical motion with an initial velocity (thrown up or down).
+std::string MakeType2(Rng* rng) {
+  const std::string obj = Pick(rng, {"ball", "stone", "coin", "marble", "arrow"});
+  const std::string v = Num(rng, 5, 45);
+  const std::string t = Num(rng, 1, 8);
+  const std::string h = Num(rng, 10, 80);
+  switch (rng->UniformInt(5)) {
+    case 0:
+      return "A " + obj + " is thrown vertically upward with an initial velocity of " +
+             v + " metres per second. How high does the " + obj + " rise before it stops momentarily?";
+    case 1:
+      return "A " + obj + " is thrown straight up at " + v +
+             " metres per second from the ground. How long does it take to return to the thrower's hand?";
+    case 2:
+      return "A " + obj + " is thrown vertically downward with a speed of " + v +
+             " metres per second from the top of a tower " + h +
+             " metres high. With what velocity does it strike the ground?";
+    case 3:
+      return "A " + obj + " is projected vertically upward with velocity " + v +
+             " metres per second. Find its height and velocity after " + t + " seconds.";
+    default:
+      return "A " + obj + " thrown vertically upward passes a window " + h +
+             " metres above the point of projection after " + t +
+             " seconds. Determine the initial velocity of the " + obj + ".";
+  }
+}
+
+// Type 3: free fall.
+std::string MakeType3(Rng* rng) {
+  const std::string obj = Pick(rng, {"ball", "stone", "coin", "package", "marble"});
+  const std::string h = Num(rng, 20, 300);
+  const std::string t = Num(rng, 1, 8);
+  switch (rng->UniformInt(4)) {
+    case 0:
+      return "A " + obj + " is dropped from rest from the top of a building " + h +
+             " metres tall. How long does the " + obj + " take to reach the ground?";
+    case 1:
+      return "A " + obj + " falls freely from rest. What is its velocity after falling for " +
+             t + " seconds, and how far has it fallen?";
+    case 2:
+      return "A " + obj + " is released from rest from a cliff. It hits the ground after " +
+             t + " seconds of free fall. Find the height of the cliff.";
+    default:
+      return "A " + obj + " dropped from a bridge falls freely and strikes the water below in " +
+             t + " seconds. With what speed does the " + obj + " hit the water?";
+  }
+}
+
+// Type 4: horizontally projected from a height.
+std::string MakeType4(Rng* rng) {
+  const std::string obj = Pick(rng, {"ball", "stone", "marble", "package", "bullet"});
+  const std::string v = Num(rng, 5, 60);
+  const std::string h = Num(rng, 10, 200);
+  switch (rng->UniformInt(4)) {
+    case 0:
+      return "A " + obj + " is thrown horizontally with a velocity of " + v +
+             " metres per second from the top of a tower " + h +
+             " metres high. How far from the base of the tower does the " + obj + " land?";
+    case 1:
+      return "A " + obj + " is projected horizontally at " + v +
+             " metres per second from a cliff of height " + h +
+             " metres. Find the time of flight and the horizontal range of the " + obj + ".";
+    case 2:
+      return "An aeroplane flying horizontally at " + v +
+             " metres per second at a height of " + h + " metres releases a " + obj +
+             ". How far ahead of the release point does the " + obj + " strike the ground?";
+    default:
+      return "A " + obj + " rolls off the edge of a horizontal table " +
+             Num(rng, 1, 3, 1) + " metres high with a speed of " + v +
+             " metres per second. At what horizontal distance from the table edge does it hit the floor?";
+  }
+}
+
+// Type 5: two-dimensional projectile at an angle.
+std::string MakeType5(Rng* rng) {
+  const std::string obj = Pick(rng, {"ball", "stone", "arrow", "rocket", "bullet"});
+  const std::string v = Num(rng, 10, 80);
+  const std::string angle = Num(rng, 15, 75);
+  switch (rng->UniformInt(4)) {
+    case 0:
+      return "A " + obj + " is projected with a velocity of " + v +
+             " metres per second at an angle of " + angle +
+             " degrees to the horizontal. Find the maximum height reached by the " + obj + ".";
+    case 1:
+      return "A " + obj + " is launched at " + v + " metres per second at " + angle +
+             " degrees above the horizontal ground. Determine the horizontal range and the time of flight.";
+    case 2:
+      return "A " + obj + " is fired with initial speed " + v +
+             " metres per second at an elevation of " + angle +
+             " degrees. At what times is the " + obj + " at half of its maximum height?";
+    default:
+      return "A " + obj + " projected at an angle of " + angle +
+             " degrees to the horizontal with velocity " + v +
+             " metres per second just clears a wall " + Num(rng, 5, 30) +
+             " metres high. How far from the point of projection is the wall?";
+  }
+}
+
+}  // namespace
+
+Result<KinematicsCorpus> GenerateKinematicsCorpus(const KinematicsOptions& options) {
+  if (options.type_counts.size() != 5) {
+    return Status::InvalidArgument("type_counts must have exactly 5 entries");
+  }
+  Rng rng(options.seed);
+  KinematicsCorpus corpus;
+  for (int type = 0; type < 5; ++type) {
+    for (size_t i = 0; i < options.type_counts[static_cast<size_t>(type)]; ++i) {
+      std::string problem;
+      switch (type) {
+        case 0:
+          problem = MakeType1(&rng);
+          break;
+        case 1:
+          problem = MakeType2(&rng);
+          break;
+        case 2:
+          problem = MakeType3(&rng);
+          break;
+        case 3:
+          problem = MakeType4(&rng);
+          break;
+        default:
+          problem = MakeType5(&rng);
+          break;
+      }
+      corpus.problems.push_back(std::move(problem));
+      corpus.types.push_back(type);
+    }
+  }
+  return corpus;
+}
+
+const std::vector<std::string>& KinematicsTypeDescriptions() {
+  static const std::vector<std::string> kDescriptions = {
+      "Horizontal motion",
+      "Vertical motion with an initial velocity",
+      "Free fall",
+      "Horizontally projected",
+      "Two-dimensional"};
+  return kDescriptions;
+}
+
+const std::vector<std::string>& KinematicsSensitiveNames() {
+  static const std::vector<std::string> kNames = {"type_1", "type_2", "type_3",
+                                                  "type_4", "type_5"};
+  return kNames;
+}
+
+std::vector<std::string> KinematicsEmbeddingNames(size_t dim) {
+  std::vector<std::string> names;
+  names.reserve(dim);
+  for (size_t d = 0; d < dim; ++d) names.push_back("emb_" + std::to_string(d));
+  return names;
+}
+
+Result<data::Dataset> GenerateKinematicsDataset(const KinematicsOptions& options) {
+  if (options.embedding_dim == 0) {
+    return Status::InvalidArgument("embedding_dim must be positive");
+  }
+  FAIRKM_ASSIGN_OR_RETURN(KinematicsCorpus corpus, GenerateKinematicsCorpus(options));
+  const size_t n = corpus.problems.size();
+
+  std::vector<std::vector<std::string>> tokenized;
+  tokenized.reserve(n);
+  for (const auto& p : corpus.problems) tokenized.push_back(Tokenize(p));
+
+  TfidfVectorizer vectorizer;
+  std::vector<SparseVector> tfidf = vectorizer.FitTransform(tokenized);
+  data::Matrix embedding = ProjectToDense(tfidf, vectorizer.vocab_size(),
+                                          options.embedding_dim, options.seed ^ 0xE3B);
+  if (options.noise_level > 0.0) {
+    // Blend per-document noise, then restore unit norm: keeps the type signal
+    // present but weak, as in small-corpus Doc2Vec embeddings.
+    Rng noise_rng(options.seed ^ 0x9D0CE);
+    const double scale =
+        options.noise_level / std::sqrt(static_cast<double>(options.embedding_dim));
+    for (size_t i = 0; i < n; ++i) {
+      double* row = embedding.Row(i);
+      double norm2 = 0.0;
+      for (size_t d = 0; d < options.embedding_dim; ++d) {
+        row[d] += noise_rng.Normal() * scale;
+        norm2 += row[d] * row[d];
+      }
+      const double inv = norm2 > 0 ? 1.0 / std::sqrt(norm2) : 0.0;
+      for (size_t d = 0; d < options.embedding_dim; ++d) row[d] *= inv;
+    }
+  }
+
+  data::Dataset out;
+  const std::vector<std::string> emb_names =
+      KinematicsEmbeddingNames(options.embedding_dim);
+  for (size_t d = 0; d < options.embedding_dim; ++d) {
+    std::vector<double> column(n);
+    for (size_t i = 0; i < n; ++i) column[i] = embedding.At(i, d);
+    FAIRKM_RETURN_NOT_OK(out.AddNumeric(emb_names[d], std::move(column)));
+  }
+  // Five binary indicator attributes: the paper treats the problem types as
+  // "5 sensitive binary attributes" (its §5.1).
+  for (int type = 0; type < 5; ++type) {
+    std::vector<int32_t> codes(n);
+    for (size_t i = 0; i < n; ++i) codes[i] = corpus.types[i] == type ? 1 : 0;
+    FAIRKM_RETURN_NOT_OK(out.AddCategorical(
+        KinematicsSensitiveNames()[static_cast<size_t>(type)], std::move(codes),
+        {"no", "yes"}));
+  }
+  std::vector<int32_t> type_codes(n);
+  for (size_t i = 0; i < n; ++i) type_codes[i] = corpus.types[i];
+  FAIRKM_RETURN_NOT_OK(
+      out.AddCategorical("type", std::move(type_codes), KinematicsTypeDescriptions()));
+  return out;
+}
+
+}  // namespace text
+}  // namespace fairkm

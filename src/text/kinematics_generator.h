@@ -1,0 +1,68 @@
+// Synthetic kinematics word-problem dataset generator.
+//
+// The paper's second dataset is a private collection of 161 kinematics word
+// problems in five types (its Table 2), embedded with Doc2Vec into 100
+// dimensions. This module is the documented substitution (DESIGN.md §3.2):
+// it generates real English word problems from per-type template families
+// with the exact per-type counts of the paper's Table 4 —
+//   Type 1 horizontal motion: 60, Type 2 vertical with initial velocity: 36,
+//   Type 3 free fall: 15, Type 4 horizontally projected: 31,
+//   Type 5 two-dimensional projectile: 19
+// — and embeds them via TF-IDF + seeded Gaussian random projection. The five
+// binary type indicators form the sensitive attribute set S; the embedding
+// columns form N.
+
+#ifndef FAIRKM_TEXT_KINEMATICS_GENERATOR_H_
+#define FAIRKM_TEXT_KINEMATICS_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace fairkm {
+namespace text {
+
+/// \brief Generation knobs for the kinematics dataset.
+struct KinematicsOptions {
+  uint64_t seed = 7;
+  /// Problems per type; defaults match the paper's Table 4 (total 161).
+  std::vector<size_t> type_counts = {60, 36, 15, 31, 19};
+  /// Embedding dimensionality (paper: 100).
+  size_t embedding_dim = 100;
+  /// Per-document Gaussian noise blended into the embedding before the final
+  /// L2 normalization. Doc2Vec vectors trained on 161 short documents are
+  /// extremely noisy (the paper's S-blind silhouette on Kinematics is 0.039);
+  /// this knob reproduces that regime. 0 disables.
+  double noise_level = 1.1;
+};
+
+/// \brief Raw generated corpus: problem text plus its type in [0, 5).
+struct KinematicsCorpus {
+  std::vector<std::string> problems;
+  std::vector<int> types;
+};
+
+/// \brief Generates the word-problem texts.
+Result<KinematicsCorpus> GenerateKinematicsCorpus(const KinematicsOptions& options);
+
+/// \brief Human-readable description of each problem type (paper Table 2).
+const std::vector<std::string>& KinematicsTypeDescriptions();
+
+/// \brief Names of the 5 binary sensitive attributes ("type_1".."type_5").
+const std::vector<std::string>& KinematicsSensitiveNames();
+
+/// \brief Names of the embedding columns ("emb_0".."emb_{dim-1}").
+std::vector<std::string> KinematicsEmbeddingNames(size_t dim);
+
+/// \brief Generates the full dataset: embedding columns (N), five binary type
+/// indicator columns (S, labels {"no","yes"}), and a "type" column with the
+/// five type names for convenience.
+Result<data::Dataset> GenerateKinematicsDataset(const KinematicsOptions& options);
+
+}  // namespace text
+}  // namespace fairkm
+
+#endif  // FAIRKM_TEXT_KINEMATICS_GENERATOR_H_

@@ -1,0 +1,41 @@
+#include "text/random_projection.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace fairkm {
+namespace text {
+
+data::Matrix ProjectToDense(const std::vector<SparseVector>& docs, size_t vocab_size,
+                            size_t dim, uint64_t seed) {
+  // Projection matrix R: vocab_size x dim with N(0, 1/dim) entries. The
+  // vocabularies here are small (hundreds of terms), so materializing R is
+  // cheap and keeps the projection exactly reproducible.
+  Rng rng(seed);
+  data::Matrix projection(vocab_size, dim);
+  const double scale = 1.0 / std::sqrt(static_cast<double>(dim));
+  for (size_t t = 0; t < vocab_size; ++t) {
+    double* row = projection.Row(t);
+    for (size_t d = 0; d < dim; ++d) row[d] = rng.Normal() * scale;
+  }
+
+  data::Matrix out(docs.size(), dim);
+  for (size_t i = 0; i < docs.size(); ++i) {
+    double* dst = out.Row(i);
+    for (const auto& [term, weight] : docs[i].entries) {
+      const double* src = projection.Row(static_cast<size_t>(term));
+      for (size_t d = 0; d < dim; ++d) dst[d] += weight * src[d];
+    }
+    double norm = 0.0;
+    for (size_t d = 0; d < dim; ++d) norm += dst[d] * dst[d];
+    norm = std::sqrt(norm);
+    if (norm > 0.0) {
+      for (size_t d = 0; d < dim; ++d) dst[d] /= norm;
+    }
+  }
+  return out;
+}
+
+}  // namespace text
+}  // namespace fairkm

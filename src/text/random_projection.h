@@ -1,0 +1,29 @@
+// Seeded Gaussian random projection of sparse TF-IDF vectors to a dense
+// low-dimensional space.
+//
+// This is the library's Doc2Vec substitute (DESIGN.md §3.2): by the
+// Johnson-Lindenstrauss lemma the projection approximately preserves the
+// inter-document geometry that a learned embedding would expose to K-Means.
+
+#ifndef FAIRKM_TEXT_RANDOM_PROJECTION_H_
+#define FAIRKM_TEXT_RANDOM_PROJECTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/matrix.h"
+#include "text/tfidf.h"
+
+namespace fairkm {
+namespace text {
+
+/// \brief Projects `docs` (over a vocabulary of `vocab_size` terms) to
+/// `dim`-dimensional dense rows using a seeded N(0, 1/dim) projection matrix,
+/// then L2-normalizes each row. Deterministic in `seed`.
+data::Matrix ProjectToDense(const std::vector<SparseVector>& docs, size_t vocab_size,
+                            size_t dim, uint64_t seed);
+
+}  // namespace text
+}  // namespace fairkm
+
+#endif  // FAIRKM_TEXT_RANDOM_PROJECTION_H_

@@ -1,0 +1,66 @@
+#include "text/tfidf.h"
+
+#include <cmath>
+#include <set>
+
+namespace fairkm {
+namespace text {
+
+double SparseVector::L2Norm() const {
+  double sum = 0.0;
+  for (const auto& [id, w] : entries) sum += w * w;
+  return std::sqrt(sum);
+}
+
+void TfidfVectorizer::Fit(const std::vector<std::vector<std::string>>& docs) {
+  vocab_.clear();
+  idf_.clear();
+  // Vocabulary in lexicographic order (std::map) => deterministic term ids.
+  std::map<std::string, int> df;
+  for (const auto& doc : docs) {
+    std::set<std::string> seen(doc.begin(), doc.end());
+    for (const auto& token : seen) ++df[token];
+  }
+  int next_id = 0;
+  idf_.reserve(df.size());
+  const double n = static_cast<double>(docs.size());
+  for (const auto& [token, count] : df) {
+    vocab_.emplace(token, next_id++);
+    idf_.push_back(std::log((1.0 + n) / (1.0 + count)) + 1.0);
+  }
+}
+
+SparseVector TfidfVectorizer::Transform(const std::vector<std::string>& doc) const {
+  std::map<int, double> tf;
+  for (const auto& token : doc) {
+    int id = TermId(token);
+    if (id >= 0) tf[id] += 1.0;
+  }
+  SparseVector out;
+  out.entries.reserve(tf.size());
+  for (const auto& [id, count] : tf) {
+    out.entries.emplace_back(id, count * idf_[static_cast<size_t>(id)]);
+  }
+  const double norm = out.L2Norm();
+  if (norm > 0.0) {
+    for (auto& [id, w] : out.entries) w /= norm;
+  }
+  return out;
+}
+
+std::vector<SparseVector> TfidfVectorizer::FitTransform(
+    const std::vector<std::vector<std::string>>& docs) {
+  Fit(docs);
+  std::vector<SparseVector> out;
+  out.reserve(docs.size());
+  for (const auto& doc : docs) out.push_back(Transform(doc));
+  return out;
+}
+
+int TfidfVectorizer::TermId(const std::string& token) const {
+  auto it = vocab_.find(token);
+  return it == vocab_.end() ? -1 : it->second;
+}
+
+}  // namespace text
+}  // namespace fairkm

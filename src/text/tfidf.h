@@ -1,0 +1,51 @@
+// TF-IDF vectorization over a fitted vocabulary.
+
+#ifndef FAIRKM_TEXT_TFIDF_H_
+#define FAIRKM_TEXT_TFIDF_H_
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace fairkm {
+namespace text {
+
+/// \brief Sparse vector: (term id, weight) pairs sorted by term id.
+struct SparseVector {
+  std::vector<std::pair<int, double>> entries;
+
+  double L2Norm() const;
+};
+
+/// \brief Classic TF-IDF with smoothed IDF: idf(t) = ln((1+N)/(1+df)) + 1.
+///
+/// Fit builds the vocabulary (deterministic: term ids in lexicographic
+/// order); Transform maps a token sequence to an L2-normalized TF-IDF vector.
+/// Out-of-vocabulary tokens are dropped.
+class TfidfVectorizer {
+ public:
+  /// \brief Builds the vocabulary and document frequencies from a corpus.
+  void Fit(const std::vector<std::vector<std::string>>& docs);
+
+  /// \brief TF-IDF vector of one tokenized document (L2-normalized).
+  SparseVector Transform(const std::vector<std::string>& doc) const;
+
+  /// \brief Fit + Transform over the corpus.
+  std::vector<SparseVector> FitTransform(
+      const std::vector<std::vector<std::string>>& docs);
+
+  size_t vocab_size() const { return vocab_.size(); }
+
+  /// \brief Term id of a token, or -1 when out of vocabulary.
+  int TermId(const std::string& token) const;
+
+ private:
+  std::map<std::string, int> vocab_;
+  std::vector<double> idf_;
+};
+
+}  // namespace text
+}  // namespace fairkm
+
+#endif  // FAIRKM_TEXT_TFIDF_H_

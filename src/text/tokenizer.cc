@@ -1,0 +1,35 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+namespace fairkm {
+namespace text {
+
+std::vector<std::string> Tokenize(const std::string& input) {
+  std::vector<std::string> tokens;
+  std::string current;
+  bool all_digits = true;
+  auto flush = [&]() {
+    if (current.empty()) return;
+    tokens.push_back(all_digits ? "<num>" : current);
+    current.clear();
+    all_digits = true;
+  };
+  for (char raw : input) {
+    unsigned char c = static_cast<unsigned char>(raw);
+    if (std::isalnum(c)) {
+      if (!std::isdigit(c)) all_digits = false;
+      current += static_cast<char>(std::tolower(c));
+    } else if (c == '.' && !current.empty() && all_digits) {
+      // Keep decimal numbers as a single <num> token.
+      current += '.';
+    } else {
+      flush();
+    }
+  }
+  flush();
+  return tokens;
+}
+
+}  // namespace text
+}  // namespace fairkm

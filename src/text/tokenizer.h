@@ -1,0 +1,21 @@
+// Word tokenizer for the kinematics word-problem corpus.
+
+#ifndef FAIRKM_TEXT_TOKENIZER_H_
+#define FAIRKM_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <vector>
+
+namespace fairkm {
+namespace text {
+
+/// \brief Lower-cases and splits on non-alphanumeric characters. Tokens that
+/// are pure numbers are replaced by the placeholder "<num>" so that the
+/// numeric surface forms (which vary per generated problem) do not dominate
+/// the lexical representation.
+std::vector<std::string> Tokenize(const std::string& text);
+
+}  // namespace text
+}  // namespace fairkm
+
+#endif  // FAIRKM_TEXT_TOKENIZER_H_

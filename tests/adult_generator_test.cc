@@ -1,0 +1,168 @@
+#include "data/adult_generator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/sensitive.h"
+
+namespace fairkm {
+namespace data {
+namespace {
+
+AdultOptions SmallOptions() {
+  AdultOptions opt;
+  opt.seed = 11;
+  opt.num_rows = 4000;
+  opt.target_positive = 1000;
+  return opt;
+}
+
+TEST(AdultGeneratorTest, SchemaMatchesPaperTable3Cardinalities) {
+  auto r = GenerateAdult(SmallOptions());
+  ASSERT_TRUE(r.ok());
+  const Dataset& d = r.ValueOrDie();
+  // The five sensitive attributes with the paper's exact cardinalities.
+  EXPECT_EQ(d.FindCategorical("marital_status").ValueOrDie()->cardinality(), 7);
+  EXPECT_EQ(d.FindCategorical("relationship_status").ValueOrDie()->cardinality(), 6);
+  EXPECT_EQ(d.FindCategorical("race").ValueOrDie()->cardinality(), 5);
+  EXPECT_EQ(d.FindCategorical("gender").ValueOrDie()->cardinality(), 2);
+  EXPECT_EQ(d.FindCategorical("native_country").ValueOrDie()->cardinality(), 41);
+  // 8 numeric task attributes.
+  EXPECT_EQ(AdultTaskNames().size(), 8u);
+  for (const auto& name : AdultTaskNames()) {
+    EXPECT_TRUE(d.FindNumeric(name).ok()) << name;
+  }
+}
+
+TEST(AdultGeneratorTest, RowCountAndIncomeSplit) {
+  auto d = GenerateAdult(SmallOptions()).ValueOrDie();
+  EXPECT_EQ(d.num_rows(), 4000u);
+  const auto* income = d.FindCategorical("income").ValueOrDie();
+  size_t positives = 0;
+  for (int32_t c : income->codes) positives += c == 1 ? 1 : 0;
+  EXPECT_EQ(positives, 1000u);  // Rank labelling is exact.
+}
+
+TEST(AdultGeneratorTest, DefaultsMatchPaperCounts) {
+  AdultOptions opt;  // 32,561 rows, 7,841 positives.
+  auto d = GenerateAdultParity(opt).ValueOrDie();
+  EXPECT_EQ(d.num_rows(), 15682u);  // Paper §5.1.
+  const auto* income = d.FindCategorical("income").ValueOrDie();
+  std::vector<double> fr = income->Fractions();
+  EXPECT_DOUBLE_EQ(fr[0], 0.5);
+  EXPECT_DOUBLE_EQ(fr[1], 0.5);
+}
+
+TEST(AdultGeneratorTest, DeterministicForSeed) {
+  auto a = GenerateAdult(SmallOptions()).ValueOrDie();
+  auto b = GenerateAdult(SmallOptions()).ValueOrDie();
+  EXPECT_EQ(a.FindNumeric("age").ValueOrDie()->values,
+            b.FindNumeric("age").ValueOrDie()->values);
+  EXPECT_EQ(a.FindCategorical("race").ValueOrDie()->codes,
+            b.FindCategorical("race").ValueOrDie()->codes);
+}
+
+TEST(AdultGeneratorTest, SeedsChangeData) {
+  AdultOptions o1 = SmallOptions();
+  AdultOptions o2 = SmallOptions();
+  o2.seed = 12;
+  auto a = GenerateAdult(o1).ValueOrDie();
+  auto b = GenerateAdult(o2).ValueOrDie();
+  EXPECT_NE(a.FindNumeric("age").ValueOrDie()->values,
+            b.FindNumeric("age").ValueOrDie()->values);
+}
+
+TEST(AdultGeneratorTest, MarginalsAreSkewedRealistically) {
+  auto d = GenerateAdult(SmallOptions()).ValueOrDie();
+  std::vector<double> race = d.FindCategorical("race").ValueOrDie()->Fractions();
+  EXPECT_GT(race[0], 0.8);  // Majority race dominates (paper §5.6: ~87%).
+  std::vector<double> country =
+      d.FindCategorical("native_country").ValueOrDie()->Fractions();
+  EXPECT_GT(country[0], 0.85);  // United-States dominates.
+  std::vector<double> gender = d.FindCategorical("gender").ValueOrDie()->Fractions();
+  EXPECT_GT(gender[0], 0.6);
+  EXPECT_LT(gender[0], 0.75);
+}
+
+TEST(AdultGeneratorTest, SensitiveAttributesCorrelateWithTaskAttributes) {
+  // The whole study requires S-information to leak into N. Check a known
+  // channel: mean working hours differ by gender.
+  auto d = GenerateAdult(SmallOptions()).ValueOrDie();
+  const auto* gender = d.FindCategorical("gender").ValueOrDie();
+  const auto* hours = d.FindNumeric("hours_per_week").ValueOrDie();
+  double sum[2] = {0, 0};
+  size_t cnt[2] = {0, 0};
+  for (size_t i = 0; i < d.num_rows(); ++i) {
+    sum[gender->codes[i]] += hours->values[i];
+    ++cnt[gender->codes[i]];
+  }
+  const double male = sum[0] / static_cast<double>(cnt[0]);
+  const double female = sum[1] / static_cast<double>(cnt[1]);
+  EXPECT_GT(male - female, 2.0);
+}
+
+TEST(AdultGeneratorTest, NumericRangesSane) {
+  auto d = GenerateAdult(SmallOptions()).ValueOrDie();
+  for (double v : d.FindNumeric("age").ValueOrDie()->values) {
+    EXPECT_GE(v, 17.0);
+    EXPECT_LE(v, 90.0);
+  }
+  for (double v : d.FindNumeric("education_num").ValueOrDie()->values) {
+    EXPECT_GE(v, 1.0);
+    EXPECT_LE(v, 16.0);
+  }
+  for (double v : d.FindNumeric("hours_per_week").ValueOrDie()->values) {
+    EXPECT_GE(v, 1.0);
+    EXPECT_LE(v, 99.0);
+  }
+  for (double v : d.FindNumeric("capital_gain_log").ValueOrDie()->values) {
+    EXPECT_GE(v, 0.0);
+  }
+}
+
+TEST(AdultGeneratorTest, InvalidOptionsRejected) {
+  AdultOptions bad = SmallOptions();
+  bad.num_rows = 0;
+  EXPECT_FALSE(GenerateAdult(bad).ok());
+  bad = SmallOptions();
+  bad.target_positive = bad.num_rows;
+  EXPECT_FALSE(GenerateAdult(bad).ok());
+}
+
+TEST(AdultGeneratorTest, ParityKeepsAllPositives) {
+  auto d = GenerateAdultParity(SmallOptions()).ValueOrDie();
+  EXPECT_EQ(d.num_rows(), 2000u);
+}
+
+TEST(AdultGeneratorTest, CountryCorrelatesWithRace) {
+  auto d = GenerateAdult(SmallOptions()).ValueOrDie();
+  const auto* race = d.FindCategorical("race").ValueOrDie();
+  const auto* country = d.FindCategorical("native_country").ValueOrDie();
+  size_t asian_total = 0, asian_foreign = 0, white_total = 0, white_foreign = 0;
+  for (size_t i = 0; i < d.num_rows(); ++i) {
+    if (race->codes[i] == 2) {
+      ++asian_total;
+      if (country->codes[i] != 0) ++asian_foreign;
+    }
+    if (race->codes[i] == 0) {
+      ++white_total;
+      if (country->codes[i] != 0) ++white_foreign;
+    }
+  }
+  ASSERT_GT(asian_total, 0u);
+  ASSERT_GT(white_total, 0u);
+  EXPECT_GT(static_cast<double>(asian_foreign) / asian_total,
+            static_cast<double>(white_foreign) / white_total);
+}
+
+TEST(AdultGeneratorTest, SensitiveViewBuildsOverAllFiveAttributes) {
+  auto d = GenerateAdult(SmallOptions()).ValueOrDie();
+  auto view = MakeSensitiveView(d, AdultSensitiveNames());
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view.ValueOrDie().categorical.size(), 5u);
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace fairkm

@@ -1,0 +1,97 @@
+#include "common/args.h"
+
+#include <gtest/gtest.h>
+
+namespace fairkm {
+namespace {
+
+TEST(ArgsTest, DefaultsApply) {
+  ArgParser parser;
+  parser.AddFlag("k", "5", "clusters");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(parser.Parse(1, argv).ok());
+  EXPECT_EQ(parser.GetInt("k"), 5);
+}
+
+TEST(ArgsTest, EqualsForm) {
+  ArgParser parser;
+  parser.AddFlag("k", "5", "clusters");
+  const char* argv[] = {"prog", "--k=15"};
+  ASSERT_TRUE(parser.Parse(2, argv).ok());
+  EXPECT_EQ(parser.GetInt("k"), 15);
+}
+
+TEST(ArgsTest, SpaceForm) {
+  ArgParser parser;
+  parser.AddFlag("lambda", "1.0", "weight");
+  const char* argv[] = {"prog", "--lambda", "2.5"};
+  ASSERT_TRUE(parser.Parse(3, argv).ok());
+  EXPECT_DOUBLE_EQ(parser.GetDouble("lambda"), 2.5);
+}
+
+TEST(ArgsTest, BareBooleanFlag) {
+  ArgParser parser;
+  parser.AddFlag("verbose", "false", "chatty");
+  parser.AddFlag("k", "1", "clusters");
+  const char* argv[] = {"prog", "--verbose", "--k=2"};
+  ASSERT_TRUE(parser.Parse(3, argv).ok());
+  EXPECT_TRUE(parser.GetBool("verbose"));
+  EXPECT_EQ(parser.GetInt("k"), 2);
+}
+
+TEST(ArgsTest, BoolSpellings) {
+  ArgParser parser;
+  parser.AddFlag("a", "true", "");
+  parser.AddFlag("b", "YES", "");
+  parser.AddFlag("c", "on", "");
+  parser.AddFlag("d", "1", "");
+  parser.AddFlag("e", "no", "");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(parser.Parse(1, argv).ok());
+  EXPECT_TRUE(parser.GetBool("a"));
+  EXPECT_TRUE(parser.GetBool("b"));
+  EXPECT_TRUE(parser.GetBool("c"));
+  EXPECT_TRUE(parser.GetBool("d"));
+  EXPECT_FALSE(parser.GetBool("e"));
+}
+
+TEST(ArgsTest, UnknownFlagRejected) {
+  ArgParser parser;
+  parser.AddFlag("k", "5", "clusters");
+  const char* argv[] = {"prog", "--mystery=1"};
+  Status st = parser.Parse(2, argv);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ArgsTest, PositionalArgumentsCollected) {
+  ArgParser parser;
+  parser.AddFlag("k", "5", "clusters");
+  const char* argv[] = {"prog", "input.csv", "--k=3", "output.csv"};
+  ASSERT_TRUE(parser.Parse(4, argv).ok());
+  EXPECT_EQ(parser.positional(),
+            (std::vector<std::string>{"input.csv", "output.csv"}));
+}
+
+TEST(ArgsTest, HelpStringMentionsFlags) {
+  ArgParser parser;
+  parser.AddFlag("seeds", "5", "number of random seeds");
+  std::string help = parser.HelpString("prog");
+  EXPECT_NE(help.find("--seeds"), std::string::npos);
+  EXPECT_NE(help.find("number of random seeds"), std::string::npos);
+}
+
+TEST(EnvIntTest, FallbackWhenUnset) {
+  EXPECT_EQ(EnvInt("FAIRKM_SURELY_UNSET_VAR_12345", 7), 7);
+}
+
+TEST(EnvIntTest, ReadsValue) {
+  setenv("FAIRKM_TEST_ENV_INT", "42", 1);
+  EXPECT_EQ(EnvInt("FAIRKM_TEST_ENV_INT", 7), 42);
+  setenv("FAIRKM_TEST_ENV_INT", "not-a-number", 1);
+  EXPECT_EQ(EnvInt("FAIRKM_TEST_ENV_INT", 7), 7);
+  unsetenv("FAIRKM_TEST_ENV_INT");
+}
+
+}  // namespace
+}  // namespace fairkm

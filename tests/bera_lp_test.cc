@@ -1,0 +1,117 @@
+#include "cluster/bera_lp.h"
+
+#include <gtest/gtest.h>
+
+#include "cluster/kmeans.h"
+#include "metrics/fairness.h"
+#include "test_util.h"
+
+namespace fairkm {
+namespace cluster {
+namespace {
+
+struct World {
+  data::Matrix points;
+  data::SensitiveView sensitive;
+  data::Matrix centers;
+};
+
+World MakeWorld(uint64_t seed, int blobs = 2, int per_blob = 30) {
+  Rng rng(seed);
+  World w;
+  w.points = testutil::MakeBlobs(blobs, per_blob, 2, &rng);
+  const size_t n = w.points.rows();
+  std::vector<int32_t> codes(n);
+  for (size_t i = 0; i < n; ++i) {
+    const int blob = static_cast<int>(i / static_cast<size_t>(per_blob));
+    codes[i] = rng.UniformDouble() < 0.85 ? blob % 2 : 1 - blob % 2;
+  }
+  w.sensitive = testutil::MakeView({testutil::MakeCategorical(codes, 2, "g")});
+  KMeansOptions opt;
+  opt.k = blobs;
+  Rng krng(seed ^ 0xF00);
+  w.centers = RunKMeans(w.points, opt, &krng).ValueOrDie().centroids;
+  return w;
+}
+
+TEST(BeraLpTest, ValidatesInputs) {
+  World w = MakeWorld(1);
+  data::Matrix empty;
+  EXPECT_FALSE(RunBeraFairAssignment(empty, w.centers, w.sensitive).ok());
+  EXPECT_FALSE(RunBeraFairAssignment(w.points, empty, w.sensitive).ok());
+  data::SensitiveView no_cats;
+  EXPECT_FALSE(RunBeraFairAssignment(w.points, w.centers, no_cats).ok());
+  BeraOptions bad;
+  bad.bound_slack = -0.5;
+  EXPECT_FALSE(RunBeraFairAssignment(w.points, w.centers, w.sensitive, bad).ok());
+}
+
+TEST(BeraLpTest, FractionalSolutionRespectsBounds) {
+  World w = MakeWorld(3);
+  BeraOptions opt;
+  opt.bound_slack = 0.3;
+  auto r = RunBeraFairAssignment(w.points, w.centers, w.sensitive, opt);
+  ASSERT_TRUE(r.ok());
+  const BeraResult& result = r.ValueOrDie();
+  EXPECT_TRUE(ValidateAssignment(result.assignment, w.points.rows(), 2).ok());
+  EXPECT_GT(result.lp_objective, 0.0);
+  // Rounding can only increase cost relative to the fractional optimum.
+  EXPECT_GE(result.rounded_objective, result.lp_objective - 1e-6);
+}
+
+TEST(BeraLpTest, ImprovesFairnessOverNearestAssignment) {
+  World w = MakeWorld(5);
+  const auto& attr = w.sensitive.categorical[0];
+
+  Assignment nearest;
+  AssignToNearest(w.points, w.centers, &nearest);
+  auto fair_nearest = metrics::EvaluateAttributeFairness(attr, nearest, 2);
+
+  BeraOptions opt;
+  opt.bound_slack = 0.15;
+  auto r = RunBeraFairAssignment(w.points, w.centers, w.sensitive, opt).ValueOrDie();
+  auto fair_bera = metrics::EvaluateAttributeFairness(attr, r.assignment, 2);
+
+  EXPECT_LT(fair_bera.ae, fair_nearest.ae);
+  EXPECT_LT(fair_bera.me, fair_nearest.me);
+}
+
+TEST(BeraLpTest, TightBoundsApproachProportionality) {
+  World w = MakeWorld(7);
+  BeraOptions opt;
+  opt.bound_slack = 0.05;
+  auto r = RunBeraFairAssignment(w.points, w.centers, w.sensitive, opt).ValueOrDie();
+  const auto& attr = w.sensitive.categorical[0];
+  auto fairness = metrics::EvaluateAttributeFairness(attr, r.assignment, 2);
+  // With a 5% multiplicative band and rounding noise, max deviation of the
+  // per-cluster share from the dataset share stays small.
+  EXPECT_LT(fairness.me, 0.15);
+}
+
+TEST(BeraLpTest, LooseBoundsRecoverNearestAssignment) {
+  World w = MakeWorld(9);
+  BeraOptions opt;
+  opt.bound_slack = 100.0;  // Bounds never bind.
+  auto r = RunBeraFairAssignment(w.points, w.centers, w.sensitive, opt).ValueOrDie();
+  Assignment nearest;
+  AssignToNearest(w.points, w.centers, &nearest);
+  EXPECT_EQ(r.assignment, nearest);
+}
+
+TEST(BeraLpTest, MultipleOverlappingGroups) {
+  // Two binary attributes — the "overlapping groups" setting of Bera et al.
+  Rng rng(11);
+  World w = MakeWorld(11);
+  const size_t n = w.points.rows();
+  auto second = testutil::MakeCategorical(testutil::RandomCodes(n, 2, &rng), 2, "h");
+  w.sensitive.categorical.push_back(second);
+  BeraOptions opt;
+  opt.bound_slack = 0.4;
+  auto r = RunBeraFairAssignment(w.points, w.centers, w.sensitive, opt);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(ValidateAssignment(r.ValueOrDie().assignment, n, 2).ok());
+}
+
+}  // namespace
+}  // namespace cluster
+}  // namespace fairkm

@@ -1,0 +1,81 @@
+#include "cluster/types.h"
+
+#include <gtest/gtest.h>
+
+namespace fairkm {
+namespace cluster {
+namespace {
+
+data::Matrix SmallPoints() {
+  data::Matrix m(4, 2);
+  m.At(0, 0) = 0;
+  m.At(0, 1) = 0;
+  m.At(1, 0) = 2;
+  m.At(1, 1) = 0;
+  m.At(2, 0) = 10;
+  m.At(2, 1) = 10;
+  m.At(3, 0) = 12;
+  m.At(3, 1) = 10;
+  return m;
+}
+
+TEST(ValidateAssignmentTest, AcceptsValid) {
+  EXPECT_TRUE(ValidateAssignment({0, 1, 1, 0}, 4, 2).ok());
+}
+
+TEST(ValidateAssignmentTest, RejectsWrongLength) {
+  EXPECT_EQ(ValidateAssignment({0, 1}, 4, 2).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ValidateAssignmentTest, RejectsOutOfRangeIds) {
+  EXPECT_EQ(ValidateAssignment({0, 2, 0, 0}, 4, 2).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(ValidateAssignment({0, -1, 0, 0}, 4, 2).code(), StatusCode::kOutOfRange);
+}
+
+TEST(ClusterSizesTest, CountsPerCluster) {
+  EXPECT_EQ(ClusterSizes({0, 1, 1, 0}, 3), (std::vector<size_t>{2, 2, 0}));
+}
+
+TEST(GroupByClusterTest, GroupsIndices) {
+  auto groups = GroupByCluster({0, 1, 1, 0}, 2);
+  EXPECT_EQ(groups[0], (std::vector<size_t>{0, 3}));
+  EXPECT_EQ(groups[1], (std::vector<size_t>{1, 2}));
+}
+
+TEST(ComputeCentroidsTest, MeansPerCluster) {
+  data::Matrix pts = SmallPoints();
+  data::Matrix c = ComputeCentroids(pts, {0, 0, 1, 1}, 2);
+  EXPECT_DOUBLE_EQ(c.At(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(c.At(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(c.At(1, 0), 11.0);
+  EXPECT_DOUBLE_EQ(c.At(1, 1), 10.0);
+}
+
+TEST(ComputeCentroidsTest, EmptyClusterIsZero) {
+  data::Matrix pts = SmallPoints();
+  data::Matrix c = ComputeCentroids(pts, {0, 0, 0, 0}, 2);
+  EXPECT_DOUBLE_EQ(c.At(1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(c.At(1, 1), 0.0);
+}
+
+TEST(SumOfSquaredErrorsTest, KnownValue) {
+  data::Matrix pts = SmallPoints();
+  Assignment a = {0, 0, 1, 1};
+  data::Matrix c = ComputeCentroids(pts, a, 2);
+  // Each cluster: two points 2 apart along x => 2 * 1^2 per cluster.
+  EXPECT_DOUBLE_EQ(SumOfSquaredErrors(pts, a, c), 4.0);
+}
+
+TEST(FinalizeResultTest, FillsDerivedFields) {
+  data::Matrix pts = SmallPoints();
+  ClusteringResult r;
+  r.assignment = {0, 0, 1, 1};
+  FinalizeResult(pts, 2, &r);
+  EXPECT_EQ(r.sizes, (std::vector<size_t>{2, 2}));
+  EXPECT_DOUBLE_EQ(r.kmeans_objective, 4.0);
+  EXPECT_EQ(r.centroids.rows(), 2u);
+}
+
+}  // namespace
+}  // namespace cluster
+}  // namespace fairkm

@@ -1,0 +1,122 @@
+#include "common/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+namespace fairkm {
+namespace {
+
+TEST(CsvParseTest, SimpleTable) {
+  auto r = ParseCsv("a,b,c\n1,2,3\n4,5,6\n");
+  ASSERT_TRUE(r.ok());
+  const CsvTable& t = r.ValueOrDie();
+  EXPECT_EQ(t.header, (std::vector<std::string>{"a", "b", "c"}));
+  ASSERT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.rows[0], (std::vector<std::string>{"1", "2", "3"}));
+  EXPECT_EQ(t.rows[1], (std::vector<std::string>{"4", "5", "6"}));
+}
+
+TEST(CsvParseTest, MissingTrailingNewline) {
+  auto r = ParseCsv("a,b\n1,2");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie().num_rows(), 1u);
+}
+
+TEST(CsvParseTest, QuotedFieldsWithDelimiters) {
+  auto r = ParseCsv("name,notes\nalice,\"likes, commas\"\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie().rows[0][1], "likes, commas");
+}
+
+TEST(CsvParseTest, EscapedQuotes) {
+  auto r = ParseCsv("a\n\"she said \"\"hi\"\"\"\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie().rows[0][0], "she said \"hi\"");
+}
+
+TEST(CsvParseTest, EmbeddedNewlines) {
+  auto r = ParseCsv("a,b\n\"line1\nline2\",x\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie().rows[0][0], "line1\nline2");
+}
+
+TEST(CsvParseTest, CrLfLineEndings) {
+  auto r = ParseCsv("a,b\r\n1,2\r\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie().rows[0], (std::vector<std::string>{"1", "2"}));
+}
+
+TEST(CsvParseTest, NoHeaderSynthesizesColumnNames) {
+  auto r = ParseCsv("1,2\n3,4\n", ',', /*has_header=*/false);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie().header, (std::vector<std::string>{"c0", "c1"}));
+  EXPECT_EQ(r.ValueOrDie().num_rows(), 2u);
+}
+
+TEST(CsvParseTest, RaggedRowRejected) {
+  auto r = ParseCsv("a,b\n1\n");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+TEST(CsvParseTest, UnterminatedQuoteRejected) {
+  auto r = ParseCsv("a\n\"oops\n");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(CsvParseTest, EmptyInput) {
+  auto r = ParseCsv("");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie().num_rows(), 0u);
+  EXPECT_EQ(r.ValueOrDie().num_cols(), 0u);
+}
+
+TEST(CsvParseTest, AlternateDelimiter) {
+  auto r = ParseCsv("a;b\n1;2\n", ';');
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie().rows[0][1], "2");
+}
+
+TEST(CsvWriteTest, RoundTrip) {
+  CsvTable t;
+  t.header = {"x", "y"};
+  t.rows = {{"plain", "with, comma"}, {"with \"quote\"", "multi\nline"}};
+  std::string text = WriteCsv(t);
+  auto r = ParseCsv(text);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie().header, t.header);
+  EXPECT_EQ(r.ValueOrDie().rows, t.rows);
+}
+
+TEST(CsvColumnIndexTest, FindsAndRejects) {
+  CsvTable t;
+  t.header = {"x", "y"};
+  auto idx = t.ColumnIndex("y");
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(idx.ValueOrDie(), 1u);
+  EXPECT_EQ(t.ColumnIndex("z").status().code(), StatusCode::kNotFound);
+}
+
+TEST(CsvFileTest, WriteAndReadBack) {
+  CsvTable t;
+  t.header = {"a"};
+  t.rows = {{"1"}, {"2"}};
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "fairkm_csv_test.csv").string();
+  ASSERT_TRUE(WriteCsvFile(t, path).ok());
+  auto r = ReadCsvFile(path);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie().rows, t.rows);
+  std::remove(path.c_str());
+}
+
+TEST(CsvFileTest, MissingFileIsIOError) {
+  auto r = ReadCsvFile("/nonexistent/path/file.csv");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace fairkm

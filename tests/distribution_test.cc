@@ -1,0 +1,142 @@
+#include "metrics/distribution.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "test_util.h"
+
+namespace fairkm {
+namespace metrics {
+namespace {
+
+TEST(EuclideanDistanceTest, Basics) {
+  EXPECT_DOUBLE_EQ(EuclideanDistance({1, 0}, {0, 1}), std::sqrt(2.0));
+  EXPECT_DOUBLE_EQ(EuclideanDistance({0.5, 0.5}, {0.5, 0.5}), 0.0);
+}
+
+TEST(Wasserstein1Test, IdenticalDistributionsZero) {
+  EXPECT_DOUBLE_EQ(Wasserstein1({0.2, 0.3, 0.5}, {0.2, 0.3, 0.5}), 0.0);
+}
+
+TEST(Wasserstein1Test, BinarySupportEqualsPmfDifference) {
+  // Over {0,1}: W1 = |p0 - q0|.
+  EXPECT_NEAR(Wasserstein1({0.7, 0.3}, {0.4, 0.6}), 0.3, 1e-12);
+}
+
+TEST(Wasserstein1Test, MassMovedAcrossFullSupport) {
+  // All mass at 0 vs all mass at 2: distance 2.
+  EXPECT_NEAR(Wasserstein1({1, 0, 0}, {0, 0, 1}), 2.0, 1e-12);
+}
+
+TEST(Wasserstein1Test, SymmetricAndTriangleInequality) {
+  Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    auto random_dist = [&](size_t m) {
+      std::vector<double> p(m);
+      double total = 0;
+      for (double& v : p) {
+        v = rng.UniformDouble() + 1e-6;
+        total += v;
+      }
+      for (double& v : p) v /= total;
+      return p;
+    };
+    auto p = random_dist(5), q = random_dist(5), r = random_dist(5);
+    EXPECT_NEAR(Wasserstein1(p, q), Wasserstein1(q, p), 1e-12);
+    EXPECT_LE(Wasserstein1(p, r), Wasserstein1(p, q) + Wasserstein1(q, r) + 1e-12);
+    EXPECT_GE(Wasserstein1(p, q), 0.0);
+  }
+}
+
+TEST(Wasserstein1Test, EuclideanAwRatioForBinary) {
+  // The paper's Table 6 gender row shows AE/AW = sqrt(2) for binary
+  // attributes; verify the underlying identity ED = sqrt(2) * W1.
+  std::vector<double> p = {0.62, 0.38}, q = {0.5, 0.5};
+  EXPECT_NEAR(EuclideanDistance(p, q) / Wasserstein1(p, q), std::sqrt(2.0), 1e-12);
+}
+
+TEST(KlDivergenceTest, Basics) {
+  EXPECT_NEAR(KlDivergence({0.5, 0.5}, {0.5, 0.5}), 0.0, 1e-12);
+  EXPECT_GT(KlDivergence({0.9, 0.1}, {0.5, 0.5}), 0.0);
+  // Zero p entries contribute nothing.
+  EXPECT_NEAR(KlDivergence({1.0, 0.0}, {0.5, 0.5}), std::log(2.0), 1e-12);
+}
+
+TEST(TotalVariationTest, Basics) {
+  EXPECT_DOUBLE_EQ(TotalVariation({1, 0}, {0, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(TotalVariation({0.5, 0.5}, {0.5, 0.5}), 0.0);
+  EXPECT_NEAR(TotalVariation({0.7, 0.3}, {0.4, 0.6}), 0.3, 1e-12);
+}
+
+TEST(ClusterDistributionsTest, RowsAreClusterDistributions) {
+  auto attr = testutil::MakeCategorical({0, 0, 1, 2, 2, 2}, 3);
+  data::Matrix d = ClusterDistributions(attr, {0, 0, 0, 1, 1, 1}, 2);
+  EXPECT_NEAR(d.At(0, 0), 2.0 / 3, 1e-12);
+  EXPECT_NEAR(d.At(0, 1), 1.0 / 3, 1e-12);
+  EXPECT_NEAR(d.At(0, 2), 0.0, 1e-12);
+  EXPECT_NEAR(d.At(1, 2), 1.0, 1e-12);
+}
+
+TEST(ClusterDistributionsTest, EmptyClusterRowIsZero) {
+  auto attr = testutil::MakeCategorical({0, 1}, 2);
+  data::Matrix d = ClusterDistributions(attr, {0, 0}, 3);
+  for (size_t s = 0; s < 2; ++s) {
+    EXPECT_EQ(d.At(1, s), 0.0);
+    EXPECT_EQ(d.At(2, s), 0.0);
+  }
+}
+
+TEST(EmpiricalWasserstein1Test, IdenticalSamplesZero) {
+  EXPECT_NEAR(EmpiricalWasserstein1({1, 2, 3}, {3, 2, 1}), 0.0, 1e-12);
+}
+
+TEST(EmpiricalWasserstein1Test, ShiftedSamples) {
+  // Point masses: {0} vs {3} => distance 3.
+  EXPECT_NEAR(EmpiricalWasserstein1({0}, {3}), 3.0, 1e-12);
+  // Uniform {0,1} vs {2,3}: each quantile shifted by 2.
+  EXPECT_NEAR(EmpiricalWasserstein1({0, 1}, {2, 3}), 2.0, 1e-12);
+}
+
+TEST(EmpiricalWasserstein1Test, DifferentSampleSizes) {
+  // {0,0} vs {0,0,3}: F differs by 1/3 over [0,3] => 1.
+  EXPECT_NEAR(EmpiricalWasserstein1({0, 0}, {0, 0, 3}), 1.0, 1e-12);
+}
+
+TEST(EmpiricalWasserstein1Test, EmptyInputsZero) {
+  EXPECT_EQ(EmpiricalWasserstein1({}, {1, 2}), 0.0);
+  EXPECT_EQ(EmpiricalWasserstein1({1}, {}), 0.0);
+}
+
+TEST(EmpiricalWasserstein1Test, AgreesWithCategoricalW1OnIntegerSupport) {
+  // Samples drawn on the support {0..3} must give the same W1 as the
+  // categorical formula applied to their histograms.
+  Rng rng(21);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> a, b;
+    std::vector<double> pa(4, 0.0), pb(4, 0.0);
+    for (int i = 0; i < 60; ++i) {
+      const double va = static_cast<double>(rng.UniformInt(uint64_t{4}));
+      const double vb = static_cast<double>(rng.UniformInt(uint64_t{4}));
+      a.push_back(va);
+      b.push_back(vb);
+      pa[static_cast<size_t>(va)] += 1.0 / 60;
+      pb[static_cast<size_t>(vb)] += 1.0 / 60;
+    }
+    EXPECT_NEAR(EmpiricalWasserstein1(a, b), Wasserstein1(pa, pb), 1e-9);
+  }
+}
+
+TEST(EmpiricalWasserstein1Test, SubsetOfItselfSmall) {
+  Rng rng(9);
+  std::vector<double> all(200);
+  for (double& v : all) v = rng.Normal(0, 1);
+  std::vector<double> half(all.begin(), all.begin() + 100);
+  // A large subsample of the same distribution should be close.
+  EXPECT_LT(EmpiricalWasserstein1(half, all), 0.25);
+}
+
+}  // namespace
+}  // namespace metrics
+}  // namespace fairkm

@@ -1,0 +1,84 @@
+#include "exp/datasets.h"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+
+namespace fairkm {
+namespace exp {
+namespace {
+
+TEST(AdultExperimentTest, SubsampledLoadHasExpectedShape) {
+  AdultExperimentOptions opt;
+  opt.subsample = 1200;
+  auto r = LoadAdultExperiment(opt);
+  ASSERT_TRUE(r.ok());
+  const ExperimentData& data = r.ValueOrDie();
+  EXPECT_EQ(data.name, "adult");
+  EXPECT_EQ(data.features.rows(), 1200u);
+  EXPECT_EQ(data.features.cols(), 8u);
+  EXPECT_EQ(data.sensitive.categorical.size(), 5u);
+  EXPECT_EQ(data.sensitive.num_rows(), 1200u);
+  EXPECT_DOUBLE_EQ(data.paper_lambda, 1e6);
+}
+
+TEST(AdultExperimentTest, FeaturesAreMinMaxScaled) {
+  AdultExperimentOptions opt;
+  opt.subsample = 2000;
+  auto data = LoadAdultExperiment(opt).ValueOrDie();
+  for (size_t j = 0; j < data.features.cols(); ++j) {
+    RunningStats rs;
+    for (size_t i = 0; i < data.features.rows(); ++i) rs.Add(data.features.At(i, j));
+    EXPECT_GE(rs.min(), 0.0) << "col " << j;
+    EXPECT_LE(rs.max(), 1.0) << "col " << j;
+    // Subsampling happens before scaling, so each column spans [0, 1].
+    EXPECT_NEAR(rs.min(), 0.0, 1e-9) << "col " << j;
+    EXPECT_NEAR(rs.max(), 1.0, 1e-9) << "col " << j;
+  }
+}
+
+TEST(AdultExperimentTest, SensitiveCardinalitiesMatchPaper) {
+  AdultExperimentOptions opt;
+  opt.subsample = 800;
+  auto data = LoadAdultExperiment(opt).ValueOrDie();
+  std::vector<int> cards;
+  for (const auto& attr : data.sensitive.categorical) {
+    cards.push_back(attr.cardinality);
+  }
+  EXPECT_EQ(cards, (std::vector<int>{7, 6, 5, 2, 41}));
+}
+
+TEST(KinematicsExperimentTest, LoadHasExpectedShape) {
+  auto r = LoadKinematicsExperiment();
+  ASSERT_TRUE(r.ok());
+  const ExperimentData& data = r.ValueOrDie();
+  EXPECT_EQ(data.name, "kinematics");
+  EXPECT_EQ(data.features.rows(), 161u);
+  EXPECT_EQ(data.features.cols(), 100u);
+  EXPECT_EQ(data.sensitive.categorical.size(), 5u);
+  EXPECT_DOUBLE_EQ(data.paper_lambda, 1e3);
+  for (const auto& attr : data.sensitive.categorical) {
+    EXPECT_EQ(attr.cardinality, 2);
+  }
+}
+
+TEST(KinematicsExperimentTest, EmbeddingsStayRawUnitNorm) {
+  auto data = LoadKinematicsExperiment().ValueOrDie();
+  for (size_t i = 0; i < data.features.rows(); ++i) {
+    double norm2 = 0.0;
+    for (size_t j = 0; j < data.features.cols(); ++j) {
+      norm2 += data.features.At(i, j) * data.features.At(i, j);
+    }
+    EXPECT_NEAR(norm2, 1.0, 1e-9) << "row " << i;
+  }
+}
+
+TEST(KinematicsExperimentTest, DeterministicForSeed) {
+  auto a = LoadKinematicsExperiment(7).ValueOrDie();
+  auto b = LoadKinematicsExperiment(7).ValueOrDie();
+  EXPECT_EQ(a.features.data(), b.features.data());
+}
+
+}  // namespace
+}  // namespace exp
+}  // namespace fairkm

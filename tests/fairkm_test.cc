@@ -1,0 +1,292 @@
+#include "core/fairkm.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cluster/kmeans.h"
+#include "metrics/fairness.h"
+#include "test_util.h"
+
+namespace fairkm {
+namespace core {
+namespace {
+
+using cluster::Assignment;
+
+// Blobs whose membership correlates with a sensitive attribute: each blob is
+// value-skewed, so S-blind clustering is unfair by construction.
+struct SkewedWorld {
+  data::Matrix points;
+  data::SensitiveView sensitive;
+};
+
+SkewedWorld MakeSkewedWorld(uint64_t seed, int blobs = 3, int per_blob = 40) {
+  Rng rng(seed);
+  SkewedWorld w;
+  // Modest blob separation (grid 3) keeps K-Means move deltas on a scale
+  // where the paper's lambda heuristic gives the fairness term real
+  // influence, mirroring the min-max-normalized experiment pipelines.
+  w.points = testutil::MakeBlobs(blobs, per_blob, 3, &rng, /*spread=*/0.4,
+                                 /*grid=*/3.0);
+  std::vector<int32_t> codes(static_cast<size_t>(blobs) * per_blob);
+  for (int b = 0; b < blobs; ++b) {
+    for (int p = 0; p < per_blob; ++p) {
+      // 80% of a blob carries value (b mod 2); 20% the other value.
+      const bool major = rng.UniformDouble() < 0.8;
+      codes[static_cast<size_t>(b) * per_blob + p] =
+          major ? (b % 2) : 1 - (b % 2);
+    }
+  }
+  w.sensitive = testutil::MakeView({testutil::MakeCategorical(codes, 2, "group")});
+  return w;
+}
+
+TEST(FairKMTest, SuggestLambdaIsPaperHeuristic) {
+  EXPECT_DOUBLE_EQ(SuggestLambda(15682, 5), (15682.0 / 5) * (15682.0 / 5));
+  EXPECT_NEAR(SuggestLambda(161, 5), 1036.84, 0.01);
+}
+
+TEST(FairKMTest, ValidatesOptions) {
+  SkewedWorld w = MakeSkewedWorld(1);
+  FairKMOptions opt;
+  Rng rng(1);
+  EXPECT_FALSE(RunFairKM(w.points, w.sensitive, opt, nullptr).ok());
+  opt.max_iterations = 0;
+  EXPECT_FALSE(RunFairKM(w.points, w.sensitive, opt, &rng).ok());
+  opt.max_iterations = 30;
+  opt.minibatch_size = -1;
+  EXPECT_FALSE(RunFairKM(w.points, w.sensitive, opt, &rng).ok());
+  opt.minibatch_size = 0;
+  opt.k = 0;
+  EXPECT_FALSE(RunFairKM(w.points, w.sensitive, opt, &rng).ok());
+}
+
+TEST(FairKMTest, RowCountMismatchRejected) {
+  SkewedWorld w = MakeSkewedWorld(2);
+  data::SensitiveView short_view = testutil::MakeView(
+      {testutil::MakeCategorical({0, 1, 0}, 2)});
+  FairKMOptions opt;
+  Rng rng(1);
+  EXPECT_FALSE(RunFairKM(w.points, short_view, opt, &rng).ok());
+}
+
+TEST(FairKMTest, LambdaZeroBehavesLikeKMeans) {
+  // With lambda = 0 the method is a move-based K-Means: the K-Means term of
+  // the result must be a local optimum comparable to Lloyd's.
+  SkewedWorld w = MakeSkewedWorld(3);
+  FairKMOptions opt;
+  opt.k = 3;
+  opt.lambda = 0.0;
+  opt.max_iterations = 60;
+  Rng rng(11);
+  auto fair = RunFairKM(w.points, w.sensitive, opt, &rng).ValueOrDie();
+  cluster::KMeansOptions kopt;
+  kopt.k = 3;
+  kopt.init = cluster::KMeansInit::kRandomAssignment;
+  Rng rng2(11);
+  auto lloyd = cluster::RunKMeans(w.points, kopt, &rng2).ValueOrDie();
+  // Both should essentially recover the 3 blobs; objectives within 10%.
+  EXPECT_NEAR(fair.kmeans_objective, lloyd.kmeans_objective,
+              0.1 * lloyd.kmeans_objective + 1e-9);
+  EXPECT_NEAR(fair.fairness_term * 0.0, 0.0, 1e-15);
+}
+
+TEST(FairKMTest, ObjectiveHistoryIsNonIncreasing) {
+  SkewedWorld w = MakeSkewedWorld(5);
+  FairKMOptions opt;
+  opt.k = 3;
+  opt.lambda = SuggestLambda(w.points.rows(), 3);
+  Rng rng(13);
+  auto result = RunFairKM(w.points, w.sensitive, opt, &rng).ValueOrDie();
+  ASSERT_GE(result.objective_history.size(), 1u);
+  for (size_t i = 1; i < result.objective_history.size(); ++i) {
+    EXPECT_LE(result.objective_history[i], result.objective_history[i - 1] + 1e-6)
+        << "sweep " << i;
+  }
+}
+
+TEST(FairKMTest, ImprovesFairnessOverBlindKMeans) {
+  SkewedWorld w = MakeSkewedWorld(7);
+  const int k = 3;
+  FairKMOptions opt;
+  opt.k = k;
+  // The blob geometry is coarser than min-max-scaled data; a stronger lambda
+  // (still within the paper's smooth operating range, Fig. 7) makes the
+  // direction of the trade-off unambiguous for a deterministic test.
+  opt.lambda = 20.0 * SuggestLambda(w.points.rows(), k);
+  Rng rng(17);
+  auto fair = RunFairKM(w.points, w.sensitive, opt, &rng).ValueOrDie();
+
+  cluster::KMeansOptions kopt;
+  kopt.k = k;
+  kopt.init = cluster::KMeansInit::kRandomAssignment;
+  Rng rng2(17);
+  auto blind = cluster::RunKMeans(w.points, kopt, &rng2).ValueOrDie();
+
+  auto fair_metrics = metrics::EvaluateFairness(w.sensitive, fair.assignment, k);
+  auto blind_metrics = metrics::EvaluateFairness(w.sensitive, blind.assignment, k);
+  EXPECT_LT(fair_metrics.mean.ae, blind_metrics.mean.ae);
+  EXPECT_LT(fair_metrics.mean.aw, blind_metrics.mean.aw);
+  // Fairness costs some coherence, but not everything.
+  EXPECT_GE(fair.kmeans_objective, blind.kmeans_objective - 1e-9);
+}
+
+TEST(FairKMTest, ResultFieldsConsistent) {
+  SkewedWorld w = MakeSkewedWorld(9);
+  FairKMOptions opt;
+  opt.k = 3;
+  Rng rng(19);
+  auto r = RunFairKM(w.points, w.sensitive, opt, &rng).ValueOrDie();
+  EXPECT_TRUE(cluster::ValidateAssignment(r.assignment, w.points.rows(), 3).ok());
+  EXPECT_DOUBLE_EQ(r.kmeans_term, r.kmeans_objective);
+  EXPECT_NEAR(r.total_objective, r.kmeans_term + r.lambda_used * r.fairness_term,
+              1e-6);
+  EXPECT_GT(r.lambda_used, 0.0);  // Auto lambda was applied.
+  size_t total = 0;
+  for (size_t s : r.sizes) total += s;
+  EXPECT_EQ(total, w.points.rows());
+  // Scratch fairness evaluation agrees.
+  EXPECT_NEAR(r.fairness_term,
+              ComputeFairnessTerm(w.sensitive, r.assignment, 3, opt.fairness), 1e-12);
+}
+
+TEST(FairKMTest, DeterministicGivenSeed) {
+  SkewedWorld w = MakeSkewedWorld(11);
+  FairKMOptions opt;
+  opt.k = 3;
+  Rng r1(23), r2(23);
+  auto a = RunFairKM(w.points, w.sensitive, opt, &r1).ValueOrDie();
+  auto b = RunFairKM(w.points, w.sensitive, opt, &r2).ValueOrDie();
+  EXPECT_EQ(a.assignment, b.assignment);
+}
+
+TEST(FairKMTest, HigherLambdaYieldsFairerClusters) {
+  SkewedWorld w = MakeSkewedWorld(13);
+  const int k = 3;
+  double prev_fairness_term = -1.0;
+  for (double lambda : {0.0, SuggestLambda(w.points.rows(), k),
+                        20.0 * SuggestLambda(w.points.rows(), k)}) {
+    FairKMOptions opt;
+    opt.k = k;
+    opt.lambda = lambda;
+    Rng rng(29);
+    auto r = RunFairKM(w.points, w.sensitive, opt, &rng).ValueOrDie();
+    if (prev_fairness_term >= 0) {
+      EXPECT_LE(r.fairness_term, prev_fairness_term + 1e-9)
+          << "lambda " << lambda;
+    }
+    prev_fairness_term = r.fairness_term;
+  }
+}
+
+TEST(FairKMTest, NumericSensitiveAttributeBalancesClusterMeans) {
+  // Points cluster on x; the numeric sensitive value is correlated with x.
+  Rng rng(31);
+  const size_t n = 80;
+  data::Matrix pts(n, 1);
+  std::vector<double> age(n);
+  for (size_t i = 0; i < n; ++i) {
+    const bool left = i < n / 2;
+    pts.At(i, 0) = (left ? 0.0 : 8.0) + rng.Normal(0, 0.5);
+    age[i] = (left ? 30.0 : 50.0) + rng.Normal(0, 3.0);
+  }
+  data::SensitiveView view;
+  view.numeric.push_back(testutil::MakeNumeric(age, "age"));
+
+  FairKMOptions opt;
+  opt.k = 2;
+  opt.lambda = 0.0;
+  Rng r1(37);
+  auto blind = RunFairKM(pts, view, opt, &r1).ValueOrDie();
+  opt.lambda = 50.0 * SuggestLambda(n, 2);
+  Rng r2(37);
+  auto fair = RunFairKM(pts, view, opt, &r2).ValueOrDie();
+  EXPECT_LT(fair.fairness_term, blind.fairness_term);
+}
+
+TEST(FairKMTest, AttributeWeightSteersTradeoffs) {
+  // Two binary attributes; give one a large weight and check that its
+  // deviation gets prioritized relative to an unweighted run.
+  Rng rng(41);
+  const size_t n = 90;
+  data::Matrix pts = testutil::MakeBlobs(3, 30, 2, &rng);
+  std::vector<int32_t> a_codes(n), b_codes(n);
+  for (size_t i = 0; i < n; ++i) {
+    a_codes[i] = static_cast<int32_t>((i / 30) % 2);  // Blob-aligned (unfair).
+    b_codes[i] = static_cast<int32_t>(i % 2);         // Already fair-ish.
+  }
+  auto attr_a = testutil::MakeCategorical(a_codes, 2, "a");
+  auto attr_b = testutil::MakeCategorical(b_codes, 2, "b");
+
+  attr_a.weight = 1.0;
+  data::SensitiveView even = testutil::MakeView({attr_a, attr_b});
+  attr_a.weight = 25.0;
+  data::SensitiveView weighted = testutil::MakeView({attr_a, attr_b});
+
+  FairKMOptions opt;
+  opt.k = 3;
+  opt.lambda = SuggestLambda(n, 3);
+  Rng r1(43), r2(43);
+  auto r_even = RunFairKM(pts, even, opt, &r1).ValueOrDie();
+  auto r_weighted = RunFairKM(pts, weighted, opt, &r2).ValueOrDie();
+
+  auto fairness_even = metrics::EvaluateFairness(even, r_even.assignment, 3);
+  auto fairness_weighted = metrics::EvaluateFairness(even, r_weighted.assignment, 3);
+  // Attribute "a" (index 0) should be at least as fair under weighting.
+  EXPECT_LE(fairness_weighted.per_attribute[0].ae,
+            fairness_even.per_attribute[0].ae + 0.02);
+}
+
+TEST(FairKMTest, MiniBatchModeStillConvergesAndIsFair) {
+  SkewedWorld w = MakeSkewedWorld(17);
+  FairKMOptions opt;
+  opt.k = 3;
+  opt.lambda = 20.0 * SuggestLambda(w.points.rows(), 3);
+  opt.minibatch_size = 16;
+  opt.max_iterations = 60;
+  Rng rng(47);
+  auto r = RunFairKM(w.points, w.sensitive, opt, &rng).ValueOrDie();
+  EXPECT_TRUE(cluster::ValidateAssignment(r.assignment, w.points.rows(), 3).ok());
+
+  cluster::KMeansOptions kopt;
+  kopt.k = 3;
+  kopt.init = cluster::KMeansInit::kRandomAssignment;
+  Rng rng2(47);
+  auto blind = cluster::RunKMeans(w.points, kopt, &rng2).ValueOrDie();
+  auto fair_m = metrics::EvaluateFairness(w.sensitive, r.assignment, 3);
+  auto blind_m = metrics::EvaluateFairness(w.sensitive, blind.assignment, 3);
+  EXPECT_LT(fair_m.mean.ae, blind_m.mean.ae);
+}
+
+TEST(FairKMTest, EmptySensitiveViewDegeneratesGracefully) {
+  Rng gen(51);
+  data::Matrix pts = testutil::MakeBlobs(2, 20, 2, &gen);
+  data::SensitiveView empty;
+  FairKMOptions opt;
+  opt.k = 2;
+  opt.lambda = 123.0;
+  Rng rng(53);
+  auto r = RunFairKM(pts, empty, opt, &rng).ValueOrDie();
+  EXPECT_EQ(r.fairness_term, 0.0);
+  EXPECT_GT(r.kmeans_term, 0.0);
+}
+
+class FairKMKSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(FairKMKSweep, ValidResultsAcrossK) {
+  SkewedWorld w = MakeSkewedWorld(61);
+  FairKMOptions opt;
+  opt.k = GetParam();
+  Rng rng(59);
+  auto r = RunFairKM(w.points, w.sensitive, opt, &rng).ValueOrDie();
+  EXPECT_TRUE(cluster::ValidateAssignment(r.assignment, w.points.rows(), opt.k).ok());
+  EXPECT_GE(r.fairness_term, 0.0);
+  EXPECT_GT(r.iterations, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, FairKMKSweep, ::testing::Values(1, 2, 3, 5, 8));
+
+}  // namespace
+}  // namespace core
+}  // namespace fairkm

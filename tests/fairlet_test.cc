@@ -1,0 +1,143 @@
+#include "cluster/fairlet.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace fairkm {
+namespace cluster {
+namespace {
+
+struct World {
+  data::Matrix points;
+  data::CategoricalSensitive attr;
+};
+
+World MakeWorld(uint64_t seed, size_t minority, size_t majority) {
+  Rng rng(seed);
+  World w;
+  const size_t n = minority + majority;
+  w.points = data::Matrix(n, 2);
+  std::vector<int32_t> codes(n);
+  for (size_t i = 0; i < n; ++i) {
+    const bool is_minority = i < minority;
+    codes[i] = is_minority ? 0 : 1;
+    // Two spatial blobs uncorrelated with the attribute.
+    const double cx = (i % 2 == 0) ? 0.0 : 6.0;
+    w.points.At(i, 0) = cx + rng.Normal(0, 0.5);
+    w.points.At(i, 1) = rng.Normal(0, 0.5);
+  }
+  w.attr = testutil::MakeCategorical(codes, 2, "color");
+  return w;
+}
+
+TEST(FairletTest, ValidatesInputs) {
+  World w = MakeWorld(1, 10, 20);
+  FairletOptions opt;
+  Rng rng(1);
+  EXPECT_FALSE(RunFairletClustering(w.points, w.attr, opt, nullptr).ok());
+
+  auto tri = testutil::MakeCategorical({0, 1, 2, 0}, 3);
+  data::Matrix four(4, 2);
+  EXPECT_FALSE(RunFairletClustering(four, tri, opt, &rng).ok());
+
+  auto mono = testutil::MakeCategorical({0, 0, 0, 0}, 2);
+  EXPECT_FALSE(RunFairletClustering(four, mono, opt, &rng).ok());
+
+  // k larger than the number of fairlets (minority count).
+  World tiny = MakeWorld(2, 3, 9);
+  opt.k = 5;
+  EXPECT_FALSE(RunFairletClustering(tiny.points, tiny.attr, opt, &rng).ok());
+}
+
+TEST(FairletTest, FairletsPartitionThePoints) {
+  World w = MakeWorld(3, 12, 36);
+  FairletOptions opt;
+  opt.k = 3;
+  Rng rng(3);
+  auto r = RunFairletClustering(w.points, w.attr, opt, &rng).ValueOrDie();
+  EXPECT_EQ(r.fairlets.size(), 12u);
+  std::vector<int> seen(w.points.rows(), 0);
+  for (const auto& f : r.fairlets) {
+    for (size_t idx : f) ++seen[idx];
+  }
+  for (int s : seen) EXPECT_EQ(s, 1);
+}
+
+TEST(FairletTest, FairletCompositionRespectsCapacities) {
+  // 12 minority, 36 majority => every fairlet has exactly 1 minority and
+  // exactly 3 majority points (R/B = 3 exactly).
+  World w = MakeWorld(5, 12, 36);
+  FairletOptions opt;
+  opt.k = 3;
+  Rng rng(5);
+  auto r = RunFairletClustering(w.points, w.attr, opt, &rng).ValueOrDie();
+  for (const auto& f : r.fairlets) {
+    EXPECT_EQ(f.size(), 4u);
+    EXPECT_EQ(w.attr.codes[f[0]], 0);  // Anchor is the minority point.
+    for (size_t i = 1; i < f.size(); ++i) EXPECT_EQ(w.attr.codes[f[i]], 1);
+  }
+}
+
+TEST(FairletTest, UnevenRatioUsesFloorCeilCapacities) {
+  // 10 minority, 25 majority: fairlets carry 2 or 3 majority points.
+  World w = MakeWorld(7, 10, 25);
+  FairletOptions opt;
+  opt.k = 2;
+  Rng rng(7);
+  auto r = RunFairletClustering(w.points, w.attr, opt, &rng).ValueOrDie();
+  for (const auto& f : r.fairlets) {
+    EXPECT_GE(f.size(), 3u);  // 1 minority + >= 2 majority.
+    EXPECT_LE(f.size(), 4u);  // 1 minority + <= 3 majority.
+  }
+}
+
+TEST(FairletTest, ClusterBalanceGuarantee) {
+  World w = MakeWorld(9, 15, 45);
+  FairletOptions opt;
+  opt.k = 4;
+  Rng rng(9);
+  auto r = RunFairletClustering(w.points, w.attr, opt, &rng).ValueOrDie();
+  // Every cluster is a union of (1 minority : 3 majority) fairlets, so
+  // balance is exactly 1/3.
+  EXPECT_NEAR(r.min_cluster_balance, 1.0 / 3.0, 1e-12);
+  EXPECT_TRUE(ValidateAssignment(r.assignment, w.points.rows(), 4).ok());
+}
+
+TEST(FairletTest, MembersInheritTheirFairletCluster) {
+  World w = MakeWorld(11, 10, 30);
+  FairletOptions opt;
+  opt.k = 3;
+  Rng rng(11);
+  auto r = RunFairletClustering(w.points, w.attr, opt, &rng).ValueOrDie();
+  for (const auto& f : r.fairlets) {
+    for (size_t idx : f) {
+      EXPECT_EQ(r.assignment[idx], r.assignment[f[0]]);
+    }
+  }
+}
+
+TEST(FairletTest, LpRefinementNeverWorsensCost) {
+  World w = MakeWorld(13, 8, 24);
+  FairletOptions greedy_opt;
+  greedy_opt.k = 2;
+  greedy_opt.refine_with_lp = false;
+  Rng r1(13);
+  auto greedy = RunFairletClustering(w.points, w.attr, greedy_opt, &r1).ValueOrDie();
+
+  FairletOptions lp_opt = greedy_opt;
+  lp_opt.refine_with_lp = true;
+  Rng r2(13);
+  auto refined = RunFairletClustering(w.points, w.attr, lp_opt, &r2).ValueOrDie();
+  EXPECT_LE(refined.decomposition_cost, greedy.decomposition_cost + 1e-9);
+}
+
+TEST(BalanceHelperTest, ComputesMinRatio) {
+  auto attr = testutil::MakeCategorical({0, 0, 1, 1, 1}, 2);
+  EXPECT_NEAR(Balance(attr, {0, 1, 2, 3, 4}), 2.0 / 3.0, 1e-12);
+  EXPECT_EQ(Balance(attr, {0, 1}), 0.0);  // Single-valued subset.
+}
+
+}  // namespace
+}  // namespace cluster
+}  // namespace fairkm

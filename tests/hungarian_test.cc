@@ -1,0 +1,118 @@
+#include "metrics/hungarian.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "common/rng.h"
+
+namespace fairkm {
+namespace metrics {
+namespace {
+
+TEST(HungarianTest, EmptyRejected) {
+  data::Matrix empty;
+  std::vector<int> matching;
+  EXPECT_FALSE(HungarianAssign(empty, &matching).ok());
+}
+
+TEST(HungarianTest, RowsMustNotExceedCols) {
+  data::Matrix cost(3, 2);
+  std::vector<int> matching;
+  EXPECT_FALSE(HungarianAssign(cost, &matching).ok());
+}
+
+TEST(HungarianTest, IdentityCostPicksDiagonal) {
+  data::Matrix cost(3, 3, 1.0);
+  for (size_t i = 0; i < 3; ++i) cost.At(i, i) = 0.0;
+  std::vector<int> matching;
+  auto r = HungarianAssign(cost, &matching);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.ValueOrDie(), 0.0);
+  EXPECT_EQ(matching, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(HungarianTest, ClassicExample) {
+  // Known optimum: 1 + 2 + 2 = 5? Compute by hand:
+  //   [4 1 3]
+  //   [2 0 5]
+  //   [3 2 2]
+  // Best assignment: r0->c1 (1), r1->c0 (2), r2->c2 (2) = 5.
+  data::Matrix cost(3, 3);
+  const double values[3][3] = {{4, 1, 3}, {2, 0, 5}, {3, 2, 2}};
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 3; ++j) cost.At(i, j) = values[i][j];
+  }
+  std::vector<int> matching;
+  auto r = HungarianAssign(cost, &matching);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.ValueOrDie(), 5.0);
+}
+
+TEST(HungarianTest, RectangularLeavesColumnsUnmatched) {
+  data::Matrix cost(2, 4, 10.0);
+  cost.At(0, 3) = 1.0;
+  cost.At(1, 2) = 2.0;
+  std::vector<int> matching;
+  auto r = HungarianAssign(cost, &matching);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.ValueOrDie(), 3.0);
+  EXPECT_EQ(matching[0], 3);
+  EXPECT_EQ(matching[1], 2);
+}
+
+TEST(HungarianTest, MatchingIsPermutation) {
+  Rng rng(3);
+  data::Matrix cost(6, 6);
+  for (size_t i = 0; i < 6; ++i) {
+    for (size_t j = 0; j < 6; ++j) cost.At(i, j) = rng.UniformDouble(0, 10);
+  }
+  std::vector<int> matching;
+  ASSERT_TRUE(HungarianAssign(cost, &matching).ok());
+  std::set<int> cols(matching.begin(), matching.end());
+  EXPECT_EQ(cols.size(), 6u);
+}
+
+TEST(HungarianTest, BeatsOrMatchesBruteForceOnRandomInstances) {
+  Rng rng(7);
+  for (int trial = 0; trial < 30; ++trial) {
+    const size_t n = 5;
+    data::Matrix cost(n, n);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) cost.At(i, j) = rng.UniformDouble(0, 100);
+    }
+    std::vector<int> matching;
+    auto r = HungarianAssign(cost, &matching);
+    ASSERT_TRUE(r.ok());
+
+    // Brute force over all 120 permutations.
+    std::vector<int> perm(n);
+    std::iota(perm.begin(), perm.end(), 0);
+    double best = 1e18;
+    do {
+      double total = 0;
+      for (size_t i = 0; i < n; ++i) total += cost.At(i, static_cast<size_t>(perm[i]));
+      best = std::min(best, total);
+    } while (std::next_permutation(perm.begin(), perm.end()));
+
+    EXPECT_NEAR(r.ValueOrDie(), best, 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(HungarianTest, HandlesNegativeCosts) {
+  data::Matrix cost(2, 2);
+  cost.At(0, 0) = -5;
+  cost.At(0, 1) = 1;
+  cost.At(1, 0) = 1;
+  cost.At(1, 1) = -3;
+  std::vector<int> matching;
+  auto r = HungarianAssign(cost, &matching);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.ValueOrDie(), -8.0);
+}
+
+}  // namespace
+}  // namespace metrics
+}  // namespace fairkm

@@ -1,0 +1,142 @@
+#include "cluster/kcenter.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "test_util.h"
+
+namespace fairkm {
+namespace cluster {
+namespace {
+
+TEST(KCenterTest, ValidatesInputs) {
+  data::Matrix empty;
+  Rng rng(1);
+  EXPECT_FALSE(RunKCenter(empty, 2, &rng).ok());
+  data::Matrix two(2, 1);
+  EXPECT_FALSE(RunKCenter(two, 0, &rng).ok());
+  EXPECT_FALSE(RunKCenter(two, 3, &rng).ok());
+  EXPECT_FALSE(RunKCenter(two, 1, nullptr).ok());
+}
+
+TEST(KCenterTest, CoversWellSeparatedBlobs) {
+  Rng gen(3);
+  data::Matrix pts = testutil::MakeBlobs(4, 25, 3, &gen);
+  Rng rng(5);
+  auto r = RunKCenter(pts, 4, &rng).ValueOrDie();
+  EXPECT_EQ(r.centers.size(), 4u);
+  // One center per blob => radius is within a blob (blob spread 0.4,
+  // inter-blob distance >= 6).
+  std::set<size_t> blobs;
+  for (size_t c : r.centers) blobs.insert(c / 25);
+  EXPECT_EQ(blobs.size(), 4u);
+  EXPECT_LT(r.radius, 3.0);
+}
+
+TEST(KCenterTest, RadiusIsMaxDistanceToNearestCenter) {
+  Rng gen(7);
+  data::Matrix pts = testutil::MakeBlobs(2, 20, 2, &gen);
+  Rng rng(9);
+  auto r = RunKCenter(pts, 3, &rng).ValueOrDie();
+  double max_d = 0;
+  for (size_t i = 0; i < pts.rows(); ++i) {
+    const size_t c = r.centers[static_cast<size_t>(r.assignment[i])];
+    max_d = std::max(max_d, std::sqrt(data::SquaredDistance(
+                                pts.Row(i), pts.Row(c), pts.cols())));
+  }
+  EXPECT_NEAR(r.radius, max_d, 1e-12);
+}
+
+TEST(KCenterTest, GreedyIs2Approximation) {
+  // For k = n the radius must be 0; for any k, doubling the center count
+  // cannot increase the radius.
+  Rng gen(11);
+  data::Matrix pts = testutil::MakeBlobs(3, 10, 2, &gen);
+  Rng r1(13), r2(13);
+  auto small = RunKCenter(pts, 3, &r1).ValueOrDie();
+  auto large = RunKCenter(pts, 6, &r2).ValueOrDie();
+  EXPECT_LE(large.radius, small.radius + 1e-12);
+  Rng r3(13);
+  auto all = RunKCenter(pts, static_cast<int>(pts.rows()), &r3).ValueOrDie();
+  EXPECT_NEAR(all.radius, 0.0, 1e-12);
+}
+
+TEST(ProportionalQuotaTest, SumsToKAndTracksShares) {
+  auto attr = testutil::MakeCategorical({0, 0, 0, 0, 0, 0, 0, 1, 1, 2}, 3);
+  std::vector<int> quota = ProportionalQuota(attr, 10);
+  EXPECT_EQ(quota[0] + quota[1] + quota[2], 10);
+  EXPECT_EQ(quota[0], 7);
+  EXPECT_EQ(quota[1], 2);
+  EXPECT_EQ(quota[2], 1);
+}
+
+TEST(ProportionalQuotaTest, LargestRemainderRounding) {
+  // 50/30/20 split at k = 4: exact quotas 2.0/1.2/0.8 -> 2/1/1.
+  auto attr = testutil::MakeCategorical({0, 0, 0, 0, 0, 1, 1, 1, 2, 2}, 3);
+  std::vector<int> quota = ProportionalQuota(attr, 4);
+  EXPECT_EQ(quota, (std::vector<int>{2, 1, 1}));
+}
+
+TEST(FairKCenterTest, HonorsQuotaExactly) {
+  Rng gen(17);
+  data::Matrix pts = testutil::MakeBlobs(3, 20, 2, &gen);
+  Rng grng(19);
+  auto attr = testutil::MakeCategorical(testutil::RandomCodes(60, 2, &grng), 2);
+  Rng rng(21);
+  auto r = RunFairKCenter(pts, attr, {3, 2}, &rng).ValueOrDie();
+  EXPECT_EQ(r.centers.size(), 5u);
+  int count[2] = {0, 0};
+  for (size_t c : r.centers) ++count[attr.codes[c]];
+  EXPECT_EQ(count[0], 3);
+  EXPECT_EQ(count[1], 2);
+  // Centers are distinct.
+  std::set<size_t> unique(r.centers.begin(), r.centers.end());
+  EXPECT_EQ(unique.size(), 5u);
+}
+
+TEST(FairKCenterTest, QuotaValidation) {
+  data::Matrix pts(4, 1);
+  auto attr = testutil::MakeCategorical({0, 0, 0, 1}, 2);
+  Rng rng(23);
+  // More centers of value 1 than exist.
+  EXPECT_FALSE(RunFairKCenter(pts, attr, {1, 2}, &rng).ok());
+  EXPECT_FALSE(RunFairKCenter(pts, attr, {-1, 1}, &rng).ok());
+  EXPECT_FALSE(RunFairKCenter(pts, attr, {1, 1, 1}, &rng).ok());  // Wrong size.
+}
+
+TEST(FairKCenterTest, FairRadiusNoBetterThanUnconstrained) {
+  Rng gen(29);
+  data::Matrix pts = testutil::MakeBlobs(4, 15, 3, &gen);
+  // Skewed groups: blob 0 is all value 1, the rest value 0.
+  std::vector<int32_t> codes(60, 0);
+  for (size_t i = 0; i < 15; ++i) codes[i] = 1;
+  auto attr = testutil::MakeCategorical(codes, 2);
+  Rng r1(31), r2(31);
+  auto plain = RunKCenter(pts, 4, &r1).ValueOrDie();
+  // Force 3 of 4 centers into the single value-1 blob: radius must suffer.
+  auto fair = RunFairKCenter(pts, attr, {1, 3}, &r2).ValueOrDie();
+  EXPECT_GE(fair.radius, plain.radius - 1e-9);
+}
+
+TEST(FairKCenterTest, ProportionalSummaryMirrorsDataset) {
+  Rng gen(37);
+  data::Matrix pts = testutil::MakeBlobs(2, 50, 2, &gen);
+  Rng grng(39);
+  std::vector<int32_t> codes(100);
+  for (size_t i = 0; i < 100; ++i) codes[i] = grng.Bernoulli(0.3) ? 1 : 0;
+  auto attr = testutil::MakeCategorical(codes, 2);
+  const int k = 10;
+  std::vector<int> quota = ProportionalQuota(attr, k);
+  Rng rng(41);
+  auto r = RunFairKCenter(pts, attr, quota, &rng).ValueOrDie();
+  int count[2] = {0, 0};
+  for (size_t c : r.centers) ++count[attr.codes[c]];
+  // Summary shares within one seat of the dataset shares.
+  EXPECT_NEAR(static_cast<double>(count[1]) / k, attr.dataset_fractions[1], 0.1);
+}
+
+}  // namespace
+}  // namespace cluster
+}  // namespace fairkm

@@ -1,0 +1,142 @@
+#include "text/kinematics_generator.h"
+
+#include <gtest/gtest.h>
+
+#include "data/sensitive.h"
+
+namespace fairkm {
+namespace text {
+namespace {
+
+TEST(KinematicsCorpusTest, CountsMatchPaperTable4) {
+  KinematicsOptions opt;
+  auto corpus = GenerateKinematicsCorpus(opt).ValueOrDie();
+  EXPECT_EQ(corpus.problems.size(), 161u);
+  std::vector<size_t> counts(5, 0);
+  for (int t : corpus.types) ++counts[static_cast<size_t>(t)];
+  EXPECT_EQ(counts, (std::vector<size_t>{60, 36, 15, 31, 19}));
+}
+
+TEST(KinematicsCorpusTest, DeterministicForSeed) {
+  KinematicsOptions opt;
+  auto a = GenerateKinematicsCorpus(opt).ValueOrDie();
+  auto b = GenerateKinematicsCorpus(opt).ValueOrDie();
+  EXPECT_EQ(a.problems, b.problems);
+  opt.seed = 99;
+  auto c = GenerateKinematicsCorpus(opt).ValueOrDie();
+  EXPECT_NE(a.problems, c.problems);
+}
+
+TEST(KinematicsCorpusTest, ProblemsAreNonTrivialEnglish) {
+  auto corpus = GenerateKinematicsCorpus(KinematicsOptions{}).ValueOrDie();
+  for (const auto& p : corpus.problems) {
+    EXPECT_GT(p.size(), 40u);
+    EXPECT_NE(p.find(' '), std::string::npos);
+    // Every problem ends as a question or an imperative ("Find ...").
+    EXPECT_TRUE(p.back() == '?' || p.back() == '.') << p;
+  }
+}
+
+TEST(KinematicsCorpusTest, TypeVocabularyIsDistinctive) {
+  auto corpus = GenerateKinematicsCorpus(KinematicsOptions{}).ValueOrDie();
+  // Free-fall problems mention falling; two-dimensional ones mention angles.
+  for (size_t i = 0; i < corpus.problems.size(); ++i) {
+    if (corpus.types[i] == 2) {
+      EXPECT_TRUE(corpus.problems[i].find("fall") != std::string::npos ||
+                  corpus.problems[i].find("dropped") != std::string::npos ||
+                  corpus.problems[i].find("released") != std::string::npos)
+          << corpus.problems[i];
+    }
+    if (corpus.types[i] == 4) {
+      EXPECT_TRUE(corpus.problems[i].find("angle") != std::string::npos ||
+                  corpus.problems[i].find("degrees") != std::string::npos ||
+                  corpus.problems[i].find("elevation") != std::string::npos)
+          << corpus.problems[i];
+    }
+  }
+}
+
+TEST(KinematicsCorpusTest, InvalidTypeCountsRejected) {
+  KinematicsOptions opt;
+  opt.type_counts = {1, 2, 3};
+  EXPECT_FALSE(GenerateKinematicsCorpus(opt).ok());
+}
+
+TEST(KinematicsDatasetTest, ShapeMatchesPaper) {
+  KinematicsOptions opt;
+  auto d = GenerateKinematicsDataset(opt).ValueOrDie();
+  EXPECT_EQ(d.num_rows(), 161u);
+  // 100 embedding columns.
+  auto m = d.ToMatrix(KinematicsEmbeddingNames(100));
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m.ValueOrDie().cols(), 100u);
+  // 5 binary sensitive attributes.
+  for (const auto& name : KinematicsSensitiveNames()) {
+    const auto* col = d.FindCategorical(name).ValueOrDie();
+    EXPECT_EQ(col->cardinality(), 2) << name;
+  }
+}
+
+TEST(KinematicsDatasetTest, TypeIndicatorsAreConsistentOneHot) {
+  auto d = GenerateKinematicsDataset(KinematicsOptions{}).ValueOrDie();
+  const auto* type = d.FindCategorical("type").ValueOrDie();
+  for (size_t i = 0; i < d.num_rows(); ++i) {
+    int ones = 0;
+    for (int t = 0; t < 5; ++t) {
+      const auto* ind =
+          d.FindCategorical(KinematicsSensitiveNames()[static_cast<size_t>(t)])
+              .ValueOrDie();
+      if (ind->codes[i] == 1) {
+        ++ones;
+        EXPECT_EQ(type->codes[i], t);
+      }
+    }
+    EXPECT_EQ(ones, 1);
+  }
+}
+
+TEST(KinematicsDatasetTest, IndicatorFractionsMatchTable4) {
+  auto d = GenerateKinematicsDataset(KinematicsOptions{}).ValueOrDie();
+  const auto* t1 = d.FindCategorical("type_1").ValueOrDie();
+  EXPECT_NEAR(t1->Fractions()[1], 60.0 / 161.0, 1e-12);
+  const auto* t3 = d.FindCategorical("type_3").ValueOrDie();
+  EXPECT_NEAR(t3->Fractions()[1], 15.0 / 161.0, 1e-12);
+}
+
+TEST(KinematicsDatasetTest, EmbeddingCarriesTypeSignal) {
+  // Same-type problems must be closer on average than cross-type problems —
+  // the precondition for S-blind clustering being type-skewed.
+  KinematicsOptions opt;
+  auto d = GenerateKinematicsDataset(opt).ValueOrDie();
+  auto m = d.ToMatrix(KinematicsEmbeddingNames(100)).ValueOrDie();
+  const auto* type = d.FindCategorical("type").ValueOrDie();
+  double same = 0, cross = 0;
+  size_t same_n = 0, cross_n = 0;
+  for (size_t i = 0; i < m.rows(); ++i) {
+    for (size_t j = i + 1; j < m.rows(); ++j) {
+      const double dist = data::SquaredDistance(m.Row(i), m.Row(j), m.cols());
+      if (type->codes[i] == type->codes[j]) {
+        same += dist;
+        ++same_n;
+      } else {
+        cross += dist;
+        ++cross_n;
+      }
+    }
+  }
+  EXPECT_LT(same / static_cast<double>(same_n),
+            0.9 * cross / static_cast<double>(cross_n));
+}
+
+TEST(KinematicsDatasetTest, CustomDimension) {
+  KinematicsOptions opt;
+  opt.embedding_dim = 25;
+  auto d = GenerateKinematicsDataset(opt).ValueOrDie();
+  EXPECT_TRUE(d.ToMatrix(KinematicsEmbeddingNames(25)).ok());
+  opt.embedding_dim = 0;
+  EXPECT_FALSE(GenerateKinematicsDataset(opt).ok());
+}
+
+}  // namespace
+}  // namespace text
+}  // namespace fairkm

@@ -1,0 +1,208 @@
+#include "cluster/kmeans.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <set>
+
+#include "test_util.h"
+
+namespace fairkm {
+namespace cluster {
+namespace {
+
+TEST(KMeansTest, RejectsBadInputs) {
+  data::Matrix empty;
+  Rng rng(1);
+  KMeansOptions opt;
+  EXPECT_FALSE(RunKMeans(empty, opt, &rng).ok());
+
+  data::Matrix two(2, 1);
+  opt.k = 5;
+  EXPECT_FALSE(RunKMeans(two, opt, &rng).ok());
+  opt.k = 0;
+  EXPECT_FALSE(RunKMeans(two, opt, &rng).ok());
+}
+
+TEST(KMeansTest, RecoversWellSeparatedBlobs) {
+  Rng rng(3);
+  data::Matrix pts = testutil::MakeBlobs(3, 40, 4, &rng);
+  KMeansOptions opt;
+  opt.k = 3;
+  auto r = RunKMeans(pts, opt, &rng);
+  ASSERT_TRUE(r.ok());
+  const ClusteringResult& result = r.ValueOrDie();
+  EXPECT_TRUE(result.converged);
+  // Every blob should land in a single cluster: check that points 0..39 share
+  // a label, 40..79 share one, 80..119 share one, and the labels differ.
+  std::set<int32_t> labels;
+  for (int b = 0; b < 3; ++b) {
+    const int32_t label = result.assignment[static_cast<size_t>(b) * 40];
+    labels.insert(label);
+    for (size_t i = 0; i < 40; ++i) {
+      EXPECT_EQ(result.assignment[static_cast<size_t>(b) * 40 + i], label);
+    }
+  }
+  EXPECT_EQ(labels.size(), 3u);
+}
+
+TEST(KMeansTest, DeterministicGivenSeed) {
+  Rng gen(5);
+  data::Matrix pts = testutil::MakeBlobs(4, 25, 3, &gen);
+  KMeansOptions opt;
+  opt.k = 4;
+  Rng r1(77), r2(77);
+  auto a = RunKMeans(pts, opt, &r1).ValueOrDie();
+  auto b = RunKMeans(pts, opt, &r2).ValueOrDie();
+  EXPECT_EQ(a.assignment, b.assignment);
+}
+
+TEST(KMeansTest, ObjectiveNeverBelowBestOfManyRestarts) {
+  // Sanity: a single run is a local optimum; SSE must be finite and positive.
+  Rng gen(9);
+  data::Matrix pts = testutil::MakeBlobs(2, 30, 2, &gen);
+  KMeansOptions opt;
+  opt.k = 2;
+  Rng rng(1);
+  auto r = RunKMeans(pts, opt, &rng).ValueOrDie();
+  EXPECT_GT(r.kmeans_objective, 0.0);
+  EXPECT_EQ(r.total_objective, r.kmeans_objective);
+}
+
+TEST(KMeansTest, KEqualsNGivesZeroSse) {
+  data::Matrix pts(4, 2);
+  for (size_t i = 0; i < 4; ++i) {
+    pts.At(i, 0) = static_cast<double>(i) * 5;
+    pts.At(i, 1) = static_cast<double>(i) * -3;
+  }
+  KMeansOptions opt;
+  opt.k = 4;
+  Rng rng(2);
+  auto r = RunKMeans(pts, opt, &rng).ValueOrDie();
+  EXPECT_NEAR(r.kmeans_objective, 0.0, 1e-12);
+  // All clusters non-empty.
+  for (size_t s : r.sizes) EXPECT_EQ(s, 1u);
+}
+
+TEST(KMeansTest, SingleClusterCentroidIsMean) {
+  Rng gen(11);
+  data::Matrix pts = testutil::MakeBlobs(1, 50, 3, &gen);
+  KMeansOptions opt;
+  opt.k = 1;
+  Rng rng(4);
+  auto r = RunKMeans(pts, opt, &rng).ValueOrDie();
+  data::Matrix mean = ComputeCentroids(pts, r.assignment, 1);
+  for (size_t j = 0; j < 3; ++j) EXPECT_NEAR(r.centroids.At(0, j), mean.At(0, j), 1e-12);
+}
+
+TEST(KMeansPlusPlusTest, CentersAreDataPointsAndDistinct) {
+  Rng gen(13);
+  data::Matrix pts = testutil::MakeBlobs(5, 20, 2, &gen);
+  Rng rng(6);
+  auto centers = KMeansPlusPlusCenters(pts, 5, &rng).ValueOrDie();
+  EXPECT_EQ(centers.rows(), 5u);
+  // Each center equals some data row.
+  for (size_t c = 0; c < 5; ++c) {
+    bool found = false;
+    for (size_t i = 0; i < pts.rows() && !found; ++i) {
+      found = data::SquaredDistance(centers.Row(c), pts.Row(i), 2) == 0.0;
+    }
+    EXPECT_TRUE(found) << "center " << c;
+  }
+}
+
+TEST(KMeansPlusPlusTest, SpreadsAcrossBlobs) {
+  Rng gen(17);
+  data::Matrix pts = testutil::MakeBlobs(4, 30, 3, &gen);
+  Rng rng(8);
+  auto centers = KMeansPlusPlusCenters(pts, 4, &rng).ValueOrDie();
+  // D^2 seeding is probabilistic; it may occasionally double up inside one
+  // blob, but it must cover at least 3 of the 4 well-separated blobs (a
+  // uniform draw would frequently cover only 2).
+  std::set<size_t> blobs_hit;
+  for (size_t c = 0; c < 4; ++c) {
+    size_t nearest_point = 0;
+    double best = 1e300;
+    for (size_t i = 0; i < pts.rows(); ++i) {
+      const double d = data::SquaredDistance(centers.Row(c), pts.Row(i), 3);
+      if (d < best) {
+        best = d;
+        nearest_point = i;
+      }
+    }
+    blobs_hit.insert(nearest_point / 30);
+  }
+  EXPECT_GE(blobs_hit.size(), 3u);
+}
+
+TEST(AssignToNearestTest, CountsChanges) {
+  data::Matrix pts(3, 1);
+  pts.At(0, 0) = 0;
+  pts.At(1, 0) = 10;
+  pts.At(2, 0) = 11;
+  data::Matrix centers(2, 1);
+  centers.At(0, 0) = 0;
+  centers.At(1, 0) = 10;
+  Assignment a;
+  size_t changes = AssignToNearest(pts, centers, &a);
+  EXPECT_EQ(changes, 3u);  // Fresh assignment counts all rows.
+  EXPECT_EQ(a, (Assignment{0, 1, 1}));
+  changes = AssignToNearest(pts, centers, &a);
+  EXPECT_EQ(changes, 0u);
+}
+
+TEST(MakeInitialAssignmentTest, AllStrategiesProduceValidAssignments) {
+  Rng gen(19);
+  data::Matrix pts = testutil::MakeBlobs(3, 15, 2, &gen);
+  for (KMeansInit init : {KMeansInit::kKMeansPlusPlus, KMeansInit::kRandomAssignment,
+                          KMeansInit::kRandomCenters}) {
+    Rng rng(10);
+    auto a = MakeInitialAssignment(pts, 3, init, &rng);
+    ASSERT_TRUE(a.ok());
+    EXPECT_TRUE(ValidateAssignment(a.ValueOrDie(), pts.rows(), 3).ok());
+  }
+}
+
+TEST(KMeansTest, LloydNeverIncreasesSse) {
+  // Track SSE across iterations by re-running with growing max_iterations.
+  Rng gen(23);
+  data::Matrix pts = testutil::MakeBlobs(3, 30, 3, &gen, /*spread=*/1.5);
+  double prev = -1.0;
+  for (int iters = 1; iters <= 6; ++iters) {
+    KMeansOptions opt;
+    opt.k = 3;
+    opt.max_iterations = iters;
+    opt.init = KMeansInit::kRandomAssignment;
+    Rng rng(31);
+    auto r = RunKMeans(pts, opt, &rng).ValueOrDie();
+    if (prev >= 0) EXPECT_LE(r.kmeans_objective, prev + 1e-9);
+    prev = r.kmeans_objective;
+  }
+}
+
+class KMeansKSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(KMeansKSweep, MoreClustersNeverHurtObjective) {
+  const int k = GetParam();
+  Rng gen(29);
+  data::Matrix pts = testutil::MakeBlobs(4, 25, 3, &gen, /*spread=*/1.0);
+  KMeansOptions opt;
+  opt.k = k;
+  Rng rng(41);
+  auto r = RunKMeans(pts, opt, &rng).ValueOrDie();
+  ASSERT_TRUE(ValidateAssignment(r.assignment, pts.rows(), k).ok());
+  EXPECT_GE(r.kmeans_objective, 0.0);
+  // SSE at k must be no worse than a single cluster's SSE.
+  KMeansOptions one;
+  one.k = 1;
+  Rng rng1(41);
+  auto single = RunKMeans(pts, one, &rng1).ValueOrDie();
+  EXPECT_LE(r.kmeans_objective, single.kmeans_objective + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, KMeansKSweep, ::testing::Values(1, 2, 3, 5, 8, 13));
+
+}  // namespace
+}  // namespace cluster
+}  // namespace fairkm

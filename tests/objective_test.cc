@@ -1,0 +1,156 @@
+#include "core/objective.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "test_util.h"
+
+namespace fairkm {
+namespace core {
+namespace {
+
+using cluster::Assignment;
+
+TEST(FairnessTermTest, EmptySensitiveViewIsZero) {
+  data::SensitiveView view;
+  EXPECT_EQ(ComputeFairnessTerm(view, {0, 1, 0}, 2), 0.0);
+}
+
+TEST(FairnessTermTest, PerfectlyFairClusteringDeviationZero) {
+  // Two clusters, each 50/50 on a binary attribute that is 50/50 overall.
+  auto attr = testutil::MakeCategorical({0, 1, 0, 1}, 2);
+  data::SensitiveView view = testutil::MakeView({attr});
+  EXPECT_NEAR(ComputeFairnessTerm(view, {0, 0, 1, 1}, 2), 0.0, 1e-15);
+}
+
+TEST(FairnessTermTest, FullySkewedClusteringMatchesHandComputation) {
+  // n = 4, k = 2, binary attribute 50/50; clusters are value-pure.
+  // Each cluster: (|C|/n)^2 * [(1-.5)^2 + (0-.5)^2] / 2 = (1/4) * 0.5 / 2.
+  auto attr = testutil::MakeCategorical({0, 0, 1, 1}, 2);
+  data::SensitiveView view = testutil::MakeView({attr});
+  const double per_cluster = 0.25 * 0.5 / 2.0;
+  EXPECT_NEAR(ComputeFairnessTerm(view, {0, 0, 1, 1}, 2), 2 * per_cluster, 1e-12);
+}
+
+TEST(FairnessTermTest, DomainNormalizationDividesByCardinality) {
+  auto attr = testutil::MakeCategorical({0, 0, 1, 2}, 3);
+  data::SensitiveView view = testutil::MakeView({attr});
+  Assignment a = {0, 1, 0, 1};
+  FairnessTermConfig with, without;
+  without.normalize_domain = false;
+  const double v_with = ComputeFairnessTerm(view, a, 2, with);
+  const double v_without = ComputeFairnessTerm(view, a, 2, without);
+  EXPECT_NEAR(v_without, 3.0 * v_with, 1e-12);
+}
+
+TEST(FairnessTermTest, AttributeWeightsScaleLinearly) {
+  auto attr = testutil::MakeCategorical({0, 0, 1, 1}, 2);
+  attr.weight = 1.0;
+  data::SensitiveView v1 = testutil::MakeView({attr});
+  attr.weight = 2.5;
+  data::SensitiveView v2 = testutil::MakeView({attr});
+  Assignment a = {0, 0, 1, 1};
+  EXPECT_NEAR(ComputeFairnessTerm(v2, a, 2), 2.5 * ComputeFairnessTerm(v1, a, 2),
+              1e-12);
+}
+
+TEST(FairnessTermTest, EmptyClusterContributesNothing) {
+  auto attr = testutil::MakeCategorical({0, 1, 0, 1}, 2);
+  data::SensitiveView view = testutil::MakeView({attr});
+  // k = 3 with cluster 2 empty must equal k = 2 exactly.
+  EXPECT_NEAR(ComputeFairnessTerm(view, {0, 0, 1, 1}, 3),
+              ComputeFairnessTerm(view, {0, 0, 1, 1}, 2), 1e-15);
+}
+
+TEST(FairnessTermTest, NumericAttributeMatchesEq22) {
+  // Two clusters: {1, 3} and {5, 7}; dataset mean 4.
+  // dev = (2/4)^2 (2-4)^2 + (2/4)^2 (6-4)^2 = 0.25*4 + 0.25*4 = 2.
+  data::SensitiveView view;
+  view.numeric.push_back(testutil::MakeNumeric({1, 3, 5, 7}));
+  EXPECT_NEAR(ComputeFairnessTerm(view, {0, 0, 1, 1}, 2), 2.0, 1e-12);
+}
+
+TEST(FairnessTermTest, NumericFairClustersScoreZero) {
+  data::SensitiveView view;
+  view.numeric.push_back(testutil::MakeNumeric({1, 7, 1, 7}));
+  // Both clusters have mean 4 == dataset mean.
+  EXPECT_NEAR(ComputeFairnessTerm(view, {0, 0, 1, 1}, 2), 0.0, 1e-15);
+}
+
+TEST(FairnessTermTest, MixedCategoricalAndNumeric) {
+  auto cat = testutil::MakeCategorical({0, 0, 1, 1}, 2);
+  data::SensitiveView view = testutil::MakeView({cat});
+  view.numeric.push_back(testutil::MakeNumeric({1, 3, 5, 7}));
+  Assignment a = {0, 0, 1, 1};
+  data::SensitiveView cat_only = testutil::MakeView({cat});
+  data::SensitiveView num_only;
+  num_only.numeric.push_back(testutil::MakeNumeric({1, 3, 5, 7}));
+  EXPECT_NEAR(ComputeFairnessTerm(view, a, 2),
+              ComputeFairnessTerm(cat_only, a, 2) + ComputeFairnessTerm(num_only, a, 2),
+              1e-12);
+}
+
+TEST(ClusterScaleTest, EmptyClusterScaleIsZero) {
+  EXPECT_EQ(ClusterScale(ClusterWeighting::kSquaredFraction, 0, 10), 0.0);
+  EXPECT_EQ(ClusterScale(ClusterWeighting::kFractional, 0, 10), 0.0);
+  EXPECT_EQ(ClusterScale(ClusterWeighting::kUnweighted, 0, 10), 0.0);
+}
+
+TEST(ClusterScaleTest, FormulasMatchDefinitions) {
+  // scale * sum u^2 must equal W(c) * sum (u/c)^2.
+  const size_t n = 20, c = 4;
+  const double u = 1.7;
+  const double frac_term = (u / c) * (u / c);
+  EXPECT_NEAR(ClusterScale(ClusterWeighting::kSquaredFraction, c, n) * u * u,
+              (static_cast<double>(c) / n) * (static_cast<double>(c) / n) * frac_term,
+              1e-15);
+  EXPECT_NEAR(ClusterScale(ClusterWeighting::kFractional, c, n) * u * u,
+              (static_cast<double>(c) / n) * frac_term, 1e-15);
+  EXPECT_NEAR(ClusterScale(ClusterWeighting::kUnweighted, c, n) * u * u, frac_term,
+              1e-15);
+}
+
+TEST(FairnessTermTest, SquaredWeightingPrefersBalancedClusterSizes) {
+  // The paper's §4.1 motivation for the (|C|/n)^2 weighting (Eq. 6): holding
+  // the per-cluster *fractional* deviation fixed, the squared-fraction
+  // weighting strictly prefers balanced cluster sizes over a giant+tiny
+  // split, while the |C|-proportional weighting is indifferent and thus
+  // tolerates degenerate size profiles. We verify via the closed-form
+  // per-cluster scale: weighted term = scale(c) * sum_s u_s^2 with
+  // u_s = c * (fr_C(s) - q_s), i.e. sum u^2 grows as c^2 * D for fixed
+  // fractional deviation D.
+  const size_t n = 64;
+  const double D = 0.1;  // Fixed per-cluster fractional deviation.
+  auto weighted_total = [&](ClusterWeighting w, size_t c1, size_t c2) {
+    auto term = [&](size_t c) {
+      const double sum_u2 = static_cast<double>(c) * static_cast<double>(c) * D;
+      return ClusterScale(w, c, n) * sum_u2;
+    };
+    return term(c1) + term(c2);
+  };
+  // Squared-fraction: balanced sizes strictly better.
+  EXPECT_LT(weighted_total(ClusterWeighting::kSquaredFraction, 32, 32),
+            weighted_total(ClusterWeighting::kSquaredFraction, 62, 2));
+  // |C|-weighted: indifferent to the size profile (the degeneracy the paper
+  // argues against).
+  EXPECT_NEAR(weighted_total(ClusterWeighting::kFractional, 32, 32),
+              weighted_total(ClusterWeighting::kFractional, 62, 2), 1e-12);
+}
+
+TEST(ObjectiveTest, CombinesTerms) {
+  Rng rng(7);
+  data::Matrix pts = testutil::MakeBlobs(2, 10, 2, &rng);
+  auto attr = testutil::MakeCategorical(testutil::RandomCodes(20, 2, &rng), 2);
+  data::SensitiveView view = testutil::MakeView({attr});
+  Assignment a(20);
+  for (size_t i = 0; i < 20; ++i) a[i] = static_cast<int32_t>(i / 10);
+  ObjectiveValue v = ComputeObjective(pts, view, a, 2);
+  EXPECT_GT(v.kmeans_term, 0.0);
+  EXPECT_GE(v.fairness_term, 0.0);
+  EXPECT_NEAR(v.Total(100.0), v.kmeans_term + 100.0 * v.fairness_term, 1e-9);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace fairkm

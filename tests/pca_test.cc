@@ -1,0 +1,132 @@
+#include "data/pca.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace fairkm {
+namespace data {
+namespace {
+
+// Anisotropic Gaussian cloud: dominant axis along `direction`.
+Matrix MakeAnisotropic(const std::vector<double>& direction, double major,
+                       double minor, size_t n, Rng* rng) {
+  const size_t d = direction.size();
+  double norm = 0;
+  for (double v : direction) norm += v * v;
+  norm = std::sqrt(norm);
+  Matrix m(n, d);
+  for (size_t i = 0; i < n; ++i) {
+    const double along = rng->Normal(0, major);
+    for (size_t j = 0; j < d; ++j) {
+      m.At(i, j) = along * direction[j] / norm + rng->Normal(0, minor);
+    }
+  }
+  return m;
+}
+
+TEST(PcaTest, ValidatesInputs) {
+  Matrix empty;
+  PcaOptions opt;
+  EXPECT_FALSE(FitPca(empty, opt).ok());
+  Matrix m(4, 2, 1.0);
+  opt.num_components = 0;
+  EXPECT_FALSE(FitPca(m, opt).ok());
+  opt.num_components = 3;
+  EXPECT_FALSE(FitPca(m, opt).ok());
+  opt.num_components = 1;
+  opt.power_iterations = 0;
+  EXPECT_FALSE(FitPca(m, opt).ok());
+}
+
+TEST(PcaTest, RecoversDominantDirection) {
+  Rng rng(3);
+  std::vector<double> direction = {3.0, 4.0, 0.0};  // Unit: (0.6, 0.8, 0).
+  Matrix m = MakeAnisotropic(direction, 5.0, 0.3, 2000, &rng);
+  PcaOptions opt;
+  opt.num_components = 1;
+  auto model = FitPca(m, opt).ValueOrDie();
+  const double* v = model.components.Row(0);
+  // Up to sign.
+  const double dot = std::fabs(v[0] * 0.6 + v[1] * 0.8);
+  EXPECT_GT(dot, 0.99);
+  EXPECT_NEAR(model.variances[0], 25.0, 2.5);  // major^2.
+}
+
+TEST(PcaTest, ComponentsAreOrthonormal) {
+  Rng rng(5);
+  Matrix m(300, 4);
+  for (size_t i = 0; i < 300; ++i) {
+    for (size_t j = 0; j < 4; ++j) {
+      m.At(i, j) = rng.Normal(0, 1.0 + static_cast<double>(j));
+    }
+  }
+  PcaOptions opt;
+  opt.num_components = 3;
+  auto model = FitPca(m, opt).ValueOrDie();
+  for (size_t a = 0; a < 3; ++a) {
+    double norm = 0;
+    for (size_t j = 0; j < 4; ++j) {
+      norm += model.components.At(a, j) * model.components.At(a, j);
+    }
+    EXPECT_NEAR(norm, 1.0, 1e-6);
+    for (size_t b = a + 1; b < 3; ++b) {
+      double dot = 0;
+      for (size_t j = 0; j < 4; ++j) {
+        dot += model.components.At(a, j) * model.components.At(b, j);
+      }
+      EXPECT_NEAR(dot, 0.0, 1e-4) << a << "," << b;
+    }
+  }
+  // Variances come out sorted (power iteration finds them largest-first).
+  EXPECT_GE(model.variances[0], model.variances[1] - 1e-9);
+  EXPECT_GE(model.variances[1], model.variances[2] - 1e-9);
+}
+
+TEST(PcaTest, TransformCentersAndProjects) {
+  Rng rng(7);
+  Matrix m = MakeAnisotropic({1.0, 0.0}, 4.0, 0.2, 500, &rng);
+  // Shift the cloud away from the origin; PCA should remove the mean.
+  for (size_t i = 0; i < m.rows(); ++i) {
+    m.At(i, 0) += 10.0;
+    m.At(i, 1) += -3.0;
+  }
+  PcaOptions opt;
+  opt.num_components = 1;
+  auto model = FitPca(m, opt).ValueOrDie();
+  auto projected = PcaTransform(model, m).ValueOrDie();
+  EXPECT_EQ(projected.rows(), 500u);
+  EXPECT_EQ(projected.cols(), 1u);
+  double mean = 0;
+  for (size_t i = 0; i < 500; ++i) mean += projected.At(i, 0);
+  EXPECT_NEAR(mean / 500, 0.0, 1e-9);
+  // Projection variance matches the component's eigenvalue.
+  double var = 0;
+  for (size_t i = 0; i < 500; ++i) var += projected.At(i, 0) * projected.At(i, 0);
+  EXPECT_NEAR(var / 500, model.variances[0], 0.05 * model.variances[0] + 1e-9);
+}
+
+TEST(PcaTest, TransformRejectsWidthMismatch) {
+  Rng rng(9);
+  Matrix m = MakeAnisotropic({1.0, 1.0}, 2.0, 0.5, 50, &rng);
+  PcaOptions opt;
+  auto model = FitPca(m, opt).ValueOrDie();
+  Matrix wrong(5, 3);
+  EXPECT_FALSE(PcaTransform(model, wrong).ok());
+}
+
+TEST(PcaTest, DeterministicGivenSeed) {
+  Rng rng(11);
+  Matrix m = MakeAnisotropic({1.0, 2.0, 3.0}, 3.0, 1.0, 200, &rng);
+  PcaOptions opt;
+  opt.num_components = 2;
+  auto a = FitPca(m, opt).ValueOrDie();
+  auto b = FitPca(m, opt).ValueOrDie();
+  EXPECT_EQ(a.components.data(), b.components.data());
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace fairkm

@@ -1,0 +1,179 @@
+#include "data/preprocess.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace fairkm {
+namespace data {
+namespace {
+
+TEST(StandardizeTest, ZeroMeanUnitVariance) {
+  Matrix m(5, 2);
+  double col0[5] = {1, 2, 3, 4, 5};
+  double col1[5] = {10, 10, 20, 20, 40};
+  for (size_t i = 0; i < 5; ++i) {
+    m.At(i, 0) = col0[i];
+    m.At(i, 1) = col1[i];
+  }
+  StandardizationParams params = Standardize(&m);
+  for (size_t j = 0; j < 2; ++j) {
+    RunningStats rs;
+    for (size_t i = 0; i < 5; ++i) rs.Add(m.At(i, j));
+    EXPECT_NEAR(rs.mean(), 0.0, 1e-12);
+    EXPECT_NEAR(rs.stddev(), 1.0, 1e-12);
+  }
+  EXPECT_NEAR(params.means[0], 3.0, 1e-12);
+}
+
+TEST(StandardizeTest, ConstantColumnCentered) {
+  Matrix m(4, 1, 7.0);
+  Standardize(&m);
+  for (size_t i = 0; i < 4; ++i) EXPECT_NEAR(m.At(i, 0), 0.0, 1e-12);
+}
+
+TEST(StandardizeTest, ApplyToHeldOutData) {
+  Matrix train(4, 1);
+  for (size_t i = 0; i < 4; ++i) train.At(i, 0) = static_cast<double>(i);
+  StandardizationParams params = Standardize(&train);
+  Matrix test(1, 1);
+  test.At(0, 0) = 1.5;  // The training mean.
+  ASSERT_TRUE(ApplyStandardization(params, &test).ok());
+  EXPECT_NEAR(test.At(0, 0), 0.0, 1e-12);
+}
+
+TEST(StandardizeTest, ApplyRejectsWidthMismatch) {
+  StandardizationParams params;
+  params.means = {0.0};
+  params.stddevs = {1.0};
+  Matrix m(2, 2);
+  EXPECT_FALSE(ApplyStandardization(params, &m).ok());
+}
+
+TEST(MinMaxTest, ScalesToUnitInterval) {
+  Matrix m(4, 2);
+  const double col0[4] = {2, 4, 6, 10};
+  const double col1[4] = {-1, 0, 3, 1};
+  for (size_t i = 0; i < 4; ++i) {
+    m.At(i, 0) = col0[i];
+    m.At(i, 1) = col1[i];
+  }
+  MinMaxParams params = MinMaxNormalize(&m);
+  EXPECT_DOUBLE_EQ(params.mins[0], 2.0);
+  EXPECT_DOUBLE_EQ(params.ranges[0], 8.0);
+  for (size_t j = 0; j < 2; ++j) {
+    double lo = 1e9, hi = -1e9;
+    for (size_t i = 0; i < 4; ++i) {
+      lo = std::min(lo, m.At(i, j));
+      hi = std::max(hi, m.At(i, j));
+    }
+    EXPECT_DOUBLE_EQ(lo, 0.0);
+    EXPECT_DOUBLE_EQ(hi, 1.0);
+  }
+  EXPECT_DOUBLE_EQ(m.At(1, 0), 0.25);  // (4 - 2) / 8.
+}
+
+TEST(MinMaxTest, ConstantColumnMapsToZero) {
+  Matrix m(3, 1, 5.0);
+  MinMaxNormalize(&m);
+  for (size_t i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(m.At(i, 0), 0.0);
+}
+
+TEST(MinMaxTest, ApplyToHeldOutData) {
+  Matrix train(3, 1);
+  train.At(0, 0) = 0;
+  train.At(1, 0) = 5;
+  train.At(2, 0) = 10;
+  MinMaxParams params = MinMaxNormalize(&train);
+  Matrix test(1, 1);
+  test.At(0, 0) = 7.5;
+  ASSERT_TRUE(ApplyMinMax(params, &test).ok());
+  EXPECT_DOUBLE_EQ(test.At(0, 0), 0.75);
+  Matrix wrong(1, 2);
+  EXPECT_FALSE(ApplyMinMax(params, &wrong).ok());
+}
+
+Dataset MakeLabeled(size_t n_a, size_t n_b) {
+  Dataset d;
+  std::vector<double> x;
+  std::vector<int32_t> label;
+  for (size_t i = 0; i < n_a + n_b; ++i) {
+    x.push_back(static_cast<double>(i));
+    label.push_back(i < n_a ? 0 : 1);
+  }
+  d.AddNumeric("x", std::move(x)).Abort();
+  d.AddCategorical("class", std::move(label), {"a", "b"}).Abort();
+  return d;
+}
+
+TEST(UndersampleTest, ReachesParity) {
+  Dataset d = MakeLabeled(100, 30);
+  Rng rng(1);
+  auto r = UndersampleToParity(d, "class", &rng);
+  ASSERT_TRUE(r.ok());
+  const Dataset& out = r.ValueOrDie();
+  EXPECT_EQ(out.num_rows(), 60u);
+  const auto* col = out.FindCategorical("class").ValueOrDie();
+  std::vector<double> fr = col->Fractions();
+  EXPECT_DOUBLE_EQ(fr[0], 0.5);
+  EXPECT_DOUBLE_EQ(fr[1], 0.5);
+}
+
+TEST(UndersampleTest, AlreadyBalancedKeepsAllRows) {
+  Dataset d = MakeLabeled(25, 25);
+  Rng rng(2);
+  auto r = UndersampleToParity(d, "class", &rng);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie().num_rows(), 50u);
+}
+
+TEST(UndersampleTest, MissingColumnRejected) {
+  Dataset d = MakeLabeled(4, 4);
+  Rng rng(3);
+  EXPECT_FALSE(UndersampleToParity(d, "missing", &rng).ok());
+}
+
+TEST(UndersampleTest, RowsComeFromOriginal) {
+  Dataset d = MakeLabeled(20, 5);
+  Rng rng(4);
+  auto r = UndersampleToParity(d, "class", &rng);
+  ASSERT_TRUE(r.ok());
+  // Every minority x must survive: the five values 20..24.
+  const auto* x = r.ValueOrDie().FindNumeric("x").ValueOrDie();
+  const auto* cls = r.ValueOrDie().FindCategorical("class").ValueOrDie();
+  size_t minority_seen = 0;
+  for (size_t i = 0; i < r.ValueOrDie().num_rows(); ++i) {
+    if (cls->codes[i] == 1) {
+      EXPECT_GE(x->values[i], 20.0);
+      ++minority_seen;
+    }
+  }
+  EXPECT_EQ(minority_seen, 5u);
+}
+
+TEST(SampleRowsTest, SizeAndBounds) {
+  Dataset d = MakeLabeled(40, 10);
+  Rng rng(5);
+  auto r = SampleRows(d, 12, &rng);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie().num_rows(), 12u);
+  EXPECT_FALSE(SampleRows(d, 100, &rng).ok());
+}
+
+TEST(SampleRowsTest, DeterministicGivenSeed) {
+  Dataset d = MakeLabeled(40, 10);
+  Rng rng_a(7), rng_b(7);
+  auto a = SampleRows(d, 10, &rng_a);
+  auto b = SampleRows(d, 10, &rng_b);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.ValueOrDie().FindNumeric("x").ValueOrDie()->values,
+            b.ValueOrDie().FindNumeric("x").ValueOrDie()->values);
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace fairkm

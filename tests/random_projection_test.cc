@@ -1,0 +1,68 @@
+#include "text/random_projection.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fairkm {
+namespace text {
+namespace {
+
+SparseVector Unit(int term) {
+  SparseVector sv;
+  sv.entries = {{term, 1.0}};
+  return sv;
+}
+
+TEST(RandomProjectionTest, OutputShapeAndNormalization) {
+  std::vector<SparseVector> docs = {Unit(0), Unit(1), Unit(2)};
+  data::Matrix m = ProjectToDense(docs, 3, 16, 42);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 16u);
+  for (size_t i = 0; i < 3; ++i) {
+    double norm = 0;
+    for (size_t j = 0; j < 16; ++j) norm += m.At(i, j) * m.At(i, j);
+    EXPECT_NEAR(std::sqrt(norm), 1.0, 1e-9);
+  }
+}
+
+TEST(RandomProjectionTest, DeterministicInSeed) {
+  std::vector<SparseVector> docs = {Unit(0), Unit(1)};
+  data::Matrix a = ProjectToDense(docs, 2, 8, 7);
+  data::Matrix b = ProjectToDense(docs, 2, 8, 7);
+  EXPECT_EQ(a.data(), b.data());
+  data::Matrix c = ProjectToDense(docs, 2, 8, 8);
+  EXPECT_NE(a.data(), c.data());
+}
+
+TEST(RandomProjectionTest, EmptyDocumentStaysZero) {
+  std::vector<SparseVector> docs = {SparseVector{}};
+  data::Matrix m = ProjectToDense(docs, 4, 8, 1);
+  for (size_t j = 0; j < 8; ++j) EXPECT_EQ(m.At(0, j), 0.0);
+}
+
+TEST(RandomProjectionTest, IdenticalDocsProjectIdentically) {
+  SparseVector doc;
+  doc.entries = {{0, 0.5}, {3, 0.7}};
+  std::vector<SparseVector> docs = {doc, doc};
+  data::Matrix m = ProjectToDense(docs, 5, 12, 3);
+  for (size_t j = 0; j < 12; ++j) EXPECT_DOUBLE_EQ(m.At(0, j), m.At(1, j));
+}
+
+TEST(RandomProjectionTest, PreservesRelativeGeometry) {
+  // Documents sharing terms should end up closer than disjoint ones, in
+  // expectation; with 64 dims and clean inputs this is deterministic enough.
+  SparseVector a, b, c;
+  a.entries = {{0, 1.0}, {1, 1.0}};
+  b.entries = {{0, 1.0}, {2, 1.0}};  // Shares term 0 with a.
+  c.entries = {{3, 1.0}, {4, 1.0}};  // Disjoint from a.
+  std::vector<SparseVector> docs = {a, b, c};
+  data::Matrix m = ProjectToDense(docs, 5, 64, 11);
+  const double dist_ab = data::SquaredDistance(m.Row(0), m.Row(1), 64);
+  const double dist_ac = data::SquaredDistance(m.Row(0), m.Row(2), 64);
+  EXPECT_LT(dist_ab, dist_ac);
+}
+
+}  // namespace
+}  // namespace text
+}  // namespace fairkm

@@ -1,0 +1,187 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace fairkm {
+namespace {
+
+TEST(RngTest, DeterministicForEqualSeeds) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(RngTest, ZeroSeedIsValid) {
+  Rng rng(0);
+  uint64_t x = rng.Next();
+  uint64_t y = rng.Next();
+  EXPECT_NE(x, y);  // Not stuck.
+}
+
+TEST(RngTest, UniformIntRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.UniformInt(uint64_t{13}), 13u);
+  }
+}
+
+TEST(RngTest, UniformIntCoversAllValues) {
+  Rng rng(7);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformInt(uint64_t{7}));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, UniformIntRangeInclusive) {
+  Rng rng(11);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    int64_t v = rng.UniformInt(int64_t{-2}, int64_t{2});
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, UniformDoubleMeanNearHalf) {
+  Rng rng(5);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.UniformDouble();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, NormalMomentsApproximatelyStandard) {
+  Rng rng(9);
+  const int n = 200000;
+  double sum = 0, sum2 = 0;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.Normal();
+    sum += v;
+    sum2 += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(RngTest, NormalWithParamsShiftsAndScales) {
+  Rng rng(13);
+  const int n = 100000;
+  double sum = 0;
+  for (int i = 0; i < n; ++i) sum += rng.Normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(21);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, CategoricalMatchesWeights) {
+  Rng rng(31);
+  std::vector<double> weights = {1.0, 3.0, 6.0};
+  std::vector<int> counts(3, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.Categorical(weights)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.6, 0.01);
+}
+
+TEST(RngTest, CategoricalZeroWeightNeverSampled) {
+  Rng rng(33);
+  std::vector<double> weights = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(rng.Categorical(weights), 1u);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(41);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> original = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(RngTest, ShuffleActuallyPermutes) {
+  Rng rng(43);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[i] = i;
+  std::vector<int> original = v;
+  rng.Shuffle(&v);
+  EXPECT_NE(v, original);  // Probability of identity is astronomically small.
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(51);
+  std::vector<size_t> sample = rng.SampleWithoutReplacement(100, 30);
+  EXPECT_EQ(sample.size(), 30u);
+  std::set<size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (size_t s : sample) EXPECT_LT(s, 100u);
+}
+
+TEST(RngTest, SampleWithoutReplacementFull) {
+  Rng rng(53);
+  std::vector<size_t> sample = rng.SampleWithoutReplacement(10, 10);
+  std::set<size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(61);
+  Rng child = a.Fork();
+  // The child stream should not replay the parent stream.
+  Rng b(61);
+  b.Next();  // Fork consumed one parent draw.
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (child.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 4);
+}
+
+class RngBoundSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RngBoundSweep, UniformIntUnbiasedAcrossBounds) {
+  const uint64_t bound = GetParam();
+  Rng rng(bound * 977 + 1);
+  std::vector<int> counts(bound, 0);
+  const int n = 20000 * static_cast<int>(bound);
+  for (int i = 0; i < n; ++i) ++counts[rng.UniformInt(bound)];
+  const double expected = static_cast<double>(n) / static_cast<double>(bound);
+  for (uint64_t v = 0; v < bound; ++v) {
+    EXPECT_NEAR(counts[v] / expected, 1.0, 0.05) << "value " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, RngBoundSweep, ::testing::Values(2, 3, 5, 7, 16));
+
+}  // namespace
+}  // namespace fairkm

@@ -1,0 +1,126 @@
+#include "exp/runner.h"
+
+#include <gtest/gtest.h>
+
+#include "core/fairkm.h"
+
+namespace fairkm {
+namespace exp {
+namespace {
+
+class RunnerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    // One shared small Adult slice keeps the suite fast.
+    AdultExperimentOptions opt;
+    opt.subsample = 600;
+    data_ = new ExperimentData(LoadAdultExperiment(opt).ValueOrDie());
+  }
+  static void TearDownTestSuite() {
+    delete data_;
+    data_ = nullptr;
+  }
+  static ExperimentData* data_;
+};
+
+ExperimentData* RunnerTest::data_ = nullptr;
+
+TEST_F(RunnerTest, BlindKMeansHasZeroDeviationFromItself) {
+  ExperimentRunner runner(data_);
+  RunConfig config;
+  config.method = Method::kKMeansBlind;
+  config.k = 4;
+  auto outcome = runner.RunSeed(config, 3).ValueOrDie();
+  EXPECT_EQ(outcome.devc, 0.0);
+  EXPECT_EQ(outcome.devo, 0.0);
+  EXPECT_GT(outcome.co, 0.0);
+}
+
+TEST_F(RunnerTest, FairKMSeedOutcomeIsComplete) {
+  ExperimentRunner runner(data_);
+  RunConfig config;
+  config.method = Method::kFairKMAll;
+  config.k = 4;
+  config.lambda = core::SuggestLambda(data_->features.rows(), 4);
+  auto outcome = runner.RunSeed(config, 5).ValueOrDie();
+  EXPECT_EQ(outcome.assignment.size(), data_->features.rows());
+  EXPECT_GT(outcome.co, 0.0);
+  EXPECT_GE(outcome.devc, 0.0);
+  EXPECT_GE(outcome.devo, 0.0);
+  EXPECT_EQ(outcome.fairness.per_attribute.size(), 5u);
+  EXPECT_GT(outcome.seconds, 0.0);
+}
+
+TEST_F(RunnerTest, SingleAttributeMethodsNeedAValidAttribute) {
+  ExperimentRunner runner(data_);
+  RunConfig config;
+  config.method = Method::kZgyaSingle;
+  config.k = 3;
+  config.single_attribute = "not-an-attribute";
+  EXPECT_FALSE(runner.RunSeed(config, 1).ok());
+  config.single_attribute = "gender";
+  EXPECT_TRUE(runner.RunSeed(config, 1).ok());
+}
+
+TEST_F(RunnerTest, AggregationAveragesSeeds) {
+  ExperimentRunner runner(data_, /*num_threads=*/2);
+  RunConfig config;
+  config.method = Method::kKMeansBlind;
+  config.k = 3;
+  auto agg = runner.Run(config, 4, 100).ValueOrDie();
+  EXPECT_EQ(agg.total_runs, 4u);
+  EXPECT_EQ(agg.co.count(), 4u);
+  EXPECT_GT(agg.co.mean(), 0.0);
+  EXPECT_EQ(agg.devc.mean(), 0.0);
+  // Fairness map has the 5 attributes plus "mean".
+  EXPECT_EQ(agg.fairness.size(), 6u);
+  EXPECT_GT(agg.FairnessOf("gender").ae.mean(), 0.0);
+  EXPECT_GT(agg.FairnessOf("mean").ae.mean(), 0.0);
+}
+
+TEST_F(RunnerTest, ParallelAndSerialAggregationAgree) {
+  ExperimentRunner serial(data_, 1);
+  ExperimentRunner parallel(data_, 4);
+  RunConfig config;
+  config.method = Method::kFairKMAll;
+  config.k = 3;
+  config.lambda = core::SuggestLambda(data_->features.rows(), 3);
+  config.max_iterations = 10;
+  auto a = serial.Run(config, 3, 50).ValueOrDie();
+  auto b = parallel.Run(config, 3, 50).ValueOrDie();
+  EXPECT_NEAR(a.co.mean(), b.co.mean(), 1e-9);
+  EXPECT_NEAR(a.FairnessOf("mean").ae.mean(), b.FairnessOf("mean").ae.mean(), 1e-12);
+}
+
+TEST_F(RunnerTest, ZeroSeedsRejected) {
+  ExperimentRunner runner(data_);
+  RunConfig config;
+  EXPECT_FALSE(runner.Run(config, 0).ok());
+}
+
+TEST_F(RunnerTest, MethodNamesAreHumanReadable) {
+  EXPECT_EQ(MethodName(Method::kKMeansBlind), "K-Means(N)");
+  EXPECT_EQ(MethodName(Method::kFairKMAll), "FairKM");
+  EXPECT_EQ(MethodName(Method::kFairKMSingle), "FairKM(S)");
+  EXPECT_EQ(MethodName(Method::kZgyaSingle), "ZGYA(S)");
+  EXPECT_EQ(MethodName(Method::kZgyaHard), "ZGYA-hard(S)");
+}
+
+TEST_F(RunnerTest, FairKMBeatsBlindOnFairnessAggregates) {
+  ExperimentRunner runner(data_, 2);
+  RunConfig blind;
+  blind.method = Method::kKMeansBlind;
+  blind.k = 4;
+  RunConfig fair;
+  fair.method = Method::kFairKMAll;
+  fair.k = 4;
+  fair.lambda = core::SuggestLambda(data_->features.rows(), 4);
+  auto blind_agg = runner.Run(blind, 3, 7).ValueOrDie();
+  auto fair_agg = runner.Run(fair, 3, 7).ValueOrDie();
+  EXPECT_LT(fair_agg.FairnessOf("mean").ae.mean(),
+            blind_agg.FairnessOf("mean").ae.mean());
+}
+
+}  // namespace
+}  // namespace exp
+}  // namespace fairkm

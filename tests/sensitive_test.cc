@@ -1,0 +1,87 @@
+#include "data/sensitive.h"
+
+#include <gtest/gtest.h>
+
+namespace fairkm {
+namespace data {
+namespace {
+
+Dataset MakeSample() {
+  Dataset d;
+  d.AddNumeric("age", {20, 30, 40, 50}).Abort();
+  d.AddCategorical("gender", {0, 1, 0, 1}, {"M", "F"}).Abort();
+  d.AddCategorical("race", {0, 0, 1, 2}, {"a", "b", "c"}).Abort();
+  return d;
+}
+
+TEST(SensitiveViewTest, BuildsCategoricalAttributes) {
+  Dataset d = MakeSample();
+  auto r = MakeSensitiveView(d, {"gender", "race"});
+  ASSERT_TRUE(r.ok());
+  const SensitiveView& view = r.ValueOrDie();
+  ASSERT_EQ(view.categorical.size(), 2u);
+  EXPECT_EQ(view.categorical[0].name, "gender");
+  EXPECT_EQ(view.categorical[0].cardinality, 2);
+  EXPECT_EQ(view.categorical[1].cardinality, 3);
+  EXPECT_DOUBLE_EQ(view.categorical[1].dataset_fractions[0], 0.5);
+  EXPECT_DOUBLE_EQ(view.categorical[1].dataset_fractions[1], 0.25);
+  EXPECT_EQ(view.num_rows(), 4u);
+  EXPECT_FALSE(view.empty());
+}
+
+TEST(SensitiveViewTest, BuildsNumericAttributes) {
+  Dataset d = MakeSample();
+  auto r = MakeSensitiveView(d, {}, {"age"});
+  ASSERT_TRUE(r.ok());
+  const SensitiveView& view = r.ValueOrDie();
+  ASSERT_EQ(view.numeric.size(), 1u);
+  EXPECT_DOUBLE_EQ(view.numeric[0].dataset_mean, 35.0);
+  EXPECT_EQ(view.num_rows(), 4u);
+}
+
+TEST(SensitiveViewTest, DefaultWeightsAreOne) {
+  Dataset d = MakeSample();
+  auto view = MakeSensitiveView(d, {"gender"}, {"age"}).ValueOrDie();
+  EXPECT_DOUBLE_EQ(view.categorical[0].weight, 1.0);
+  EXPECT_DOUBLE_EQ(view.numeric[0].weight, 1.0);
+}
+
+TEST(SensitiveViewTest, ExplicitWeights) {
+  Dataset d = MakeSample();
+  auto r = MakeSensitiveView(d, {"gender", "race"}, {"age"}, {2.0, 3.0, 0.5});
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.ValueOrDie().categorical[0].weight, 2.0);
+  EXPECT_DOUBLE_EQ(r.ValueOrDie().categorical[1].weight, 3.0);
+  EXPECT_DOUBLE_EQ(r.ValueOrDie().numeric[0].weight, 0.5);
+}
+
+TEST(SensitiveViewTest, WeightCountMismatchRejected) {
+  Dataset d = MakeSample();
+  EXPECT_FALSE(MakeSensitiveView(d, {"gender"}, {}, {1.0, 2.0}).ok());
+}
+
+TEST(SensitiveViewTest, UnknownAttributeRejected) {
+  Dataset d = MakeSample();
+  EXPECT_FALSE(MakeSensitiveView(d, {"ghost"}).ok());
+  EXPECT_FALSE(MakeSensitiveView(d, {}, {"ghost"}).ok());
+}
+
+TEST(SensitiveViewTest, SelectCategorical) {
+  Dataset d = MakeSample();
+  auto view = MakeSensitiveView(d, {"gender", "race"}).ValueOrDie();
+  auto single = view.SelectCategorical("race");
+  ASSERT_TRUE(single.ok());
+  EXPECT_EQ(single.ValueOrDie().categorical.size(), 1u);
+  EXPECT_EQ(single.ValueOrDie().categorical[0].name, "race");
+  EXPECT_FALSE(view.SelectCategorical("ghost").ok());
+}
+
+TEST(SensitiveViewTest, EmptyView) {
+  SensitiveView view;
+  EXPECT_TRUE(view.empty());
+  EXPECT_EQ(view.num_rows(), 0u);
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace fairkm

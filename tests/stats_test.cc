@@ -1,0 +1,113 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace fairkm {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats rs;
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_EQ(rs.mean(), 0.0);
+  EXPECT_EQ(rs.variance(), 0.0);
+  EXPECT_EQ(rs.stddev(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats rs;
+  rs.Add(5.0);
+  EXPECT_EQ(rs.count(), 1u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+  EXPECT_EQ(rs.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.min(), 5.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 5.0);
+}
+
+TEST(RunningStatsTest, KnownSequence) {
+  RunningStats rs;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) rs.Add(v);
+  EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+  // Sample variance of the classic sequence: population var is 4, sample
+  // variance is 32/7.
+  EXPECT_NEAR(rs.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(rs.min(), 2.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesSequential) {
+  Rng rng(5);
+  RunningStats whole, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.Normal(3.0, 2.0);
+    whole.Add(v);
+    (i < 400 ? left : right).Add(v);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-10);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-8);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats a, b;
+  a.Add(1.0);
+  a.Add(3.0);
+  a.Merge(b);  // No-op.
+  EXPECT_EQ(a.count(), 2u);
+  b.Merge(a);  // Copies.
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(RunningStatsTest, NumericallyStableForLargeOffsets) {
+  RunningStats rs;
+  // Welford should handle values with a huge common offset.
+  for (int i = 0; i < 1000; ++i) rs.Add(1e9 + (i % 2));
+  EXPECT_NEAR(rs.mean(), 1e9 + 0.5, 1e-3);
+  EXPECT_NEAR(rs.variance(), 0.25025, 1e-3);
+}
+
+TEST(MeanTest, Basics) {
+  EXPECT_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({4.0}), 4.0);
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(StdDevTest, Basics) {
+  EXPECT_EQ(StdDev({}), 0.0);
+  EXPECT_EQ(StdDev({1.0}), 0.0);
+  EXPECT_NEAR(StdDev({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}),
+              std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(MedianTest, OddAndEven) {
+  EXPECT_EQ(Median({}), 0.0);
+  EXPECT_DOUBLE_EQ(Median({3.0}), 3.0);
+  EXPECT_DOUBLE_EQ(Median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Median({4.0, 1.0, 3.0, 2.0}), 2.5);
+}
+
+TEST(KahanSumTest, CompensatesSmallTerms) {
+  std::vector<double> values;
+  values.push_back(1.0);
+  for (int i = 0; i < 1000000; ++i) values.push_back(1e-16);
+  // Naive summation would lose the tail entirely.
+  EXPECT_NEAR(KahanSum(values), 1.0 + 1e-10, 1e-12);
+}
+
+TEST(AlmostEqualTest, AbsoluteAndRelative) {
+  EXPECT_TRUE(AlmostEqual(1.0, 1.0));
+  EXPECT_TRUE(AlmostEqual(1.0, 1.0 + 5e-10));
+  EXPECT_FALSE(AlmostEqual(1.0, 1.001));
+  EXPECT_TRUE(AlmostEqual(1e12, 1e12 * (1 + 1e-10)));
+  EXPECT_FALSE(AlmostEqual(1e12, 1e12 + 1e6));
+}
+
+}  // namespace
+}  // namespace fairkm

@@ -1,0 +1,109 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace fairkm {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryConstructorsCarryCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::IOError("x").code(), StatusCode::kIOError);
+  EXPECT_EQ(Status::NotImplemented("x").code(), StatusCode::kNotImplemented);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Unbounded("x").code(), StatusCode::kUnbounded);
+  EXPECT_EQ(Status::Infeasible("x").code(), StatusCode::kInfeasible);
+  EXPECT_EQ(Status::NotConverged("x").code(), StatusCode::kNotConverged);
+  EXPECT_EQ(Status::NotFound("the thing").message(), "the thing");
+}
+
+TEST(StatusTest, ToStringIncludesCodeNameAndMessage) {
+  Status st = Status::InvalidArgument("k must be positive");
+  EXPECT_EQ(st.ToString(), "Invalid argument: k must be positive");
+}
+
+TEST(StatusTest, StreamOperatorMatchesToString) {
+  Status st = Status::IOError("no such file");
+  std::ostringstream os;
+  os << st;
+  EXPECT_EQ(os.str(), st.ToString());
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::IOError("a"));
+}
+
+TEST(StatusTest, CodeNamesAreDistinct) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STRNE(StatusCodeToString(StatusCode::kInfeasible),
+               StatusCodeToString(StatusCode::kUnbounded));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie(), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).ValueOrDie();
+  EXPECT_EQ(*v, 7);
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status UsesReturnNotOk(int x) {
+  FAIRKM_RETURN_NOT_OK(FailIfNegative(x));
+  return Status::OK();
+}
+
+TEST(ResultTest, ReturnNotOkMacroPropagates) {
+  EXPECT_TRUE(UsesReturnNotOk(1).ok());
+  EXPECT_EQ(UsesReturnNotOk(-1).code(), StatusCode::kInvalidArgument);
+}
+
+Result<int> MakeValue(bool ok) {
+  if (!ok) return Status::Internal("boom");
+  return 5;
+}
+
+Result<int> UsesAssignOrReturn(bool ok) {
+  FAIRKM_ASSIGN_OR_RETURN(int v, MakeValue(ok));
+  return v + 1;
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  Result<int> good = UsesAssignOrReturn(true);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.ValueOrDie(), 6);
+  Result<int> bad = UsesAssignOrReturn(false);
+  EXPECT_EQ(bad.status().code(), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace fairkm

@@ -1,0 +1,52 @@
+#include "exp/table.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fairkm {
+namespace exp {
+namespace {
+
+TEST(TablePrinterTest, RendersAlignedCells) {
+  TablePrinter t({"Measure", "Value"});
+  t.AddRow({"CO", "12.5"});
+  t.AddRow({"Silhouette", "0.72"});
+  std::string out = t.ToString();
+  EXPECT_NE(out.find("| Measure"), std::string::npos);
+  EXPECT_NE(out.find("| Silhouette |"), std::string::npos);
+  EXPECT_NE(out.find("12.5"), std::string::npos);
+  // All lines equally wide.
+  size_t width = out.find('\n');
+  size_t pos = 0;
+  while (pos < out.size()) {
+    size_t next = out.find('\n', pos);
+    EXPECT_EQ(next - pos, width);
+    pos = next + 1;
+  }
+}
+
+TEST(TablePrinterTest, SeparatorRows) {
+  TablePrinter t({"A"});
+  t.AddRow({"1"});
+  t.AddSeparator();
+  t.AddRow({"2"});
+  std::string out = t.ToString();
+  // Header sep + explicit sep + trailing sep + top = 4 dashed lines.
+  size_t dashes = 0, pos = 0;
+  while ((pos = out.find("+-", pos)) != std::string::npos) {
+    ++dashes;
+    pos += 2;
+  }
+  EXPECT_EQ(dashes, 4u);
+}
+
+TEST(CellTest, FormatsDoubles) {
+  EXPECT_EQ(Cell(3.14159, 2), "3.14");
+  EXPECT_EQ(Cell(0.00005, 4), "0.0001");
+  EXPECT_EQ(Cell(std::nan(""), 4), "-");
+}
+
+}  // namespace
+}  // namespace exp
+}  // namespace fairkm

@@ -1,0 +1,95 @@
+#include "text/tfidf.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fairkm {
+namespace text {
+namespace {
+
+std::vector<std::vector<std::string>> Corpus() {
+  return {
+      {"ball", "thrown", "up"},
+      {"ball", "dropped"},
+      {"car", "moves", "fast"},
+  };
+}
+
+TEST(TfidfTest, VocabularyIsLexicographic) {
+  TfidfVectorizer v;
+  v.Fit(Corpus());
+  EXPECT_EQ(v.vocab_size(), 7u);
+  EXPECT_EQ(v.TermId("ball"), 0);
+  EXPECT_EQ(v.TermId("car"), 1);
+  EXPECT_EQ(v.TermId("up"), 6);
+  EXPECT_EQ(v.TermId("unknown"), -1);
+}
+
+TEST(TfidfTest, TransformIsL2Normalized) {
+  TfidfVectorizer v;
+  v.Fit(Corpus());
+  SparseVector sv = v.Transform({"ball", "thrown", "up"});
+  EXPECT_NEAR(sv.L2Norm(), 1.0, 1e-12);
+}
+
+TEST(TfidfTest, RarerTermsWeighHigher) {
+  TfidfVectorizer v;
+  v.Fit(Corpus());
+  // "ball" appears in 2 docs, "car" in 1; same term frequency in a probe doc.
+  SparseVector sv = v.Transform({"ball", "car"});
+  double w_ball = 0, w_car = 0;
+  for (auto& [id, w] : sv.entries) {
+    if (id == v.TermId("ball")) w_ball = w;
+    if (id == v.TermId("car")) w_car = w;
+  }
+  EXPECT_GT(w_car, w_ball);
+  EXPECT_GT(w_ball, 0.0);
+}
+
+TEST(TfidfTest, OutOfVocabularyDropped) {
+  TfidfVectorizer v;
+  v.Fit(Corpus());
+  SparseVector sv = v.Transform({"quantum", "entanglement"});
+  EXPECT_TRUE(sv.entries.empty());
+  EXPECT_EQ(sv.L2Norm(), 0.0);
+}
+
+TEST(TfidfTest, TermFrequencyCounts) {
+  TfidfVectorizer v;
+  v.Fit(Corpus());
+  SparseVector once = v.Transform({"ball"});
+  SparseVector twice = v.Transform({"ball", "ball"});
+  // Both normalize to the same single-entry unit vector.
+  ASSERT_EQ(once.entries.size(), 1u);
+  ASSERT_EQ(twice.entries.size(), 1u);
+  EXPECT_NEAR(once.entries[0].second, twice.entries[0].second, 1e-12);
+}
+
+TEST(TfidfTest, FitTransformMatchesSeparateCalls) {
+  TfidfVectorizer v1, v2;
+  auto docs = Corpus();
+  auto batch = v1.FitTransform(docs);
+  v2.Fit(docs);
+  for (size_t i = 0; i < docs.size(); ++i) {
+    SparseVector single = v2.Transform(docs[i]);
+    ASSERT_EQ(batch[i].entries.size(), single.entries.size());
+    for (size_t e = 0; e < single.entries.size(); ++e) {
+      EXPECT_EQ(batch[i].entries[e].first, single.entries[e].first);
+      EXPECT_NEAR(batch[i].entries[e].second, single.entries[e].second, 1e-12);
+    }
+  }
+}
+
+TEST(TfidfTest, EntriesSortedByTermId) {
+  TfidfVectorizer v;
+  v.Fit(Corpus());
+  SparseVector sv = v.Transform({"up", "ball", "car"});
+  for (size_t e = 1; e < sv.entries.size(); ++e) {
+    EXPECT_LT(sv.entries[e - 1].first, sv.entries[e].first);
+  }
+}
+
+}  // namespace
+}  // namespace text
+}  // namespace fairkm

@@ -1,0 +1,82 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace fairkm {
+namespace {
+
+TEST(ThreadPoolTest, ExecutesAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitWithNoTasksReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.Wait();
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, MinimumOneThread) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolTest, TasksCanSubmitResultsConcurrently) {
+  ThreadPool pool(8);
+  std::vector<int> results(500, 0);
+  for (int i = 0; i < 500; ++i) {
+    pool.Submit([&results, i] { results[static_cast<size_t>(i)] = i * i; });
+  }
+  pool.Wait();
+  for (int i = 0; i < 500; ++i) EXPECT_EQ(results[static_cast<size_t>(i)], i * i);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ParallelForTest, CoversAllIndices) {
+  std::vector<int> hits(1000, 0);
+  ParallelFor(1000, 8, [&](size_t i) { hits[i] += 1; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ParallelForTest, ZeroCountIsNoop) {
+  bool called = false;
+  ParallelFor(0, 4, [&](size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForTest, SerialFallbackMatches) {
+  std::vector<int> serial(64, 0), parallel(64, 0);
+  ParallelFor(64, 1, [&](size_t i) { serial[i] = static_cast<int>(i) * 3; });
+  ParallelFor(64, 16, [&](size_t i) { parallel[i] = static_cast<int>(i) * 3; });
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(ParallelForTest, MoreThreadsThanWork) {
+  std::atomic<int> counter{0};
+  ParallelFor(3, 64, [&](size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 3);
+}
+
+}  // namespace
+}  // namespace fairkm

@@ -1,0 +1,47 @@
+#include "text/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace fairkm {
+namespace text {
+namespace {
+
+TEST(TokenizerTest, LowercasesAndSplits) {
+  EXPECT_EQ(Tokenize("A Ball is Thrown"),
+            (std::vector<std::string>{"a", "ball", "is", "thrown"}));
+}
+
+TEST(TokenizerTest, PunctuationSeparates) {
+  EXPECT_EQ(Tokenize("stop, now! go?"),
+            (std::vector<std::string>{"stop", "now", "go"}));
+}
+
+TEST(TokenizerTest, NumbersBecomePlaceholder) {
+  EXPECT_EQ(Tokenize("travels 25 metres"),
+            (std::vector<std::string>{"travels", "<num>", "metres"}));
+}
+
+TEST(TokenizerTest, DecimalNumbersSingleToken) {
+  EXPECT_EQ(Tokenize("at 2.5 metres"),
+            (std::vector<std::string>{"at", "<num>", "metres"}));
+}
+
+TEST(TokenizerTest, AlphanumericTokensKept) {
+  // Mixed tokens are not numbers.
+  EXPECT_EQ(Tokenize("x2 speed"), (std::vector<std::string>{"x2", "speed"}));
+}
+
+TEST(TokenizerTest, EmptyAndWhitespaceOnly) {
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize("   \t\n").empty());
+}
+
+TEST(TokenizerTest, TrailingDotAfterNumber) {
+  // "12." parses as a number token followed by nothing.
+  std::vector<std::string> tokens = Tokenize("after 12. Then");
+  EXPECT_EQ(tokens, (std::vector<std::string>{"after", "<num>", "then"}));
+}
+
+}  // namespace
+}  // namespace text
+}  // namespace fairkm

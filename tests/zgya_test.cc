@@ -1,0 +1,220 @@
+#include "cluster/zgya.h"
+
+#include <gtest/gtest.h>
+
+#include "cluster/kmeans.h"
+#include "metrics/fairness.h"
+#include "test_util.h"
+
+namespace fairkm {
+namespace cluster {
+namespace {
+
+struct World {
+  data::Matrix points;
+  data::CategoricalSensitive attr;
+};
+
+// Blobs with value-skewed sensitive attribute (S-blind clustering is unfair).
+World MakeWorld(uint64_t seed, int cardinality = 2) {
+  Rng rng(seed);
+  World w;
+  w.points = testutil::MakeBlobs(3, 40, 3, &rng);
+  std::vector<int32_t> codes(120);
+  for (size_t i = 0; i < 120; ++i) {
+    const int blob = static_cast<int>(i / 40);
+    codes[i] = rng.UniformDouble() < 0.8
+                   ? blob % cardinality
+                   : static_cast<int32_t>(
+                         rng.UniformInt(static_cast<uint64_t>(cardinality)));
+  }
+  w.attr = testutil::MakeCategorical(codes, cardinality);
+  return w;
+}
+
+TEST(ZgyaTest, ValidatesInputs) {
+  World w = MakeWorld(1);
+  ZgyaOptions opt;
+  Rng rng(1);
+  EXPECT_FALSE(RunZgya(w.points, w.attr, opt, nullptr).ok());
+  opt.k = 0;
+  EXPECT_FALSE(RunZgya(w.points, w.attr, opt, &rng).ok());
+  opt.k = 3;
+  opt.max_iterations = 0;
+  EXPECT_FALSE(RunZgya(w.points, w.attr, opt, &rng).ok());
+  data::Matrix empty;
+  opt.max_iterations = 30;
+  EXPECT_FALSE(RunZgya(empty, w.attr, opt, &rng).ok());
+}
+
+TEST(ZgyaTest, KlTermZeroForPerfectlyMirroredClusters) {
+  // 4 points, 2 per cluster, each cluster 50/50 like the dataset.
+  auto attr = testutil::MakeCategorical({0, 1, 0, 1}, 2);
+  EXPECT_NEAR(ZgyaKlTerm(attr, {0, 0, 1, 1}, 2), 0.0, 1e-12);
+}
+
+TEST(ZgyaTest, KlTermPositiveForSkewedClusters) {
+  auto attr = testutil::MakeCategorical({0, 0, 1, 1}, 2);
+  EXPECT_GT(ZgyaKlTerm(attr, {0, 0, 1, 1}, 2), 0.1);
+}
+
+TEST(ZgyaTest, EmptyClustersContributeNothingToKl) {
+  auto attr = testutil::MakeCategorical({0, 1, 0, 1}, 2);
+  EXPECT_NEAR(ZgyaKlTerm(attr, {0, 0, 1, 1}, 5), ZgyaKlTerm(attr, {0, 0, 1, 1}, 2),
+              1e-12);
+}
+
+TEST(ZgyaTest, ImprovesFairnessOverBlindKMeans) {
+  World w = MakeWorld(3);
+  const int k = 3;
+  ZgyaOptions opt;
+  opt.k = k;
+  // The blob geometry is much coarser than the min-max-scaled experiment
+  // data; a deliberately strong lambda makes the trade-off direction
+  // deterministic for this behavioural test.
+  opt.lambda = 3000.0;
+  Rng rng(7);
+  auto zgya = RunZgya(w.points, w.attr, opt, &rng).ValueOrDie();
+
+  KMeansOptions kopt;
+  kopt.k = k;
+  kopt.init = KMeansInit::kRandomAssignment;
+  Rng rng2(7);
+  auto blind = RunKMeans(w.points, kopt, &rng2).ValueOrDie();
+
+  EXPECT_LT(ZgyaKlTerm(w.attr, zgya.assignment, k),
+            ZgyaKlTerm(w.attr, blind.assignment, k));
+  auto fair_z = metrics::EvaluateAttributeFairness(w.attr, zgya.assignment, k);
+  auto fair_b = metrics::EvaluateAttributeFairness(w.attr, blind.assignment, k);
+  EXPECT_LT(fair_z.ae, fair_b.ae);
+}
+
+TEST(ZgyaTest, SacrificesCoherenceForFairness) {
+  World w = MakeWorld(5);
+  ZgyaOptions opt;
+  opt.k = 3;
+  Rng rng(9);
+  auto zgya = RunZgya(w.points, w.attr, opt, &rng).ValueOrDie();
+  KMeansOptions kopt;
+  kopt.k = 3;
+  kopt.init = KMeansInit::kRandomAssignment;
+  Rng rng2(9);
+  auto blind = RunKMeans(w.points, kopt, &rng2).ValueOrDie();
+  EXPECT_GE(zgya.kmeans_objective, blind.kmeans_objective - 1e-9);
+}
+
+TEST(ZgyaTest, LambdaZeroMatchesKMeansQuality) {
+  World w = MakeWorld(7);
+  ZgyaOptions opt;
+  opt.k = 3;
+  opt.lambda = 0.0;
+  Rng rng(11);
+  auto r = RunZgya(w.points, w.attr, opt, &rng).ValueOrDie();
+  KMeansOptions kopt;
+  kopt.k = 3;
+  kopt.init = KMeansInit::kRandomAssignment;
+  Rng rng2(11);
+  auto blind = RunKMeans(w.points, kopt, &rng2).ValueOrDie();
+  EXPECT_NEAR(r.kmeans_objective, blind.kmeans_objective,
+              0.1 * blind.kmeans_objective + 1e-9);
+}
+
+TEST(ZgyaTest, DeterministicGivenSeed) {
+  World w = MakeWorld(9);
+  ZgyaOptions opt;
+  opt.k = 3;
+  Rng r1(13), r2(13);
+  auto a = RunZgya(w.points, w.attr, opt, &r1).ValueOrDie();
+  auto b = RunZgya(w.points, w.attr, opt, &r2).ValueOrDie();
+  EXPECT_EQ(a.assignment, b.assignment);
+}
+
+TEST(ZgyaTest, ResultFieldsConsistent) {
+  World w = MakeWorld(11);
+  ZgyaOptions opt;
+  opt.k = 3;
+  Rng rng(15);
+  auto r = RunZgya(w.points, w.attr, opt, &rng).ValueOrDie();
+  EXPECT_TRUE(ValidateAssignment(r.assignment, w.points.rows(), 3).ok());
+  EXPECT_GT(r.lambda_used, 0.0);
+  EXPECT_NEAR(r.kl_term, ZgyaKlTerm(w.attr, r.assignment, 3), 1e-12);
+  EXPECT_NEAR(r.total_objective, r.kmeans_term + r.lambda_used * r.kl_term, 1e-6);
+}
+
+TEST(ZgyaTest, SoftModeProducesValidFairishClustering) {
+  World w = MakeWorld(13);
+  ZgyaOptions opt;
+  opt.k = 3;
+  opt.mode = ZgyaOptions::Mode::kSoftVariational;
+  opt.max_iterations = 15;
+  Rng rng(17);
+  auto soft = RunZgya(w.points, w.attr, opt, &rng).ValueOrDie();
+  EXPECT_TRUE(ValidateAssignment(soft.assignment, w.points.rows(), 3).ok());
+
+  KMeansOptions kopt;
+  kopt.k = 3;
+  kopt.init = KMeansInit::kRandomAssignment;
+  Rng rng2(17);
+  auto blind = RunKMeans(w.points, kopt, &rng2).ValueOrDie();
+  EXPECT_LT(ZgyaKlTerm(w.attr, soft.assignment, 3),
+            ZgyaKlTerm(w.attr, blind.assignment, 3) + 1e-9);
+}
+
+TEST(ZgyaTest, SoftModeDeterministicGivenSeed) {
+  World w = MakeWorld(21);
+  ZgyaOptions opt;
+  opt.k = 3;
+  opt.mode = ZgyaOptions::Mode::kSoftVariational;
+  Rng r1(5), r2(5);
+  auto a = RunZgya(w.points, w.attr, opt, &r1).ValueOrDie();
+  auto b = RunZgya(w.points, w.attr, opt, &r2).ValueOrDie();
+  EXPECT_EQ(a.assignment, b.assignment);
+}
+
+TEST(ZgyaTest, SoftModeLambdaZeroActsLikeSoftKMeans) {
+  // With no fairness pressure the hardened soft assignment should be a
+  // decent clustering of the blobs (objective within 2x of Lloyd's).
+  World w = MakeWorld(23);
+  ZgyaOptions opt;
+  opt.k = 3;
+  opt.lambda = 0.0;
+  opt.mode = ZgyaOptions::Mode::kSoftVariational;
+  Rng rng(7);
+  auto soft = RunZgya(w.points, w.attr, opt, &rng).ValueOrDie();
+  KMeansOptions kopt;
+  kopt.k = 3;
+  Rng rng2(7);
+  auto lloyd = RunKMeans(w.points, kopt, &rng2).ValueOrDie();
+  EXPECT_LT(soft.kmeans_objective, 2.0 * lloyd.kmeans_objective);
+}
+
+TEST(ZgyaTest, SoftDampingStaysOnSimplex) {
+  // Heavy damping must still produce a valid assignment for every point.
+  World w = MakeWorld(25);
+  ZgyaOptions opt;
+  opt.k = 4;
+  opt.mode = ZgyaOptions::Mode::kSoftVariational;
+  opt.soft_damping = 0.95;
+  opt.max_iterations = 5;
+  Rng rng(9);
+  auto r = RunZgya(w.points, w.attr, opt, &rng).ValueOrDie();
+  EXPECT_TRUE(ValidateAssignment(r.assignment, w.points.rows(), 4).ok());
+}
+
+class ZgyaCardinalitySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ZgyaCardinalitySweep, HandlesMultiValuedAttributes) {
+  World w = MakeWorld(100 + static_cast<uint64_t>(GetParam()), GetParam());
+  ZgyaOptions opt;
+  opt.k = 3;
+  Rng rng(19);
+  auto r = RunZgya(w.points, w.attr, opt, &rng).ValueOrDie();
+  EXPECT_TRUE(ValidateAssignment(r.assignment, w.points.rows(), 3).ok());
+  EXPECT_GE(r.kl_term, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cards, ZgyaCardinalitySweep, ::testing::Values(2, 3, 5, 8));
+
+}  // namespace
+}  // namespace cluster
+}  // namespace fairkm
