@@ -21,6 +21,9 @@ Result<FairKMResult> RunFairKM(const data::Matrix& points,
   if (options.minibatch_size < 0) {
     return Status::InvalidArgument("minibatch_size must be non-negative");
   }
+  // Validate k before SuggestLambda, whose k > 0 DCHECK would abort first in
+  // debug builds.
+  if (options.k <= 0) return Status::InvalidArgument("k must be positive");
   const size_t n = points.rows();
   const double lambda =
       options.lambda < 0 ? SuggestLambda(n, options.k) : options.lambda;

@@ -16,6 +16,7 @@ Result<FairKMResult> RunFairKMNaive(const data::Matrix& points,
   if (!sensitive.empty() && sensitive.num_rows() != points.rows()) {
     return Status::InvalidArgument("sensitive view row count mismatch");
   }
+  if (options.k <= 0) return Status::InvalidArgument("k must be positive");
   const size_t n = points.rows();
   const int k = options.k;
   const double lambda = options.lambda < 0 ? SuggestLambda(n, k) : options.lambda;

@@ -1,0 +1,74 @@
+# ctest -P script: runs fairkm_cli end-to-end on a tiny generated CSV and
+# checks the exit code and the output schema (all input columns preserved,
+# "cluster" column appended, one in-range id per row).
+#
+# Expects -DFAIRKM_CLI=<path to binary> -DWORK_DIR=<scratch dir>.
+
+if(NOT FAIRKM_CLI OR NOT WORK_DIR)
+  message(FATAL_ERROR "usage: cmake -DFAIRKM_CLI=... -DWORK_DIR=... -P cli_smoke_test.cmake")
+endif()
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(input "${WORK_DIR}/tiny.csv")
+set(output "${WORK_DIR}/tiny_clustered.csv")
+file(REMOVE "${output}")
+
+# Two well-separated numeric blobs; a binary sensitive attribute split across
+# both blobs so FairKM has something to balance.
+set(rows "x,y,gender\n")
+foreach(i RANGE 0 7)
+  math(EXPR wiggle "${i} % 3")
+  math(EXPR parity "${i} % 2")
+  if(parity EQUAL 0)
+    set(g "m")
+  else()
+    set(g "f")
+  endif()
+  string(APPEND rows "0.${wiggle},1.${wiggle},${g}\n")
+  string(APPEND rows "9.${wiggle},8.${wiggle},${g}\n")
+endforeach()
+file(WRITE "${input}" "${rows}")
+
+execute_process(
+  COMMAND "${FAIRKM_CLI}"
+          --input "${input}" --output "${output}"
+          --sensitive gender --method fairkm --k 2 --seed 7
+  RESULT_VARIABLE exit_code
+  OUTPUT_VARIABLE stdout
+  ERROR_VARIABLE stderr)
+
+if(NOT exit_code EQUAL 0)
+  message(FATAL_ERROR "fairkm_cli exited with ${exit_code}\nstdout:\n${stdout}\nstderr:\n${stderr}")
+endif()
+
+# The report must mention the run shape and the fairness table.
+foreach(needle "n = 16 rows" "clustering objective" "Sensitive attribute")
+  string(FIND "${stdout}" "${needle}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR "stdout missing \"${needle}\":\n${stdout}")
+  endif()
+endforeach()
+
+if(NOT EXISTS "${output}")
+  message(FATAL_ERROR "fairkm_cli did not write ${output}")
+endif()
+
+file(STRINGS "${output}" lines)
+list(LENGTH lines n_lines)
+if(NOT n_lines EQUAL 17)
+  message(FATAL_ERROR "expected header + 16 rows in output, got ${n_lines} lines")
+endif()
+
+list(GET lines 0 header)
+if(NOT header STREQUAL "x,y,gender,cluster")
+  message(FATAL_ERROR "unexpected output header: ${header}")
+endif()
+
+list(SUBLIST lines 1 -1 body)
+foreach(line IN LISTS body)
+  if(NOT line MATCHES "^[0-9.]+,[0-9.]+,[mf],[01]$")
+    message(FATAL_ERROR "malformed output row: ${line}")
+  endif()
+endforeach()
+
+message(STATUS "fairkm_cli smoke test passed")

@@ -176,7 +176,9 @@ TEST(KMeansTest, LloydNeverIncreasesSse) {
     opt.init = KMeansInit::kRandomAssignment;
     Rng rng(31);
     auto r = RunKMeans(pts, opt, &rng).ValueOrDie();
-    if (prev >= 0) EXPECT_LE(r.kmeans_objective, prev + 1e-9);
+    if (prev >= 0) {
+      EXPECT_LE(r.kmeans_objective, prev + 1e-9);
+    }
     prev = r.kmeans_objective;
   }
 }

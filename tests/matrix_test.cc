@@ -1,0 +1,123 @@
+// Unit tests for the dense row-major Matrix.
+
+#include "data/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+
+namespace fairkm {
+namespace data {
+namespace {
+
+TEST(MatrixTest, DefaultConstructedIsEmpty) {
+  Matrix m;
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+  EXPECT_TRUE(m.empty());
+  EXPECT_TRUE(m.data().empty());
+}
+
+TEST(MatrixTest, SizedConstructorFills) {
+  Matrix m(3, 2, 1.5);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_FALSE(m.empty());
+  ASSERT_EQ(m.data().size(), 6u);
+  for (double v : m.data()) EXPECT_EQ(v, 1.5);
+}
+
+TEST(MatrixTest, ZeroRowOrColumnCountsAsEmpty) {
+  EXPECT_TRUE(Matrix(0, 4).empty());
+  EXPECT_TRUE(Matrix(4, 0).empty());
+}
+
+TEST(MatrixTest, AtAndRowAgreeOnRowMajorLayout) {
+  Matrix m(2, 3);
+  for (size_t r = 0; r < 2; ++r) {
+    for (size_t c = 0; c < 3; ++c) m.At(r, c) = static_cast<double>(10 * r + c);
+  }
+  const Matrix& cm = m;
+  for (size_t r = 0; r < 2; ++r) {
+    const double* row = cm.Row(r);
+    for (size_t c = 0; c < 3; ++c) {
+      EXPECT_EQ(row[c], cm.At(r, c));
+      EXPECT_EQ(row[c], static_cast<double>(10 * r + c));
+    }
+  }
+  // Row() pointers are row_index * cols apart in one contiguous buffer.
+  EXPECT_EQ(cm.Row(1), cm.Row(0) + cm.cols());
+}
+
+TEST(MatrixTest, RowWritesThrough) {
+  Matrix m(2, 2);
+  double* row = m.Row(1);
+  row[0] = 7.0;
+  row[1] = 8.0;
+  EXPECT_EQ(m.At(1, 0), 7.0);
+  EXPECT_EQ(m.At(1, 1), 8.0);
+}
+
+TEST(MatrixTest, SelectRowsCopiesInOrder) {
+  Matrix m(4, 2);
+  for (size_t r = 0; r < 4; ++r) {
+    m.At(r, 0) = static_cast<double>(r);
+    m.At(r, 1) = static_cast<double>(r) + 0.5;
+  }
+  const Matrix sel = m.SelectRows({3, 0, 3});
+  ASSERT_EQ(sel.rows(), 3u);
+  ASSERT_EQ(sel.cols(), 2u);
+  EXPECT_EQ(sel.At(0, 0), 3.0);
+  EXPECT_EQ(sel.At(1, 0), 0.0);
+  EXPECT_EQ(sel.At(2, 1), 3.5);
+}
+
+TEST(MatrixTest, SelectNoRowsGivesEmptyMatrixWithSameCols) {
+  Matrix m(2, 5);
+  const Matrix sel = m.SelectRows({});
+  EXPECT_EQ(sel.rows(), 0u);
+  EXPECT_EQ(sel.cols(), 5u);
+  EXPECT_TRUE(sel.empty());
+}
+
+TEST(MatrixTest, MoveConstructionStealsTheBufferWithoutCopying) {
+  Matrix m(128, 4, 2.0);
+  const double* buffer = m.data().data();
+  Matrix moved(std::move(m));
+  EXPECT_EQ(moved.rows(), 128u);
+  EXPECT_EQ(moved.cols(), 4u);
+  // std::vector move guarantees pointer stability: no reallocation happened.
+  EXPECT_EQ(moved.data().data(), buffer);
+  EXPECT_EQ(moved.At(127, 3), 2.0);
+}
+
+TEST(MatrixTest, MoveAssignmentStealsTheBuffer) {
+  Matrix m(16, 3, -1.0);
+  const double* buffer = m.data().data();
+  Matrix target(2, 2);
+  target = std::move(m);
+  EXPECT_EQ(target.rows(), 16u);
+  EXPECT_EQ(target.cols(), 3u);
+  EXPECT_EQ(target.data().data(), buffer);
+  EXPECT_EQ(target.At(15, 2), -1.0);
+}
+
+TEST(MatrixTest, CopyIsDeep) {
+  Matrix m(2, 2, 1.0);
+  Matrix copy = m;
+  copy.At(0, 0) = 9.0;
+  EXPECT_EQ(m.At(0, 0), 1.0);
+  EXPECT_NE(copy.data().data(), m.data().data());
+}
+
+TEST(SquaredDistanceTest, MatchesHandComputation) {
+  const double a[] = {1.0, 2.0, 3.0};
+  const double b[] = {4.0, 0.0, 3.0};
+  EXPECT_EQ(SquaredDistance(a, b, 3), 9.0 + 4.0 + 0.0);
+  EXPECT_EQ(SquaredDistance(a, a, 3), 0.0);
+  EXPECT_EQ(SquaredDistance(a, b, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace fairkm

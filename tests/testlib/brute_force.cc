@@ -1,0 +1,122 @@
+#include "testlib/brute_force.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace fairkm {
+namespace testutil {
+
+BruteForceAggregates RecomputeAggregates(const data::Matrix& points,
+                                         const data::SensitiveView& sensitive,
+                                         const cluster::Assignment& assignment,
+                                         int k,
+                                         const core::FairnessTermConfig& config) {
+  BruteForceAggregates out;
+  out.counts = cluster::ClusterSizes(assignment, k);
+  out.centroids = cluster::ComputeCentroids(points, assignment, k);
+  out.kmeans_term = cluster::SumOfSquaredErrors(points, assignment, out.centroids);
+  out.fairness_term = core::ComputeFairnessTerm(sensitive, assignment, k, config);
+
+  const size_t uk = static_cast<size_t>(k);
+  for (const auto& attr : sensitive.categorical) {
+    std::vector<int64_t> counts(uk * static_cast<size_t>(attr.cardinality), 0);
+    for (size_t i = 0; i < attr.codes.size(); ++i) {
+      const size_t c = static_cast<size_t>(assignment[i]);
+      counts[c * static_cast<size_t>(attr.cardinality) +
+             static_cast<size_t>(attr.codes[i])]++;
+    }
+    out.cat_counts.push_back(std::move(counts));
+  }
+  for (const auto& attr : sensitive.numeric) {
+    std::vector<double> sums(uk, 0.0);
+    for (size_t i = 0; i < attr.values.size(); ++i) {
+      sums[static_cast<size_t>(assignment[i])] += attr.values[i];
+    }
+    out.num_sums.push_back(std::move(sums));
+  }
+  return out;
+}
+
+double BruteForceDeltaKMeans(const data::Matrix& points,
+                             const cluster::Assignment& assignment, int k,
+                             size_t i, int to) {
+  const double before = cluster::SumOfSquaredErrors(
+      points, assignment, cluster::ComputeCentroids(points, assignment, k));
+  cluster::Assignment moved = assignment;
+  moved[i] = static_cast<int32_t>(to);
+  const double after = cluster::SumOfSquaredErrors(
+      points, moved, cluster::ComputeCentroids(points, moved, k));
+  return after - before;
+}
+
+double BruteForceDeltaFairness(const data::SensitiveView& sensitive,
+                               const cluster::Assignment& assignment, int k,
+                               size_t i, int to,
+                               const core::FairnessTermConfig& config) {
+  const double before = core::ComputeFairnessTerm(sensitive, assignment, k, config);
+  cluster::Assignment moved = assignment;
+  moved[i] = static_cast<int32_t>(to);
+  const double after = core::ComputeFairnessTerm(sensitive, moved, k, config);
+  return after - before;
+}
+
+::testing::AssertionResult StateMatchesBruteForce(
+    const core::FairKMState& state, const data::Matrix& points,
+    const data::SensitiveView& sensitive, const core::FairnessTermConfig& config,
+    double tolerance) {
+  const cluster::Assignment& assignment = state.assignment();
+  if (assignment.size() != points.rows()) {
+    return ::testing::AssertionFailure()
+           << "assignment has " << assignment.size() << " entries for "
+           << points.rows() << " points";
+  }
+  const int k = state.k();
+  const BruteForceAggregates expected =
+      RecomputeAggregates(points, sensitive, assignment, k, config);
+
+  for (int c = 0; c < k; ++c) {
+    if (state.cluster_size(c) != expected.counts[static_cast<size_t>(c)]) {
+      return ::testing::AssertionFailure()
+             << "cluster " << c << " size: state says " << state.cluster_size(c)
+             << ", brute force says " << expected.counts[static_cast<size_t>(c)];
+    }
+  }
+
+  const data::Matrix centroids = state.Centroids();
+  if (centroids.rows() != expected.centroids.rows() ||
+      centroids.cols() != expected.centroids.cols()) {
+    return ::testing::AssertionFailure()
+           << "centroid shape (" << centroids.rows() << " x " << centroids.cols()
+           << ") != (" << expected.centroids.rows() << " x "
+           << expected.centroids.cols() << ")";
+  }
+  for (size_t r = 0; r < centroids.rows(); ++r) {
+    for (size_t c = 0; c < centroids.cols(); ++c) {
+      const double got = centroids.At(r, c);
+      const double want = expected.centroids.At(r, c);
+      if (std::fabs(got - want) > tolerance) {
+        return ::testing::AssertionFailure()
+               << "centroid[" << r << "][" << c << "] = " << got
+               << ", brute force " << want << " (|diff| "
+               << std::fabs(got - want) << " > " << tolerance << ")";
+      }
+    }
+  }
+
+  if (std::fabs(state.KMeansTerm() - expected.kmeans_term) >
+      tolerance * std::max(1.0, std::fabs(expected.kmeans_term))) {
+    return ::testing::AssertionFailure()
+           << "KMeansTerm " << state.KMeansTerm() << " != brute force "
+           << expected.kmeans_term;
+  }
+  if (std::fabs(state.FairnessTerm() - expected.fairness_term) >
+      tolerance * std::max(1.0, std::fabs(expected.fairness_term))) {
+    return ::testing::AssertionFailure()
+           << "FairnessTerm " << state.FairnessTerm() << " != brute force "
+           << expected.fairness_term;
+  }
+  return ::testing::AssertionSuccess();
+}
+
+}  // namespace testutil
+}  // namespace fairkm

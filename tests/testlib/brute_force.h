@@ -1,0 +1,65 @@
+// Brute-force recomputation checkers for the incremental FairKMState.
+//
+// Everything here recomputes from first principles (a fresh pass over the
+// points and sensitive attributes) so the incremental aggregates have an
+// independent ground truth to be compared against after arbitrary Move
+// sequences.
+
+#ifndef FAIRKM_TESTS_TESTLIB_BRUTE_FORCE_H_
+#define FAIRKM_TESTS_TESTLIB_BRUTE_FORCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster/types.h"
+#include "core/fairkm_state.h"
+#include "core/objective.h"
+#include "data/matrix.h"
+#include "data/sensitive.h"
+
+namespace fairkm {
+namespace testutil {
+
+/// \brief All FairKMState aggregates, recomputed from scratch.
+struct BruteForceAggregates {
+  std::vector<size_t> counts;                   ///< Cluster sizes.
+  data::Matrix centroids;                       ///< k x d exact means.
+  /// cat_counts[a][c * m_a + s] = |{i in C_c : S_a(i) = s}|.
+  std::vector<std::vector<int64_t>> cat_counts;
+  /// num_sums[a][c] = sum of numeric attribute a over cluster c.
+  std::vector<std::vector<double>> num_sums;
+  double kmeans_term = 0.0;
+  double fairness_term = 0.0;
+};
+
+/// \brief Single fresh pass over points + sensitive view.
+BruteForceAggregates RecomputeAggregates(
+    const data::Matrix& points, const data::SensitiveView& sensitive,
+    const cluster::Assignment& assignment, int k,
+    const core::FairnessTermConfig& config = {});
+
+/// \brief Exact K-Means term change for moving point `i` to `to`, computed by
+/// evaluating the SSE from scratch before and after on a copied assignment.
+double BruteForceDeltaKMeans(const data::Matrix& points,
+                             const cluster::Assignment& assignment, int k,
+                             size_t i, int to);
+
+/// \brief Same for the fairness deviation term.
+double BruteForceDeltaFairness(const data::SensitiveView& sensitive,
+                               const cluster::Assignment& assignment, int k,
+                               size_t i, int to,
+                               const core::FairnessTermConfig& config = {});
+
+/// \brief Compares every observable of `state` (assignment, cluster sizes,
+/// centroids, both objective terms) against scratch recomputation.
+::testing::AssertionResult StateMatchesBruteForce(
+    const core::FairKMState& state, const data::Matrix& points,
+    const data::SensitiveView& sensitive,
+    const core::FairnessTermConfig& config = {}, double tolerance = 1e-9);
+
+}  // namespace testutil
+}  // namespace fairkm
+
+#endif  // FAIRKM_TESTS_TESTLIB_BRUTE_FORCE_H_

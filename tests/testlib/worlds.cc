@@ -1,0 +1,48 @@
+#include "testlib/worlds.h"
+
+#include "test_util.h"
+
+namespace fairkm {
+namespace testutil {
+
+SeededWorld MakeSeededWorld(uint64_t seed, const WorldSpec& spec) {
+  Rng rng(seed);
+  SeededWorld world;
+  world.k = spec.k;
+  world.points = MakeBlobs(spec.blobs, spec.per_blob, spec.dim, &rng);
+  const size_t n = world.points.rows();
+
+  for (int a = 0; a < spec.categorical_attrs; ++a) {
+    const int cardinality = 2 + a;
+    data::CategoricalSensitive attr = MakeCategorical(
+        RandomCodes(n, cardinality, &rng), cardinality, "cat" + std::to_string(a));
+    if (spec.random_weights) attr.weight = rng.UniformDouble(0.5, 2.0);
+    world.sensitive.categorical.push_back(std::move(attr));
+  }
+  for (int a = 0; a < spec.numeric_attrs; ++a) {
+    std::vector<double> values(n);
+    for (double& v : values) v = rng.UniformDouble(-1.0, 3.0);
+    data::NumericSensitive attr = MakeNumeric(values, "num" + std::to_string(a));
+    if (spec.random_weights) attr.weight = rng.UniformDouble(0.5, 2.0);
+    world.sensitive.numeric.push_back(std::move(attr));
+  }
+
+  world.assignment.resize(n);
+  for (auto& c : world.assignment) {
+    c = static_cast<int32_t>(rng.UniformInt(static_cast<uint64_t>(spec.k)));
+  }
+  return world;
+}
+
+std::vector<MoveOp> RandomMoveSequence(size_t num_moves, size_t num_rows, int k,
+                                       Rng* rng) {
+  std::vector<MoveOp> moves(num_moves);
+  for (auto& move : moves) {
+    move.point = static_cast<size_t>(rng->UniformInt(num_rows));
+    move.to = static_cast<int>(rng->UniformInt(static_cast<uint64_t>(k)));
+  }
+  return moves;
+}
+
+}  // namespace testutil
+}  // namespace fairkm

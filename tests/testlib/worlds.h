@@ -1,0 +1,59 @@
+// Seeded random worlds for invariant and cross-check tests: Gaussian blob
+// features with attached categorical/numeric sensitive attributes and a
+// random initial assignment, all a pure function of the seed.
+
+#ifndef FAIRKM_TESTS_TESTLIB_WORLDS_H_
+#define FAIRKM_TESTS_TESTLIB_WORLDS_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "cluster/types.h"
+#include "common/rng.h"
+#include "core/fairkm_state.h"
+#include "data/matrix.h"
+#include "data/sensitive.h"
+
+namespace fairkm {
+namespace testutil {
+
+/// \brief Shape of a synthetic world.
+struct WorldSpec {
+  int blobs = 3;
+  int per_blob = 20;
+  int dim = 4;
+  int k = 3;
+  /// Categorical sensitive attributes with cardinalities 2, 3, 4, ...
+  int categorical_attrs = 2;
+  int numeric_attrs = 1;
+  /// When true, attribute weights are drawn from [0.5, 2) (Eq. 23).
+  bool random_weights = false;
+};
+
+/// \brief A fully materialized world plus a random initial assignment.
+struct SeededWorld {
+  data::Matrix points;
+  data::SensitiveView sensitive;
+  cluster::Assignment assignment;
+  int k = 0;
+};
+
+/// \brief Deterministically builds a world from a seed.
+SeededWorld MakeSeededWorld(uint64_t seed, const WorldSpec& spec = {});
+
+/// \brief One point relocation.
+struct MoveOp {
+  size_t point;
+  int to;
+};
+
+/// \brief Draws a uniformly random move sequence (any point to any cluster,
+/// no-op moves included on purpose — the state must tolerate them).
+std::vector<MoveOp> RandomMoveSequence(size_t num_moves, size_t num_rows, int k,
+                                       Rng* rng);
+
+}  // namespace testutil
+}  // namespace fairkm
+
+#endif  // FAIRKM_TESTS_TESTLIB_WORLDS_H_

@@ -1,0 +1,49 @@
+// Unit tests for the wall-clock Timer.
+
+#include "common/timer.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+namespace fairkm {
+namespace {
+
+TEST(TimerTest, ElapsedIsNonNegativeAndMonotonic) {
+  Timer timer;
+  const double first = timer.ElapsedSeconds();
+  EXPECT_GE(first, 0.0);
+  const double second = timer.ElapsedSeconds();
+  EXPECT_GE(second, first);
+}
+
+TEST(TimerTest, MeasuresASleepAtLeastApproximately) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  // steady_clock can only over-report a sleep, never under-report it.
+  EXPECT_GE(timer.ElapsedSeconds(), 0.019);
+}
+
+TEST(TimerTest, MillisIsSecondsTimesThousand) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const double seconds = timer.ElapsedSeconds();
+  const double millis = timer.ElapsedMillis();
+  // Two separate now() calls: millis was sampled after seconds.
+  EXPECT_GE(millis, seconds * 1e3);
+  EXPECT_LT(millis, (seconds + 1.0) * 1e3);
+}
+
+TEST(TimerTest, ResetRestartsTheStopwatch) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double before_reset = timer.ElapsedSeconds();
+  ASSERT_GE(before_reset, 0.019);
+  timer.Reset();
+  // Only a relative bound: an absolute one is flaky on loaded CI runners.
+  EXPECT_LT(timer.ElapsedSeconds(), before_reset);
+}
+
+}  // namespace
+}  // namespace fairkm

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# CI entry point: tier-1 verify (configure, build, full ctest) followed by an
+# ASan/UBSan build of the unit-labelled suites.
+#
+#   tools/check.sh            # everything
+#   tools/check.sh --fast     # tier-1 only, skip the sanitizer pass
+#
+# Knobs: BUILD_DIR (default build), SAN_BUILD_DIR (default build-asan),
+# JOBS (default nproc).
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build}
+SAN_BUILD_DIR=${SAN_BUILD_DIR:-build-asan}
+JOBS=${JOBS:-$(nproc)}
+FAST=0
+for arg in "$@"; do
+  case "$arg" in
+    --fast) FAST=1 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+echo "== tier-1: configure + build + ctest (${BUILD_DIR}) =="
+cmake -B "$BUILD_DIR" -S . -DFAIRKM_WERROR=ON
+cmake --build "$BUILD_DIR" -j "$JOBS"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+if [[ "$FAST" == "1" ]]; then
+  echo "== skipping sanitizer pass (--fast) =="
+  exit 0
+fi
+
+echo "== sanitizers: ASan + UBSan unit suites (${SAN_BUILD_DIR}) =="
+cmake -B "$SAN_BUILD_DIR" -S . \
+  -DFAIRKM_SANITIZE=ON \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DFAIRKM_BUILD_BENCHES=OFF \
+  -DFAIRKM_BUILD_EXAMPLES=OFF
+cmake --build "$SAN_BUILD_DIR" -j "$JOBS"
+ctest --test-dir "$SAN_BUILD_DIR" --output-on-failure -j "$JOBS" -L unit
+
+echo "== all checks passed =="

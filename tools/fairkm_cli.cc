@@ -1,7 +1,6 @@
 // fairkm_cli — fair clustering for CSV files, end to end.
 //
-//   $ fairkm_cli --input people.csv --sensitive gender,race \
-//                --k 5 --output clustered.csv
+//   $ fairkm_cli --input people.csv --sensitive gender,race --k 5 --output out.csv
 //
 // Reads a CSV (header required), infers column types (numeric vs
 // categorical), clusters on the chosen task attributes with the chosen
