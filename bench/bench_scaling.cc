@@ -158,6 +158,77 @@ void BM_ZgyaSoft(benchmark::State& state) {
 }
 BENCHMARK(BM_ZgyaSoft)->Unit(benchmark::kMillisecond);
 
+// Candidate-evaluation kernels, before/after: one full sweep's worth of
+// evaluations (every point x every candidate cluster, k = 5, 2000-row Adult
+// slice, all sensitive attributes — the paper's multi-attribute regime).
+// _Reference uses the pre-optimization kernels (O(d) two-distance K-Means +
+// O(sum_S m_S) fairness loops); _DeltaKernels uses the batched
+// DeltaKMeansAllClusters pass + the O(1)-per-attribute fairness closed form.
+// tools/bench_json.sh records this pair in BENCH_scaling.json as the perf
+// trajectory anchor.
+core::FairKMState MakeAdultState(const exp::ExperimentData& data, int k) {
+  Rng rng(3);
+  cluster::Assignment initial(data.features.rows());
+  for (auto& a : initial) {
+    a = static_cast<int32_t>(rng.UniformInt(static_cast<uint64_t>(k)));
+  }
+  return core::FairKMState::Create(&data.features, &data.sensitive, k, initial)
+      .ValueOrDie();
+}
+
+void BM_SweepCandidates_Reference(benchmark::State& state) {
+  const auto& data = AdultSlice(2000);
+  const int k = 5;
+  const core::FairKMState fairness_state = MakeAdultState(data, k);
+  const size_t n = data.features.rows();
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      for (int c = 0; c < k; ++c) {
+        acc += fairness_state.ReferenceDeltaKMeans(i, c) +
+               fairness_state.ReferenceDeltaFairness(i, c);
+      }
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_SweepCandidates_Reference)->Unit(benchmark::kMillisecond);
+
+void BM_SweepCandidates_DeltaKernels(benchmark::State& state) {
+  const auto& data = AdultSlice(2000);
+  const int k = 5;
+  const core::FairKMState fairness_state = MakeAdultState(data, k);
+  const size_t n = data.features.rows();
+  std::vector<double> km(static_cast<size_t>(k));
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      fairness_state.DeltaKMeansAllClusters(i, km.data());
+      for (int c = 0; c < k; ++c) {
+        acc += km[static_cast<size_t>(c)] + fairness_state.DeltaFairness(i, c);
+      }
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_SweepCandidates_DeltaKernels)->Unit(benchmark::kMillisecond);
+
+void BM_FairKM_ParallelSweep(benchmark::State& state) {
+  const auto& data = AdultSlice(2000);
+  core::FairKMOptions options;
+  options.k = 5;
+  options.lambda = data.paper_lambda;
+  options.minibatch_size = 256;
+  options.sweep_mode = core::SweepMode::kParallelSnapshot;
+  options.num_threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Rng rng(42);
+    auto result = core::RunFairKM(data.features, data.sensitive, options, &rng);
+    benchmark::DoNotOptimize(result.ok());
+  }
+}
+BENCHMARK(BM_FairKM_ParallelSweep)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
 void BM_MoveDeltaEvaluation(benchmark::State& state) {
   const auto& data = AdultSlice(2000);
   const int k = 5;

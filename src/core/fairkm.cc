@@ -1,5 +1,9 @@
 #include "core/fairkm.h"
 
+#include <algorithm>
+#include <memory>
+
+#include "common/thread_pool.h"
 #include "core/fairkm_state.h"
 
 namespace fairkm {
@@ -11,6 +15,31 @@ double SuggestLambda(size_t num_rows, int k) {
   return ratio * ratio;
 }
 
+namespace {
+
+// Picks the best move for point i given its precomputed per-cluster K-Means
+// deltas and the live O(1)-per-attribute fairness deltas, and applies it.
+// Returns true when the point moved.
+bool ApplyBestMove(FairKMState* state, size_t i, const double* km_deltas,
+                   double lambda, double min_improvement, int k) {
+  const int from = state->cluster_of(i);
+  double best_delta = -min_improvement;
+  int best_cluster = from;
+  for (int c = 0; c < k; ++c) {
+    if (c == from) continue;
+    const double delta = km_deltas[c] + lambda * state->DeltaFairness(i, c);
+    if (delta < best_delta) {
+      best_delta = delta;
+      best_cluster = c;
+    }
+  }
+  if (best_cluster == from) return false;
+  state->Move(i, best_cluster);
+  return true;
+}
+
+}  // namespace
+
 Result<FairKMResult> RunFairKM(const data::Matrix& points,
                                const data::SensitiveView& sensitive,
                                const FairKMOptions& options, Rng* rng) {
@@ -21,10 +50,20 @@ Result<FairKMResult> RunFairKM(const data::Matrix& points,
   if (options.minibatch_size < 0) {
     return Status::InvalidArgument("minibatch_size must be non-negative");
   }
+  if (options.num_threads < 0) {
+    return Status::InvalidArgument("num_threads must be non-negative");
+  }
+  const bool parallel = options.sweep_mode == SweepMode::kParallelSnapshot;
+  if (parallel && options.minibatch_size <= 0) {
+    return Status::InvalidArgument(
+        "parallel snapshot sweep requires minibatch_size > 0 (candidates are "
+        "evaluated against the frozen prototype snapshot)");
+  }
   // Validate k before SuggestLambda, whose k > 0 DCHECK would abort first in
   // debug builds.
   if (options.k <= 0) return Status::InvalidArgument("k must be positive");
   const size_t n = points.rows();
+  const size_t k = static_cast<size_t>(options.k);
   const double lambda =
       options.lambda < 0 ? SuggestLambda(n, options.k) : options.lambda;
 
@@ -37,6 +76,21 @@ Result<FairKMResult> RunFairKM(const data::Matrix& points,
 
   const bool minibatch = options.minibatch_size > 0;
   state.EnablePrototypeSnapshot(minibatch);
+  // Hoisted batch size: one full sweep is a single "batch" without
+  // mini-batching, so the sweep loop below is uniform across modes.
+  const size_t batch_size =
+      minibatch ? static_cast<size_t>(options.minibatch_size) : n;
+
+  const size_t num_threads = !parallel ? 1
+                             : options.num_threads > 0
+                                 ? static_cast<size_t>(options.num_threads)
+                                 : ThreadPool::DefaultThreadCount();
+  std::unique_ptr<ThreadPool> pool;
+  if (parallel && num_threads > 1) pool = std::make_unique<ThreadPool>(num_threads);
+
+  // Scratch for the batched K-Means kernel: one row of k candidate deltas per
+  // in-flight point (the whole batch in parallel mode, one row otherwise).
+  std::vector<double> km_deltas(parallel ? std::min(batch_size, n) * k : k);
 
   FairKMResult result;
   result.lambda_used = lambda;
@@ -46,26 +100,54 @@ Result<FairKMResult> RunFairKM(const data::Matrix& points,
     // re-assigned to the cluster minimizing the exact objective change
     // (Eq. 9), with prototypes and fractional representations updated
     // immediately (steps 6-7) — or in mini-batches when configured.
-    for (size_t i = 0; i < n; ++i) {
-      const int from = state.cluster_of(i);
-      double best_delta = -options.min_improvement;
-      int best_cluster = from;
-      for (int c = 0; c < options.k; ++c) {
-        if (c == from) continue;
-        const double delta =
-            state.DeltaKMeans(i, c) + lambda * state.DeltaFairness(i, c);
-        if (delta < best_delta) {
-          best_delta = delta;
-          best_cluster = c;
+    for (size_t batch_start = 0; batch_start < n; batch_start += batch_size) {
+      const size_t batch_end = std::min(n, batch_start + batch_size);
+      if (parallel) {
+        // Phase 1 (concurrent, read-only): batched K-Means deltas for every
+        // point of the mini-batch against the frozen snapshot. Fairness
+        // deltas are intentionally left to phase 2 — they read live
+        // aggregates, which is exactly what the serial mini-batch sweep
+        // does, so both modes walk identical trajectories.
+        const size_t count = batch_end - batch_start;
+        auto eval_point = [&](size_t offset) {
+          state.DeltaKMeansAllClusters(batch_start + offset,
+                                       km_deltas.data() + offset * k);
+        };
+        if (pool) {
+          const size_t shards = std::min(pool->num_threads(), count);
+          const size_t chunk = (count + shards - 1) / shards;
+          for (size_t s = 0; s < shards; ++s) {
+            const size_t lo = s * chunk;
+            const size_t hi = std::min(count, lo + chunk);
+            if (lo >= hi) break;
+            pool->Submit([&eval_point, lo, hi] {
+              for (size_t off = lo; off < hi; ++off) eval_point(off);
+            });
+          }
+          pool->Wait();
+        } else {
+          for (size_t off = 0; off < count; ++off) eval_point(off);
+        }
+        // Phase 2 (sequential): pick and apply moves in round-robin order.
+        for (size_t i = batch_start; i < batch_end; ++i) {
+          if (ApplyBestMove(&state, i, km_deltas.data() + (i - batch_start) * k,
+                            lambda, options.min_improvement, options.k)) {
+            ++moves;
+          }
+        }
+      } else {
+        for (size_t i = batch_start; i < batch_end; ++i) {
+          state.DeltaKMeansAllClusters(i, km_deltas.data());
+          if (ApplyBestMove(&state, i, km_deltas.data(), lambda,
+                            options.min_improvement, options.k)) {
+            ++moves;
+          }
         }
       }
-      if (best_cluster != from) {
-        state.Move(i, best_cluster);
-        ++moves;
-      }
-      if (minibatch && (i + 1) % static_cast<size_t>(options.minibatch_size) == 0) {
-        state.RefreshPrototypes();
-      }
+      // Interior batch boundary: re-synchronize the prototype snapshot. The
+      // end-of-sweep refresh below covers the final batch, so a sweep that
+      // ends exactly on a boundary refreshes once, not twice.
+      if (minibatch && batch_end < n) state.RefreshPrototypes();
     }
     if (minibatch) state.RefreshPrototypes();
     result.iterations = iter + 1;

@@ -37,12 +37,25 @@ void FairKMState::BuildAggregates(cluster::Assignment initial) {
   assignment_ = std::move(initial);
   counts_.assign(static_cast<size_t>(k_), 0);
   sums_.assign(static_cast<size_t>(k_) * d_, 0.0);
+  point_norms_.assign(n_, 0.0);
   for (size_t i = 0; i < n_; ++i) {
     const size_t c = static_cast<size_t>(assignment_[i]);
     ++counts_[c];
     const double* row = points_->Row(i);
     double* acc = sums_.data() + c * d_;
-    for (size_t j = 0; j < d_; ++j) acc[j] += row[j];
+    double norm = 0.0;
+    for (size_t j = 0; j < d_; ++j) {
+      acc[j] += row[j];
+      norm += row[j] * row[j];
+    }
+    point_norms_[i] = norm;
+  }
+  sum_norms_.assign(static_cast<size_t>(k_), 0.0);
+  for (int c = 0; c < k_; ++c) {
+    const double* s = sums_.data() + static_cast<size_t>(c) * d_;
+    double norm = 0.0;
+    for (size_t j = 0; j < d_; ++j) norm += s[j] * s[j];
+    sum_norms_[static_cast<size_t>(c)] = norm;
   }
   cat_counts_.clear();
   for (const auto& attr : sensitive_->categorical) {
@@ -61,8 +74,39 @@ void FairKMState::BuildAggregates(cluster::Assignment initial) {
     }
     num_sums_.push_back(std::move(sums));
   }
+  cat_u2_.assign(sensitive_->categorical.size(),
+                 std::vector<double>(static_cast<size_t>(k_), 0.0));
+  cat_uq_.assign(sensitive_->categorical.size(),
+                 std::vector<double>(static_cast<size_t>(k_), 0.0));
+  cat_q2_.assign(sensitive_->categorical.size(), 0.0);
+  for (size_t a = 0; a < sensitive_->categorical.size(); ++a) {
+    const auto& attr = sensitive_->categorical[a];
+    double q2 = 0.0;
+    for (int s = 0; s < attr.cardinality; ++s) {
+      q2 += attr.dataset_fractions[s] * attr.dataset_fractions[s];
+    }
+    cat_q2_[a] = q2;
+    for (int c = 0; c < k_; ++c) RecomputeCatMoments(a, c);
+  }
   proto_counts_ = counts_;
   proto_sums_ = sums_;
+  proto_sum_norms_ = sum_norms_;
+}
+
+void FairKMState::RecomputeCatMoments(size_t a, int c) {
+  const auto& attr = sensitive_->categorical[a];
+  const int m = attr.cardinality;
+  const int64_t* counts = cat_counts_[a].data() + static_cast<size_t>(c) * m;
+  const double size = static_cast<double>(counts_[static_cast<size_t>(c)]);
+  double u2 = 0.0, uq = 0.0;
+  for (int s = 0; s < m; ++s) {
+    const double q = attr.dataset_fractions[s];
+    const double u = static_cast<double>(counts[s]) - size * q;
+    u2 += u * u;
+    uq += u * q;
+  }
+  cat_u2_[a][static_cast<size_t>(c)] = u2;
+  cat_uq_[a][static_cast<size_t>(c)] = uq;
 }
 
 double FairKMState::DistanceToMean(size_t i, const double* sums, double count) const {
@@ -76,11 +120,25 @@ double FairKMState::DistanceToMean(size_t i, const double* sums, double count) c
   return total;
 }
 
+double FairKMState::CachedDistanceToMean(size_t i, const double* sums,
+                                         double sum_norm, double count) const {
+  const double* row = points_->Row(i);
+  double dot = 0.0;
+  for (size_t j = 0; j < d_; ++j) dot += row[j] * sums[j];
+  const double inv = 1.0 / count;
+  const double dist = point_norms_[i] - 2.0 * dot * inv + sum_norm * inv * inv;
+  // The expanded form can cancel to a small negative where the true distance
+  // is ~0; clamp so a point on its centroid never reports a fake gain.
+  return dist > 0.0 ? dist : 0.0;
+}
+
 double FairKMState::DeltaKMeans(size_t i, int to) const {
   const int from = assignment_[i];
   if (to == from) return 0.0;
   const std::vector<size_t>& counts = use_snapshot_ ? proto_counts_ : counts_;
   const std::vector<double>& sums = use_snapshot_ ? proto_sums_ : sums_;
+  const std::vector<double>& sum_norms =
+      use_snapshot_ ? proto_sum_norms_ : sum_norms_;
 
   double delta = 0.0;
   // Removing i from its cluster: SSE decreases by c/(c-1) * ||x - mu||^2
@@ -88,13 +146,84 @@ double FairKMState::DeltaKMeans(size_t i, int to) const {
   // already 0, so removal contributes nothing.
   const size_t c_from = counts[static_cast<size_t>(from)];
   if (c_from > 1) {
+    const double dist = CachedDistanceToMean(
+        i, sums.data() + static_cast<size_t>(from) * d_,
+        sum_norms[static_cast<size_t>(from)], static_cast<double>(c_from));
+    delta -= static_cast<double>(c_from) / static_cast<double>(c_from - 1) * dist;
+  }
+  // Adding i to the target: SSE increases by c/(c+1) * ||x - mu||^2
+  // (Eqs. 13-14); adding to an empty cluster costs nothing.
+  const size_t c_to = counts[static_cast<size_t>(to)];
+  if (c_to > 0) {
+    const double dist = CachedDistanceToMean(
+        i, sums.data() + static_cast<size_t>(to) * d_,
+        sum_norms[static_cast<size_t>(to)], static_cast<double>(c_to));
+    delta += static_cast<double>(c_to) / static_cast<double>(c_to + 1) * dist;
+  }
+  return delta;
+}
+
+void FairKMState::DeltaKMeansAllClusters(size_t i, double* out) const {
+  const std::vector<size_t>& counts = use_snapshot_ ? proto_counts_ : counts_;
+  const std::vector<double>& sums = use_snapshot_ ? proto_sums_ : sums_;
+  const std::vector<double>& sum_norms =
+      use_snapshot_ ? proto_sum_norms_ : sum_norms_;
+  const int from = assignment_[i];
+  const double* row = points_->Row(i);
+  const double xn = point_norms_[i];
+
+  // Pass 1: out[c] <- ||x - mu_c||^2 via one contiguous walk of the k x d
+  // sums matrix (the k dot products x . S_c dominate; everything else is
+  // O(k)).
+  const double* s = sums.data();
+  for (int c = 0; c < k_; ++c, s += d_) {
+    const size_t cnt = counts[static_cast<size_t>(c)];
+    if (cnt == 0) {
+      out[c] = 0.0;
+      continue;
+    }
+    double dot = 0.0;
+    for (size_t j = 0; j < d_; ++j) dot += row[j] * s[j];
+    const double inv = 1.0 / static_cast<double>(cnt);
+    const double dist = xn - 2.0 * dot * inv +
+                        sum_norms[static_cast<size_t>(c)] * inv * inv;
+    // Same cancellation clamp as CachedDistanceToMean.
+    out[c] = dist > 0.0 ? dist : 0.0;
+  }
+
+  // Pass 2: fold the shared removal term into per-candidate deltas.
+  const size_t c_from = counts[static_cast<size_t>(from)];
+  const double removal =
+      c_from > 1 ? -static_cast<double>(c_from) /
+                       static_cast<double>(c_from - 1) * out[from]
+                 : 0.0;
+  for (int c = 0; c < k_; ++c) {
+    if (c == from) {
+      out[c] = 0.0;
+      continue;
+    }
+    const size_t cnt = counts[static_cast<size_t>(c)];
+    const double addition =
+        cnt > 0 ? static_cast<double>(cnt) / static_cast<double>(cnt + 1) * out[c]
+                : 0.0;
+    out[c] = removal + addition;
+  }
+}
+
+double FairKMState::ReferenceDeltaKMeans(size_t i, int to) const {
+  const int from = assignment_[i];
+  if (to == from) return 0.0;
+  const std::vector<size_t>& counts = use_snapshot_ ? proto_counts_ : counts_;
+  const std::vector<double>& sums = use_snapshot_ ? proto_sums_ : sums_;
+
+  double delta = 0.0;
+  const size_t c_from = counts[static_cast<size_t>(from)];
+  if (c_from > 1) {
     const double dist =
         DistanceToMean(i, sums.data() + static_cast<size_t>(from) * d_,
                        static_cast<double>(c_from));
     delta -= static_cast<double>(c_from) / static_cast<double>(c_from - 1) * dist;
   }
-  // Adding i to the target: SSE increases by c/(c+1) * ||x - mu||^2
-  // (Eqs. 13-14); adding to an empty cluster costs nothing.
   const size_t c_to = counts[static_cast<size_t>(to)];
   if (c_to > 0) {
     const double dist = DistanceToMean(i, sums.data() + static_cast<size_t>(to) * d_,
@@ -105,6 +234,72 @@ double FairKMState::DeltaKMeans(size_t i, int to) const {
 }
 
 double FairKMState::DeltaFairness(size_t i, int to) const {
+  const int from = assignment_[i];
+  if (to == from || sensitive_->empty()) return 0.0;
+  const size_t c_from = counts_[static_cast<size_t>(from)];
+  const size_t c_to = counts_[static_cast<size_t>(to)];
+  FAIRKM_DCHECK(c_from >= 1);
+
+  const double scale_from_before = ClusterScale(config_.weighting, c_from, n_);
+  const double scale_from_after = ClusterScale(config_.weighting, c_from - 1, n_);
+  const double scale_to_before = ClusterScale(config_.weighting, c_to, n_);
+  const double scale_to_after = ClusterScale(config_.weighting, c_to + 1, n_);
+
+  double delta = 0.0;
+
+  for (size_t a = 0; a < sensitive_->categorical.size(); ++a) {
+    const auto& attr = sensitive_->categorical[a];
+    const int m = attr.cardinality;
+    const int32_t v = attr.codes[i];
+    const double q_v = attr.dataset_fractions[v];
+    const double q2 = cat_q2_[a];
+    const double norm =
+        config_.normalize_domain ? 1.0 / static_cast<double>(m) : 1.0;
+
+    // Origin cluster: removal sends u_s -> u_s + q_s - [s=v], so the new
+    // moment is U2 + Q2 + 1 + 2 (UQ - u_v - q_v); u_v touches one count.
+    const double u2_from = cat_u2_[a][static_cast<size_t>(from)];
+    const double uq_from = cat_uq_[a][static_cast<size_t>(from)];
+    const double u_v_from =
+        static_cast<double>(
+            cat_counts_[a][static_cast<size_t>(from) * m + v]) -
+        static_cast<double>(c_from) * q_v;
+    const double after_from = u2_from + q2 + 1.0 + 2.0 * (uq_from - u_v_from - q_v);
+
+    // Target cluster: insertion sends u_s -> u_s - q_s + [s=v].
+    const double u2_to = cat_u2_[a][static_cast<size_t>(to)];
+    const double uq_to = cat_uq_[a][static_cast<size_t>(to)];
+    const double u_v_to =
+        static_cast<double>(cat_counts_[a][static_cast<size_t>(to) * m + v]) -
+        static_cast<double>(c_to) * q_v;
+    const double after_to = u2_to + q2 + 1.0 - 2.0 * (uq_to - u_v_to + q_v);
+
+    delta += attr.weight * norm *
+             ((scale_from_after * after_from - scale_from_before * u2_from) +
+              (scale_to_after * after_to - scale_to_before * u2_to));
+  }
+
+  for (size_t a = 0; a < sensitive_->numeric.size(); ++a) {
+    const auto& attr = sensitive_->numeric[a];
+    const double x = attr.values[i];
+    const double mean = attr.dataset_mean;
+    const double t_from = num_sums_[a][static_cast<size_t>(from)];
+    const double t_to = num_sums_[a][static_cast<size_t>(to)];
+    // u = T_C - c * mean; removal: u' = u - x + mean; insertion: u' = u + x - mean.
+    const double u_from = t_from - static_cast<double>(c_from) * mean;
+    const double u_from_after = u_from - x + mean;
+    const double u_to = t_to - static_cast<double>(c_to) * mean;
+    const double u_to_after = u_to + x - mean;
+    delta += attr.weight *
+             ((scale_from_after * u_from_after * u_from_after -
+               scale_from_before * u_from * u_from) +
+              (scale_to_after * u_to_after * u_to_after -
+               scale_to_before * u_to * u_to));
+  }
+  return delta;
+}
+
+double FairKMState::ReferenceDeltaFairness(size_t i, int to) const {
   const int from = assignment_[i];
   if (to == from || sensitive_->empty()) return 0.0;
   const size_t c_from = counts_[static_cast<size_t>(from)];
@@ -161,7 +356,6 @@ double FairKMState::DeltaFairness(size_t i, int to) const {
     const double mean = attr.dataset_mean;
     const double t_from = num_sums_[a][static_cast<size_t>(from)];
     const double t_to = num_sums_[a][static_cast<size_t>(to)];
-    // u = T_C - c * mean; removal: u' = u - x + mean; insertion: u' = u + x - mean.
     const double u_from = t_from - static_cast<double>(c_from) * mean;
     const double u_from_after = u_from - x + mean;
     const double u_to = t_to - static_cast<double>(c_to) * mean;
@@ -183,10 +377,15 @@ void FairKMState::Move(size_t i, int to) {
   const double* row = points_->Row(i);
   double* from_sums = sums_.data() + static_cast<size_t>(from) * d_;
   double* to_sums = sums_.data() + static_cast<size_t>(to) * d_;
+  double from_norm = 0.0, to_norm = 0.0;
   for (size_t j = 0; j < d_; ++j) {
     from_sums[j] -= row[j];
     to_sums[j] += row[j];
+    from_norm += from_sums[j] * from_sums[j];
+    to_norm += to_sums[j] * to_sums[j];
   }
+  sum_norms_[static_cast<size_t>(from)] = from_norm;
+  sum_norms_[static_cast<size_t>(to)] = to_norm;
   --counts_[static_cast<size_t>(from)];
   ++counts_[static_cast<size_t>(to)];
   for (size_t a = 0; a < sensitive_->categorical.size(); ++a) {
@@ -194,6 +393,8 @@ void FairKMState::Move(size_t i, int to) {
     const int32_t v = attr.codes[i];
     --cat_counts_[a][static_cast<size_t>(from) * attr.cardinality + v];
     ++cat_counts_[a][static_cast<size_t>(to) * attr.cardinality + v];
+    RecomputeCatMoments(a, from);
+    RecomputeCatMoments(a, to);
   }
   for (size_t a = 0; a < sensitive_->numeric.size(); ++a) {
     const double x = sensitive_->numeric[a].values[i];
@@ -233,6 +434,7 @@ void FairKMState::EnablePrototypeSnapshot(bool enable) {
 void FairKMState::RefreshPrototypes() {
   proto_counts_ = counts_;
   proto_sums_ = sums_;
+  proto_sum_norms_ = sum_norms_;
 }
 
 }  // namespace core

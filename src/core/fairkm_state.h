@@ -4,12 +4,32 @@
 //   * per-cluster sizes and feature sums (exact centroids at all times),
 //   * per-cluster value counts for every categorical sensitive attribute,
 //   * per-cluster value sums for every numeric sensitive attribute,
+//   * per-point squared norms and per-cluster squared sum-norms (the
+//     expanded-form K-Means delta caches),
+//   * per (attribute, cluster) fairness moments sum_s u_s^2 and
+//     sum_s u_s q_s, where u_s = |C_s| - |C| Fr_X(s) and q_s = Fr_X(s),
 // and computes the exact change of both objective terms for a candidate move
-// of one point in O(d) (K-Means term, paper Eqs. 11-15 — equivalently the
-// classical closed forms) + O(sum_S |Values(S)|) (fairness term, Eqs. 16-19)
-// instead of the naive O(n d) full recomputation. Property tests
-// (tests/core/fairkm_state_test.cc) verify the deltas against scratch
-// recomputation to 1e-9.
+// of one point in O(d) (K-Means term) + O(|S|) (fairness term, one scalar
+// expression per attribute) instead of the original O(d) + O(sum_S m_S)
+// two-loop evaluation. The batched DeltaKMeansAllClusters kernel evaluates
+// every candidate cluster for one point in a single contiguous pass over the
+// k x d sums matrix, which is what the optimizer sweep uses.
+//
+// Derivation of the O(1) fairness delta (expanding Eqs. 16-19): removing a
+// point with value v from a cluster sends u_s -> u_s + q_s - [s=v], so
+//   sum_s u'_s^2 = U2 + Q2 + 1 + 2 (UQ - u_v - q_v)
+// with U2 = sum_s u_s^2, UQ = sum_s u_s q_s and the per-attribute constant
+// Q2 = sum_s q_s^2; insertion sends u_s -> u_s - q_s + [s=v], so
+//   sum_s u'_s^2 = U2 + Q2 + 1 - 2 (UQ - u_v + q_v).
+// u_v needs only the single touched count |C_v|, making the delta O(1) per
+// attribute. U2/UQ are recomputed from the exact integer counts in O(m_S)
+// for the two touched clusters on Move (which is already O(m_S) there), so
+// they never accumulate floating-point drift.
+//
+// The pre-expansion kernels are retained as ReferenceDeltaKMeans /
+// ReferenceDeltaFairness: property tests cross-validate the optimized
+// kernels against them and against scratch recomputation to 1e-9, and the
+// scaling bench uses them as the "before" timing baseline.
 
 #ifndef FAIRKM_CORE_FAIRKM_STATE_H_
 #define FAIRKM_CORE_FAIRKM_STATE_H_
@@ -42,8 +62,22 @@ class FairKMState {
   /// (0 when `to` is its current cluster).
   double DeltaKMeans(size_t i, int to) const;
 
-  /// \brief Exact change of the fairness deviation term for the same move.
+  /// \brief Batched K-Means deltas: fills `out[c]` with DeltaKMeans(i, c) for
+  /// every cluster in one contiguous pass over the k x d sums matrix.
+  /// `out` must have room for k() doubles. This is the optimizer's hot
+  /// kernel; it is read-only and safe to call concurrently for distinct
+  /// points while no Move/RefreshPrototypes runs.
+  void DeltaKMeansAllClusters(size_t i, double* out) const;
+
+  /// \brief Exact change of the fairness deviation term for the same move,
+  /// in O(1) per sensitive attribute (see the header comment derivation).
   double DeltaFairness(size_t i, int to) const;
+
+  /// \brief Pre-expansion O(d) two-distance K-Means delta (oracle/bench).
+  double ReferenceDeltaKMeans(size_t i, int to) const;
+
+  /// \brief Pre-expansion O(sum_S m_S) fairness delta (oracle/bench).
+  double ReferenceDeltaFairness(size_t i, int to) const;
 
   /// \brief Applies the move, updating all aggregates in O(d + sum_S m_S).
   void Move(size_t i, int to);
@@ -76,8 +110,17 @@ class FairKMState {
 
   void BuildAggregates(cluster::Assignment initial);
 
+  // Recomputes cat_u2_/cat_uq_ for one (attribute, cluster) pair from the
+  // exact integer counts. O(m_a).
+  void RecomputeCatMoments(size_t a, int c);
+
   // Squared distance from point i to the mean of the given sums/count pair.
   double DistanceToMean(size_t i, const double* sums, double count) const;
+
+  // Expanded-form squared distance ||x_i||^2 - 2 x.S_c/|C| + ||S_c||^2/|C|^2
+  // against live or snapshot aggregates. `count` must be positive.
+  double CachedDistanceToMean(size_t i, const double* sums, double sum_norm,
+                              double count) const;
 
   const data::Matrix* points_;
   const data::SensitiveView* sensitive_;
@@ -94,9 +137,21 @@ class FairKMState {
   // num_sums_[a][c] = sum of attribute a over cluster c.
   std::vector<std::vector<double>> num_sums_;
 
+  // K-Means delta caches: ||x_i||^2 (immutable) and ||S_c||^2 (recomputed
+  // for the two touched clusters on Move).
+  std::vector<double> point_norms_;
+  std::vector<double> sum_norms_;
+
+  // Fairness moments: cat_u2_[a][c] = sum_s u_s^2, cat_uq_[a][c] =
+  // sum_s u_s q_s, cat_q2_[a] = sum_s q_s^2 (assignment-independent).
+  std::vector<std::vector<double>> cat_u2_;
+  std::vector<std::vector<double>> cat_uq_;
+  std::vector<double> cat_q2_;
+
   bool use_snapshot_ = false;
   std::vector<size_t> proto_counts_;
   std::vector<double> proto_sums_;
+  std::vector<double> proto_sum_norms_;
 };
 
 }  // namespace core

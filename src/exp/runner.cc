@@ -69,6 +69,8 @@ Result<cluster::Assignment> ExperimentRunner::RunMethod(const RunConfig& config,
       options.max_iterations = config.max_iterations;
       options.fairness = config.fairness;
       options.minibatch_size = config.minibatch;
+      options.sweep_mode = config.sweep_mode;
+      options.num_threads = config.fairkm_threads;
       data::SensitiveView view;
       if (config.method == Method::kFairKMSingle) {
         FAIRKM_ASSIGN_OR_RETURN(

@@ -15,6 +15,7 @@
 #include "cluster/types.h"
 #include "common/stats.h"
 #include "common/status.h"
+#include "core/fairkm.h"
 #include "core/objective.h"
 #include "exp/datasets.h"
 #include "metrics/fairness.h"
@@ -54,6 +55,10 @@ struct RunConfig {
   core::FairnessTermConfig fairness;
   /// FairKM mini-batch size (0 = paper behaviour).
   int minibatch = 0;
+  /// FairKM candidate-evaluation sweep (kParallelSnapshot needs minibatch > 0).
+  core::SweepMode sweep_mode = core::SweepMode::kSerial;
+  /// FairKM parallel-sweep worker threads (0 = hardware concurrency).
+  int fairkm_threads = 0;
 };
 
 /// \brief Per-seed measurements.

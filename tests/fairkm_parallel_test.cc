@@ -1,0 +1,116 @@
+// Unit coverage for the snapshot-parallel sweep (core/fairkm.cc): option
+// validation, determinism across thread counts, and equality with the serial
+// mini-batch sweep. This suite is also the ThreadSanitizer target in
+// tools/check.sh — it drives the concurrent candidate-evaluation phase hard
+// enough for TSan to observe the ThreadPool handoffs.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/fairkm.h"
+#include "testlib/worlds.h"
+
+namespace fairkm {
+namespace testutil {
+namespace {
+
+core::FairKMResult MustRun(const SeededWorld& world,
+                           const core::FairKMOptions& options, uint64_t seed) {
+  Rng rng(seed);
+  auto result = core::RunFairKM(world.points, world.sensitive, options, &rng);
+  if (!result.ok()) {
+    ADD_FAILURE() << "RunFairKM: " << result.status().ToString();
+    return core::FairKMResult{};
+  }
+  return result.MoveValueUnsafe();
+}
+
+TEST(FairKMParallel, RejectsParallelSweepWithoutMinibatch) {
+  const SeededWorld world = MakeSeededWorld(11);
+  core::FairKMOptions options;
+  options.k = world.k;
+  options.sweep_mode = core::SweepMode::kParallelSnapshot;
+  options.minibatch_size = 0;
+  Rng rng(12);
+  EXPECT_FALSE(core::RunFairKM(world.points, world.sensitive, options, &rng).ok());
+}
+
+TEST(FairKMParallel, RejectsNegativeThreadCount) {
+  const SeededWorld world = MakeSeededWorld(13);
+  core::FairKMOptions options;
+  options.k = world.k;
+  options.minibatch_size = 8;
+  options.sweep_mode = core::SweepMode::kParallelSnapshot;
+  options.num_threads = -1;
+  Rng rng(14);
+  EXPECT_FALSE(core::RunFairKM(world.points, world.sensitive, options, &rng).ok());
+}
+
+TEST(FairKMParallel, ThreadCountDoesNotChangeTheTrajectory) {
+  WorldSpec spec;
+  spec.per_blob = 30;  // 90 points over 6 mini-batches.
+  const SeededWorld world = MakeSeededWorld(15, spec);
+  core::FairKMOptions options;
+  options.k = world.k;
+  options.max_iterations = 10;
+  options.minibatch_size = 16;
+  options.sweep_mode = core::SweepMode::kParallelSnapshot;
+
+  options.num_threads = 1;
+  const core::FairKMResult base = MustRun(world, options, 99);
+  ASSERT_FALSE(base.assignment.empty());
+  for (int threads : {2, 3, 8}) {
+    options.num_threads = threads;
+    const core::FairKMResult got = MustRun(world, options, 99);
+    EXPECT_EQ(got.assignment, base.assignment) << threads << " threads";
+    ASSERT_EQ(got.objective_history.size(), base.objective_history.size());
+    for (size_t s = 0; s < base.objective_history.size(); ++s) {
+      EXPECT_DOUBLE_EQ(got.objective_history[s], base.objective_history[s])
+          << "sweep " << s << ", " << threads << " threads";
+    }
+  }
+}
+
+TEST(FairKMParallel, MatchesSerialMinibatchSweep) {
+  const SeededWorld world = MakeSeededWorld(16);
+  core::FairKMOptions serial;
+  serial.k = world.k;
+  serial.max_iterations = 8;
+  serial.minibatch_size = 10;
+  const core::FairKMResult want = MustRun(world, serial, 44);
+
+  core::FairKMOptions parallel = serial;
+  parallel.sweep_mode = core::SweepMode::kParallelSnapshot;
+  parallel.num_threads = 4;
+  const core::FairKMResult got = MustRun(world, parallel, 44);
+
+  EXPECT_EQ(got.assignment, want.assignment);
+  EXPECT_EQ(got.iterations, want.iterations);
+  EXPECT_EQ(got.converged, want.converged);
+  EXPECT_NEAR(got.total_objective, want.total_objective,
+              1e-9 * std::max(1.0, std::fabs(want.total_objective)));
+}
+
+TEST(FairKMParallel, HandlesBatchLargerThanDataset) {
+  WorldSpec spec;
+  spec.per_blob = 5;  // 15 points, one 64-point "batch".
+  const SeededWorld world = MakeSeededWorld(17, spec);
+  core::FairKMOptions options;
+  options.k = world.k;
+  options.max_iterations = 6;
+  options.minibatch_size = 64;
+  options.sweep_mode = core::SweepMode::kParallelSnapshot;
+  options.num_threads = 4;
+  const core::FairKMResult got = MustRun(world, options, 55);
+  EXPECT_FALSE(got.assignment.empty());
+
+  core::FairKMOptions serial = options;
+  serial.sweep_mode = core::SweepMode::kSerial;
+  const core::FairKMResult want = MustRun(world, serial, 55);
+  EXPECT_EQ(got.assignment, want.assignment);
+}
+
+}  // namespace
+}  // namespace testutil
+}  // namespace fairkm

@@ -71,6 +71,85 @@ TEST(StateInvariants, DeltasMatchBruteForceAlongRandomTrajectory) {
   }
 }
 
+TEST(StateInvariants, BatchedKernelMatchesSingleCandidateAndReference) {
+  const SeededWorld world = MakeSeededWorld(/*seed=*/71);
+  core::FairKMState state = MakeState(world);
+
+  // Along a random move trajectory, the batched all-clusters kernel, the
+  // single-candidate expanded-form delta and the pre-optimization reference
+  // kernel must agree for every candidate cluster.
+  Rng rng(72);
+  const std::vector<MoveOp> moves =
+      RandomMoveSequence(150, world.points.rows(), world.k, &rng);
+  std::vector<double> batched(static_cast<size_t>(world.k));
+  for (const MoveOp& move : moves) {
+    state.DeltaKMeansAllClusters(move.point, batched.data());
+    for (int c = 0; c < world.k; ++c) {
+      const double single = state.DeltaKMeans(move.point, c);
+      const double reference = state.ReferenceDeltaKMeans(move.point, c);
+      ASSERT_NEAR(batched[static_cast<size_t>(c)], single,
+                  1e-9 * std::max(1.0, std::fabs(single)))
+          << "point " << move.point << " -> " << c;
+      ASSERT_NEAR(single, reference, 1e-9 * std::max(1.0, std::fabs(reference)))
+          << "point " << move.point << " -> " << c;
+    }
+    state.Move(move.point, move.to);
+  }
+}
+
+TEST(StateInvariants, ClosedFormFairnessMatchesReferenceKernel) {
+  WorldSpec spec;
+  spec.random_weights = true;
+  for (core::ClusterWeighting weighting :
+       {core::ClusterWeighting::kSquaredFraction,
+        core::ClusterWeighting::kFractional, core::ClusterWeighting::kUnweighted}) {
+    core::FairnessTermConfig config;
+    config.weighting = weighting;
+    const SeededWorld world = MakeSeededWorld(/*seed=*/81, spec);
+    core::FairKMState state = MakeState(world, config);
+
+    Rng rng(82);
+    const std::vector<MoveOp> moves =
+        RandomMoveSequence(200, world.points.rows(), world.k, &rng);
+    for (const MoveOp& move : moves) {
+      for (int c = 0; c < world.k; ++c) {
+        const double fast = state.DeltaFairness(move.point, c);
+        const double reference = state.ReferenceDeltaFairness(move.point, c);
+        ASSERT_NEAR(fast, reference, 1e-9 * std::max(1.0, std::fabs(reference)))
+            << "point " << move.point << " -> " << c;
+      }
+      state.Move(move.point, move.to);
+    }
+  }
+}
+
+TEST(StateInvariants, BatchedKernelTracksStaleSnapshot) {
+  const SeededWorld world = MakeSeededWorld(/*seed=*/91);
+  core::FairKMState state = MakeState(world);
+  state.EnablePrototypeSnapshot(true);
+
+  // Let the snapshot go stale, then require all three K-Means kernels to
+  // agree against it (they must all read the same frozen prototypes).
+  Rng rng(92);
+  const std::vector<MoveOp> moves =
+      RandomMoveSequence(80, world.points.rows(), world.k, &rng);
+  std::vector<double> batched(static_cast<size_t>(world.k));
+  size_t step = 0;
+  for (const MoveOp& move : moves) {
+    state.Move(move.point, move.to);
+    if (++step % 25 == 0) state.RefreshPrototypes();
+    state.DeltaKMeansAllClusters(move.point, batched.data());
+    for (int c = 0; c < world.k; ++c) {
+      const double reference = state.ReferenceDeltaKMeans(move.point, c);
+      ASSERT_NEAR(batched[static_cast<size_t>(c)], reference,
+                  1e-9 * std::max(1.0, std::fabs(reference)))
+          << "step " << step << " candidate " << c;
+      ASSERT_NEAR(state.DeltaKMeans(move.point, c), reference,
+                  1e-9 * std::max(1.0, std::fabs(reference)));
+    }
+  }
+}
+
 TEST(StateInvariants, MoveToOwnClusterIsIdentityAndDeltaZero) {
   const SeededWorld world = MakeSeededWorld(/*seed=*/31);
   core::FairKMState state = MakeState(world);

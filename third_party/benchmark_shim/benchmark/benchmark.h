@@ -1,0 +1,160 @@
+// Minimal vendored fallback for the Google Benchmark API surface the fairkm
+// benches use. Built only when find_package(benchmark) fails (see
+// bench/CMakeLists.txt), so bench_scaling always configures, builds and can
+// emit BENCH_scaling.json regardless of what the host has installed.
+//
+// Supported subset:
+//   * BENCHMARK(fn) with ->Arg(v) / ->Args({...}) / ->Unit(u) / ->Complexity()
+//   * BENCHMARK_MAIN()
+//   * State: range-for iteration, range(i), SetComplexityN, counters-free
+//   * DoNotOptimize / ClobberMemory
+//   * flags: --benchmark_filter=<substring-or-regex>,
+//            --benchmark_out=<file>, --benchmark_out_format=json|console,
+//            --benchmark_min_time=<seconds>[s], --benchmark_list_tests
+//   * JSON output schema-compatible with real google-benchmark's
+//     {"context": ..., "benchmarks": [...]} layout (the fields
+//     tools/bench_json.sh reads).
+//
+// Timing: each variant is re-run with geometrically growing iteration counts
+// until the measured loop exceeds the min time (default 0.2 s), like the real
+// library's adaptive runner, then per-iteration real/cpu time is reported.
+
+#ifndef FAIRKM_THIRD_PARTY_BENCHMARK_SHIM_BENCHMARK_H_
+#define FAIRKM_THIRD_PARTY_BENCHMARK_SHIM_BENCHMARK_H_
+
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace benchmark {
+
+enum TimeUnit { kNanosecond, kMicrosecond, kMillisecond, kSecond };
+
+enum BigO { oAuto, o1, oN, oNSquared, oNCubed, oLogN, oNLogN };
+
+/// \brief Per-run state handed to the benchmark function.
+class State {
+ public:
+  State(int64_t max_iterations, std::vector<int64_t> args)
+      : max_iterations_(max_iterations), args_(std::move(args)) {}
+
+  int64_t range(size_t i = 0) const { return args_.at(i); }
+  void SetComplexityN(int64_t n) { complexity_n_ = n; }
+  int64_t complexity_n() const { return complexity_n_; }
+  int64_t iterations() const { return max_iterations_; }
+
+  // Range-for protocol: `for (auto _ : state)` runs the timed loop. The
+  // timer starts when iteration begins and stops when it completes.
+  struct Iterator {
+    State* state;
+    int64_t remaining;
+
+    bool operator!=(const Iterator& other) const {
+      if (remaining != 0) return true;
+      state->StopTimer();
+      (void)other;
+      return false;
+    }
+    Iterator& operator++() {
+      --remaining;
+      return *this;
+    }
+    int operator*() const { return 0; }
+  };
+
+  Iterator begin() {
+    StartTimer();
+    return Iterator{this, max_iterations_};
+  }
+  Iterator end() { return Iterator{this, 0}; }
+
+  double elapsed_real_seconds() const { return real_elapsed_; }
+  double elapsed_cpu_seconds() const { return cpu_elapsed_; }
+
+ private:
+  void StartTimer();
+  void StopTimer();
+
+  int64_t max_iterations_;
+  std::vector<int64_t> args_;
+  int64_t complexity_n_ = 0;
+  double real_start_ = 0.0, real_elapsed_ = 0.0;
+  double cpu_start_ = 0.0, cpu_elapsed_ = 0.0;
+};
+
+using Function = void (*)(State&);
+
+/// \brief One registered benchmark; fluent setters mirror google-benchmark.
+class Benchmark {
+ public:
+  Benchmark(std::string name, Function fn) : name_(std::move(name)), fn_(fn) {}
+
+  Benchmark* Arg(int64_t value) {
+    args_sets_.push_back({value});
+    return this;
+  }
+  Benchmark* Args(std::initializer_list<int64_t> values) {
+    args_sets_.emplace_back(values);
+    return this;
+  }
+  Benchmark* Unit(TimeUnit unit) {
+    unit_ = unit;
+    return this;
+  }
+  Benchmark* Complexity(BigO = oAuto) { return this; }
+  Benchmark* Iterations(int64_t n) {
+    fixed_iterations_ = n;
+    return this;
+  }
+
+  const std::string& name() const { return name_; }
+  Function fn() const { return fn_; }
+  TimeUnit unit() const { return unit_; }
+  int64_t fixed_iterations() const { return fixed_iterations_; }
+  const std::vector<std::vector<int64_t>>& args_sets() const { return args_sets_; }
+
+ private:
+  std::string name_;
+  Function fn_;
+  TimeUnit unit_ = kNanosecond;
+  int64_t fixed_iterations_ = 0;
+  std::vector<std::vector<int64_t>> args_sets_;
+};
+
+/// \brief Registers a benchmark (called by the BENCHMARK macro).
+Benchmark* RegisterBenchmark(const char* name, Function fn);
+
+/// \brief Parses --benchmark_* flags (removing them from argv).
+void Initialize(int* argc, char** argv);
+
+/// \brief Runs every registered benchmark that passes the filter; returns the
+/// number run.
+size_t RunSpecifiedBenchmarks();
+
+template <typename T>
+inline void DoNotOptimize(T const& value) {
+  asm volatile("" : : "g"(value) : "memory");
+}
+
+inline void ClobberMemory() { asm volatile("" : : : "memory"); }
+
+}  // namespace benchmark
+
+#define BENCHMARK_SHIM_CONCAT2(a, b) a##b
+#define BENCHMARK_SHIM_CONCAT(a, b) BENCHMARK_SHIM_CONCAT2(a, b)
+
+#define BENCHMARK(fn)                                             \
+  static ::benchmark::Benchmark* BENCHMARK_SHIM_CONCAT(           \
+      benchmark_shim_reg_, __LINE__) [[maybe_unused]] =           \
+      ::benchmark::RegisterBenchmark(#fn, fn)
+
+#define BENCHMARK_MAIN()                        \
+  int main(int argc, char** argv) {             \
+    ::benchmark::Initialize(&argc, argv);       \
+    ::benchmark::RunSpecifiedBenchmarks();      \
+    return 0;                                   \
+  }
+
+#endif  // FAIRKM_THIRD_PARTY_BENCHMARK_SHIM_BENCHMARK_H_

@@ -1,0 +1,225 @@
+#include "benchmark/benchmark.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <memory>
+#include <regex>
+
+namespace benchmark {
+namespace {
+
+struct ShimConfig {
+  std::string filter;
+  std::string out_path;
+  std::string out_format = "json";
+  double min_time = 0.2;
+  bool list_only = false;
+};
+
+ShimConfig& Config() {
+  static ShimConfig config;
+  return config;
+}
+
+std::vector<std::unique_ptr<Benchmark>>& Registry() {
+  static std::vector<std::unique_ptr<Benchmark>> registry;
+  return registry;
+}
+
+double NowRealSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+double NowCpuSeconds() {
+  return static_cast<double>(std::clock()) / CLOCKS_PER_SEC;
+}
+
+const char* UnitSuffix(TimeUnit unit) {
+  switch (unit) {
+    case kNanosecond: return "ns";
+    case kMicrosecond: return "us";
+    case kMillisecond: return "ms";
+    case kSecond: return "s";
+  }
+  return "ns";
+}
+
+double UnitScale(TimeUnit unit) {
+  switch (unit) {
+    case kNanosecond: return 1e9;
+    case kMicrosecond: return 1e6;
+    case kMillisecond: return 1e3;
+    case kSecond: return 1.0;
+  }
+  return 1e9;
+}
+
+struct RunResult {
+  std::string name;
+  int64_t iterations = 0;
+  double real_time = 0.0;  ///< Per-iteration, in the variant's unit.
+  double cpu_time = 0.0;
+  const char* time_unit = "ns";
+};
+
+std::string VariantName(const Benchmark& bench, const std::vector<int64_t>& args) {
+  std::string name = bench.name();
+  for (int64_t a : args) name += "/" + std::to_string(a);
+  return name;
+}
+
+RunResult RunVariant(const Benchmark& bench, const std::vector<int64_t>& args) {
+  int64_t iterations = bench.fixed_iterations() > 0 ? bench.fixed_iterations() : 1;
+  double real = 0.0, cpu = 0.0;
+  for (;;) {
+    State state(iterations, args);
+    bench.fn()(state);
+    real = state.elapsed_real_seconds();
+    cpu = state.elapsed_cpu_seconds();
+    if (bench.fixed_iterations() > 0 || real >= Config().min_time ||
+        iterations >= (int64_t{1} << 40)) {
+      break;
+    }
+    // Geometric growth toward the time target, like the real runner: guess
+    // the needed count from the measured rate, overshoot a little, and never
+    // grow by more than 10x at once.
+    double multiplier = real > 1e-9 ? Config().min_time / real * 1.4 : 10.0;
+    if (multiplier > 10.0) multiplier = 10.0;
+    if (multiplier < 1.5) multiplier = 1.5;
+    iterations = static_cast<int64_t>(static_cast<double>(iterations) * multiplier) + 1;
+  }
+  RunResult result;
+  result.name = VariantName(bench, args);
+  result.iterations = iterations;
+  const double scale = UnitScale(bench.unit());
+  result.real_time = real / static_cast<double>(iterations) * scale;
+  result.cpu_time = cpu / static_cast<double>(iterations) * scale;
+  result.time_unit = UnitSuffix(bench.unit());
+  return result;
+}
+
+void WriteJson(const std::vector<RunResult>& results, std::FILE* out) {
+  std::fprintf(out, "{\n  \"context\": {\n");
+  std::fprintf(out, "    \"library_build_type\": \"fairkm-benchmark-shim\"\n");
+  std::fprintf(out, "  },\n  \"benchmarks\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const RunResult& r = results[i];
+    std::fprintf(out,
+                 "    {\n"
+                 "      \"name\": \"%s\",\n"
+                 "      \"run_name\": \"%s\",\n"
+                 "      \"run_type\": \"iteration\",\n"
+                 "      \"iterations\": %lld,\n"
+                 "      \"real_time\": %.6g,\n"
+                 "      \"cpu_time\": %.6g,\n"
+                 "      \"time_unit\": \"%s\"\n"
+                 "    }%s\n",
+                 r.name.c_str(), r.name.c_str(),
+                 static_cast<long long>(r.iterations), r.real_time, r.cpu_time,
+                 r.time_unit, i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+}
+
+}  // namespace
+
+void State::StartTimer() {
+  real_start_ = NowRealSeconds();
+  cpu_start_ = NowCpuSeconds();
+}
+
+void State::StopTimer() {
+  real_elapsed_ = NowRealSeconds() - real_start_;
+  cpu_elapsed_ = NowCpuSeconds() - cpu_start_;
+}
+
+Benchmark* RegisterBenchmark(const char* name, Function fn) {
+  Registry().push_back(std::make_unique<Benchmark>(name, fn));
+  return Registry().back().get();
+}
+
+void Initialize(int* argc, char** argv) {
+  int kept = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const char* arg = argv[i];
+    auto value_of = [&](const char* flag) -> const char* {
+      const size_t len = std::strlen(flag);
+      return std::strncmp(arg, flag, len) == 0 ? arg + len : nullptr;
+    };
+    if (const char* v = value_of("--benchmark_filter=")) {
+      Config().filter = v;
+    } else if (const char* v = value_of("--benchmark_out=")) {
+      Config().out_path = v;
+    } else if (const char* v = value_of("--benchmark_out_format=")) {
+      Config().out_format = v;
+    } else if (const char* v = value_of("--benchmark_min_time=")) {
+      Config().min_time = std::strtod(v, nullptr);  // trailing "s"/"x" ignored
+    } else if (std::strcmp(arg, "--benchmark_list_tests") == 0 ||
+               std::strcmp(arg, "--benchmark_list_tests=true") == 0) {
+      Config().list_only = true;
+    } else if (std::strncmp(arg, "--benchmark_", 12) == 0) {
+      std::fprintf(stderr, "benchmark-shim: ignoring unsupported flag %s\n", arg);
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  *argc = kept;
+}
+
+size_t RunSpecifiedBenchmarks() {
+  std::regex filter;
+  const bool has_filter = !Config().filter.empty();
+  if (has_filter) {
+    try {
+      filter = std::regex(Config().filter);
+    } catch (const std::regex_error& e) {
+      std::fprintf(stderr, "benchmark-shim: could not compile --benchmark_filter "
+                           "'%s': %s\n", Config().filter.c_str(), e.what());
+      std::exit(1);
+    }
+  }
+
+  std::vector<RunResult> results;
+  std::fprintf(stderr, "benchmark-shim: vendored fallback runner (google-benchmark "
+                       "not found at configure time)\n");
+  for (const auto& bench : Registry()) {
+    std::vector<std::vector<int64_t>> variants = bench->args_sets();
+    if (variants.empty()) variants.push_back({});
+    for (const auto& args : variants) {
+      const std::string name = VariantName(*bench, args);
+      if (has_filter && !std::regex_search(name, filter)) continue;
+      if (Config().list_only) {
+        std::printf("%s\n", name.c_str());
+        continue;
+      }
+      RunResult result = RunVariant(*bench, args);
+      std::printf("%-48s %12.3f %s %12.3f %s %12lld\n", result.name.c_str(),
+                  result.real_time, result.time_unit, result.cpu_time,
+                  result.time_unit, static_cast<long long>(result.iterations));
+      std::fflush(stdout);
+      results.push_back(std::move(result));
+    }
+  }
+  if (!Config().list_only && !Config().out_path.empty()) {
+    if (Config().out_format != "json") {
+      std::fprintf(stderr, "benchmark-shim: only json --benchmark_out_format is "
+                           "supported; writing json\n");
+    }
+    std::FILE* out = std::fopen(Config().out_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "benchmark-shim: cannot open %s\n",
+                   Config().out_path.c_str());
+    } else {
+      WriteJson(results, out);
+      std::fclose(out);
+    }
+  }
+  return results.size();
+}
+
+}  // namespace benchmark

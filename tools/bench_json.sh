@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Runs the scaling bench and records its timings as JSON, so the perf
+# trajectory of the FairKM hot loop is tracked PR over PR.
+#
+#   tools/bench_json.sh                 # writes BENCH_scaling.json at repo root
+#   OUT=/tmp/b.json tools/bench_json.sh # custom output path
+#
+# The "before/after" anchor pair is BM_SweepCandidates_Reference (the
+# pre-optimization kernels, kept in FairKMState as oracles) vs
+# BM_SweepCandidates_DeltaKernels (the batched K-Means pass + O(1) fairness
+# closed form); the script prints their ratio and fails if the speedup
+# regresses below MIN_SPEEDUP (default 2.0).
+#
+# Knobs: BUILD_DIR (default build), OUT (default BENCH_scaling.json),
+# FILTER (default: the FairKM sweep/kernel benches), MIN_TIME (default 0.2),
+# MIN_SPEEDUP (default 2.0).
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build}
+OUT=${OUT:-BENCH_scaling.json}
+FILTER=${FILTER:-'SweepCandidates|FairKM_AllAttributes|FairKM_MiniBatch|FairKM_ParallelSweep|MoveDeltaEvaluation'}
+MIN_TIME=${MIN_TIME:-0.2}
+MIN_SPEEDUP=${MIN_SPEEDUP:-2.0}
+BENCH="$BUILD_DIR/bench/bench_scaling"
+
+if [[ ! -x "$BENCH" ]]; then
+  echo "bench_json: $BENCH not built; run: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR --target bench_scaling" >&2
+  exit 2
+fi
+
+"$BENCH" \
+  --benchmark_filter="$FILTER" \
+  --benchmark_min_time="$MIN_TIME" \
+  --benchmark_out="$OUT" \
+  --benchmark_out_format=json
+
+# Speedup gate: reference kernels vs delta kernels, from the JSON just
+# written (works for both real google-benchmark and the vendored shim — the
+# schema is the same).
+jq -e --argjson min "$MIN_SPEEDUP" '
+  (.benchmarks[] | select(.name == "BM_SweepCandidates_Reference") | .real_time) as $ref
+  | (.benchmarks[] | select(.name == "BM_SweepCandidates_DeltaKernels") | .real_time) as $opt
+  | ($ref / $opt) as $speedup
+  | "candidate-evaluation speedup: \($speedup * 100 | round / 100)x (reference \($ref) vs delta kernels \($opt))",
+    (if $speedup >= $min then "OK: >= \($min)x"
+     else error("speedup \($speedup) below required \($min)x") end)
+' "$OUT"
+
+echo "wrote $OUT"

@@ -1,12 +1,13 @@
 #!/usr/bin/env bash
 # CI entry point: tier-1 verify (configure, build, full ctest) followed by an
-# ASan/UBSan build of the unit-labelled suites.
+# ASan/UBSan build of the unit+integration suites and a TSan build of the
+# suites that exercise the parallel sweep and the thread pool.
 #
 #   tools/check.sh            # everything
-#   tools/check.sh --fast     # tier-1 only, skip the sanitizer pass
+#   tools/check.sh --fast     # tier-1 only, skip the sanitizer passes
 #
 # Knobs: BUILD_DIR (default build), SAN_BUILD_DIR (default build-asan),
-# JOBS (default nproc).
+# TSAN_BUILD_DIR (default build-tsan), JOBS (default nproc).
 
 set -euo pipefail
 
@@ -14,6 +15,7 @@ cd "$(dirname "$0")/.."
 
 BUILD_DIR=${BUILD_DIR:-build}
 SAN_BUILD_DIR=${SAN_BUILD_DIR:-build-asan}
+TSAN_BUILD_DIR=${TSAN_BUILD_DIR:-build-tsan}
 JOBS=${JOBS:-$(nproc)}
 FAST=0
 for arg in "$@"; do
@@ -33,13 +35,23 @@ if [[ "$FAST" == "1" ]]; then
   exit 0
 fi
 
-echo "== sanitizers: ASan + UBSan unit suites (${SAN_BUILD_DIR}) =="
+echo "== sanitizers: ASan + UBSan unit+integration suites (${SAN_BUILD_DIR}) =="
 cmake -B "$SAN_BUILD_DIR" -S . \
   -DFAIRKM_SANITIZE=ON \
   -DCMAKE_BUILD_TYPE=Debug \
   -DFAIRKM_BUILD_BENCHES=OFF \
   -DFAIRKM_BUILD_EXAMPLES=OFF
 cmake --build "$SAN_BUILD_DIR" -j "$JOBS"
-ctest --test-dir "$SAN_BUILD_DIR" --output-on-failure -j "$JOBS" -L unit
+ctest --test-dir "$SAN_BUILD_DIR" --output-on-failure -j "$JOBS" -L 'unit|integration'
+
+echo "== sanitizers: TSan parallel-sweep + thread-pool suites (${TSAN_BUILD_DIR}) =="
+cmake -B "$TSAN_BUILD_DIR" -S . \
+  -DFAIRKM_SANITIZE_THREAD=ON \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DFAIRKM_BUILD_BENCHES=OFF \
+  -DFAIRKM_BUILD_EXAMPLES=OFF
+cmake --build "$TSAN_BUILD_DIR" -j "$JOBS"
+ctest --test-dir "$TSAN_BUILD_DIR" --output-on-failure -j "$JOBS" \
+  -R 'FairKMParallel|ThreadPool|FairKMCrossCheck.ParallelSnapshot|StressScaling.Optimizer'
 
 echo "== all checks passed =="

@@ -95,6 +95,18 @@ Status Run(const ArgParser& args) {
     options.k = k;
     options.lambda = args.GetDouble("lambda");
     options.max_iterations = static_cast<int>(args.GetInt("max-iterations"));
+    options.minibatch_size = static_cast<int>(args.GetInt("minibatch"));
+    options.num_threads = static_cast<int>(args.GetInt("threads"));
+    const std::string sweep = ToLower(args.GetString("sweep"));
+    if (sweep == "parallel") {
+      options.sweep_mode = core::SweepMode::kParallelSnapshot;
+      if (options.minibatch_size <= 0) {
+        return Status::InvalidArgument(
+            "--sweep parallel requires --minibatch > 0");
+      }
+    } else if (sweep != "serial") {
+      return Status::InvalidArgument("--sweep must be serial or parallel");
+    }
     FAIRKM_ASSIGN_OR_RETURN(core::FairKMResult result,
                             core::RunFairKM(matrix, sensitive, options, &rng));
     std::printf("FairKM: lambda = %g, %d iterations, converged = %s\n",
@@ -162,6 +174,9 @@ int main(int argc, char** argv) {
   args.AddFlag("k", "5", "number of clusters");
   args.AddFlag("lambda", "-1", "fairness weight (-1 = auto heuristic)");
   args.AddFlag("max-iterations", "30", "optimizer sweep cap");
+  args.AddFlag("minibatch", "0", "prototype refresh batch (0 = every move)");
+  args.AddFlag("sweep", "serial", "candidate evaluation: serial | parallel");
+  args.AddFlag("threads", "0", "parallel sweep workers (0 = hardware)");
   args.AddFlag("scale", "minmax", "feature scaling: minmax | zscore | none");
   args.AddFlag("seed", "42", "random seed");
   args.AddFlag("help", "false", "show usage");
