@@ -9,13 +9,16 @@
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <string>
 
 #include "bench_common.h"
 #include "cluster/kmeans.h"
 #include "cluster/zgya.h"
+#include "common/rng.h"
 #include "core/fairkm.h"
 #include "core/fairkm_naive.h"
 #include "core/fairkm_state.h"
+#include "core/kernels/kernels.h"
 #include "data/preprocess.h"
 
 namespace {
@@ -194,7 +197,13 @@ void BM_SweepCandidates_Reference(benchmark::State& state) {
 }
 BENCHMARK(BM_SweepCandidates_Reference)->Unit(benchmark::kMillisecond);
 
-void BM_SweepCandidates_DeltaKernels(benchmark::State& state) {
+// Shared body for the delta-kernel sweep: `backend` pins the kernel backend
+// for the run (nullptr = whatever runtime dispatch picked). The _Scalar
+// variant vs the dispatch variant is the scalar-vs-SIMD anchor pair that
+// tools/bench_json.sh gates on.
+void SweepDeltaKernels(benchmark::State& state,
+                       const core::kernels::Backend* backend) {
+  core::kernels::SetActiveBackend(backend);
   const auto& data = AdultSlice(2000);
   const int k = 5;
   const core::FairKMState fairness_state = MakeAdultState(data, k);
@@ -210,8 +219,88 @@ void BM_SweepCandidates_DeltaKernels(benchmark::State& state) {
     }
     benchmark::DoNotOptimize(acc);
   }
+  core::kernels::SetActiveBackend(nullptr);
+}
+
+void BM_SweepCandidates_DeltaKernels(benchmark::State& state) {
+  SweepDeltaKernels(state, nullptr);
 }
 BENCHMARK(BM_SweepCandidates_DeltaKernels)->Unit(benchmark::kMillisecond);
+
+void BM_SweepCandidates_DeltaKernels_Scalar(benchmark::State& state) {
+  SweepDeltaKernels(state, &core::kernels::ScalarBackend());
+}
+BENCHMARK(BM_SweepCandidates_DeltaKernels_Scalar)->Unit(benchmark::kMillisecond);
+
+// Kernel-level micro benches: the blocked GEMV (x . S_c for all clusters in
+// one pass) and the fairness-moment kernel, scalar backend vs whatever
+// runtime dispatch selected. Arg = inner dimension (features d for GEMV,
+// attribute cardinality m for CatMoments); k is fixed at 16 rows so the
+// two-row blocking in the AVX2 GEMV is exercised.
+void KernelGemvLoop(benchmark::State& state,
+                    const core::kernels::Backend& backend) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  const size_t k = 16;
+  Rng rng(11);
+  std::vector<double> x(d), mat(k * d), out(k);
+  for (auto& v : x) v = rng.UniformDouble(-1.0, 1.0);
+  for (auto& v : mat) v = rng.UniformDouble(-1.0, 1.0);
+  for (auto _ : state) {
+    backend.Gemv(x.data(), mat.data(), k, d, out.data());
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+}
+
+void BM_KernelGemv_Scalar(benchmark::State& state) {
+  KernelGemvLoop(state, core::kernels::ScalarBackend());
+}
+BENCHMARK(BM_KernelGemv_Scalar)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_KernelGemv_Dispatch(benchmark::State& state) {
+  KernelGemvLoop(state, core::kernels::ActiveBackend());
+}
+BENCHMARK(BM_KernelGemv_Dispatch)->Arg(8)->Arg(64)->Arg(256);
+
+void KernelCatMomentsLoop(benchmark::State& state,
+                          const core::kernels::Backend& backend) {
+  const size_t m = static_cast<size_t>(state.range(0));
+  Rng rng(13);
+  std::vector<int64_t> counts(m);
+  std::vector<double> fractions(m, 1.0 / static_cast<double>(m));
+  for (auto& c : counts) {
+    c = rng.UniformInt(int64_t{0}, int64_t{4000});
+  }
+  double u2 = 0.0, uq = 0.0;
+  for (auto _ : state) {
+    backend.CatMoments(counts.data(), fractions.data(), m, 4000.0, &u2, &uq);
+    benchmark::DoNotOptimize(u2);
+    benchmark::DoNotOptimize(uq);
+  }
+}
+
+void BM_KernelCatMoments_Scalar(benchmark::State& state) {
+  KernelCatMomentsLoop(state, core::kernels::ScalarBackend());
+}
+BENCHMARK(BM_KernelCatMoments_Scalar)->Arg(8)->Arg(42);
+
+void BM_KernelCatMoments_Dispatch(benchmark::State& state) {
+  KernelCatMomentsLoop(state, core::kernels::ActiveBackend());
+}
+BENCHMARK(BM_KernelCatMoments_Dispatch)->Arg(8)->Arg(42);
+
+// Zero-work marker whose *name* records the dispatch-selected backend, so
+// BENCH_scaling.json documents which backend produced the _Dispatch numbers
+// (and whether FAIRKM_FORCE_SCALAR was set for the run).
+void BackendMarkerLoop(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(&core::kernels::ActiveBackend());
+  }
+}
+[[maybe_unused]] auto* const backend_marker = benchmark::RegisterBenchmark(
+    (std::string("BM_ActiveKernelBackend_") + core::kernels::ActiveBackend().name)
+        .c_str(),
+    BackendMarkerLoop);
 
 void BM_FairKM_ParallelSweep(benchmark::State& state) {
   const auto& data = AdultSlice(2000);

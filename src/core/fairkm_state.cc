@@ -1,5 +1,7 @@
 #include "core/fairkm_state.h"
 
+#include "core/kernels/kernels.h"
+
 namespace fairkm {
 namespace core {
 
@@ -43,19 +45,13 @@ void FairKMState::BuildAggregates(cluster::Assignment initial) {
     ++counts_[c];
     const double* row = points_->Row(i);
     double* acc = sums_.data() + c * d_;
-    double norm = 0.0;
-    for (size_t j = 0; j < d_; ++j) {
-      acc[j] += row[j];
-      norm += row[j] * row[j];
-    }
-    point_norms_[i] = norm;
+    for (size_t j = 0; j < d_; ++j) acc[j] += row[j];
+    point_norms_[i] = kernels::Dot(row, row, d_);
   }
   sum_norms_.assign(static_cast<size_t>(k_), 0.0);
   for (int c = 0; c < k_; ++c) {
     const double* s = sums_.data() + static_cast<size_t>(c) * d_;
-    double norm = 0.0;
-    for (size_t j = 0; j < d_; ++j) norm += s[j] * s[j];
-    sum_norms_[static_cast<size_t>(c)] = norm;
+    sum_norms_[static_cast<size_t>(c)] = kernels::Dot(s, s, d_);
   }
   cat_counts_.clear();
   for (const auto& attr : sensitive_->categorical) {
@@ -98,15 +94,10 @@ void FairKMState::RecomputeCatMoments(size_t a, int c) {
   const int m = attr.cardinality;
   const int64_t* counts = cat_counts_[a].data() + static_cast<size_t>(c) * m;
   const double size = static_cast<double>(counts_[static_cast<size_t>(c)]);
-  double u2 = 0.0, uq = 0.0;
-  for (int s = 0; s < m; ++s) {
-    const double q = attr.dataset_fractions[s];
-    const double u = static_cast<double>(counts[s]) - size * q;
-    u2 += u * u;
-    uq += u * q;
-  }
-  cat_u2_[a][static_cast<size_t>(c)] = u2;
-  cat_uq_[a][static_cast<size_t>(c)] = uq;
+  kernels::CatMoments(counts, attr.dataset_fractions.data(),
+                      static_cast<size_t>(m), size,
+                      &cat_u2_[a][static_cast<size_t>(c)],
+                      &cat_uq_[a][static_cast<size_t>(c)]);
 }
 
 double FairKMState::DistanceToMean(size_t i, const double* sums, double count) const {
@@ -123,8 +114,7 @@ double FairKMState::DistanceToMean(size_t i, const double* sums, double count) c
 double FairKMState::CachedDistanceToMean(size_t i, const double* sums,
                                          double sum_norm, double count) const {
   const double* row = points_->Row(i);
-  double dot = 0.0;
-  for (size_t j = 0; j < d_; ++j) dot += row[j] * sums[j];
+  const double dot = kernels::Dot(row, sums, d_);
   const double inv = 1.0 / count;
   const double dist = point_norms_[i] - 2.0 * dot * inv + sum_norm * inv * inv;
   // The expanded form can cancel to a small negative where the true distance
@@ -172,20 +162,18 @@ void FairKMState::DeltaKMeansAllClusters(size_t i, double* out) const {
   const double* row = points_->Row(i);
   const double xn = point_norms_[i];
 
-  // Pass 1: out[c] <- ||x - mu_c||^2 via one contiguous walk of the k x d
-  // sums matrix (the k dot products x . S_c dominate; everything else is
-  // O(k)).
-  const double* s = sums.data();
-  for (int c = 0; c < k_; ++c, s += d_) {
+  // Pass 1: the k dot products x . S_c as one blocked GEMV over the k x d
+  // sums matrix (the dispatch-selected kernel backend; everything else is
+  // O(k)), then fold each dot into the expanded-form distance in place.
+  kernels::Gemv(row, sums.data(), static_cast<size_t>(k_), d_, out);
+  for (int c = 0; c < k_; ++c) {
     const size_t cnt = counts[static_cast<size_t>(c)];
     if (cnt == 0) {
       out[c] = 0.0;
       continue;
     }
-    double dot = 0.0;
-    for (size_t j = 0; j < d_; ++j) dot += row[j] * s[j];
     const double inv = 1.0 / static_cast<double>(cnt);
-    const double dist = xn - 2.0 * dot * inv +
+    const double dist = xn - 2.0 * out[c] * inv +
                         sum_norms[static_cast<size_t>(c)] * inv * inv;
     // Same cancellation clamp as CachedDistanceToMean.
     out[c] = dist > 0.0 ? dist : 0.0;
@@ -377,15 +365,12 @@ void FairKMState::Move(size_t i, int to) {
   const double* row = points_->Row(i);
   double* from_sums = sums_.data() + static_cast<size_t>(from) * d_;
   double* to_sums = sums_.data() + static_cast<size_t>(to) * d_;
-  double from_norm = 0.0, to_norm = 0.0;
   for (size_t j = 0; j < d_; ++j) {
     from_sums[j] -= row[j];
     to_sums[j] += row[j];
-    from_norm += from_sums[j] * from_sums[j];
-    to_norm += to_sums[j] * to_sums[j];
   }
-  sum_norms_[static_cast<size_t>(from)] = from_norm;
-  sum_norms_[static_cast<size_t>(to)] = to_norm;
+  sum_norms_[static_cast<size_t>(from)] = kernels::Dot(from_sums, from_sums, d_);
+  sum_norms_[static_cast<size_t>(to)] = kernels::Dot(to_sums, to_sums, d_);
   --counts_[static_cast<size_t>(from)];
   ++counts_[static_cast<size_t>(to)];
   for (size_t a = 0; a < sensitive_->categorical.size(); ++a) {

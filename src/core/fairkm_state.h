@@ -15,6 +15,13 @@
 // every candidate cluster for one point in a single contiguous pass over the
 // k x d sums matrix, which is what the optimizer sweep uses.
 //
+// The dense primitives (the x . S_c dot products / blocked GEMV, and the
+// per-(attribute, cluster) moment recomputation) route through
+// core/kernels/kernels.h, which dispatches at runtime between a scalar
+// reference backend and an AVX2/FMA backend (FAIRKM_FORCE_SCALAR pins the
+// scalar one). CatMoments is bit-for-bit identical across backends, so the
+// fairness aggregates never depend on the host CPU.
+//
 // Derivation of the O(1) fairness delta (expanding Eqs. 16-19): removing a
 // point with value v from a cluster sends u_s -> u_s + q_s - [s=v], so
 //   sum_s u'_s^2 = U2 + Q2 + 1 + 2 (UQ - u_v - q_v)

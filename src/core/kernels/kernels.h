@@ -1,0 +1,103 @@
+// Vectorized kernel backends for the FairKM hot loops.
+//
+// The optimizer's per-candidate cost is dominated by two primitive shapes:
+//   * dense dot products / blocked GEMV — the x . S_c pass over the k x d
+//     sums matrix inside DeltaKMeansAllClusters and the expanded-form
+//     distance in DeltaKMeans,
+//   * the per-(attribute, cluster) fairness moments sum_s u_s^2 and
+//     sum_s u_s q_s (u_s = |C_s| - |C| q_s) recomputed on every Move.
+//
+// Each primitive exists in a scalar reference backend (plain loops, compiled
+// for the baseline ISA) and, on x86-64 hosts whose compiler supports it, an
+// AVX2/FMA backend compiled in its own translation unit with -mavx2 -mfma.
+// Which backend runs is decided once at startup by runtime CPU detection
+// (cpuid via __builtin_cpu_supports), so a single binary runs correctly on
+// non-AVX hosts; setting the environment variable FAIRKM_FORCE_SCALAR to a
+// non-empty value other than "0" (or calling SetActiveBackend) pins the
+// scalar backend — CI runs one job this way so the scalar dispatch path
+// stays exercised.
+//
+// Contract between backends:
+//   * Dot/Gemv agree with the scalar backend to floating-point reassociation
+//     only (the SIMD versions use multiple accumulators + FMA); callers
+//     tolerate ~1e-9 relative differences, and tests/simd_kernels_test.cc
+//     enforces that bound across dims 1..33 and unaligned bases.
+//   * CatMoments is BIT-FOR-BIT identical across backends: both use the same
+//     4-lane blocked accumulation with an identical reduction tree and no
+//     FMA contraction (the kernel TUs build with -ffp-contract=off), so the
+//     fairness aggregates — and therefore the optimizer trajectory of the
+//     fairness term — do not depend on the dispatched backend.
+
+#ifndef FAIRKM_CORE_KERNELS_KERNELS_H_
+#define FAIRKM_CORE_KERNELS_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace fairkm {
+namespace core {
+namespace kernels {
+
+/// \brief One kernel implementation set. All pointers are non-null.
+struct Backend {
+  const char* name;
+
+  /// sum_j a[j] * b[j] over n doubles (no alignment requirement).
+  double (*Dot)(const double* a, const double* b, size_t n);
+
+  /// Blocked row-major GEMV: out[r] = dot(x, mat + r * cols) for r in
+  /// [0, rows). One contiguous pass over the rows x cols matrix.
+  void (*Gemv)(const double* x, const double* mat, size_t rows, size_t cols,
+               double* out);
+
+  /// Fairness moments for one (attribute, cluster) pair: with
+  /// u_s = counts[s] - size * fractions[s], writes *u2 = sum_s u_s^2 and
+  /// *uq = sum_s u_s * fractions[s]. Bit-for-bit stable across backends.
+  void (*CatMoments)(const int64_t* counts, const double* fractions, size_t m,
+                     double size, double* u2, double* uq);
+};
+
+/// \brief The portable reference backend (always available).
+const Backend& ScalarBackend();
+
+/// \brief The AVX2/FMA backend, or nullptr when it was not compiled in or
+/// the running CPU lacks AVX2/FMA.
+const Backend* Avx2Backend();
+
+/// \brief Pure dispatch decision: best available backend, or scalar when
+/// `force_scalar` is set. Exposed so tests can exercise both branches
+/// without mutating the process environment.
+const Backend& DispatchBackend(bool force_scalar);
+
+/// \brief True when FAIRKM_FORCE_SCALAR is set to a non-empty value other
+/// than "0" in the environment.
+bool ScalarForcedByEnv();
+
+/// \brief The backend all kernel wrappers route through. Resolved on first
+/// use from cpuid + FAIRKM_FORCE_SCALAR; thread-safe to read concurrently.
+const Backend& ActiveBackend();
+
+/// \brief Overrides the active backend (benches/tests/CLI flag). Passing
+/// nullptr re-runs the dispatch decision on next use. Not thread-safe
+/// against concurrent kernel execution; call before spawning workers.
+void SetActiveBackend(const Backend* backend);
+
+inline double Dot(const double* a, const double* b, size_t n) {
+  return ActiveBackend().Dot(a, b, n);
+}
+
+inline void Gemv(const double* x, const double* mat, size_t rows, size_t cols,
+                 double* out) {
+  ActiveBackend().Gemv(x, mat, rows, cols, out);
+}
+
+inline void CatMoments(const int64_t* counts, const double* fractions,
+                       size_t m, double size, double* u2, double* uq) {
+  ActiveBackend().CatMoments(counts, fractions, m, size, u2, uq);
+}
+
+}  // namespace kernels
+}  // namespace core
+}  // namespace fairkm
+
+#endif  // FAIRKM_CORE_KERNELS_KERNELS_H_

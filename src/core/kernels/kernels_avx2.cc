@@ -1,0 +1,116 @@
+// AVX2/FMA backend. This translation unit — and only this one — is compiled
+// with -mavx2 -mfma (see src/CMakeLists.txt), so the rest of the binary
+// stays runnable on baseline x86-64; nothing here executes unless
+// kernels_dispatch.cc's cpuid check passed.
+//
+// Dot/Gemv use multi-accumulator FMA loops (reassociated relative to the
+// scalar backend; callers tolerate 1e-9). CatMoments deliberately avoids FMA
+// and mirrors the scalar backend's 4-lane blocked accumulation and reduction
+// tree exactly, so the fairness moments are bit-for-bit backend-independent.
+
+#include "core/kernels/kernels.h"
+
+#if defined(FAIRKM_HAVE_AVX2)
+
+#include <immintrin.h>
+
+namespace fairkm {
+namespace core {
+namespace kernels {
+namespace {
+
+// Lanes (l0+l2, l1+l3) -> (l0+l2)+(l1+l3): the reduction order
+// CatMomentsScalar replays in plain code.
+inline double HorizontalSum(__m256d v) {
+  const __m128d lo = _mm256_castpd256_pd128(v);
+  const __m128d hi = _mm256_extractf128_pd(v, 1);
+  const __m128d pair = _mm_add_pd(lo, hi);
+  return _mm_cvtsd_f64(pair) + _mm_cvtsd_f64(_mm_unpackhi_pd(pair, pair));
+}
+
+double DotAvx2(const double* a, const double* b, size_t n) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  size_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(a + j), _mm256_loadu_pd(b + j), acc0);
+    acc1 = _mm256_fmadd_pd(_mm256_loadu_pd(a + j + 4),
+                           _mm256_loadu_pd(b + j + 4), acc1);
+  }
+  if (j + 4 <= n) {
+    acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(a + j), _mm256_loadu_pd(b + j), acc0);
+    j += 4;
+  }
+  double total = HorizontalSum(_mm256_add_pd(acc0, acc1));
+  for (; j < n; ++j) total += a[j] * b[j];
+  return total;
+}
+
+// Two matrix rows share every load of x, halving the x-stream traffic of the
+// row-at-a-time formulation; the odd row falls back to the plain dot.
+void GemvAvx2(const double* x, const double* mat, size_t rows, size_t cols,
+              double* out) {
+  size_t r = 0;
+  for (; r + 2 <= rows; r += 2) {
+    const double* m0 = mat + r * cols;
+    const double* m1 = m0 + cols;
+    __m256d acc0 = _mm256_setzero_pd();
+    __m256d acc1 = _mm256_setzero_pd();
+    size_t j = 0;
+    for (; j + 4 <= cols; j += 4) {
+      const __m256d xv = _mm256_loadu_pd(x + j);
+      acc0 = _mm256_fmadd_pd(xv, _mm256_loadu_pd(m0 + j), acc0);
+      acc1 = _mm256_fmadd_pd(xv, _mm256_loadu_pd(m1 + j), acc1);
+    }
+    double d0 = HorizontalSum(acc0);
+    double d1 = HorizontalSum(acc1);
+    for (; j < cols; ++j) {
+      d0 += x[j] * m0[j];
+      d1 += x[j] * m1[j];
+    }
+    out[r] = d0;
+    out[r + 1] = d1;
+  }
+  if (r < rows) out[r] = DotAvx2(x, mat + r * cols, cols);
+}
+
+void CatMomentsAvx2(const int64_t* counts, const double* fractions, size_t m,
+                    double size, double* u2, double* uq) {
+  const __m256d sz = _mm256_set1_pd(size);
+  __m256d u2v = _mm256_setzero_pd();
+  __m256d uqv = _mm256_setzero_pd();
+  size_t s = 0;
+  for (; s + 4 <= m; s += 4) {
+    const __m256d q = _mm256_loadu_pd(fractions + s);
+    // No packed epi64->pd conversion below AVX-512; four scalar converts.
+    const __m256d c = _mm256_set_pd(static_cast<double>(counts[s + 3]),
+                                    static_cast<double>(counts[s + 2]),
+                                    static_cast<double>(counts[s + 1]),
+                                    static_cast<double>(counts[s]));
+    const __m256d u = _mm256_sub_pd(c, _mm256_mul_pd(sz, q));
+    u2v = _mm256_add_pd(u2v, _mm256_mul_pd(u, u));
+    uqv = _mm256_add_pd(uqv, _mm256_mul_pd(u, q));
+  }
+  double u2_tail = 0.0, uq_tail = 0.0;
+  for (; s < m; ++s) {
+    const double q = fractions[s];
+    const double u = static_cast<double>(counts[s]) - size * q;
+    u2_tail += u * u;
+    uq_tail += u * q;
+  }
+  *u2 = HorizontalSum(u2v) + u2_tail;
+  *uq = HorizontalSum(uqv) + uq_tail;
+}
+
+const Backend kAvx2Backend = {"avx2-fma", DotAvx2, GemvAvx2, CatMomentsAvx2};
+
+}  // namespace
+
+// Called by kernels_dispatch.cc after its cpuid check succeeded.
+const Backend& Avx2BackendImpl() { return kAvx2Backend; }
+
+}  // namespace kernels
+}  // namespace core
+}  // namespace fairkm
+
+#endif  // FAIRKM_HAVE_AVX2

@@ -1,0 +1,65 @@
+// Scalar reference backend. Compiled for the baseline ISA with
+// -ffp-contract=off (see src/CMakeLists.txt): Dot/Gemv keep the exact
+// sequential accumulation the PR-2 kernels used, and CatMoments uses the
+// 4-lane blocked order that the AVX2 backend reproduces bit-for-bit.
+
+#include "core/kernels/kernels.h"
+
+namespace fairkm {
+namespace core {
+namespace kernels {
+namespace {
+
+double DotScalar(const double* a, const double* b, size_t n) {
+  double total = 0.0;
+  for (size_t j = 0; j < n; ++j) total += a[j] * b[j];
+  return total;
+}
+
+void GemvScalar(const double* x, const double* mat, size_t rows, size_t cols,
+                double* out) {
+  const double* row = mat;
+  for (size_t r = 0; r < rows; ++r, row += cols) {
+    out[r] = DotScalar(x, row, cols);
+  }
+}
+
+// 4-lane blocked accumulation with the ((l0+l2)+(l1+l3))+tail reduction —
+// the exact operation sequence the AVX2 backend performs with vector lanes,
+// element-wise IEEE mul/add only. Keep the two implementations in lockstep:
+// tests/simd_kernels_test.cc asserts bit-for-bit equality.
+void CatMomentsScalar(const int64_t* counts, const double* fractions, size_t m,
+                      double size, double* u2, double* uq) {
+  double u2l[4] = {0.0, 0.0, 0.0, 0.0};
+  double uql[4] = {0.0, 0.0, 0.0, 0.0};
+  size_t s = 0;
+  for (; s + 4 <= m; s += 4) {
+    for (int l = 0; l < 4; ++l) {
+      const double q = fractions[s + static_cast<size_t>(l)];
+      const double u =
+          static_cast<double>(counts[s + static_cast<size_t>(l)]) - size * q;
+      u2l[l] += u * u;
+      uql[l] += u * q;
+    }
+  }
+  double u2_tail = 0.0, uq_tail = 0.0;
+  for (; s < m; ++s) {
+    const double q = fractions[s];
+    const double u = static_cast<double>(counts[s]) - size * q;
+    u2_tail += u * u;
+    uq_tail += u * q;
+  }
+  *u2 = ((u2l[0] + u2l[2]) + (u2l[1] + u2l[3])) + u2_tail;
+  *uq = ((uql[0] + uql[2]) + (uql[1] + uql[3])) + uq_tail;
+}
+
+const Backend kScalarBackend = {"scalar", DotScalar, GemvScalar,
+                                CatMomentsScalar};
+
+}  // namespace
+
+const Backend& ScalarBackend() { return kScalarBackend; }
+
+}  // namespace kernels
+}  // namespace core
+}  // namespace fairkm

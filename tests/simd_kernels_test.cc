@@ -1,0 +1,256 @@
+// Cross-checks every kernel backend against the scalar reference under
+// randomized inputs: dims 1..33 (every AVX2 tail remainder), unaligned base
+// pointers, adversarial magnitudes. Dot/Gemv must agree within 1e-9
+// (relative); CatMoments must agree BIT-FOR-BIT — FairKMState's fairness
+// aggregates, and through them the optimizer trajectory of the fairness
+// term, must not depend on which backend cpuid picked.
+
+#include "core/kernels/kernels.h"
+
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/fairkm_state.h"
+#include "data/matrix.h"
+#include "data/sensitive.h"
+#include "gtest/gtest.h"
+
+namespace fairkm {
+namespace core {
+namespace kernels {
+namespace {
+
+// All compiled-in backends that the running CPU can execute. Scalar is
+// always present; AVX2 joins when dispatch says the host supports it.
+std::vector<const Backend*> AvailableBackends() {
+  std::vector<const Backend*> backends = {&ScalarBackend()};
+  if (const Backend* avx2 = Avx2Backend()) backends.push_back(avx2);
+  return backends;
+}
+
+// Fills [out, out + n) with values spanning several orders of magnitude so
+// accumulation-order bugs actually show up.
+void FillRandom(Rng* rng, double* out, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    const double mag = std::pow(10.0, rng->UniformDouble(-3.0, 3.0));
+    out[i] = rng->UniformDouble(-1.0, 1.0) * mag;
+  }
+}
+
+TEST(KernelDispatchTest, ScalarBackendAlwaysAvailable) {
+  EXPECT_STREQ(ScalarBackend().name, "scalar");
+  ASSERT_NE(ScalarBackend().Dot, nullptr);
+  ASSERT_NE(ScalarBackend().Gemv, nullptr);
+  ASSERT_NE(ScalarBackend().CatMoments, nullptr);
+}
+
+TEST(KernelDispatchTest, ForcedScalarDispatchPicksScalar) {
+  EXPECT_STREQ(DispatchBackend(/*force_scalar=*/true).name, "scalar");
+}
+
+TEST(KernelDispatchTest, UnforcedDispatchPicksBestAvailable) {
+  const Backend& picked = DispatchBackend(/*force_scalar=*/false);
+  if (const Backend* avx2 = Avx2Backend()) {
+    EXPECT_EQ(&picked, avx2);
+  } else {
+    EXPECT_EQ(&picked, &ScalarBackend());
+  }
+}
+
+TEST(KernelDispatchTest, SetActiveBackendOverridesAndRestores) {
+  SetActiveBackend(&ScalarBackend());
+  EXPECT_STREQ(ActiveBackend().name, "scalar");
+  SetActiveBackend(nullptr);  // Re-dispatch.
+  EXPECT_STREQ(ActiveBackend().name,
+               DispatchBackend(ScalarForcedByEnv()).name);
+}
+
+TEST(SimdKernelsTest, DotMatchesScalarAcrossDimsAndOffsets) {
+  Rng rng(20260729);
+  for (const Backend* backend : AvailableBackends()) {
+    SCOPED_TRACE(backend->name);
+    for (size_t n = 1; n <= 33; ++n) {
+      for (size_t offset = 0; offset < 4; ++offset) {
+        std::vector<double> a(offset + n), b(offset + n);
+        FillRandom(&rng, a.data(), a.size());
+        FillRandom(&rng, b.data(), b.size());
+        const double* pa = a.data() + offset;
+        const double* pb = b.data() + offset;
+        const double want = ScalarBackend().Dot(pa, pb, n);
+        const double got = backend->Dot(pa, pb, n);
+        const double tol = 1e-9 * std::max(1.0, std::fabs(want));
+        EXPECT_NEAR(got, want, tol) << "n=" << n << " offset=" << offset;
+      }
+    }
+  }
+}
+
+TEST(SimdKernelsTest, DotHandlesZeroLength) {
+  const double x = 1.0;
+  for (const Backend* backend : AvailableBackends()) {
+    EXPECT_EQ(backend->Dot(&x, &x, 0), 0.0) << backend->name;
+  }
+}
+
+TEST(SimdKernelsTest, GemvMatchesPerRowDot) {
+  Rng rng(7);
+  for (const Backend* backend : AvailableBackends()) {
+    SCOPED_TRACE(backend->name);
+    for (size_t rows : {1, 2, 3, 5, 8}) {
+      for (size_t cols = 1; cols <= 33; ++cols) {
+        for (size_t offset = 0; offset < 2; ++offset) {
+          std::vector<double> x(offset + cols);
+          std::vector<double> mat(offset + rows * cols);
+          FillRandom(&rng, x.data(), x.size());
+          FillRandom(&rng, mat.data(), mat.size());
+          std::vector<double> out(rows, -1.0);
+          backend->Gemv(x.data() + offset, mat.data() + offset, rows, cols,
+                        out.data());
+          for (size_t r = 0; r < rows; ++r) {
+            const double want = ScalarBackend().Dot(
+                x.data() + offset, mat.data() + offset + r * cols, cols);
+            const double tol = 1e-9 * std::max(1.0, std::fabs(want));
+            EXPECT_NEAR(out[r], want, tol)
+                << "rows=" << rows << " cols=" << cols << " r=" << r
+                << " offset=" << offset;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdKernelsTest, CatMomentsBitForBitAcrossBackends) {
+  Rng rng(99);
+  for (const Backend* backend : AvailableBackends()) {
+    SCOPED_TRACE(backend->name);
+    for (size_t m = 1; m <= 33; ++m) {
+      for (int trial = 0; trial < 8; ++trial) {
+        std::vector<int64_t> counts(m);
+        std::vector<double> fractions(m);
+        double total = 0.0;
+        for (size_t s = 0; s < m; ++s) {
+          counts[s] = rng.UniformInt(int64_t{0}, int64_t{100000});
+          fractions[s] = rng.UniformDouble(0.0, 1.0) + 1e-6;
+          total += fractions[s];
+        }
+        for (size_t s = 0; s < m; ++s) fractions[s] /= total;
+        const double size = static_cast<double>(
+            rng.UniformInt(int64_t{0}, int64_t{1000000}));
+        double want_u2 = 0.0, want_uq = 0.0, got_u2 = 0.0, got_uq = 0.0;
+        ScalarBackend().CatMoments(counts.data(), fractions.data(), m, size,
+                                   &want_u2, &want_uq);
+        backend->CatMoments(counts.data(), fractions.data(), m, size, &got_u2,
+                            &got_uq);
+        // Bit-for-bit: memcmp of the raw doubles, not a tolerance.
+        EXPECT_EQ(std::memcmp(&got_u2, &want_u2, sizeof(double)), 0)
+            << "m=" << m << " u2 " << got_u2 << " vs " << want_u2;
+        EXPECT_EQ(std::memcmp(&got_uq, &want_uq, sizeof(double)), 0)
+            << "m=" << m << " uq " << got_uq << " vs " << want_uq;
+      }
+    }
+  }
+}
+
+TEST(SimdKernelsTest, CatMomentsMatchesDirectExpansion) {
+  Rng rng(5);
+  for (size_t m = 1; m <= 17; ++m) {
+    std::vector<int64_t> counts(m);
+    std::vector<double> fractions(m, 1.0 / static_cast<double>(m));
+    int64_t size = 0;
+    for (size_t s = 0; s < m; ++s) {
+      counts[s] = rng.UniformInt(int64_t{0}, int64_t{500});
+      size += counts[s];
+    }
+    double direct_u2 = 0.0, direct_uq = 0.0;
+    for (size_t s = 0; s < m; ++s) {
+      const double u = static_cast<double>(counts[s]) -
+                       static_cast<double>(size) * fractions[s];
+      direct_u2 += u * u;
+      direct_uq += u * fractions[s];
+    }
+    for (const Backend* backend : AvailableBackends()) {
+      double u2 = 0.0, uq = 0.0;
+      backend->CatMoments(counts.data(), fractions.data(), m,
+                          static_cast<double>(size), &u2, &uq);
+      EXPECT_NEAR(u2, direct_u2, 1e-9 * std::max(1.0, direct_u2))
+          << backend->name << " m=" << m;
+      EXPECT_NEAR(uq, direct_uq, 1e-9) << backend->name << " m=" << m;
+    }
+  }
+}
+
+// End-to-end: a FairKMState driven with the scalar backend and one driven
+// with each other backend agree on every batched K-Means delta to 1e-9 and
+// on the fairness deltas bit-for-bit (CatMoments contract).
+TEST(SimdKernelsTest, FairKMStateDeltasBackendIndependent) {
+  constexpr size_t kRows = 60, kDims = 7;
+  constexpr int kK = 4;
+  Rng rng(1234);
+  data::Matrix points(kRows, kDims);
+  FillRandom(&rng, points.data().data(), kRows * kDims);
+
+  data::SensitiveView sensitive;
+  data::CategoricalSensitive attr;
+  attr.name = "group";
+  attr.cardinality = 5;
+  attr.codes.resize(kRows);
+  std::vector<int64_t> value_counts(5, 0);
+  for (size_t i = 0; i < kRows; ++i) {
+    attr.codes[i] = static_cast<int32_t>(rng.UniformInt(uint64_t{5}));
+    ++value_counts[static_cast<size_t>(attr.codes[i])];
+  }
+  for (int64_t count : value_counts) {
+    attr.dataset_fractions.push_back(static_cast<double>(count) /
+                                     static_cast<double>(kRows));
+  }
+  sensitive.categorical.push_back(std::move(attr));
+
+  cluster::Assignment initial(kRows);
+  for (auto& a : initial) a = static_cast<int32_t>(rng.UniformInt(uint64_t{kK}));
+
+  struct Probe {
+    std::vector<double> km;
+    std::vector<double> fair;
+  };
+  auto run_with = [&](const Backend* backend) {
+    SetActiveBackend(backend);
+    auto state =
+        FairKMState::Create(&points, &sensitive, kK, initial).ValueOrDie();
+    Probe probe;
+    std::vector<double> km(kK);
+    for (size_t i = 0; i < kRows; ++i) {
+      state.DeltaKMeansAllClusters(i, km.data());
+      for (int c = 0; c < kK; ++c) {
+        probe.km.push_back(km[static_cast<size_t>(c)]);
+        probe.fair.push_back(state.DeltaFairness(i, c));
+      }
+      // Exercise Move/RecomputeCatMoments too.
+      if (i % 7 == 0) state.Move(i, static_cast<int>(i) % kK);
+    }
+    SetActiveBackend(nullptr);
+    return probe;
+  };
+
+  const Probe want = run_with(&ScalarBackend());
+  for (const Backend* backend : AvailableBackends()) {
+    if (backend == &ScalarBackend()) continue;
+    SCOPED_TRACE(backend->name);
+    const Probe got = run_with(backend);
+    ASSERT_EQ(got.km.size(), want.km.size());
+    for (size_t i = 0; i < want.km.size(); ++i) {
+      EXPECT_NEAR(got.km[i], want.km[i],
+                  1e-9 * std::max(1.0, std::fabs(want.km[i])))
+          << "km delta " << i;
+      EXPECT_EQ(got.fair[i], want.fair[i]) << "fairness delta " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kernels
+}  // namespace core
+}  // namespace fairkm

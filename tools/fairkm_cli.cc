@@ -16,6 +16,7 @@
 #include "common/csv.h"
 #include "common/string_util.h"
 #include "core/fairkm.h"
+#include "core/kernels/kernels.h"
 #include "data/dataset.h"
 #include "data/preprocess.h"
 #include "data/sensitive.h"
@@ -28,6 +29,16 @@ using namespace fairkm;
 namespace {
 
 Status Run(const ArgParser& args) {
+  // Kernel backend: "auto" keeps the runtime cpuid dispatch (which
+  // FAIRKM_FORCE_SCALAR in the environment already narrows to scalar);
+  // "scalar" pins the portable backend from the command line.
+  const std::string kernels = ToLower(args.GetString("kernels"));
+  if (kernels == "scalar") {
+    core::kernels::SetActiveBackend(&core::kernels::ScalarBackend());
+  } else if (kernels != "auto") {
+    return Status::InvalidArgument("--kernels must be auto or scalar");
+  }
+
   const std::string input = args.GetString("input");
   if (input.empty()) return Status::InvalidArgument("--input is required");
 
@@ -132,6 +143,7 @@ Status Run(const ArgParser& args) {
   // Report.
   std::printf("n = %zu rows, %zu task attributes, k = %d, method = %s\n",
               matrix.rows(), matrix.cols(), k, method.c_str());
+  std::printf("kernel backend: %s\n", core::kernels::ActiveBackend().name);
   std::printf("clustering objective (SSE): %.4f\n",
               metrics::ClusteringObjective(matrix, assignment, k));
   std::printf("silhouette: %.4f\n", metrics::SilhouetteScore(matrix, assignment, k));
@@ -178,6 +190,8 @@ int main(int argc, char** argv) {
   args.AddFlag("sweep", "serial", "candidate evaluation: serial | parallel");
   args.AddFlag("threads", "0", "parallel sweep workers (0 = hardware)");
   args.AddFlag("scale", "minmax", "feature scaling: minmax | zscore | none");
+  args.AddFlag("kernels", "auto",
+               "kernel backend: auto (cpuid dispatch) | scalar");
   args.AddFlag("seed", "42", "random seed");
   args.AddFlag("help", "false", "show usage");
   if (Status st = args.Parse(argc, argv); !st.ok()) {
