@@ -2,12 +2,19 @@
 // complexity discussion:
 //   * FairKM wall time vs dataset size (the incremental optimizer is
 //     O(n k (d + sum_S m_S)) per sweep, not the naive quadratic form),
+//   * FairKM wall time vs feature dimensionality d on synthetic tf-idf-like
+//     data (the ROADMAP's d-scaling axis — where the GEMV kernels and the
+//     bound-gated pruning pay most),
+//   * bound-gated pruning vs the exhaustive sweep (bit-identical
+//     trajectories; the pruned_fraction counter records how many candidate
+//     evaluations the gate rejected),
 //   * fast incremental deltas vs naive full-objective recomputation,
 //   * FairKM vs K-Means vs ZGYA (hard and soft) at a fixed size,
 //   * single move-delta evaluation cost.
 
 #include <benchmark/benchmark.h>
 
+#include <map>
 #include <memory>
 #include <string>
 
@@ -36,6 +43,110 @@ const exp::ExperimentData& AdultSlice(size_t rows) {
   }
   return *slot;
 }
+
+// Synthetic tf-idf-like world for the d-scaling axis: sparse non-negative
+// skewed features with latent topic structure (each topic loads on its own
+// subset of dimensions, plus background noise), and three categorical
+// sensitive attributes with skewed marginals. Pure function of (n, d).
+struct SyntheticWorldData {
+  data::Matrix features;
+  data::SensitiveView sensitive;
+};
+
+const SyntheticWorldData& SyntheticWorld(size_t n, size_t d) {
+  static std::map<std::pair<size_t, size_t>, std::unique_ptr<SyntheticWorldData>>
+      cache;
+  auto& slot = cache[{n, d}];
+  if (slot) return *slot;
+  slot = std::make_unique<SyntheticWorldData>();
+  Rng rng(0xD5CA11 + n * 31 + d);
+  const size_t topics = 8;
+  slot->features = data::Matrix(n, d);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t topic = rng.UniformInt(static_cast<uint64_t>(topics));
+    double* row = slot->features.Row(i);
+    for (size_t j = 0; j < d; ++j) {
+      if (j % topics == topic) {
+        row[j] = rng.UniformDouble(0.5, 2.0);  // On-topic term weight.
+      } else if (rng.Bernoulli(0.1)) {
+        row[j] = rng.UniformDouble(0.0, 0.3);  // Background term.
+      }
+    }
+  }
+  const int cards[3] = {2, 4, 8};
+  for (int a = 0; a < 3; ++a) {
+    data::CategoricalSensitive attr;
+    attr.name = "attr" + std::to_string(a);
+    attr.cardinality = cards[a];
+    attr.codes.resize(n);
+    std::vector<int64_t> counts(static_cast<size_t>(cards[a]), 0);
+    for (size_t i = 0; i < n; ++i) {
+      // Skewed marginal: value 0 as likely as all other values combined.
+      const bool head = rng.Bernoulli(0.5);
+      const int32_t v =
+          head ? 0
+               : static_cast<int32_t>(
+                     1 + rng.UniformInt(static_cast<uint64_t>(cards[a] - 1)));
+      attr.codes[i] = v;
+      ++counts[static_cast<size_t>(v)];
+    }
+    attr.dataset_fractions.resize(static_cast<size_t>(cards[a]));
+    for (int s = 0; s < cards[a]; ++s) {
+      attr.dataset_fractions[static_cast<size_t>(s)] =
+          static_cast<double>(counts[static_cast<size_t>(s)]) /
+          static_cast<double>(n);
+    }
+    slot->sensitive.categorical.push_back(std::move(attr));
+  }
+  return *slot;
+}
+
+// One full FairKM run over a synthetic world; shared body of the d-scaling
+// axis and the pruned-vs-exact gate pair. Reports the pruned-candidate
+// fraction (and the sweep share of wall time) as user counters.
+void FairKMSweepBody(benchmark::State& state, size_t n, size_t d, bool prune) {
+  const auto& world = SyntheticWorld(n, d);
+  core::FairKMOptions options;
+  options.k = 8;
+  options.lambda = core::SuggestLambda(n, options.k);
+  // The paper's protocol runs 30 sweeps without a convergence cut-off
+  // (§5.4); that is also where pruning pays — later sweeps are nearly all
+  // gated once the assignment settles.
+  options.max_iterations = 30;
+  options.enable_pruning = prune;
+  double pruned_fraction = 0.0, sweep_seconds = 0.0;
+  for (auto _ : state) {
+    Rng rng(42);
+    auto result = core::RunFairKM(world.features, world.sensitive, options, &rng);
+    const core::FairKMResult& r = result.ValueOrDie();
+    pruned_fraction = r.PrunedFraction();
+    sweep_seconds = r.sweep_seconds;
+    benchmark::DoNotOptimize(result.ok());
+  }
+  state.counters["pruned_fraction"] = pruned_fraction;
+  state.counters["sweep_seconds"] = sweep_seconds;
+}
+
+// The ROADMAP d-scaling axis: same row count, growing feature width. The
+// default (pruned) path; recorded per-d in BENCH_scaling.json.
+void BM_FairKM_Sweep(benchmark::State& state) {
+  FairKMSweepBody(state, 8192, static_cast<size_t>(state.range(0)),
+                  /*prune=*/true);
+}
+BENCHMARK(BM_FairKM_Sweep)->Arg(8)->Arg(64)->Arg(256)->Unit(benchmark::kMillisecond);
+
+// The pruning gate pair (d = 64, n = 50k): tools/bench_json.sh requires
+// Exact/Pruned >= MIN_PRUNE_SPEEDUP. Trajectories are bit-identical; only
+// the number of candidate evaluations differs.
+void BM_FairKM_Sweep_d64_Pruned(benchmark::State& state) {
+  FairKMSweepBody(state, 50000, 64, /*prune=*/true);
+}
+BENCHMARK(BM_FairKM_Sweep_d64_Pruned)->Unit(benchmark::kMillisecond);
+
+void BM_FairKM_Sweep_d64_Exact(benchmark::State& state) {
+  FairKMSweepBody(state, 50000, 64, /*prune=*/false);
+}
+BENCHMARK(BM_FairKM_Sweep_d64_Exact)->Unit(benchmark::kMillisecond);
 
 void BM_FairKM_DatasetSize(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
@@ -106,18 +217,40 @@ void BM_KMeansBlind(benchmark::State& state) {
 }
 BENCHMARK(BM_KMeansBlind)->Unit(benchmark::kMillisecond);
 
+// The Adult multi-attribute regime, default (pruned) path. The
+// pruned_fraction counter is the tools/bench_json.sh gate anchor for "the
+// bounds actually bite on the paper's own workload".
 void BM_FairKM_AllAttributes(benchmark::State& state) {
   const auto& data = AdultSlice(2000);
   core::FairKMOptions options;
   options.k = 5;
   options.lambda = data.paper_lambda;
+  double pruned_fraction = 0.0;
+  for (auto _ : state) {
+    Rng rng(42);
+    auto result = core::RunFairKM(data.features, data.sensitive, options, &rng);
+    pruned_fraction = result.ValueOrDie().PrunedFraction();
+    benchmark::DoNotOptimize(result.ok());
+  }
+  state.counters["pruned_fraction"] = pruned_fraction;
+}
+BENCHMARK(BM_FairKM_AllAttributes)->Unit(benchmark::kMillisecond);
+
+// Same config with pruning disabled — the exact-path anchor that keeps the
+// Adult pair comparable PR over PR.
+void BM_FairKM_AllAttributes_Exact(benchmark::State& state) {
+  const auto& data = AdultSlice(2000);
+  core::FairKMOptions options;
+  options.k = 5;
+  options.lambda = data.paper_lambda;
+  options.enable_pruning = false;
   for (auto _ : state) {
     Rng rng(42);
     auto result = core::RunFairKM(data.features, data.sensitive, options, &rng);
     benchmark::DoNotOptimize(result.ok());
   }
 }
-BENCHMARK(BM_FairKM_AllAttributes)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FairKM_AllAttributes_Exact)->Unit(benchmark::kMillisecond);
 
 void BM_FairKM_MiniBatch(benchmark::State& state) {
   const auto& data = AdultSlice(2000);
@@ -300,6 +433,19 @@ void BackendMarkerLoop(benchmark::State& state) {
 [[maybe_unused]] auto* const backend_marker = benchmark::RegisterBenchmark(
     (std::string("BM_ActiveKernelBackend_") + core::kernels::ActiveBackend().name)
         .c_str(),
+    BackendMarkerLoop);
+
+// Zero-work marker whose *name* records whether THIS binary was compiled
+// with NDEBUG (i.e. an optimized Release configuration). The real
+// google-benchmark's context.library_build_type describes the benchmark
+// *library*, not our code, so tools/bench_json.sh gates on this marker
+// instead: a debug record fails loudly.
+[[maybe_unused]] auto* const build_config_marker = benchmark::RegisterBenchmark(
+#ifdef NDEBUG
+    "BM_BuildConfig_release",
+#else
+    "BM_BuildConfig_debug",
+#endif
     BackendMarkerLoop);
 
 void BM_FairKM_ParallelSweep(benchmark::State& state) {

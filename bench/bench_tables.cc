@@ -98,6 +98,7 @@ void RunQualityTable(const exp::ExperimentData& data, const std::vector<int>& ks
     add("DevC (down)", blind.devc.mean(), z_devc * inv, fairkm.devc.mean(), 2);
     add("DevO (down)", blind.devo.mean(), z_devo * inv, fairkm.devo.mean(), 3);
     table.Print();
+    std::printf("FairKM perf: %s\n", exp::PerfSummary(fairkm).c_str());
   }
   std::printf(
       "\nExpected shape (paper): K-Means(N) best on CO/SH; FairKM close behind;\n"
@@ -170,6 +171,7 @@ void RunFairnessTable(const exp::ExperimentData& data, const std::vector<int>& k
                 f.aw.mean(), f.me.mean(), f.mw.mean());
     }
     table.Print();
+    std::printf("FairKM perf: %s\n", exp::PerfSummary(fairkm).c_str());
   }
   std::printf(
       "\nExpected shape (paper): FairKM wins the Mean-across-S block on all four\n"

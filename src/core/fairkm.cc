@@ -4,7 +4,9 @@
 #include <memory>
 
 #include "common/thread_pool.h"
+#include "common/timer.h"
 #include "core/fairkm_state.h"
+#include "core/pruning.h"
 
 namespace fairkm {
 namespace core {
@@ -81,6 +83,18 @@ Result<FairKMResult> RunFairKM(const data::Matrix& points,
   const size_t batch_size =
       minibatch ? static_cast<size_t>(options.minibatch_size) : n;
 
+  // Bound-gated pruning (core/pruning.h): on unless the options or the
+  // FAIRKM_DISABLE_PRUNING escape hatch turn it off. k = 1 has no candidate
+  // moves to gate, so skip the bookkeeping entirely.
+  const bool pruning =
+      options.enable_pruning && !PruningDisabledByEnv() && options.k > 1;
+  state.EnableBoundTracking(pruning);
+  std::unique_ptr<SweepPruner> pruner;
+  if (pruning) {
+    pruner = std::make_unique<SweepPruner>(&state, lambda,
+                                           options.min_improvement);
+  }
+
   const size_t num_threads = !parallel ? 1
                              : options.num_threads > 0
                                  ? static_cast<size_t>(options.num_threads)
@@ -88,12 +102,24 @@ Result<FairKMResult> RunFairKM(const data::Matrix& points,
   std::unique_ptr<ThreadPool> pool;
   if (parallel && num_threads > 1) pool = std::make_unique<ThreadPool>(num_threads);
 
-  // Scratch for the batched K-Means kernel: one row of k candidate deltas per
-  // in-flight point (the whole batch in parallel mode, one row otherwise).
-  std::vector<double> km_deltas(parallel ? std::min(batch_size, n) * k : k);
+  // Scratch for the batched K-Means kernel: one row of k candidate deltas
+  // (plus, when pruning, k exported distances) per in-flight point — the
+  // whole batch in parallel mode, one row otherwise.
+  const size_t rows = parallel ? std::min(batch_size, n) : 1;
+  std::vector<double> km_deltas(rows * k);
+  std::vector<double> km_dists(pruning ? rows * k : 0);
+  // Parallel mode: which batch points phase 1 actually evaluated (survivors
+  // of the phase-1 gate; phase 2 may evaluate stragglers on demand).
+  std::vector<uint8_t> evaluated(parallel ? rows : 0, 1);
+  auto dists_row = [&](size_t offset) -> double* {
+    return pruning ? km_dists.data() + offset * k : nullptr;
+  };
 
   FairKMResult result;
   result.lambda_used = lambda;
+  result.pruning_enabled = pruning;
+  const uint64_t cands_per_point = static_cast<uint64_t>(k - 1);
+  Timer sweep_timer;
   for (int iter = 0; iter < options.max_iterations; ++iter) {
     size_t moves = 0;
     // Round-robin over objects (paper Algorithm 1, step 4): each object is
@@ -104,14 +130,24 @@ Result<FairKMResult> RunFairKM(const data::Matrix& points,
       const size_t batch_end = std::min(n, batch_start + batch_size);
       if (parallel) {
         // Phase 1 (concurrent, read-only): batched K-Means deltas for every
-        // point of the mini-batch against the frozen snapshot. Fairness
-        // deltas are intentionally left to phase 2 — they read live
-        // aggregates, which is exactly what the serial mini-batch sweep
-        // does, so both modes walk identical trajectories.
+        // point of the mini-batch that survives the pruning gate, against
+        // the frozen prototype snapshot. Fairness deltas are intentionally
+        // left to phase 2 — they read live aggregates, which is exactly what
+        // the serial mini-batch sweep does, so both modes walk identical
+        // trajectories. The gate is re-checked live in phase 2 (earlier
+        // moves of the same batch shift the fairness bounds), so a phase-1
+        // skip is only a prefetch decision, never a correctness one.
         const size_t count = batch_end - batch_start;
         auto eval_point = [&](size_t offset) {
-          state.DeltaKMeansAllClusters(batch_start + offset,
-                                       km_deltas.data() + offset * k);
+          const size_t i = batch_start + offset;
+          if (pruner && pruner->ShouldPrune(i)) {
+            evaluated[offset] = 0;
+            return;
+          }
+          evaluated[offset] = 1;
+          state.DeltaKMeansAllClusters(i, km_deltas.data() + offset * k,
+                                       dists_row(offset));
+          if (pruner) pruner->Refresh(i, dists_row(offset));
         };
         if (pool) {
           const size_t shards = std::min(pool->num_threads(), count);
@@ -129,17 +165,43 @@ Result<FairKMResult> RunFairKM(const data::Matrix& points,
           for (size_t off = 0; off < count; ++off) eval_point(off);
         }
         // Phase 2 (sequential): pick and apply moves in round-robin order.
+        // Phase-1 survivors go straight to the exact argmin — their deltas
+        // are already computed, so re-running the gate would only duplicate
+        // the fairness work ApplyBestMove does anyway. Phase-1-pruned
+        // points re-check the gate live (earlier moves of this batch may
+        // have shifted the fairness bounds); if it no longer holds they are
+        // evaluated on demand against the still-frozen snapshot, which
+        // yields deltas identical to a phase-1 evaluation.
         for (size_t i = batch_start; i < batch_end; ++i) {
-          if (ApplyBestMove(&state, i, km_deltas.data() + (i - batch_start) * k,
-                            lambda, options.min_improvement, options.k)) {
+          const size_t offset = i - batch_start;
+          result.total_candidates += cands_per_point;
+          if (pruner && !evaluated[offset]) {
+            if (pruner->ShouldPrune(i)) {
+              result.pruned_candidates += cands_per_point;
+              continue;
+            }
+            state.DeltaKMeansAllClusters(i, km_deltas.data() + offset * k,
+                                         dists_row(offset));
+            pruner->Refresh(i, dists_row(offset));
+          }
+          if (ApplyBestMove(&state, i, km_deltas.data() + offset * k, lambda,
+                            options.min_improvement, options.k)) {
+            if (pruner) pruner->Invalidate(i);
             ++moves;
           }
         }
       } else {
         for (size_t i = batch_start; i < batch_end; ++i) {
-          state.DeltaKMeansAllClusters(i, km_deltas.data());
+          result.total_candidates += cands_per_point;
+          if (pruner && pruner->ShouldPrune(i)) {
+            result.pruned_candidates += cands_per_point;
+            continue;
+          }
+          state.DeltaKMeansAllClusters(i, km_deltas.data(), dists_row(0));
+          if (pruner) pruner->Refresh(i, dists_row(0));
           if (ApplyBestMove(&state, i, km_deltas.data(), lambda,
                             options.min_improvement, options.k)) {
+            if (pruner) pruner->Invalidate(i);
             ++moves;
           }
         }
@@ -151,13 +213,16 @@ Result<FairKMResult> RunFairKM(const data::Matrix& points,
     }
     if (minibatch) state.RefreshPrototypes();
     result.iterations = iter + 1;
-    result.objective_history.push_back(state.KMeansTerm() +
-                                       lambda * state.FairnessTerm());
+    // O(k + k sum m) per sweep from the maintained caches — the scratch
+    // O(n d) recompute would otherwise dominate a heavily pruned sweep.
+    result.objective_history.push_back(state.KMeansTermCached() +
+                                       lambda * state.FairnessTermCached());
     if (moves == 0) {
       result.converged = true;
       break;
     }
   }
+  result.sweep_seconds = sweep_timer.ElapsedSeconds();
 
   result.assignment = state.assignment();
   cluster::FinalizeResult(points, options.k, &result);

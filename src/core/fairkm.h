@@ -15,6 +15,7 @@
 #ifndef FAIRKM_CORE_FAIRKM_H_
 #define FAIRKM_CORE_FAIRKM_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "cluster/kmeans.h"
@@ -64,6 +65,12 @@ struct FairKMOptions {
   /// A move must improve the objective by at least this much, which guards
   /// against floating-point oscillation across sweeps.
   double min_improvement = 1e-9;
+  /// Bound-gated candidate pruning (core/pruning.h): skip points whose
+  /// distance + fairness bounds prove no improving move exists, keeping the
+  /// trajectory bit-identical to the exhaustive sweep. On by default; the
+  /// FAIRKM_DISABLE_PRUNING environment variable (or fairkm_cli --no-prune)
+  /// forces the exact path regardless.
+  bool enable_pruning = true;
 };
 
 /// \brief FairKM output: clustering plus the decomposed objective.
@@ -74,6 +81,25 @@ struct FairKMResult : cluster::ClusteringResult {
   /// Total objective after every sweep (non-increasing when minibatch_size
   /// is 0, since every accepted move strictly decreases Eq. 1).
   std::vector<double> objective_history;
+
+  /// Wall time spent inside the optimization sweeps (excludes input
+  /// validation, initialization and result finalization).
+  double sweep_seconds = 0.0;
+  /// Whether bound-gated pruning actually ran (options + environment).
+  bool pruning_enabled = false;
+  /// Candidate-evaluation accounting across all sweeps: each point processed
+  /// contributes k-1 candidates to `total_candidates`; a point skipped by
+  /// the pruning gate contributes its k-1 to `pruned_candidates` as well.
+  uint64_t total_candidates = 0;
+  uint64_t pruned_candidates = 0;
+  /// Fraction of candidate evaluations the pruning gate rejected (0 when
+  /// pruning was off or nothing was processed).
+  double PrunedFraction() const {
+    return total_candidates == 0
+               ? 0.0
+               : static_cast<double>(pruned_candidates) /
+                     static_cast<double>(total_candidates);
+  }
 };
 
 /// \brief The paper's §5.4 heuristic: lambda = (n/k)^2.

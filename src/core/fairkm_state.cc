@@ -1,9 +1,24 @@
 #include "core/fairkm_state.h"
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
 #include "core/kernels/kernels.h"
 
 namespace fairkm {
 namespace core {
+
+namespace {
+
+// Drift charged when a previously empty effective cluster gains its first
+// member: the new centroid can be anywhere, so every stale lower bound that
+// predates the refill must collapse to zero. Large enough to dwarf any real
+// distance, small enough that repeated bumps never overflow to infinity
+// (infinities would poison the drift-delta subtractions with NaNs).
+constexpr double kEmptyRefillDrift = 1e30;
+
+}  // namespace
 
 FairKMState::FairKMState(const data::Matrix* points,
                          const data::SensitiveView* sensitive, int k,
@@ -13,6 +28,7 @@ FairKMState::FairKMState(const data::Matrix* points,
       k_(k),
       n_(points->rows()),
       d_(points->cols()),
+      stride_(data::PaddedStride(points->cols())),
       config_(config) {}
 
 Result<FairKMState> FairKMState::Create(const data::Matrix* points,
@@ -37,21 +53,24 @@ Result<FairKMState> FairKMState::Create(const data::Matrix* points,
 
 void FairKMState::BuildAggregates(cluster::Assignment initial) {
   assignment_ = std::move(initial);
+  store_ = data::PointStore(*points_);
   counts_.assign(static_cast<size_t>(k_), 0);
-  sums_.assign(static_cast<size_t>(k_) * d_, 0.0);
+  sums_.assign(static_cast<size_t>(k_) * stride_, 0.0);
   point_norms_.assign(n_, 0.0);
   for (size_t i = 0; i < n_; ++i) {
     const size_t c = static_cast<size_t>(assignment_[i]);
     ++counts_[c];
-    const double* row = points_->Row(i);
-    double* acc = sums_.data() + c * d_;
+    const double* row = store_.Row(i);
+    double* acc = sums_.data() + c * stride_;
     for (size_t j = 0; j < d_; ++j) acc[j] += row[j];
-    point_norms_[i] = kernels::Dot(row, row, d_);
+    point_norms_[i] = kernels::Dot(row, row, stride_);
   }
+  total_point_norm_ = 0.0;
+  for (size_t i = 0; i < n_; ++i) total_point_norm_ += point_norms_[i];
   sum_norms_.assign(static_cast<size_t>(k_), 0.0);
   for (int c = 0; c < k_; ++c) {
-    const double* s = sums_.data() + static_cast<size_t>(c) * d_;
-    sum_norms_[static_cast<size_t>(c)] = kernels::Dot(s, s, d_);
+    const double* s = sums_.data() + static_cast<size_t>(c) * stride_;
+    sum_norms_[static_cast<size_t>(c)] = kernels::Dot(s, s, stride_);
   }
   cat_counts_.clear();
   for (const auto& attr : sensitive_->categorical) {
@@ -100,6 +119,190 @@ void FairKMState::RecomputeCatMoments(size_t a, int c) {
                       &cat_uq_[a][static_cast<size_t>(c)]);
 }
 
+void FairKMState::RecomputeFairBounds(int c) {
+  const size_t ci = static_cast<size_t>(c);
+  const size_t cnt = counts_[ci];
+  const double scale_before = ClusterScale(config_.weighting, cnt, n_);
+  const double scale_ins_after = ClusterScale(config_.weighting, cnt + 1, n_);
+  const double scale_rem_after =
+      cnt >= 1 ? ClusterScale(config_.weighting, cnt - 1, n_) : 0.0;
+  double rem = 0.0, ins = 0.0;
+  for (size_t a = 0; a < sensitive_->categorical.size(); ++a) {
+    const auto& attr = sensitive_->categorical[a];
+    const size_t m = static_cast<size_t>(attr.cardinality);
+    const double wn = attr.weight *
+                      (config_.normalize_domain
+                           ? 1.0 / static_cast<double>(attr.cardinality)
+                           : 1.0);
+    double rem_min = 0.0, ins_min = 0.0;
+    kernels::CatDeltaBounds(cat_counts_[a].data() + ci * m,
+                            attr.dataset_fractions.data(), m,
+                            static_cast<double>(cnt), cat_u2_[a][ci],
+                            cat_uq_[a][ci], cat_q2_[a], scale_before,
+                            scale_rem_after, scale_ins_after,
+                            delta_scratch_rem_.data(),
+                            delta_scratch_ins_.data(), &rem_min, &ins_min);
+    double* rem_row = cat_rem_delta_[a].data() + ci * m;
+    double* ins_row = cat_ins_delta_[a].data() + ci * m;
+    for (size_t v = 0; v < m; ++v) {
+      rem_row[v] = wn * delta_scratch_rem_[v];
+      ins_row[v] = wn * delta_scratch_ins_[v];
+    }
+    ins += wn * ins_min;
+    // The removal row of an empty cluster is undefined (and unused): no
+    // point is assigned there.
+    if (cnt >= 1) rem += wn * rem_min;
+  }
+  for (size_t a = 0; a < sensitive_->numeric.size(); ++a) {
+    const auto& attr = sensitive_->numeric[a];
+    const double u = num_sums_[a][ci] - static_cast<double>(cnt) * attr.dataset_mean;
+    // scale_after * u_after^2 - scale_before * u^2 >= -scale_before * u^2
+    // for any moved value (the after-term is a non-negative scale times a
+    // square).
+    const double piece = -attr.weight * scale_before * u * u;
+    ins += piece;
+    if (cnt >= 1) rem += piece;
+  }
+  fair_rem_bound_[ci] = rem;
+  fair_ins_bound_[ci] = ins;
+}
+
+double FairKMState::FairRemovalDelta(size_t i) const {
+  FAIRKM_DCHECK(track_bounds_);
+  const int from = assignment_[i];
+  const size_t fi = static_cast<size_t>(from);
+  double total = 0.0;
+  for (size_t a = 0; a < sensitive_->categorical.size(); ++a) {
+    const auto& attr = sensitive_->categorical[a];
+    total += cat_rem_delta_[a][fi * static_cast<size_t>(attr.cardinality) +
+                               static_cast<size_t>(attr.codes[i])];
+  }
+  const size_t c_from = counts_[fi];
+  for (size_t a = 0; a < sensitive_->numeric.size(); ++a) {
+    const auto& attr = sensitive_->numeric[a];
+    const double x = attr.values[i];
+    const double mean = attr.dataset_mean;
+    const double u = num_sums_[a][fi] - static_cast<double>(c_from) * mean;
+    const double u_after = u - x + mean;
+    total += attr.weight *
+             (ClusterScale(config_.weighting, c_from - 1, n_) * u_after * u_after -
+              ClusterScale(config_.weighting, c_from, n_) * u * u);
+  }
+  return total;
+}
+
+double FairKMState::FairInsertionDelta(size_t i, int c) const {
+  FAIRKM_DCHECK(track_bounds_);
+  const size_t ci = static_cast<size_t>(c);
+  double total = 0.0;
+  for (size_t a = 0; a < sensitive_->categorical.size(); ++a) {
+    const auto& attr = sensitive_->categorical[a];
+    total += cat_ins_delta_[a][ci * static_cast<size_t>(attr.cardinality) +
+                               static_cast<size_t>(attr.codes[i])];
+  }
+  const size_t c_to = counts_[ci];
+  for (size_t a = 0; a < sensitive_->numeric.size(); ++a) {
+    const auto& attr = sensitive_->numeric[a];
+    const double x = attr.values[i];
+    const double mean = attr.dataset_mean;
+    const double u = num_sums_[a][ci] - static_cast<double>(c_to) * mean;
+    const double u_after = u + x - mean;
+    total += attr.weight *
+             (ClusterScale(config_.weighting, c_to + 1, n_) * u_after * u_after -
+              ClusterScale(config_.weighting, c_to, n_) * u * u);
+  }
+  return total;
+}
+
+void FairKMState::RescanInsertionBounds() {
+  ins_best_ = std::numeric_limits<double>::infinity();
+  ins_second_ = std::numeric_limits<double>::infinity();
+  ins_best_cluster_ = -1;
+  for (int c = 0; c < k_; ++c) {
+    const double v = fair_ins_bound_[static_cast<size_t>(c)];
+    if (v < ins_best_) {
+      ins_second_ = ins_best_;
+      ins_best_ = v;
+      ins_best_cluster_ = c;
+    } else if (v < ins_second_) {
+      ins_second_ = v;
+    }
+  }
+  if (k_ < 2) ins_second_ = 0.0;  // No insertion candidate exists at all.
+}
+
+void FairKMState::RescanAdditionFactors() {
+  const std::vector<size_t>& counts = use_snapshot_ ? proto_counts_ : counts_;
+  addf_best_ = std::numeric_limits<double>::infinity();
+  addf_second_ = std::numeric_limits<double>::infinity();
+  addf_best_cluster_ = -1;
+  for (int c = 0; c < k_; ++c) {
+    const size_t cnt = counts[static_cast<size_t>(c)];
+    const double f = cnt == 0 ? 0.0
+                              : static_cast<double>(cnt) /
+                                    static_cast<double>(cnt + 1);
+    if (f < addf_best_) {
+      addf_second_ = addf_best_;
+      addf_best_ = f;
+      addf_best_cluster_ = c;
+    } else if (f < addf_second_) {
+      addf_second_ = f;
+    }
+  }
+  if (k_ < 2) addf_second_ = 0.0;
+}
+
+void FairKMState::AccumulateDrift(int c, double displacement) {
+  drift_[static_cast<size_t>(c)] += displacement;
+}
+
+void FairKMState::AccumulateMaxStep(double displacement) {
+  max_step_sum_ += displacement;
+}
+
+double FairKMState::FairInsertionLowerBoundExcluding(int from) const {
+  FAIRKM_DCHECK(track_bounds_);
+  return ins_best_cluster_ == from ? ins_second_ : ins_best_;
+}
+
+double FairKMState::MinAdditionFactorExcluding(int from) const {
+  FAIRKM_DCHECK(track_bounds_);
+  return addf_best_cluster_ == from ? addf_second_ : addf_best_;
+}
+
+void FairKMState::EnableBoundTracking(bool enable) {
+  track_bounds_ = enable;
+  if (!enable) {
+    drift_.clear();
+    cat_rem_delta_.clear();
+    cat_ins_delta_.clear();
+    delta_scratch_rem_.clear();
+    delta_scratch_ins_.clear();
+    fair_rem_bound_.clear();
+    fair_ins_bound_.clear();
+    return;
+  }
+  drift_.assign(static_cast<size_t>(k_), 0.0);
+  max_step_sum_ = 0.0;
+  cat_rem_delta_.clear();
+  cat_ins_delta_.clear();
+  size_t max_card = 0;
+  for (const auto& attr : sensitive_->categorical) {
+    const size_t cells =
+        static_cast<size_t>(k_) * static_cast<size_t>(attr.cardinality);
+    cat_rem_delta_.emplace_back(cells, 0.0);
+    cat_ins_delta_.emplace_back(cells, 0.0);
+    max_card = std::max(max_card, static_cast<size_t>(attr.cardinality));
+  }
+  delta_scratch_rem_.assign(max_card, 0.0);
+  delta_scratch_ins_.assign(max_card, 0.0);
+  fair_rem_bound_.assign(static_cast<size_t>(k_), 0.0);
+  fair_ins_bound_.assign(static_cast<size_t>(k_), 0.0);
+  for (int c = 0; c < k_; ++c) RecomputeFairBounds(c);
+  RescanInsertionBounds();
+  RescanAdditionFactors();
+}
+
 double FairKMState::DistanceToMean(size_t i, const double* sums, double count) const {
   const double* row = points_->Row(i);
   const double inv = 1.0 / count;
@@ -113,8 +316,8 @@ double FairKMState::DistanceToMean(size_t i, const double* sums, double count) c
 
 double FairKMState::CachedDistanceToMean(size_t i, const double* sums,
                                          double sum_norm, double count) const {
-  const double* row = points_->Row(i);
-  const double dot = kernels::Dot(row, sums, d_);
+  const double* row = store_.Row(i);
+  const double dot = kernels::Dot(row, sums, stride_);
   const double inv = 1.0 / count;
   const double dist = point_norms_[i] - 2.0 * dot * inv + sum_norm * inv * inv;
   // The expanded form can cancel to a small negative where the true distance
@@ -126,7 +329,7 @@ double FairKMState::DeltaKMeans(size_t i, int to) const {
   const int from = assignment_[i];
   if (to == from) return 0.0;
   const std::vector<size_t>& counts = use_snapshot_ ? proto_counts_ : counts_;
-  const std::vector<double>& sums = use_snapshot_ ? proto_sums_ : sums_;
+  const data::AlignedVector& sums = use_snapshot_ ? proto_sums_ : sums_;
   const std::vector<double>& sum_norms =
       use_snapshot_ ? proto_sum_norms_ : sum_norms_;
 
@@ -137,7 +340,7 @@ double FairKMState::DeltaKMeans(size_t i, int to) const {
   const size_t c_from = counts[static_cast<size_t>(from)];
   if (c_from > 1) {
     const double dist = CachedDistanceToMean(
-        i, sums.data() + static_cast<size_t>(from) * d_,
+        i, sums.data() + static_cast<size_t>(from) * stride_,
         sum_norms[static_cast<size_t>(from)], static_cast<double>(c_from));
     delta -= static_cast<double>(c_from) / static_cast<double>(c_from - 1) * dist;
   }
@@ -146,37 +349,44 @@ double FairKMState::DeltaKMeans(size_t i, int to) const {
   const size_t c_to = counts[static_cast<size_t>(to)];
   if (c_to > 0) {
     const double dist = CachedDistanceToMean(
-        i, sums.data() + static_cast<size_t>(to) * d_,
+        i, sums.data() + static_cast<size_t>(to) * stride_,
         sum_norms[static_cast<size_t>(to)], static_cast<double>(c_to));
     delta += static_cast<double>(c_to) / static_cast<double>(c_to + 1) * dist;
   }
   return delta;
 }
 
-void FairKMState::DeltaKMeansAllClusters(size_t i, double* out) const {
+void FairKMState::DeltaKMeansAllClusters(size_t i, double* out,
+                                         double* dists) const {
   const std::vector<size_t>& counts = use_snapshot_ ? proto_counts_ : counts_;
-  const std::vector<double>& sums = use_snapshot_ ? proto_sums_ : sums_;
+  const data::AlignedVector& sums = use_snapshot_ ? proto_sums_ : sums_;
   const std::vector<double>& sum_norms =
       use_snapshot_ ? proto_sum_norms_ : sum_norms_;
   const int from = assignment_[i];
-  const double* row = points_->Row(i);
+  const double* row = store_.Row(i);
   const double xn = point_norms_[i];
 
-  // Pass 1: the k dot products x . S_c as one blocked GEMV over the k x d
-  // sums matrix (the dispatch-selected kernel backend; everything else is
-  // O(k)), then fold each dot into the expanded-form distance in place.
-  kernels::Gemv(row, sums.data(), static_cast<size_t>(k_), d_, out);
+  // Pass 1: the k dot products x . S_c as one aligned no-tail GEMV over the
+  // k x stride sums matrix (the dispatch-selected kernel backend; everything
+  // else is O(k)), then fold each dot into the expanded-form distance in
+  // place, optionally exporting the distances for the pruning refresh.
+  kernels::GemvAligned(row, sums.data(), static_cast<size_t>(k_), stride_, out);
   for (int c = 0; c < k_; ++c) {
     const size_t cnt = counts[static_cast<size_t>(c)];
     if (cnt == 0) {
+      // An empty cluster accepts the point at zero cost; export distance 0
+      // so every bound derived from it stays conservative.
       out[c] = 0.0;
+      if (dists != nullptr) dists[c] = 0.0;
       continue;
     }
     const double inv = 1.0 / static_cast<double>(cnt);
     const double dist = xn - 2.0 * out[c] * inv +
                         sum_norms[static_cast<size_t>(c)] * inv * inv;
     // Same cancellation clamp as CachedDistanceToMean.
-    out[c] = dist > 0.0 ? dist : 0.0;
+    const double clamped = dist > 0.0 ? dist : 0.0;
+    out[c] = clamped;
+    if (dists != nullptr) dists[c] = clamped;
   }
 
   // Pass 2: fold the shared removal term into per-candidate deltas.
@@ -202,19 +412,19 @@ double FairKMState::ReferenceDeltaKMeans(size_t i, int to) const {
   const int from = assignment_[i];
   if (to == from) return 0.0;
   const std::vector<size_t>& counts = use_snapshot_ ? proto_counts_ : counts_;
-  const std::vector<double>& sums = use_snapshot_ ? proto_sums_ : sums_;
+  const data::AlignedVector& sums = use_snapshot_ ? proto_sums_ : sums_;
 
   double delta = 0.0;
   const size_t c_from = counts[static_cast<size_t>(from)];
   if (c_from > 1) {
     const double dist =
-        DistanceToMean(i, sums.data() + static_cast<size_t>(from) * d_,
+        DistanceToMean(i, sums.data() + static_cast<size_t>(from) * stride_,
                        static_cast<double>(c_from));
     delta -= static_cast<double>(c_from) / static_cast<double>(c_from - 1) * dist;
   }
   const size_t c_to = counts[static_cast<size_t>(to)];
   if (c_to > 0) {
-    const double dist = DistanceToMean(i, sums.data() + static_cast<size_t>(to) * d_,
+    const double dist = DistanceToMean(i, sums.data() + static_cast<size_t>(to) * stride_,
                                        static_cast<double>(c_to));
     delta += static_cast<double>(c_to) / static_cast<double>(c_to + 1) * dist;
   }
@@ -362,15 +572,47 @@ void FairKMState::Move(size_t i, int to) {
   const int from = assignment_[i];
   if (to == from) return;
   FAIRKM_DCHECK(to >= 0 && to < k_);
-  const double* row = points_->Row(i);
-  double* from_sums = sums_.data() + static_cast<size_t>(from) * d_;
-  double* to_sums = sums_.data() + static_cast<size_t>(to) * d_;
+  const double* row = store_.Row(i);
+  double* from_sums = sums_.data() + static_cast<size_t>(from) * stride_;
+  double* to_sums = sums_.data() + static_cast<size_t>(to) * stride_;
+  const size_t c_from = counts_[static_cast<size_t>(from)];
+  const size_t c_to = counts_[static_cast<size_t>(to)];
+
+  // Live-centroid drift (snapshot mode charges drift at RefreshPrototypes
+  // instead, since the delta path reads frozen prototypes): removing x moves
+  // mu_from by ||x - mu_from|| / (|C|-1), inserting moves mu_to by
+  // ||x - mu_to|| / (|C|+1). Uses the pre-update aggregates.
+  if (track_bounds_ && !use_snapshot_) {
+    double step_from = 0.0, step_to = 0.0;
+    if (c_from > 1) {
+      const double dist = CachedDistanceToMean(
+          i, from_sums, sum_norms_[static_cast<size_t>(from)],
+          static_cast<double>(c_from));
+      step_from = std::sqrt(dist) / static_cast<double>(c_from - 1);
+      AccumulateDrift(from, step_from);
+    }
+    if (c_to > 0) {
+      const double dist = CachedDistanceToMean(
+          i, to_sums, sum_norms_[static_cast<size_t>(to)],
+          static_cast<double>(c_to));
+      step_to = std::sqrt(dist) / static_cast<double>(c_to + 1);
+      AccumulateDrift(to, step_to);
+    } else {
+      // A refilled empty cluster materializes a centroid anywhere; collapse
+      // every stale lower bound that predates it.
+      step_to = kEmptyRefillDrift;
+      AccumulateDrift(to, step_to);
+    }
+    AccumulateMaxStep(std::max(step_from, step_to));
+  }
+
   for (size_t j = 0; j < d_; ++j) {
     from_sums[j] -= row[j];
     to_sums[j] += row[j];
   }
-  sum_norms_[static_cast<size_t>(from)] = kernels::Dot(from_sums, from_sums, d_);
-  sum_norms_[static_cast<size_t>(to)] = kernels::Dot(to_sums, to_sums, d_);
+  sum_norms_[static_cast<size_t>(from)] =
+      kernels::Dot(from_sums, from_sums, stride_);
+  sum_norms_[static_cast<size_t>(to)] = kernels::Dot(to_sums, to_sums, stride_);
   --counts_[static_cast<size_t>(from)];
   ++counts_[static_cast<size_t>(to)];
   for (size_t a = 0; a < sensitive_->categorical.size(); ++a) {
@@ -387,6 +629,16 @@ void FairKMState::Move(size_t i, int to) {
     num_sums_[a][static_cast<size_t>(to)] += x;
   }
   assignment_[i] = static_cast<int32_t>(to);
+
+  // Fairness move bounds only change for the two clusters whose group
+  // counts moved; the insertion best/second pair and (in live mode) the
+  // addition factors are O(k) rescans.
+  if (track_bounds_) {
+    RecomputeFairBounds(from);
+    RecomputeFairBounds(to);
+    RescanInsertionBounds();
+    if (!use_snapshot_) RescanAdditionFactors();
+  }
 }
 
 double FairKMState::KMeansTerm() const {
@@ -394,8 +646,53 @@ double FairKMState::KMeansTerm() const {
   return cluster::SumOfSquaredErrors(*points_, assignment_, centroids);
 }
 
+double FairKMState::KMeansTermCached() const {
+  double within = 0.0;
+  for (int c = 0; c < k_; ++c) {
+    const size_t cnt = counts_[static_cast<size_t>(c)];
+    if (cnt == 0) continue;
+    within += sum_norms_[static_cast<size_t>(c)] / static_cast<double>(cnt);
+  }
+  const double sse = total_point_norm_ - within;
+  // The difference cancels catastrophically when the data carries a large
+  // common offset (both terms ~ n ||offset||^2 while the true SSE is tiny).
+  // Falling back to the scratch pass whenever the surviving value is below
+  // one millionth of the gross norm bounds the cached result's relative
+  // error at ~1e-10 and keeps the O(k) path for realistically scaled data.
+  if (!(sse > 1e-6 * total_point_norm_)) return KMeansTerm();
+  return sse;
+}
+
 double FairKMState::FairnessTerm() const {
   return ComputeFairnessTerm(*sensitive_, assignment_, k_, config_);
+}
+
+double FairKMState::FairnessTermCached() const {
+  double total = 0.0;
+  for (size_t a = 0; a < sensitive_->categorical.size(); ++a) {
+    const auto& attr = sensitive_->categorical[a];
+    const double norm = config_.normalize_domain
+                            ? 1.0 / static_cast<double>(attr.cardinality)
+                            : 1.0;
+    for (int c = 0; c < k_; ++c) {
+      const double scale =
+          ClusterScale(config_.weighting, counts_[static_cast<size_t>(c)], n_);
+      if (scale == 0.0) continue;
+      total += attr.weight * norm * scale * cat_u2_[a][static_cast<size_t>(c)];
+    }
+  }
+  for (size_t a = 0; a < sensitive_->numeric.size(); ++a) {
+    const auto& attr = sensitive_->numeric[a];
+    for (int c = 0; c < k_; ++c) {
+      const size_t cnt = counts_[static_cast<size_t>(c)];
+      const double scale = ClusterScale(config_.weighting, cnt, n_);
+      if (scale == 0.0) continue;
+      const double u = num_sums_[a][static_cast<size_t>(c)] -
+                       static_cast<double>(cnt) * attr.dataset_mean;
+      total += attr.weight * scale * u * u;
+    }
+  }
+  return total;
 }
 
 data::Matrix FairKMState::Centroids() const {
@@ -404,7 +701,7 @@ data::Matrix FairKMState::Centroids() const {
     const size_t size = counts_[static_cast<size_t>(c)];
     if (size == 0) continue;
     const double inv = 1.0 / static_cast<double>(size);
-    const double* src = sums_.data() + static_cast<size_t>(c) * d_;
+    const double* src = sums_.data() + static_cast<size_t>(c) * stride_;
     double* dst = centroids.Row(static_cast<size_t>(c));
     for (size_t j = 0; j < d_; ++j) dst[j] = src[j] * inv;
   }
@@ -417,9 +714,40 @@ void FairKMState::EnablePrototypeSnapshot(bool enable) {
 }
 
 void FairKMState::RefreshPrototypes() {
+  // Snapshot-mode drift: the effective centroids jump from the old prototype
+  // to the current live aggregate exactly here, so charge each cluster the
+  // exact displacement before overwriting.
+  if (track_bounds_ && use_snapshot_) {
+    double max_step = 0.0;
+    for (int c = 0; c < k_; ++c) {
+      const size_t ci = static_cast<size_t>(c);
+      const size_t old_cnt = proto_counts_[ci];
+      const size_t new_cnt = counts_[ci];
+      if (new_cnt == 0) continue;  // No centroid to target; addf covers it.
+      double step = 0.0;
+      if (old_cnt == 0) {
+        step = kEmptyRefillDrift;
+      } else {
+        const double* old_sums = proto_sums_.data() + ci * stride_;
+        const double* new_sums = sums_.data() + ci * stride_;
+        const double old_inv = 1.0 / static_cast<double>(old_cnt);
+        const double new_inv = 1.0 / static_cast<double>(new_cnt);
+        double total = 0.0;
+        for (size_t j = 0; j < d_; ++j) {
+          const double diff = new_sums[j] * new_inv - old_sums[j] * old_inv;
+          total += diff * diff;
+        }
+        step = total > 0.0 ? std::sqrt(total) : 0.0;
+      }
+      if (step > 0.0) AccumulateDrift(c, step);
+      if (step > max_step) max_step = step;
+    }
+    if (max_step > 0.0) AccumulateMaxStep(max_step);
+  }
   proto_counts_ = counts_;
   proto_sums_ = sums_;
   proto_sum_norms_ = sum_norms_;
+  if (track_bounds_ && use_snapshot_) RescanAdditionFactors();
 }
 
 }  // namespace core

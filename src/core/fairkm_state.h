@@ -13,14 +13,21 @@
 // expression per attribute) instead of the original O(d) + O(sum_S m_S)
 // two-loop evaluation. The batched DeltaKMeansAllClusters kernel evaluates
 // every candidate cluster for one point in a single contiguous pass over the
-// k x d sums matrix, which is what the optimizer sweep uses.
+// k x stride sums matrix, which is what the optimizer sweep uses.
 //
-// The dense primitives (the x . S_c dot products / blocked GEMV, and the
-// per-(attribute, cluster) moment recomputation) route through
-// core/kernels/kernels.h, which dispatches at runtime between a scalar
-// reference backend and an AVX2/FMA backend (FAIRKM_FORCE_SCALAR pins the
-// scalar one). CatMoments is bit-for-bit identical across backends, so the
-// fairness aggregates never depend on the host CPU.
+// Hot-path storage is the aligned, lane-padded layout of
+// data/point_store.h: the feature matrix is copied once into a PointStore
+// (32-byte-aligned rows, stride a multiple of 4 doubles, zero padding) and
+// the k x stride sums / prototype buffers use the same stride, so the dense
+// primitives run the backends' aligned no-tail fast path (GemvAligned).
+// Padded entries are exact zeros and never change any accumulated value.
+//
+// The dense primitives and the per-(attribute, cluster) moment recomputation
+// route through core/kernels/kernels.h, which dispatches at runtime between
+// a scalar reference backend and an AVX2/FMA backend (FAIRKM_FORCE_SCALAR
+// pins the scalar one). CatMoments / CatMomentsBounds are bit-for-bit
+// identical across backends, so the fairness aggregates never depend on the
+// host CPU.
 //
 // Derivation of the O(1) fairness delta (expanding Eqs. 16-19): removing a
 // point with value v from a cluster sends u_s -> u_s + q_s - [s=v], so
@@ -32,6 +39,24 @@
 // attribute. U2/UQ are recomputed from the exact integer counts in O(m_S)
 // for the two touched clusters on Move (which is already O(m_S) there), so
 // they never accumulate floating-point drift.
+//
+// Bound tracking (EnableBoundTracking) adds the cluster-level side of the
+// sweep pruning engine (core/pruning.h):
+//   * a monotone per-cluster centroid-drift accumulator (how far each
+//     effective centroid — live, or the prototype snapshot in mini-batch
+//     mode — has moved since the start), fed by exact per-move displacement
+//     ||x - mu|| / (|C| -+ 1) in live mode and by a full old-vs-new centroid
+//     comparison at every RefreshPrototypes in snapshot mode;
+//   * monotone count-based fairness move bounds: per (attribute, cluster,
+//     value) removal/insertion delta tables (the CatDeltaBounds kernel,
+//     recomputed only for clusters whose group counts moved) whose row
+//     minima give, per cluster, a lower bound on the fairness-term change of
+//     removing *any* point from it / inserting *any* point into it — and
+//     whose entries give the *exact* per-candidate fairness delta by table
+//     lookup (FairRemovalDelta / FairInsertionDelta);
+//   * the best/second-best insertion bound and smallest K-Means addition
+//     factor |C|/(|C|+1) across clusters, so the pruning gate's first stage
+//     is O(1) per point.
 //
 // The pre-expansion kernels are retained as ReferenceDeltaKMeans /
 // ReferenceDeltaFairness: property tests cross-validate the optimized
@@ -48,6 +73,7 @@
 #include "common/status.h"
 #include "core/objective.h"
 #include "data/matrix.h"
+#include "data/point_store.h"
 #include "data/sensitive.h"
 
 namespace fairkm {
@@ -70,11 +96,20 @@ class FairKMState {
   double DeltaKMeans(size_t i, int to) const;
 
   /// \brief Batched K-Means deltas: fills `out[c]` with DeltaKMeans(i, c) for
-  /// every cluster in one contiguous pass over the k x d sums matrix.
+  /// every cluster in one contiguous pass over the k x stride sums matrix.
   /// `out` must have room for k() doubles. This is the optimizer's hot
   /// kernel; it is read-only and safe to call concurrently for distinct
   /// points while no Move/RefreshPrototypes runs.
-  void DeltaKMeansAllClusters(size_t i, double* out) const;
+  void DeltaKMeansAllClusters(size_t i, double* out) const {
+    DeltaKMeansAllClusters(i, out, nullptr);
+  }
+
+  /// \brief Tracked variant: when `dists` is non-null (room for k doubles),
+  /// additionally exports the clamped squared distance of point i to every
+  /// effective centroid (0 for empty clusters) — the k values the pruning
+  /// engine's per-point bound refresh consumes. The delta math is identical
+  /// either way.
+  void DeltaKMeansAllClusters(size_t i, double* out, double* dists) const;
 
   /// \brief Exact change of the fairness deviation term for the same move,
   /// in O(1) per sensitive attribute (see the header comment derivation).
@@ -92,14 +127,32 @@ class FairKMState {
   /// \brief K-Means term recomputed from scratch against exact centroids.
   double KMeansTerm() const;
 
+  /// \brief K-Means term from the maintained norm caches in O(k):
+  /// SSE = sum_i ||x_i||^2 - sum_c ||S_c||^2 / |C_c|, falling back to the
+  /// scratch KMeansTerm() when the subtraction cancels too heavily
+  /// (strongly off-center data). Agrees with KMeansTerm() to ~1e-10
+  /// relative; the optimizer's per-sweep objective history uses this so
+  /// recording the trajectory costs O(k), not O(n d), per sweep.
+  double KMeansTermCached() const;
+
   /// \brief Fairness term recomputed from the count aggregates (O(k sum m)).
   double FairnessTerm() const;
+
+  /// \brief Fairness term from the maintained U2 moments in O(k |S|)
+  /// (FairnessTerm rebuilds the per-cluster counts from the assignment in
+  /// O(n |S|)). Same value up to summation-order rounding.
+  double FairnessTermCached() const;
 
   /// \brief Exact centroid matrix (k x d) of the current assignment.
   data::Matrix Centroids() const;
 
   const cluster::Assignment& assignment() const { return assignment_; }
   int cluster_of(size_t i) const { return assignment_[i]; }
+  /// \brief Cached ||x_i||^2 — the pruning gate scales its rounding margin
+  /// by this, since the expanded-form distances (and the drift steps built
+  /// from them) carry absolute error proportional to the gross norms, not to
+  /// the possibly tiny distances that survive the cancellation.
+  double point_norm(size_t i) const { return point_norms_[i]; }
   size_t cluster_size(int c) const { return counts_[static_cast<size_t>(c)]; }
   int k() const { return k_; }
   size_t num_rows() const { return n_; }
@@ -111,6 +164,64 @@ class FairKMState {
   void EnablePrototypeSnapshot(bool enable);
   void RefreshPrototypes();
 
+  // --- Pruning-engine support (see the header comment and core/pruning.h).
+
+  /// \brief Turns the cluster-level bound bookkeeping on/off. Enabling
+  /// recomputes every bound from the current aggregates; when off, Move and
+  /// RefreshPrototypes skip all bound work.
+  void EnableBoundTracking(bool enable);
+  bool bound_tracking() const { return track_bounds_; }
+
+  /// \brief Cluster size as the K-Means delta path sees it (the prototype
+  /// snapshot count in mini-batch mode, the live count otherwise).
+  size_t effective_count(int c) const {
+    return (use_snapshot_ ? proto_counts_ : counts_)[static_cast<size_t>(c)];
+  }
+
+  /// \brief Monotone cumulative drift (Euclidean centroid displacement) of
+  /// cluster c's effective centroid.
+  double cluster_drift(int c) const { return drift_[static_cast<size_t>(c)]; }
+  /// \brief Monotone cumulative sum of per-event maximum centroid steps
+  /// (each Move / prototype refresh contributes the largest single-cluster
+  /// displacement it caused). For ANY cluster, the drift accumulated between
+  /// two instants is bounded by the difference of this accumulator — the
+  /// sound way to age a min-over-clusters lower bound in O(1). (The maximum
+  /// of the cumulative per-cluster drifts would NOT be: a cluster below the
+  /// max can move without raising it.)
+  double cumulative_max_step() const { return max_step_sum_; }
+
+  /// \brief Lower bound (un-scaled by lambda) on the fairness-term insertion
+  /// cost of moving any point into any cluster other than `from`, from the
+  /// cached per-cluster insertion bounds. Combined with
+  /// fair_removal_bound(from) this lower-bounds the full fairness change of
+  /// any move out of `from`; the two halves stay separate so the pruning
+  /// gate's rounding margin can see their pre-cancellation magnitudes.
+  double FairInsertionLowerBoundExcluding(int from) const;
+
+  /// \brief Smallest K-Means addition factor |C|/(|C|+1) over candidate
+  /// target clusters c != from (0 when some candidate cluster is empty),
+  /// against the effective counts.
+  double MinAdditionFactorExcluding(int from) const;
+
+  /// \brief Per-cluster fairness move bounds (tests/testlib introspection).
+  double fair_removal_bound(int c) const {
+    return fair_rem_bound_[static_cast<size_t>(c)];
+  }
+  double fair_insertion_bound(int c) const {
+    return fair_ins_bound_[static_cast<size_t>(c)];
+  }
+
+  /// \brief Exact fairness-term change of removing point i from its current
+  /// cluster, in O(|S|) table lookups (bound tracking only). The sum
+  /// FairRemovalDelta(i) + FairInsertionDelta(i, c) equals DeltaFairness(i,
+  /// c) up to summation-order rounding — the pruning gate's stage 2 uses
+  /// this split so the shared removal part prices once per point.
+  double FairRemovalDelta(size_t i) const;
+
+  /// \brief Exact fairness-term change of inserting point i into cluster c
+  /// (its removal not included), in O(|S|) table lookups.
+  double FairInsertionDelta(size_t i, int c) const;
+
  private:
   FairKMState(const data::Matrix* points, const data::SensitiveView* sensitive, int k,
               FairnessTermConfig config);
@@ -120,6 +231,19 @@ class FairKMState {
   // Recomputes cat_u2_/cat_uq_ for one (attribute, cluster) pair from the
   // exact integer counts. O(m_a).
   void RecomputeCatMoments(size_t a, int c);
+
+  // Recomputes cluster c's per-value removal/insertion delta tables (the
+  // CatDeltaBounds kernel) and folds their minima plus the numeric-attribute
+  // pieces into fair_rem_bound_/fair_ins_bound_. O(sum_S m_S).
+  void RecomputeFairBounds(int c);
+  // Rescans the per-cluster insertion bounds for the best/second-best pair.
+  void RescanInsertionBounds();
+  // Rescans the effective counts for the smallest two addition factors.
+  void RescanAdditionFactors();
+  // Adds one drift event: per-cluster displacements (any may be 0) plus
+  // their max into the max-step accumulator.
+  void AccumulateDrift(int c, double displacement);
+  void AccumulateMaxStep(double displacement);
 
   // Squared distance from point i to the mean of the given sums/count pair.
   double DistanceToMean(size_t i, const double* sums, double count) const;
@@ -134,11 +258,16 @@ class FairKMState {
   int k_;
   size_t n_;
   size_t d_;
+  size_t stride_;  // Padded row width of store_/sums_ (multiple of 4).
   FairnessTermConfig config_;
+
+  // Aligned, lane-padded copy of *points_ — the layout every hot kernel
+  // streams (see data/point_store.h).
+  data::PointStore store_;
 
   cluster::Assignment assignment_;
   std::vector<size_t> counts_;        // Cluster sizes.
-  std::vector<double> sums_;          // k x d feature sums (row-major).
+  data::AlignedVector sums_;          // k x stride feature sums (row-major).
   // cat_counts_[a][c * m_a + s] = |C_s| for attribute a.
   std::vector<std::vector<int64_t>> cat_counts_;
   // num_sums_[a][c] = sum of attribute a over cluster c.
@@ -148,6 +277,7 @@ class FairKMState {
   // for the two touched clusters on Move).
   std::vector<double> point_norms_;
   std::vector<double> sum_norms_;
+  double total_point_norm_ = 0.0;  // sum_i ||x_i||^2 (immutable).
 
   // Fairness moments: cat_u2_[a][c] = sum_s u_s^2, cat_uq_[a][c] =
   // sum_s u_s q_s, cat_q2_[a] = sum_s q_s^2 (assignment-independent).
@@ -157,8 +287,32 @@ class FairKMState {
 
   bool use_snapshot_ = false;
   std::vector<size_t> proto_counts_;
-  std::vector<double> proto_sums_;
+  data::AlignedVector proto_sums_;
   std::vector<double> proto_sum_norms_;
+
+  // --- Bound-tracking state (allocated/maintained only when
+  // track_bounds_; see EnableBoundTracking).
+  bool track_bounds_ = false;
+  std::vector<double> drift_;            // Cumulative centroid drift.
+  double max_step_sum_ = 0.0;            // Sum of per-event max steps.
+  // Per-(attribute, cluster, value) fairness move-delta tables
+  // (cat_*_delta_[a][c * m_a + v], weighted by w_a * norm_a), the
+  // CatDeltaBounds kernel output.
+  std::vector<std::vector<double>> cat_rem_delta_;
+  std::vector<std::vector<double>> cat_ins_delta_;
+  // Scratch rows for the kernel (un-weighted), sized max_a m_a.
+  std::vector<double> delta_scratch_rem_;
+  std::vector<double> delta_scratch_ins_;
+  // Per-cluster fairness move bounds (summed over attributes, weighted).
+  std::vector<double> fair_rem_bound_;
+  std::vector<double> fair_ins_bound_;
+  // Best/second-best insertion bound and the best's cluster.
+  double ins_best_ = 0.0, ins_second_ = 0.0;
+  int ins_best_cluster_ = -1;
+  // Smallest/second-smallest addition factor and the smallest's cluster,
+  // over the effective counts.
+  double addf_best_ = 0.0, addf_second_ = 0.0;
+  int addf_best_cluster_ = -1;
 };
 
 }  // namespace core

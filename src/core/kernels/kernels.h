@@ -50,11 +50,42 @@ struct Backend {
   void (*Gemv)(const double* x, const double* mat, size_t rows, size_t cols,
                double* out);
 
+  /// Aligned fast-path GEMV over a lane-padded store (data/point_store.h):
+  /// `x`, `mat` and every row of `mat` must be 32-byte aligned and `cols`
+  /// must be a multiple of 4 (the padded stride, with zero-filled padding —
+  /// the padded products are exact zeros). Same accuracy contract as Gemv
+  /// (reassociation tolerated across backends), but free of tail handling
+  /// and unaligned loads. DeltaKMeansAllClusters routes through this.
+  void (*GemvAligned)(const double* x, const double* mat, size_t rows,
+                      size_t cols, double* out);
+
   /// Fairness moments for one (attribute, cluster) pair: with
   /// u_s = counts[s] - size * fractions[s], writes *u2 = sum_s u_s^2 and
   /// *uq = sum_s u_s * fractions[s]. Bit-for-bit stable across backends.
   void (*CatMoments)(const int64_t* counts, const double* fractions, size_t m,
                      double size, double* u2, double* uq);
+
+  /// Bounds-update kernel for the pruning engine (core/pruning.h): fills the
+  /// per-value fairness move-delta tables of one (attribute, cluster) pair.
+  /// With u_v = counts[v] - size * fractions[v] and the precomputed moments
+  /// u2 = sum u^2, uq = sum u q, q2 = sum q^2, writes for every value v
+  ///   rem[v] = scale_rem_after * (u2+q2+1 + 2*(uq - u_v - fractions[v]))
+  ///            - scale_before * u2      (fairness change of removing a
+  ///                                      point with value v from C)
+  ///   ins[v] = scale_ins_after * (u2+q2+1 - 2*(uq - u_v + fractions[v]))
+  ///            - scale_before * u2      (change of inserting one)
+  /// (un-weighted, un-normalized) and returns the minima over v in
+  /// *rem_min / *ins_min. Every table entry is computed elementwise with the
+  /// same mul/add sequence in both backends (no accumulation, no FMA
+  /// contraction) and min is order-insensitive, so the tables — and the
+  /// pruning decisions derived from them — are bit-for-bit
+  /// backend-independent.
+  void (*CatDeltaBounds)(const int64_t* counts, const double* fractions,
+                         size_t m, double size, double u2, double uq,
+                         double q2, double scale_before,
+                         double scale_rem_after, double scale_ins_after,
+                         double* rem, double* ins, double* rem_min,
+                         double* ins_min);
 };
 
 /// \brief The portable reference backend (always available).
@@ -91,9 +122,25 @@ inline void Gemv(const double* x, const double* mat, size_t rows, size_t cols,
   ActiveBackend().Gemv(x, mat, rows, cols, out);
 }
 
+inline void GemvAligned(const double* x, const double* mat, size_t rows,
+                        size_t cols, double* out) {
+  ActiveBackend().GemvAligned(x, mat, rows, cols, out);
+}
+
 inline void CatMoments(const int64_t* counts, const double* fractions,
                        size_t m, double size, double* u2, double* uq) {
   ActiveBackend().CatMoments(counts, fractions, m, size, u2, uq);
+}
+
+inline void CatDeltaBounds(const int64_t* counts, const double* fractions,
+                           size_t m, double size, double u2, double uq,
+                           double q2, double scale_before,
+                           double scale_rem_after, double scale_ins_after,
+                           double* rem, double* ins, double* rem_min,
+                           double* ins_min) {
+  ActiveBackend().CatDeltaBounds(counts, fractions, m, size, u2, uq, q2,
+                                 scale_before, scale_rem_after,
+                                 scale_ins_after, rem, ins, rem_min, ins_min);
 }
 
 }  // namespace kernels

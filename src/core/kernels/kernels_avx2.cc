@@ -14,6 +14,8 @@
 
 #include <immintrin.h>
 
+#include <limits>
+
 namespace fairkm {
 namespace core {
 namespace kernels {
@@ -74,6 +76,35 @@ void GemvAvx2(const double* x, const double* mat, size_t rows, size_t cols,
   if (r < rows) out[r] = DotAvx2(x, mat + r * cols, cols);
 }
 
+// Aligned fast path for the lane-padded point store: every row starts
+// 32-byte aligned and cols % 4 == 0, so the whole pass is aligned loads with
+// no scalar tail. Two matrix rows share every load of x, as in GemvAvx2.
+void GemvAlignedAvx2(const double* x, const double* mat, size_t rows,
+                     size_t cols, double* out) {
+  size_t r = 0;
+  for (; r + 2 <= rows; r += 2) {
+    const double* m0 = mat + r * cols;
+    const double* m1 = m0 + cols;
+    __m256d acc0 = _mm256_setzero_pd();
+    __m256d acc1 = _mm256_setzero_pd();
+    for (size_t j = 0; j < cols; j += 4) {
+      const __m256d xv = _mm256_load_pd(x + j);
+      acc0 = _mm256_fmadd_pd(xv, _mm256_load_pd(m0 + j), acc0);
+      acc1 = _mm256_fmadd_pd(xv, _mm256_load_pd(m1 + j), acc1);
+    }
+    out[r] = HorizontalSum(acc0);
+    out[r + 1] = HorizontalSum(acc1);
+  }
+  if (r < rows) {
+    const double* m0 = mat + r * cols;
+    __m256d acc = _mm256_setzero_pd();
+    for (size_t j = 0; j < cols; j += 4) {
+      acc = _mm256_fmadd_pd(_mm256_load_pd(x + j), _mm256_load_pd(m0 + j), acc);
+    }
+    out[r] = HorizontalSum(acc);
+  }
+}
+
 void CatMomentsAvx2(const int64_t* counts, const double* fractions, size_t m,
                     double size, double* u2, double* uq) {
   const __m256d sz = _mm256_set1_pd(size);
@@ -102,7 +133,77 @@ void CatMomentsAvx2(const int64_t* counts, const double* fractions, size_t m,
   *uq = HorizontalSum(uqv) + uq_tail;
 }
 
-const Backend kAvx2Backend = {"avx2-fma", DotAvx2, GemvAvx2, CatMomentsAvx2};
+// Pruning-engine delta tables: the elementwise mul/add sequence matches
+// CatDeltaBoundsScalar exactly (this TU builds with -ffp-contract=off, so no
+// FMA contraction sneaks in), making every table entry — and the min
+// reductions, which are order-insensitive — bit-for-bit backend-stable.
+void CatDeltaBoundsAvx2(const int64_t* counts, const double* fractions,
+                        size_t m, double size, double u2, double uq,
+                        double q2, double scale_before,
+                        double scale_rem_after, double scale_ins_after,
+                        double* rem, double* ins, double* rem_min,
+                        double* ins_min) {
+  const double base = u2 + q2 + 1.0;
+  const double before = scale_before * u2;
+  const __m256d sz = _mm256_set1_pd(size);
+  const __m256d basev = _mm256_set1_pd(base);
+  const __m256d beforev = _mm256_set1_pd(before);
+  const __m256d uqv = _mm256_set1_pd(uq);
+  const __m256d two = _mm256_set1_pd(2.0);
+  const __m256d s_rem = _mm256_set1_pd(scale_rem_after);
+  const __m256d s_ins = _mm256_set1_pd(scale_ins_after);
+  __m256d rminv = _mm256_set1_pd(std::numeric_limits<double>::infinity());
+  __m256d iminv = _mm256_set1_pd(std::numeric_limits<double>::infinity());
+  size_t v = 0;
+  for (; v + 4 <= m; v += 4) {
+    const __m256d q = _mm256_loadu_pd(fractions + v);
+    const __m256d c = _mm256_set_pd(static_cast<double>(counts[v + 3]),
+                                    static_cast<double>(counts[v + 2]),
+                                    static_cast<double>(counts[v + 1]),
+                                    static_cast<double>(counts[v]));
+    const __m256d u = _mm256_sub_pd(c, _mm256_mul_pd(sz, q));
+    // r = s_rem * (base + 2*(uq - u - q)) - before (same op order as scalar).
+    const __m256d r = _mm256_sub_pd(
+        _mm256_mul_pd(s_rem,
+                      _mm256_add_pd(basev,
+                                    _mm256_mul_pd(two, _mm256_sub_pd(
+                                        _mm256_sub_pd(uqv, u), q)))),
+        beforev);
+    // s = s_ins * (base - 2*(uq - u + q)) - before.
+    const __m256d s = _mm256_sub_pd(
+        _mm256_mul_pd(s_ins,
+                      _mm256_sub_pd(basev,
+                                    _mm256_mul_pd(two, _mm256_add_pd(
+                                        _mm256_sub_pd(uqv, u), q)))),
+        beforev);
+    _mm256_storeu_pd(rem + v, r);
+    _mm256_storeu_pd(ins + v, s);
+    rminv = _mm256_min_pd(rminv, r);
+    iminv = _mm256_min_pd(iminv, s);
+  }
+  const __m128d r_pair = _mm_min_pd(_mm256_castpd256_pd128(rminv),
+                                    _mm256_extractf128_pd(rminv, 1));
+  const __m128d i_pair = _mm_min_pd(_mm256_castpd256_pd128(iminv),
+                                    _mm256_extractf128_pd(iminv, 1));
+  double rmin = _mm_cvtsd_f64(_mm_min_sd(r_pair, _mm_unpackhi_pd(r_pair, r_pair)));
+  double imin = _mm_cvtsd_f64(_mm_min_sd(i_pair, _mm_unpackhi_pd(i_pair, i_pair)));
+  for (; v < m; ++v) {
+    const double q = fractions[v];
+    const double u = static_cast<double>(counts[v]) - size * q;
+    const double r = scale_rem_after * (base + 2.0 * (uq - u - q)) - before;
+    const double s = scale_ins_after * (base - 2.0 * (uq - u + q)) - before;
+    rem[v] = r;
+    ins[v] = s;
+    if (r < rmin) rmin = r;
+    if (s < imin) imin = s;
+  }
+  *rem_min = m == 0 ? 0.0 : rmin;
+  *ins_min = m == 0 ? 0.0 : imin;
+}
+
+const Backend kAvx2Backend = {"avx2-fma",      DotAvx2,
+                              GemvAvx2,        GemvAlignedAvx2,
+                              CatMomentsAvx2,  CatDeltaBoundsAvx2};
 
 }  // namespace
 

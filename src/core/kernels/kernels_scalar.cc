@@ -24,6 +24,14 @@ void GemvScalar(const double* x, const double* mat, size_t rows, size_t cols,
   }
 }
 
+// The scalar backend has no alignment to exploit; the aligned entry point is
+// the plain GEMV. (The padded trailing zeros contribute exact 0.0 terms, so
+// the result matches an unpadded evaluation bit for bit.)
+void GemvAlignedScalar(const double* x, const double* mat, size_t rows,
+                       size_t cols, double* out) {
+  GemvScalar(x, mat, rows, cols, out);
+}
+
 // 4-lane blocked accumulation with the ((l0+l2)+(l1+l3))+tail reduction —
 // the exact operation sequence the AVX2 backend performs with vector lanes,
 // element-wise IEEE mul/add only. Keep the two implementations in lockstep:
@@ -53,8 +61,35 @@ void CatMomentsScalar(const int64_t* counts, const double* fractions, size_t m,
   *uq = ((uql[0] + uql[2]) + (uql[1] + uql[3])) + uq_tail;
 }
 
-const Backend kScalarBackend = {"scalar", DotScalar, GemvScalar,
-                                CatMomentsScalar};
+// Pruning-engine delta tables. Strictly elementwise (one mul/add sequence
+// per value, no accumulation), so the AVX2 backend reproduces every entry —
+// and therefore every min — bit for bit.
+void CatDeltaBoundsScalar(const int64_t* counts, const double* fractions,
+                          size_t m, double size, double u2, double uq,
+                          double q2, double scale_before,
+                          double scale_rem_after, double scale_ins_after,
+                          double* rem, double* ins, double* rem_min,
+                          double* ins_min) {
+  const double base = u2 + q2 + 1.0;
+  const double before = scale_before * u2;
+  double rmin = 0.0, imin = 0.0;
+  for (size_t v = 0; v < m; ++v) {
+    const double q = fractions[v];
+    const double u = static_cast<double>(counts[v]) - size * q;
+    const double r = scale_rem_after * (base + 2.0 * (uq - u - q)) - before;
+    const double s = scale_ins_after * (base - 2.0 * (uq - u + q)) - before;
+    rem[v] = r;
+    ins[v] = s;
+    if (v == 0 || r < rmin) rmin = r;
+    if (v == 0 || s < imin) imin = s;
+  }
+  *rem_min = rmin;
+  *ins_min = imin;
+}
+
+const Backend kScalarBackend = {"scalar",         DotScalar,
+                                GemvScalar,       GemvAlignedScalar,
+                                CatMomentsScalar, CatDeltaBoundsScalar};
 
 }  // namespace
 

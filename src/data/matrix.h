@@ -1,16 +1,68 @@
 // Dense row-major matrix of doubles — the numeric feature representation
-// handed to every clustering algorithm.
+// handed to every clustering algorithm — plus the aligned-allocation plumbing
+// shared by the SIMD hot-path containers (data/point_store.h and the
+// FairKMState sums/prototype buffers).
 
 #ifndef FAIRKM_DATA_MATRIX_H_
 #define FAIRKM_DATA_MATRIX_H_
 
 #include <cstddef>
+#include <new>
 #include <vector>
 
 #include "common/status.h"
 
 namespace fairkm {
 namespace data {
+
+/// \brief Minimal std::allocator replacement returning storage aligned to
+/// `Alignment` bytes (C++17 aligned operator new). The hot-path containers
+/// use 32-byte alignment so the AVX2 kernels can issue aligned 4-double
+/// loads without peeling.
+template <typename T, size_t Alignment>
+struct AlignedAllocator {
+  static_assert(Alignment >= alignof(T) && (Alignment & (Alignment - 1)) == 0,
+                "Alignment must be a power of two no weaker than alignof(T)");
+  using value_type = T;
+  // The non-type Alignment parameter defeats allocator_traits' automatic
+  // rebind; spell it out.
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) {}
+
+  T* allocate(size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(Alignment)));
+  }
+  void deallocate(T* p, size_t) noexcept {
+    ::operator delete(p, std::align_val_t(Alignment));
+  }
+
+  template <typename U>
+  bool operator==(const AlignedAllocator<U, Alignment>&) const { return true; }
+  template <typename U>
+  bool operator!=(const AlignedAllocator<U, Alignment>&) const { return false; }
+};
+
+/// \brief Kernel-facing alignment of the hot-path buffers (one AVX2 lane of
+/// four doubles).
+inline constexpr size_t kKernelAlignment = 32;
+
+/// \brief 32-byte-aligned vector of doubles: the storage type of every
+/// buffer the Gemv/Dot kernels stream over on the optimizer hot path.
+using AlignedVector = std::vector<double, AlignedAllocator<double, kKernelAlignment>>;
+
+/// \brief Rounds a row width up to a whole number of 4-double SIMD lanes, so
+/// consecutive rows of a padded store all start 32-byte aligned.
+inline size_t PaddedStride(size_t cols) {
+  const size_t lane = kKernelAlignment / sizeof(double);
+  return (cols + lane - 1) / lane * lane;
+}
 
 /// \brief Row-major dense matrix (n_rows x n_cols) of doubles.
 class Matrix {

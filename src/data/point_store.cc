@@ -1,0 +1,17 @@
+#include "data/point_store.h"
+
+namespace fairkm {
+namespace data {
+
+PointStore::PointStore(const Matrix& m)
+    : rows_(m.rows()), cols_(m.cols()), stride_(PaddedStride(m.cols())) {
+  data_.assign(rows_ * stride_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* src = m.Row(r);
+    double* dst = data_.data() + r * stride_;
+    for (size_t c = 0; c < cols_; ++c) dst[c] = src[c];
+  }
+}
+
+}  // namespace data
+}  // namespace fairkm

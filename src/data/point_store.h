@@ -1,0 +1,66 @@
+// Aligned, padded point store — the hot-path feature layout of the FairKM
+// optimizer.
+//
+// The general-purpose data::Matrix is row-major with rows packed back to
+// back, so a row of d doubles is 32-byte aligned only by accident and every
+// SIMD kernel pass needs a scalar tail when d % 4 != 0. The optimizer sweep
+// streams the same point rows and cluster-sum rows millions of times per
+// run, so FairKMState copies the feature matrix once into this store:
+//
+//   * each row is padded to a whole number of 4-double lanes
+//     (data::PaddedStride) and the padding is zero-filled, so kernels can run
+//     dot products over the full stride with no tail handling — the padded
+//     products are exact zeros and leave every accumulation unchanged;
+//   * the backing buffer is 32-byte aligned (data::AlignedVector), and since
+//     the stride is a multiple of the lane width, *every* row is 32-byte
+//     aligned — the AVX2 backend's aligned-load fast path (GemvAligned)
+//     relies on exactly this contract;
+//   * rows are kept contiguous (point i at data + i * stride) so a sweep in
+//     round-robin order walks the buffer linearly, and the per-cluster lanes
+//     of the k x stride sums matrix stay cache-blocked the same way.
+//
+// The store is a read-mostly copy: it never mutates after construction, so
+// the snapshot-parallel sweep can stream it from every worker thread.
+
+#ifndef FAIRKM_DATA_POINT_STORE_H_
+#define FAIRKM_DATA_POINT_STORE_H_
+
+#include <cstddef>
+
+#include "data/matrix.h"
+
+namespace fairkm {
+namespace data {
+
+/// \brief 32-byte-aligned, lane-padded row store of the feature matrix.
+class PointStore {
+ public:
+  PointStore() = default;
+
+  /// \brief Copies `m` into padded/aligned storage (padding zero-filled).
+  explicit PointStore(const Matrix& m);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  /// \brief Row width in doubles, a multiple of 4; entries in
+  /// [cols(), stride()) are zero.
+  size_t stride() const { return stride_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  /// \brief 32-byte-aligned pointer to row r (stride() doubles long).
+  const double* Row(size_t r) const {
+    FAIRKM_DCHECK(r < rows_);
+    return data_.data() + r * stride_;
+  }
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  size_t stride_ = 0;
+  AlignedVector data_;
+};
+
+}  // namespace data
+}  // namespace fairkm
+
+#endif  // FAIRKM_DATA_POINT_STORE_H_

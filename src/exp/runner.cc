@@ -8,6 +8,7 @@
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "core/fairkm.h"
+#include "exp/table.h"
 
 namespace fairkm {
 namespace exp {
@@ -35,6 +36,12 @@ const FairnessAggregate& AggregateOutcome::FairnessOf(
   return it == fairness.end() ? kEmpty : it->second;
 }
 
+std::string PerfSummary(const AggregateOutcome& agg) {
+  return "sweep " + MillisCell(agg.sweep_seconds.mean()) + "/run, " +
+         PercentCell(agg.pruned_fraction.mean()) + " of candidates pruned (" +
+         std::to_string(agg.total_runs) + " runs)";
+}
+
 ExperimentRunner::ExperimentRunner(const ExperimentData* data, size_t num_threads)
     : data_(data), num_threads_(num_threads == 0 ? 1 : num_threads) {}
 
@@ -48,18 +55,17 @@ Result<cluster::ClusteringResult> ExperimentRunner::RunBlindReference(
   return cluster::RunKMeans(data_->features, options, &rng);
 }
 
-Result<cluster::Assignment> ExperimentRunner::RunMethod(const RunConfig& config,
-                                                        uint64_t seed,
-                                                        int* iterations,
-                                                        bool* converged) const {
+Status ExperimentRunner::RunMethod(const RunConfig& config, uint64_t seed,
+                                   SeedOutcome* outcome) const {
   Rng rng(seed);
   switch (config.method) {
     case Method::kKMeansBlind: {
       FAIRKM_ASSIGN_OR_RETURN(cluster::ClusteringResult result,
                               RunBlindReference(config.k, seed));
-      *iterations = result.iterations;
-      *converged = result.converged;
-      return result.assignment;
+      outcome->iterations = result.iterations;
+      outcome->converged = result.converged;
+      outcome->assignment = std::move(result.assignment);
+      return Status::OK();
     }
     case Method::kFairKMAll:
     case Method::kFairKMSingle: {
@@ -71,6 +77,7 @@ Result<cluster::Assignment> ExperimentRunner::RunMethod(const RunConfig& config,
       options.minibatch_size = config.minibatch;
       options.sweep_mode = config.sweep_mode;
       options.num_threads = config.fairkm_threads;
+      options.enable_pruning = config.fairkm_pruning;
       data::SensitiveView view;
       if (config.method == Method::kFairKMSingle) {
         FAIRKM_ASSIGN_OR_RETURN(
@@ -80,9 +87,12 @@ Result<cluster::Assignment> ExperimentRunner::RunMethod(const RunConfig& config,
       }
       FAIRKM_ASSIGN_OR_RETURN(core::FairKMResult result,
                               core::RunFairKM(data_->features, view, options, &rng));
-      *iterations = result.iterations;
-      *converged = result.converged;
-      return result.assignment;
+      outcome->iterations = result.iterations;
+      outcome->converged = result.converged;
+      outcome->sweep_seconds = result.sweep_seconds;
+      outcome->pruned_fraction = result.PrunedFraction();
+      outcome->assignment = std::move(result.assignment);
+      return Status::OK();
     }
     case Method::kZgyaSingle:
     case Method::kZgyaHard: {
@@ -102,9 +112,10 @@ Result<cluster::Assignment> ExperimentRunner::RunMethod(const RunConfig& config,
       FAIRKM_ASSIGN_OR_RETURN(
           cluster::ZgyaResult result,
           cluster::RunZgya(data_->features, view.categorical[0], options, &rng));
-      *iterations = result.iterations;
-      *converged = result.converged;
-      return result.assignment;
+      outcome->iterations = result.iterations;
+      outcome->converged = result.converged;
+      outcome->assignment = std::move(result.assignment);
+      return Status::OK();
     }
   }
   return Status::InvalidArgument("unknown method");
@@ -114,9 +125,7 @@ Result<SeedOutcome> ExperimentRunner::RunSeed(const RunConfig& config,
                                               uint64_t seed) const {
   SeedOutcome outcome;
   Timer timer;
-  FAIRKM_ASSIGN_OR_RETURN(
-      outcome.assignment,
-      RunMethod(config, seed, &outcome.iterations, &outcome.converged));
+  FAIRKM_RETURN_NOT_OK(RunMethod(config, seed, &outcome));
   outcome.seconds = timer.ElapsedSeconds();
 
   const int k = config.k;
@@ -168,6 +177,8 @@ Result<AggregateOutcome> ExperimentRunner::Run(const RunConfig& config,
     agg.devo.Add(o.devo);
     agg.seconds.Add(o.seconds);
     agg.iterations.Add(static_cast<double>(o.iterations));
+    agg.sweep_seconds.Add(o.sweep_seconds);
+    agg.pruned_fraction.Add(o.pruned_fraction);
     if (o.converged) ++agg.converged_runs;
     for (const auto& attr : o.fairness.per_attribute) {
       FairnessAggregate& fa = agg.fairness[attr.attribute];

@@ -59,6 +59,9 @@ struct RunConfig {
   core::SweepMode sweep_mode = core::SweepMode::kSerial;
   /// FairKM parallel-sweep worker threads (0 = hardware concurrency).
   int fairkm_threads = 0;
+  /// FairKM bound-gated candidate pruning (core/pruning.h); trajectory is
+  /// bit-identical either way, so this is a perf knob only.
+  bool fairkm_pruning = true;
 };
 
 /// \brief Per-seed measurements.
@@ -72,6 +75,11 @@ struct SeedOutcome {
   double seconds = 0.0;
   int iterations = 0;
   bool converged = false;
+  /// FairKM-only perf telemetry (0 for the other methods): wall time inside
+  /// the optimization sweeps and the fraction of candidate evaluations the
+  /// pruning gate rejected.
+  double sweep_seconds = 0.0;
+  double pruned_fraction = 0.0;
 };
 
 /// \brief Mean/stddev aggregates of the four fairness measures.
@@ -82,6 +90,9 @@ struct FairnessAggregate {
 /// \brief Seed-aggregated measurements for one RunConfig.
 struct AggregateOutcome {
   RunningStats co, sh, devc, devo, seconds, iterations;
+  /// Sweep timing + pruned-candidate fraction across seeds (FairKM methods;
+  /// zeros otherwise), so table reproduction runs double as perf records.
+  RunningStats sweep_seconds, pruned_fraction;
   size_t converged_runs = 0;
   size_t total_runs = 0;
   /// Keyed by attribute name; "mean" holds the across-attribute average.
@@ -89,6 +100,11 @@ struct AggregateOutcome {
 
   const FairnessAggregate& FairnessOf(const std::string& attribute) const;
 };
+
+/// \brief One-line sweep-perf record for a (FairKM) aggregate — mean sweep
+/// wall time per run and mean pruned-candidate fraction — so the paper-table
+/// reproduction output doubles as a perf record.
+std::string PerfSummary(const AggregateOutcome& agg);
 
 /// \brief Runs configurations over seeds and aggregates.
 class ExperimentRunner {
@@ -106,8 +122,10 @@ class ExperimentRunner {
                                uint64_t base_seed = 1000) const;
 
  private:
-  Result<cluster::Assignment> RunMethod(const RunConfig& config, uint64_t seed,
-                                        int* iterations, bool* converged) const;
+  /// Runs the configured method, filling `outcome`'s assignment plus the
+  /// iteration/convergence/sweep-perf telemetry.
+  Status RunMethod(const RunConfig& config, uint64_t seed,
+                   SeedOutcome* outcome) const;
   /// The same-seed S-blind reference clustering for DevC/DevO.
   Result<cluster::ClusteringResult> RunBlindReference(int k, uint64_t seed) const;
 

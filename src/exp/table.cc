@@ -66,5 +66,15 @@ std::string Cell(double value, int precision) {
   return FormatDouble(value, precision);
 }
 
+std::string PercentCell(double fraction, int precision) {
+  if (std::isnan(fraction)) return "-";
+  return FormatDouble(fraction * 100.0, precision) + "%";
+}
+
+std::string MillisCell(double seconds, int precision) {
+  if (std::isnan(seconds)) return "-";
+  return FormatDouble(seconds * 1e3, precision) + " ms";
+}
+
 }  // namespace exp
 }  // namespace fairkm

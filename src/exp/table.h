@@ -35,6 +35,12 @@ class TablePrinter {
 /// \brief Formats a double with `precision` decimals ("-" for NaN).
 std::string Cell(double value, int precision = 4);
 
+/// \brief Formats a fraction in [0, 1] as a percentage cell ("64.2%").
+std::string PercentCell(double fraction, int precision = 1);
+
+/// \brief Formats seconds as a millisecond cell ("12.3 ms").
+std::string MillisCell(double seconds, int precision = 1);
+
 }  // namespace exp
 }  // namespace fairkm
 

@@ -1,10 +1,14 @@
-// Unit tests for the dense row-major Matrix.
+// Unit tests for the dense row-major Matrix and the aligned hot-path
+// storage (AlignedVector / PointStore).
 
 #include "data/matrix.h"
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <utility>
+
+#include "data/point_store.h"
 
 namespace fairkm {
 namespace data {
@@ -116,6 +120,47 @@ TEST(SquaredDistanceTest, MatchesHandComputation) {
   EXPECT_EQ(SquaredDistance(a, b, 3), 9.0 + 4.0 + 0.0);
   EXPECT_EQ(SquaredDistance(a, a, 3), 0.0);
   EXPECT_EQ(SquaredDistance(a, b, 0), 0.0);
+}
+
+TEST(AlignedStorageTest, PaddedStrideRoundsToFourDoubles) {
+  EXPECT_EQ(PaddedStride(1), 4u);
+  EXPECT_EQ(PaddedStride(4), 4u);
+  EXPECT_EQ(PaddedStride(5), 8u);
+  EXPECT_EQ(PaddedStride(8), 8u);
+  EXPECT_EQ(PaddedStride(0), 0u);
+}
+
+TEST(AlignedStorageTest, AlignedVectorIs32ByteAligned) {
+  for (size_t n : {1, 3, 7, 100, 1000}) {
+    AlignedVector v(n, 1.0);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(v.data()) % kKernelAlignment, 0u)
+        << "n=" << n;
+  }
+}
+
+TEST(PointStoreTest, CopiesRowsWithZeroFilledPadding) {
+  Matrix m(3, 5);
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t c = 0; c < 5; ++c) m.At(r, c) = static_cast<double>(10 * r + c);
+  }
+  PointStore store(m);
+  EXPECT_EQ(store.rows(), 3u);
+  EXPECT_EQ(store.cols(), 5u);
+  EXPECT_EQ(store.stride(), 8u);
+  for (size_t r = 0; r < 3; ++r) {
+    const double* row = store.Row(r);
+    // Every row of the padded store starts 32-byte aligned.
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(row) % kKernelAlignment, 0u) << r;
+    for (size_t c = 0; c < 5; ++c) EXPECT_EQ(row[c], m.At(r, c));
+    for (size_t c = 5; c < store.stride(); ++c) EXPECT_EQ(row[c], 0.0);
+  }
+}
+
+TEST(PointStoreTest, DefaultConstructedIsEmpty) {
+  PointStore store;
+  EXPECT_TRUE(store.empty());
+  EXPECT_EQ(store.rows(), 0u);
+  EXPECT_EQ(store.stride(), 0u);
 }
 
 }  // namespace

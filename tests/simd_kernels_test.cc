@@ -7,7 +7,9 @@
 
 #include "core/kernels/kernels.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -118,6 +120,94 @@ TEST(SimdKernelsTest, GemvMatchesPerRowDot) {
                 << " offset=" << offset;
           }
         }
+      }
+    }
+  }
+}
+
+// GemvAligned contract: 32-byte-aligned base pointers, cols a multiple of 4
+// (the padded stride, padding zero-filled). Must match the scalar per-row
+// dot over the padded width to 1e-9 — and the padding must contribute
+// nothing (checked by comparing against the unpadded dot too).
+TEST(SimdKernelsTest, GemvAlignedMatchesScalarOnPaddedStore) {
+  Rng rng(31);
+  for (const Backend* backend : AvailableBackends()) {
+    SCOPED_TRACE(backend->name);
+    for (size_t rows : {1, 2, 3, 5, 8}) {
+      for (size_t cols = 1; cols <= 18; ++cols) {
+        const size_t stride = data::PaddedStride(cols);
+        data::AlignedVector x(stride, 0.0);
+        data::AlignedVector mat(rows * stride, 0.0);
+        FillRandom(&rng, x.data(), cols);
+        for (size_t r = 0; r < rows; ++r) {
+          FillRandom(&rng, mat.data() + r * stride, cols);
+        }
+        ASSERT_EQ(reinterpret_cast<uintptr_t>(x.data()) % 32, 0u);
+        ASSERT_EQ(reinterpret_cast<uintptr_t>(mat.data()) % 32, 0u);
+        std::vector<double> out(rows, -1.0);
+        backend->GemvAligned(x.data(), mat.data(), rows, stride, out.data());
+        for (size_t r = 0; r < rows; ++r) {
+          const double padded =
+              ScalarBackend().Dot(x.data(), mat.data() + r * stride, stride);
+          const double unpadded =
+              ScalarBackend().Dot(x.data(), mat.data() + r * stride, cols);
+          // Zero padding contributes exact zeros: padded == unpadded.
+          EXPECT_EQ(padded, unpadded) << "cols=" << cols << " r=" << r;
+          const double tol = 1e-9 * std::max(1.0, std::fabs(padded));
+          EXPECT_NEAR(out[r], padded, tol)
+              << "rows=" << rows << " cols=" << cols << " r=" << r;
+        }
+      }
+    }
+  }
+}
+
+// CatDeltaBounds contract: every table entry — and therefore the minima —
+// bit-for-bit identical across backends (the pruning decisions derived from
+// the tables must not depend on the dispatched backend).
+TEST(SimdKernelsTest, CatDeltaBoundsBitForBitAcrossBackends) {
+  Rng rng(417);
+  for (const Backend* backend : AvailableBackends()) {
+    SCOPED_TRACE(backend->name);
+    for (size_t m = 1; m <= 33; ++m) {
+      for (int trial = 0; trial < 4; ++trial) {
+        std::vector<int64_t> counts(m);
+        std::vector<double> fractions(m);
+        double total = 0.0;
+        int64_t size = 0;
+        for (size_t s = 0; s < m; ++s) {
+          counts[s] = rng.UniformInt(int64_t{0}, int64_t{5000});
+          size += counts[s];
+          fractions[s] = rng.UniformDouble(0.0, 1.0) + 1e-6;
+          total += fractions[s];
+        }
+        for (size_t s = 0; s < m; ++s) fractions[s] /= total;
+        double u2 = 0.0, uq = 0.0, q2 = 0.0;
+        ScalarBackend().CatMoments(counts.data(), fractions.data(), m,
+                                   static_cast<double>(size), &u2, &uq);
+        for (size_t s = 0; s < m; ++s) q2 += fractions[s] * fractions[s];
+        const double sb = rng.UniformDouble(0.0, 1e-3);
+        const double sr = rng.UniformDouble(0.0, 1e-3);
+        const double si = rng.UniformDouble(0.0, 1e-3);
+        std::vector<double> want_rem(m), want_ins(m), got_rem(m), got_ins(m);
+        double want_rmin = 0.0, want_imin = 0.0, got_rmin = 0.0, got_imin = 0.0;
+        ScalarBackend().CatDeltaBounds(counts.data(), fractions.data(), m,
+                                       static_cast<double>(size), u2, uq, q2,
+                                       sb, sr, si, want_rem.data(),
+                                       want_ins.data(), &want_rmin, &want_imin);
+        backend->CatDeltaBounds(counts.data(), fractions.data(), m,
+                                static_cast<double>(size), u2, uq, q2, sb, sr,
+                                si, got_rem.data(), got_ins.data(), &got_rmin,
+                                &got_imin);
+        EXPECT_EQ(std::memcmp(got_rem.data(), want_rem.data(),
+                              m * sizeof(double)), 0) << "m=" << m;
+        EXPECT_EQ(std::memcmp(got_ins.data(), want_ins.data(),
+                              m * sizeof(double)), 0) << "m=" << m;
+        EXPECT_EQ(std::memcmp(&got_rmin, &want_rmin, sizeof(double)), 0);
+        EXPECT_EQ(std::memcmp(&got_imin, &want_imin, sizeof(double)), 0);
+        // And the minima really are the row minima.
+        EXPECT_EQ(want_rmin, *std::min_element(want_rem.begin(), want_rem.end()));
+        EXPECT_EQ(want_imin, *std::min_element(want_ins.begin(), want_ins.end()));
       }
     }
   }

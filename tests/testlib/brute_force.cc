@@ -118,5 +118,91 @@ double BruteForceDeltaFairness(const data::SensitiveView& sensitive,
   return ::testing::AssertionSuccess();
 }
 
+::testing::AssertionResult PrunerBoundsHold(const core::FairKMState& state,
+                                            const core::SweepPruner& pruner,
+                                            double lambda,
+                                            double min_improvement,
+                                            double tolerance) {
+  if (!state.bound_tracking()) {
+    return ::testing::AssertionFailure() << "bound tracking is not enabled";
+  }
+  const size_t n = state.num_rows();
+  const int k = state.k();
+  std::vector<double> km(static_cast<size_t>(k));
+  std::vector<double> dists(static_cast<size_t>(k));
+  for (size_t i = 0; i < n; ++i) {
+    // The fairness table split must reproduce the exact closed form for
+    // every point, fresh or not.
+    for (int c = 0; c < k; ++c) {
+      if (c == state.cluster_of(i)) continue;
+      const double exact = state.DeltaFairness(i, c);
+      const double split = state.FairRemovalDelta(i) + state.FairInsertionDelta(i, c);
+      if (std::fabs(split - exact) > tolerance * std::max(1.0, std::fabs(exact))) {
+        return ::testing::AssertionFailure()
+               << "fairness table split " << split << " != DeltaFairness "
+               << exact << " for point " << i << " -> " << c;
+      }
+    }
+    if (!pruner.IsFresh(i)) continue;
+    const int from = state.cluster_of(i);
+    // Exact (clamped, expanded-form) distances as the sweep computes them.
+    state.DeltaKMeansAllClusters(i, km.data(), dists.data());
+    const double self_dist = std::sqrt(dists[static_cast<size_t>(from)]);
+    if (self_dist > pruner.UpperBound(i) + tolerance) {
+      return ::testing::AssertionFailure()
+             << "point " << i << ": own-centroid distance " << self_dist
+             << " exceeds upper bound " << pruner.UpperBound(i);
+    }
+    for (int c = 0; c < k; ++c) {
+      if (c == from || state.effective_count(c) == 0) continue;
+      const double dist = std::sqrt(dists[static_cast<size_t>(c)]);
+      if (dist < pruner.CandidateLowerBound(i, c) - tolerance) {
+        return ::testing::AssertionFailure()
+               << "point " << i << " cluster " << c << ": distance " << dist
+               << " below candidate lower bound "
+               << pruner.CandidateLowerBound(i, c);
+      }
+      if (dist < pruner.LowerBound(i) - tolerance) {
+        return ::testing::AssertionFailure()
+               << "point " << i << " cluster " << c << ": distance " << dist
+               << " below global lower bound " << pruner.LowerBound(i);
+      }
+    }
+    // Per-cluster fairness bounds against this point's exact deltas.
+    if (state.FairRemovalDelta(i) <
+        state.fair_removal_bound(from) - tolerance) {
+      return ::testing::AssertionFailure()
+             << "point " << i << ": removal delta " << state.FairRemovalDelta(i)
+             << " below cluster bound " << state.fair_removal_bound(from);
+    }
+    for (int c = 0; c < k; ++c) {
+      if (c == from) continue;
+      if (state.FairInsertionDelta(i, c) <
+          state.fair_insertion_bound(c) - tolerance) {
+        return ::testing::AssertionFailure()
+               << "point " << i << " cluster " << c << ": insertion delta "
+               << state.FairInsertionDelta(i, c) << " below cluster bound "
+               << state.fair_insertion_bound(c);
+      }
+    }
+    // End-to-end soundness: a pruned point must have no improving move under
+    // the exact kernels.
+    if (pruner.ShouldPrune(i)) {
+      for (int c = 0; c < k; ++c) {
+        if (c == from) continue;
+        const double delta =
+            km[static_cast<size_t>(c)] + lambda * state.DeltaFairness(i, c);
+        if (delta < -min_improvement) {
+          return ::testing::AssertionFailure()
+                 << "point " << i << " was pruned but moving to " << c
+                 << " improves the objective by " << -delta
+                 << " (> min_improvement " << min_improvement << ")";
+        }
+      }
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
 }  // namespace testutil
 }  // namespace fairkm

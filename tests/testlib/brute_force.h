@@ -16,6 +16,7 @@
 #include "cluster/types.h"
 #include "core/fairkm_state.h"
 #include "core/objective.h"
+#include "core/pruning.h"
 #include "data/matrix.h"
 #include "data/sensitive.h"
 
@@ -58,6 +59,24 @@ double BruteForceDeltaFairness(const data::SensitiveView& sensitive,
     const core::FairKMState& state, const data::Matrix& points,
     const data::SensitiveView& sensitive,
     const core::FairnessTermConfig& config = {}, double tolerance = 1e-9);
+
+/// \brief Verifies the pruning engine's bounds against exact evaluation for
+/// every point whose bounds are fresh:
+///   * the distance upper/lower bounds bracket the exact (clamped,
+///     expanded-form) centroid distances the sweep would compute,
+///   * FairRemovalDelta + FairInsertionDelta reproduces DeltaFairness,
+///   * the per-cluster fairness bounds lower-bound every resident/candidate
+///     point's exact delta, and
+///   * — the end-to-end soundness claim — whenever ShouldPrune(i) holds, no
+///     candidate move of i improves the objective by more than
+///     min_improvement under the exact kernels.
+/// `state` must have bound tracking enabled and `pruner` must be built over
+/// it with the given lambda/min_improvement.
+::testing::AssertionResult PrunerBoundsHold(const core::FairKMState& state,
+                                            const core::SweepPruner& pruner,
+                                            double lambda,
+                                            double min_improvement,
+                                            double tolerance = 1e-7);
 
 }  // namespace testutil
 }  // namespace fairkm

@@ -6,7 +6,10 @@
 // Supported subset:
 //   * BENCHMARK(fn) with ->Arg(v) / ->Args({...}) / ->Unit(u) / ->Complexity()
 //   * BENCHMARK_MAIN()
-//   * State: range-for iteration, range(i), SetComplexityN, counters-free
+//   * State: range-for iteration, range(i), SetComplexityN, and the
+//     `state.counters["name"] = value` user-counter subset (emitted as
+//     top-level numeric fields of each JSON benchmark entry, matching the
+//     real library's layout that tools/bench_json.sh gates on)
 //   * DoNotOptimize / ClobberMemory
 //   * flags: --benchmark_filter=<substring-or-regex>,
 //            --benchmark_out=<file>, --benchmark_out_format=json|console,
@@ -25,6 +28,7 @@
 #include <cstdint>
 #include <functional>
 #include <initializer_list>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -72,6 +76,10 @@ class State {
 
   double elapsed_real_seconds() const { return real_elapsed_; }
   double elapsed_cpu_seconds() const { return cpu_elapsed_; }
+
+  /// User counters: `state.counters["x"] = v` like the real library (which
+  /// uses an implicit Counter wrapper; plain doubles cover the fairkm usage).
+  std::map<std::string, double> counters;
 
  private:
   void StartTimer();

@@ -65,6 +65,7 @@ struct RunResult {
   double real_time = 0.0;  ///< Per-iteration, in the variant's unit.
   double cpu_time = 0.0;
   const char* time_unit = "ns";
+  std::map<std::string, double> counters;  ///< From the final timed run.
 };
 
 std::string VariantName(const Benchmark& bench, const std::vector<int64_t>& args) {
@@ -76,11 +77,13 @@ std::string VariantName(const Benchmark& bench, const std::vector<int64_t>& args
 RunResult RunVariant(const Benchmark& bench, const std::vector<int64_t>& args) {
   int64_t iterations = bench.fixed_iterations() > 0 ? bench.fixed_iterations() : 1;
   double real = 0.0, cpu = 0.0;
+  std::map<std::string, double> counters;
   for (;;) {
     State state(iterations, args);
     bench.fn()(state);
     real = state.elapsed_real_seconds();
     cpu = state.elapsed_cpu_seconds();
+    counters = state.counters;
     if (bench.fixed_iterations() > 0 || real >= Config().min_time ||
         iterations >= (int64_t{1} << 40)) {
       break;
@@ -100,6 +103,7 @@ RunResult RunVariant(const Benchmark& bench, const std::vector<int64_t>& args) {
   result.real_time = real / static_cast<double>(iterations) * scale;
   result.cpu_time = cpu / static_cast<double>(iterations) * scale;
   result.time_unit = UnitSuffix(bench.unit());
+  result.counters = std::move(counters);
   return result;
 }
 
@@ -116,11 +120,16 @@ void WriteJson(const std::vector<RunResult>& results, std::FILE* out) {
                  "      \"run_type\": \"iteration\",\n"
                  "      \"iterations\": %lld,\n"
                  "      \"real_time\": %.6g,\n"
-                 "      \"cpu_time\": %.6g,\n"
+                 "      \"cpu_time\": %.6g,\n",
+                 r.name.c_str(), r.name.c_str(),
+                 static_cast<long long>(r.iterations), r.real_time, r.cpu_time);
+    // User counters, as top-level numeric fields like the real library.
+    for (const auto& [name, value] : r.counters) {
+      std::fprintf(out, "      \"%s\": %.6g,\n", name.c_str(), value);
+    }
+    std::fprintf(out,
                  "      \"time_unit\": \"%s\"\n"
                  "    }%s\n",
-                 r.name.c_str(), r.name.c_str(),
-                 static_cast<long long>(r.iterations), r.real_time, r.cpu_time,
                  r.time_unit, i + 1 < results.size() ? "," : "");
   }
   std::fprintf(out, "  ]\n}\n");

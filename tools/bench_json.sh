@@ -5,7 +5,17 @@
 #   tools/bench_json.sh                 # writes BENCH_scaling.json at repo root
 #   OUT=/tmp/b.json tools/bench_json.sh # custom output path
 #
-# Two gates run against the JSON just written:
+# The script configures and builds its build dir as CMAKE_BUILD_TYPE=Release
+# itself (default BUILD_DIR=build-bench so it never flips a developer's Debug
+# tree; CI points BUILD_DIR at its already-Release dir and the reconfigure is
+# a no-op). Recording an unoptimized binary is rejected twice: the configure
+# here, and gate 0 below on the BM_BuildConfig_<type> marker the binary
+# itself emits — so a debug record fails loudly even if the JSON was produced
+# outside this script.
+#
+# Gates run against the JSON just written:
+#   0. Build type: the BM_BuildConfig_* marker (NDEBUG of the bench binary,
+#      not of the benchmark library) must say "release".
 #   1. Delta-kernel speedup: BM_SweepCandidates_Reference (the
 #      pre-optimization kernels, kept in FairKMState as oracles) vs
 #      BM_SweepCandidates_DeltaKernels (the batched K-Means pass + O(1)
@@ -21,27 +31,45 @@
 #      up at full magnitude. The sweep-level scalar-vs-dispatch pair
 #      (BM_SweepCandidates_DeltaKernels_Scalar vs _DeltaKernels) is recorded
 #      and printed for trend tracking but not gated.
+#   3. Pruning speedup: BM_FairKM_Sweep_d64_Exact vs _Pruned (d=64, n=50k
+#      synthetic tf-idf-like world, bit-identical trajectories) must show
+#      >= MIN_PRUNE_SPEEDUP (default 2.0) end-to-end.
+#   4. Pruned fraction: the pruned_fraction counter of
+#      BM_FairKM_AllAttributes (Adult, all sensitive attributes) must be
+#      >= MIN_PRUNED_FRACTION (default 0.5) — the bounds must actually bite
+#      on the paper's own workload, not just on synthetic data.
 # The BM_ActiveKernelBackend_<name> marker entry records which backend the
 # runtime dispatch picked for this host/run.
 #
-# Knobs: BUILD_DIR (default build), OUT (default BENCH_scaling.json),
+# Knobs: BUILD_DIR (default build-bench), OUT (default BENCH_scaling.json),
 # FILTER (default: the FairKM sweep/kernel benches), MIN_TIME (default 0.2),
-# MIN_SPEEDUP (default 2.0), MIN_SIMD_RATIO (default 0.9).
+# MIN_SPEEDUP (default 2.0), MIN_SIMD_RATIO (default 0.9),
+# MIN_PRUNE_SPEEDUP (default 2.0), MIN_PRUNED_FRACTION (default 0.5),
+# SKIP_BUILD=1 to use an existing binary as-is (gate 0 still applies).
 
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-BUILD_DIR=${BUILD_DIR:-build}
+BUILD_DIR=${BUILD_DIR:-build-bench}
 OUT=${OUT:-BENCH_scaling.json}
-FILTER=${FILTER:-'SweepCandidates|FairKM_AllAttributes|FairKM_MiniBatch|FairKM_ParallelSweep|MoveDeltaEvaluation|KernelGemv|KernelCatMoments|ActiveKernelBackend'}
+FILTER=${FILTER:-'SweepCandidates|FairKM_AllAttributes|FairKM_MiniBatch|FairKM_ParallelSweep|FairKM_Sweep|MoveDeltaEvaluation|KernelGemv|KernelCatMoments|ActiveKernelBackend|BuildConfig'}
 MIN_TIME=${MIN_TIME:-0.2}
 MIN_SPEEDUP=${MIN_SPEEDUP:-2.0}
 MIN_SIMD_RATIO=${MIN_SIMD_RATIO:-0.9}
+MIN_PRUNE_SPEEDUP=${MIN_PRUNE_SPEEDUP:-2.0}
+MIN_PRUNED_FRACTION=${MIN_PRUNED_FRACTION:-0.5}
 BENCH="$BUILD_DIR/bench/bench_scaling"
 
+if [[ "${SKIP_BUILD:-0}" != "1" ]]; then
+  # Release is non-negotiable for a perf record; an existing cache keeps its
+  # other settings (compiler launcher etc.), only the build type is pinned.
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build "$BUILD_DIR" --target bench_scaling -j "$(nproc)"
+fi
+
 if [[ ! -x "$BENCH" ]]; then
-  echo "bench_json: $BENCH not built; run: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR --target bench_scaling" >&2
+  echo "bench_json: $BENCH not built; run: cmake -B $BUILD_DIR -S . -DCMAKE_BUILD_TYPE=Release && cmake --build $BUILD_DIR --target bench_scaling" >&2
   exit 2
 fi
 
@@ -50,6 +78,16 @@ fi
   --benchmark_min_time="$MIN_TIME" \
   --benchmark_out="$OUT" \
   --benchmark_out_format=json
+
+# Gate 0: the binary must have been compiled with NDEBUG (Release); the
+# BM_BuildConfig_<type> marker stamps that into the record itself.
+jq -e '
+  ([.benchmarks[] | select(.name | startswith("BM_BuildConfig_")) | .name
+    | ltrimstr("BM_BuildConfig_")] | first // "missing") as $cfg
+  | "bench binary build config: \($cfg)",
+    (if $cfg == "release" then "OK: optimized record"
+     else error("bench binary built as \($cfg), not release — perf record rejected") end)
+' "$OUT"
 
 # Gate 1: reference kernels vs delta kernels, from the JSON just written
 # (works for both real google-benchmark and the vendored shim — the schema
@@ -77,6 +115,32 @@ jq -e --argjson min "$MIN_SIMD_RATIO" '
   | "dispatch backend: \($backend); scalar-vs-dispatch GEMV(d=256) ratio: \($ratio * 100 | round / 100)x, sweep ratio: \($sweep_scalar / $sweep_dispatch * 100 | round / 100)x",
     (if $ratio >= $min then "OK: >= \($min)x"
      else error("dispatch backend \($backend) regresses the GEMV kernel: ratio \($ratio) below \($min)") end)
+' "$OUT"
+
+# Gate 3: bound-gated pruning must beat the exhaustive sweep at the sweep
+# level on the d=64 / n=50k synthetic world (same seed, bit-identical
+# trajectory). The sweep_seconds counter isolates the optimization sweeps
+# from the O(n d) init/finalize work both paths share; the end-to-end
+# real_time ratio is printed alongside for trend tracking.
+jq -e --argjson min "$MIN_PRUNE_SPEEDUP" '
+  (.benchmarks[] | select(.name == "BM_FairKM_Sweep_d64_Exact") | .sweep_seconds) as $exact
+  | (.benchmarks[] | select(.name == "BM_FairKM_Sweep_d64_Pruned") | .sweep_seconds) as $pruned
+  | (.benchmarks[] | select(.name == "BM_FairKM_Sweep_d64_Exact") | .real_time) as $exact_e2e
+  | (.benchmarks[] | select(.name == "BM_FairKM_Sweep_d64_Pruned") | .real_time) as $pruned_e2e
+  | (.benchmarks[] | select(.name == "BM_FairKM_Sweep_d64_Pruned") | .pruned_fraction // 0) as $frac
+  | ($exact / $pruned) as $speedup
+  | "pruning sweep-level speedup (d=64, n=50k): \($speedup * 100 | round / 100)x (end-to-end \($exact_e2e / $pruned_e2e * 100 | round / 100)x; pruned fraction \($frac * 100 | round)%)",
+    (if $speedup >= $min then "OK: >= \($min)x"
+     else error("pruning sweep-level speedup \($speedup) below required \($min)x") end)
+' "$OUT"
+
+# Gate 4: the gate must reject at least MIN_PRUNED_FRACTION of candidate
+# evaluations on the Adult all-attributes config.
+jq -e --argjson min "$MIN_PRUNED_FRACTION" '
+  (.benchmarks[] | select(.name == "BM_FairKM_AllAttributes") | .pruned_fraction // 0) as $frac
+  | "Adult all-attributes pruned fraction: \($frac * 100 | round)%",
+    (if $frac >= $min then "OK: >= \($min * 100 | round)%"
+     else error("pruned fraction \($frac) below required \($min)") end)
 ' "$OUT"
 
 echo "wrote $OUT"

@@ -108,6 +108,7 @@ Status Run(const ArgParser& args) {
     options.max_iterations = static_cast<int>(args.GetInt("max-iterations"));
     options.minibatch_size = static_cast<int>(args.GetInt("minibatch"));
     options.num_threads = static_cast<int>(args.GetInt("threads"));
+    options.enable_pruning = !args.GetBool("no-prune");
     const std::string sweep = ToLower(args.GetString("sweep"));
     if (sweep == "parallel") {
       options.sweep_mode = core::SweepMode::kParallelSnapshot;
@@ -123,6 +124,12 @@ Status Run(const ArgParser& args) {
     std::printf("FairKM: lambda = %g, %d iterations, converged = %s\n",
                 result.lambda_used, result.iterations,
                 result.converged ? "yes" : "no");
+    std::printf("sweep: %.1f ms, pruning %s, pruned %.1f%% of %llu candidate "
+                "evaluations\n",
+                result.sweep_seconds * 1e3,
+                result.pruning_enabled ? "on" : "off",
+                result.PrunedFraction() * 100.0,
+                static_cast<unsigned long long>(result.total_candidates));
     assignment = std::move(result.assignment);
   } else if (method == "zgya") {
     if (sensitive.categorical.size() != 1) {
@@ -189,6 +196,9 @@ int main(int argc, char** argv) {
   args.AddFlag("minibatch", "0", "prototype refresh batch (0 = every move)");
   args.AddFlag("sweep", "serial", "candidate evaluation: serial | parallel");
   args.AddFlag("threads", "0", "parallel sweep workers (0 = hardware)");
+  args.AddFlag("no-prune", "false",
+               "disable bound-gated candidate pruning (exact sweep; "
+               "FAIRKM_DISABLE_PRUNING=1 does the same)");
   args.AddFlag("scale", "minmax", "feature scaling: minmax | zscore | none");
   args.AddFlag("kernels", "auto",
                "kernel backend: auto (cpuid dispatch) | scalar");
