@@ -150,12 +150,12 @@ void AblateZgyaOptimizer(const exp::ExperimentData& data, const BenchEnv& env) {
   exp::ExperimentRunner runner(&data, env.threads);
   exp::RunConfig blind;
   blind.method = exp::Method::kKMeansBlind;
-  blind.k = 5;
+  blind.fairkm.k = 5;
   auto blind_agg = runner.Run(blind, env.seeds, 1000).ValueOrDie();
   for (const auto& attr : data.sensitive_names) {
     exp::RunConfig soft;
     soft.method = exp::Method::kZgyaSingle;
-    soft.k = 5;
+    soft.fairkm.k = 5;
     soft.zgya_lambda = data.zgya_lambda;
     soft.zgya_soft_temperature = data.zgya_soft_temperature;
     soft.single_attribute = attr;

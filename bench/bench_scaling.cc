@@ -26,6 +26,7 @@
 #include "core/fairkm_naive.h"
 #include "core/fairkm_state.h"
 #include "core/kernels/kernels.h"
+#include "core/solver.h"
 #include "data/preprocess.h"
 
 namespace {
@@ -147,6 +148,61 @@ void BM_FairKM_Sweep_d64_Exact(benchmark::State& state) {
   FairKMSweepBody(state, 50000, 64, /*prune=*/false);
 }
 BENCHMARK(BM_FairKM_Sweep_d64_Exact)->Unit(benchmark::kMillisecond);
+
+// Multi-seed session pair: the paper's §5.5.1 protocol runs many seeds per
+// configuration. _Cold constructs a fresh FairKMSolver per seed — the
+// pre-session-API behaviour, rebuilding and reallocating the aligned point
+// store, norm caches, fairness/bound tables, pruner and batch scratch every
+// time. _Reused creates ONE solver and re-Inits it per seed (allocation-free
+// after the first). Trajectories are bit-identical
+// (fairkm_solver_test.SolverReuseAcrossSeedsMatchesColdSolvers); only the
+// per-seed setup work differs, which is what tools/bench_json.sh gates on
+// (Cold/Reused >= MIN_REUSE_SPEEDUP). Few sweeps per run keep the bench in
+// the regime where per-seed setup is a visible fraction of the work — a
+// hyper-parameter search or serving-style re-fit, not a 30-sweep paper run.
+constexpr size_t kMultiSeedN = 8192;
+constexpr size_t kMultiSeedD = 64;
+constexpr uint64_t kMultiSeedSeeds = 6;
+
+core::FairKMOptions MultiSeedOptions() {
+  core::FairKMOptions options;
+  options.k = 8;
+  options.lambda = core::SuggestLambda(kMultiSeedN, options.k);
+  options.max_iterations = 3;
+  return options;
+}
+
+void BM_FairKM_MultiSeed_Cold(benchmark::State& state) {
+  const auto& world = SyntheticWorld(kMultiSeedN, kMultiSeedD);
+  const core::FairKMOptions options = MultiSeedOptions();
+  for (auto _ : state) {
+    for (uint64_t seed = 1; seed <= kMultiSeedSeeds; ++seed) {
+      auto solver =
+          core::FairKMSolver::Create(&world.features, &world.sensitive, options)
+              .ValueOrDie();
+      solver.Init(seed).Abort();
+      solver.Run().ValueOrDie();
+      benchmark::DoNotOptimize(solver.assignment().data());
+    }
+  }
+}
+BENCHMARK(BM_FairKM_MultiSeed_Cold)->Unit(benchmark::kMillisecond);
+
+void BM_FairKM_MultiSeed_Reused(benchmark::State& state) {
+  const auto& world = SyntheticWorld(kMultiSeedN, kMultiSeedD);
+  const core::FairKMOptions options = MultiSeedOptions();
+  for (auto _ : state) {
+    auto solver =
+        core::FairKMSolver::Create(&world.features, &world.sensitive, options)
+            .ValueOrDie();
+    for (uint64_t seed = 1; seed <= kMultiSeedSeeds; ++seed) {
+      solver.Init(seed).Abort();
+      solver.Run().ValueOrDie();
+      benchmark::DoNotOptimize(solver.assignment().data());
+    }
+  }
+}
+BENCHMARK(BM_FairKM_MultiSeed_Reused)->Unit(benchmark::kMillisecond);
 
 void BM_FairKM_DatasetSize(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));

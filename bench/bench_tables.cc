@@ -16,15 +16,15 @@ exp::AggregateOutcome RunOrDie(const exp::ExperimentRunner& runner,
 exp::RunConfig BlindConfig(int k) {
   exp::RunConfig c;
   c.method = exp::Method::kKMeansBlind;
-  c.k = k;
+  c.fairkm.k = k;
   return c;
 }
 
 exp::RunConfig FairKMConfig(const exp::ExperimentData& data, int k) {
   exp::RunConfig c;
   c.method = exp::Method::kFairKMAll;
-  c.k = k;
-  c.lambda = data.paper_lambda;
+  c.fairkm.k = k;
+  c.fairkm.lambda = data.paper_lambda;
   return c;
 }
 
@@ -32,8 +32,8 @@ exp::RunConfig FairKMSingleConfig(const exp::ExperimentData& data, int k,
                                   const std::string& attr) {
   exp::RunConfig c;
   c.method = exp::Method::kFairKMSingle;
-  c.k = k;
-  c.lambda = data.paper_lambda;
+  c.fairkm.k = k;
+  c.fairkm.lambda = data.paper_lambda;
   c.single_attribute = attr;
   return c;
 }
@@ -42,7 +42,7 @@ exp::RunConfig ZgyaConfig(const exp::ExperimentData& data, int k,
                           const std::string& attr) {
   exp::RunConfig c;
   c.method = exp::Method::kZgyaSingle;
-  c.k = k;
+  c.fairkm.k = k;
   c.zgya_lambda = data.zgya_lambda;
   c.zgya_soft_temperature = data.zgya_soft_temperature;
   c.single_attribute = attr;
@@ -222,8 +222,8 @@ void RunLambdaSweep(const exp::ExperimentData& data, const std::string& what,
   for (double lambda = 1000.0; lambda <= 10000.0; lambda += 1000.0) {
     exp::RunConfig config;
     config.method = exp::Method::kFairKMAll;
-    config.k = k;
-    config.lambda = lambda;
+    config.fairkm.k = k;
+    config.fairkm.lambda = lambda;
     auto agg = RunOrDie(runner, config, env.seeds);
     std::vector<std::string> row = {exp::Cell(lambda, 0)};
     if (what == "quality") {

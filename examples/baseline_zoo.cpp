@@ -14,11 +14,11 @@
 #include <cstdio>
 
 #include "cluster/bera_lp.h"
+#include "cluster/clusterer.h"
 #include "cluster/fairlet.h"
 #include "cluster/kmeans.h"
-#include "cluster/zgya.h"
 #include "common/args.h"
-#include "core/fairkm.h"
+#include "core/solver.h"
 #include "exp/datasets.h"
 #include "exp/table.h"
 #include "metrics/fairness.h"
@@ -55,34 +55,28 @@ int main(int argc, char** argv) {
                   exp::Cell(metrics::MinClusterBalance(attr, assignment, k), 3)});
   };
 
-  // S-blind K-Means.
-  cluster::KMeansOptions kopt;
-  kopt.k = k;
-  Rng r1(seed);
-  auto blind = cluster::RunKMeans(data.features, kopt, &r1).ValueOrDie();
-  add("K-Means (blind)", blind.assignment);
-
-  // FairKM.
-  core::FairKMOptions fopt;
-  fopt.k = k;
-  fopt.lambda = data.paper_lambda;
-  Rng r2(seed);
-  auto fair = core::RunFairKM(data.features, view, fopt, &r2).ValueOrDie();
-  add("FairKM", fair.assignment);
-
-  // ZGYA, both optimizers.
-  cluster::ZgyaOptions zopt;
-  zopt.k = k;
-  zopt.lambda = data.zgya_lambda;
-  zopt.soft_temperature = data.zgya_soft_temperature;
-  zopt.mode = cluster::ZgyaOptions::Mode::kSoftVariational;
-  Rng r3(seed);
-  auto zgya_soft = cluster::RunZgya(data.features, attr, zopt, &r3).ValueOrDie();
-  add("ZGYA (soft, published)", zgya_soft.assignment);
-  zopt.mode = cluster::ZgyaOptions::Mode::kHardMoves;
-  Rng r4(seed);
-  auto zgya_hard = cluster::RunZgya(data.features, attr, zopt, &r4).ValueOrDie();
-  add("ZGYA (hard moves)", zgya_hard.assignment);
+  // The registry-backed methods, selected uniformly by name (this is the
+  // cluster::Clusterer registry the exp runner and fairkm_cli use too).
+  core::EnsureFairKMClustererRegistered();
+  auto run_registered = [&](const std::string& name, const char* label,
+                            double lambda, double soft_temperature)
+      -> cluster::ClusteringResult {
+    cluster::ClustererOptions copt;
+    copt.k = k;
+    copt.lambda = lambda;
+    copt.soft_temperature = soft_temperature;
+    auto clusterer = cluster::CreateClusterer(name, copt).ValueOrDie();
+    Rng method_rng(seed);
+    auto result = clusterer->Cluster(data.features, view, &method_rng).ValueOrDie();
+    add(label, result.assignment);
+    return result;
+  };
+  auto blind = run_registered("kmeans", "K-Means (blind)", -1.0, -1.0);
+  run_registered("fairkm", "FairKM", data.paper_lambda, -1.0);
+  run_registered("zgya", "ZGYA (soft, published)", data.zgya_lambda,
+                 data.zgya_soft_temperature);
+  run_registered("zgya-hard", "ZGYA (hard moves)", data.zgya_lambda,
+                 data.zgya_soft_temperature);
 
   // Bera et al. LP fair assignment against the blind centers.
   cluster::BeraOptions bopt;

@@ -1,4 +1,5 @@
-// Quickstart: build a small dataset in code, run FairKM, inspect the output.
+// Quickstart: build a small dataset in code, train FairKM through the
+// session API, inspect the output, then serve out-of-sample points.
 //
 //   $ ./examples/quickstart
 //
@@ -6,12 +7,15 @@
 // groups, and one binary sensitive attribute ("group") that is correlated
 // with the geometry. Plain K-Means therefore produces demographically pure
 // clusters; FairKM produces clusters whose group mix matches the dataset.
+// The FairKM run uses core::FairKMSolver — Create once, Init with a seed,
+// Run with a progress callback, then Assign() new points against the
+// trained prototypes.
 
 #include <cstdio>
 
 #include "cluster/kmeans.h"
 #include "common/rng.h"
-#include "core/fairkm.h"
+#include "core/solver.h"
 #include "data/dataset.h"
 #include "data/sensitive.h"
 #include "metrics/fairness.h"
@@ -47,11 +51,23 @@ int main() {
   Rng kmeans_rng(1);
   auto blind = cluster::RunKMeans(features, kmeans_options, &kmeans_rng).ValueOrDie();
 
+  // The FairKM session: Create binds the inputs, Init(seed) starts a run,
+  // Run drives it — here with a progress callback watching the objective
+  // fall sweep by sweep (return false from it to cancel cooperatively).
   core::FairKMOptions fair_options;
   fair_options.k = k;  // lambda < 0 -> the paper's (n/k)^2 heuristic.
-  Rng fair_rng(1);
-  auto fair = core::RunFairKM(features, sensitive, fair_options, &fair_rng)
-                  .ValueOrDie();
+  auto solver =
+      core::FairKMSolver::Create(&features, &sensitive, fair_options).ValueOrDie();
+  solver.Init(uint64_t{1}).Abort();
+  std::printf("FairKM sweeps:");
+  solver
+      .Run({}, [](const core::SweepProgress& p) {
+        if (p.sweep_complete) std::printf(" %.0f", p.objective);
+        return true;  // keep going
+      })
+      .ValueOrDie();
+  std::printf("  (converged after %d sweeps)\n\n", solver.sweeps_completed());
+  auto fair = solver.CurrentResult().ValueOrDie();
 
   // --- 3. Compare ----------------------------------------------------------
   auto report = [&](const char* name, const cluster::Assignment& assignment,
@@ -77,8 +93,25 @@ int main() {
               fair.lambda_used);
   report("K-Means", blind.assignment, blind.kmeans_objective);
   report("FairKM", fair.assignment, fair.kmeans_objective);
+
+  // --- 4. Serve out-of-sample points ---------------------------------------
+  // The trained solver maps new points to the trained prototypes under the
+  // Eq. 1 insertion cost — no retraining, the model is not mutated.
+  data::Matrix fresh(4, 2);
+  const double probes[4][2] = {{0.0, 0.0}, {4.0, 0.0}, {2.0, 0.5}, {-1.0, -1.0}};
+  for (size_t i = 0; i < 4; ++i) {
+    fresh.Row(i)[0] = probes[i][0];
+    fresh.Row(i)[1] = probes[i][1];
+  }
+  auto served = solver.Assign(fresh).ValueOrDie();
+  std::printf("\nOut-of-sample Assign():");
+  for (size_t i = 0; i < served.size(); ++i) {
+    std::printf("  (%.1f, %.1f) -> cluster %d", fresh.Row(i)[0], fresh.Row(i)[1],
+                served[i]);
+  }
   std::printf(
-      "\nFairKM trades a little SSE for cluster group mixes that mirror the\n"
-      "dataset. Tune the trade-off with FairKMOptions::lambda.\n");
+      "\n\nFairKM trades a little SSE for cluster group mixes that mirror the\n"
+      "dataset. Tune the trade-off with FairKMOptions::lambda (see\n"
+      "examples/lambda_tradeoff.cpp, which sweeps it on one reused solver).\n");
   return 0;
 }

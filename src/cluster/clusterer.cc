@@ -1,0 +1,170 @@
+#include "cluster/clusterer.h"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <utility>
+
+#include "cluster/zgya.h"
+
+namespace fairkm {
+namespace cluster {
+
+namespace {
+
+// Resolves the single categorical attribute a zgya* run targets: the named
+// one when options.attribute is set, otherwise the view's only categorical
+// attribute. Returns a one-attribute view (copy; RunZgya reads it
+// synchronously).
+Result<data::SensitiveView> SelectZgyaAttribute(
+    const data::SensitiveView& sensitive, const std::string& attribute) {
+  if (!attribute.empty()) return sensitive.SelectCategorical(attribute);
+  if (sensitive.categorical.size() == 1 && sensitive.numeric.empty()) {
+    return sensitive;
+  }
+  return Status::InvalidArgument(
+      "zgya needs exactly one categorical sensitive attribute (or set "
+      "ClustererOptions::attribute)");
+}
+
+class KMeansClusterer : public Clusterer {
+ public:
+  explicit KMeansClusterer(const ClustererOptions& options) {
+    options_.k = options.k;
+    if (options.max_iterations > 0) {
+      options_.max_iterations = options.max_iterations;
+    }
+    if (options.init) options_.init = *options.init;
+  }
+
+  const std::string& name() const override {
+    static const std::string kName = "kmeans";
+    return kName;
+  }
+
+  Result<ClusteringResult> Cluster(const data::Matrix& points,
+                                   const data::SensitiveView& sensitive,
+                                   Rng* rng) override {
+    (void)sensitive;  // S-blind by definition.
+    return RunKMeans(points, options_, rng);
+  }
+
+ private:
+  KMeansOptions options_;
+};
+
+class ZgyaClusterer : public Clusterer {
+ public:
+  ZgyaClusterer(const ClustererOptions& options, ZgyaOptions::Mode mode,
+                std::string name)
+      : name_(std::move(name)), attribute_(options.attribute) {
+    options_.k = options.k;
+    options_.lambda = options.lambda;
+    if (options.max_iterations > 0) {
+      options_.max_iterations = options.max_iterations;
+    }
+    if (options.init) options_.init = *options.init;
+    options_.mode = mode;
+    if (options.soft_temperature > 0) {
+      options_.soft_temperature = options.soft_temperature;
+    }
+  }
+
+  const std::string& name() const override { return name_; }
+
+  Result<ClusteringResult> Cluster(const data::Matrix& points,
+                                   const data::SensitiveView& sensitive,
+                                   Rng* rng) override {
+    FAIRKM_ASSIGN_OR_RETURN(data::SensitiveView view,
+                            SelectZgyaAttribute(sensitive, attribute_));
+    FAIRKM_ASSIGN_OR_RETURN(ZgyaResult result,
+                            RunZgya(points, view.categorical[0], options_, rng));
+    return ClusteringResult(std::move(static_cast<ClusteringResult&>(result)));
+  }
+
+ private:
+  std::string name_;
+  std::string attribute_;
+  ZgyaOptions options_;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, ClustererFactory> factories;
+};
+
+Registry& GlobalRegistry() {
+  static Registry* registry = [] {
+    auto* r = new Registry;
+    r->factories["kmeans"] = [](const ClustererOptions& options)
+        -> Result<std::unique_ptr<Clusterer>> {
+      return std::unique_ptr<Clusterer>(new KMeansClusterer(options));
+    };
+    r->factories["zgya"] = [](const ClustererOptions& options)
+        -> Result<std::unique_ptr<Clusterer>> {
+      return std::unique_ptr<Clusterer>(
+          new ZgyaClusterer(options, ZgyaOptions::Mode::kSoftVariational, "zgya"));
+    };
+    r->factories["zgya-hard"] = [](const ClustererOptions& options)
+        -> Result<std::unique_ptr<Clusterer>> {
+      return std::unique_ptr<Clusterer>(
+          new ZgyaClusterer(options, ZgyaOptions::Mode::kHardMoves, "zgya-hard"));
+    };
+    return r;
+  }();
+  return *registry;
+}
+
+}  // namespace
+
+Status RegisterClusterer(const std::string& name, ClustererFactory factory) {
+  if (name.empty()) {
+    return Status::InvalidArgument("clusterer name must not be empty");
+  }
+  Registry& registry = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.factories[name] = std::move(factory);
+  return Status::OK();
+}
+
+bool IsClustererRegistered(const std::string& name) {
+  Registry& registry = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  return registry.factories.count(name) != 0;
+}
+
+Result<std::unique_ptr<Clusterer>> CreateClusterer(
+    const std::string& name, const ClustererOptions& options) {
+  ClustererFactory factory;
+  {
+    Registry& registry = GlobalRegistry();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    auto it = registry.factories.find(name);
+    if (it == registry.factories.end()) {
+      std::string known;
+      for (const auto& [key, unused] : registry.factories) {
+        (void)unused;
+        known += known.empty() ? key : ", " + key;
+      }
+      return Status::NotFound("no clusterer named \"" + name +
+                              "\" (registered: " + known + ")");
+    }
+    factory = it->second;
+  }
+  return factory(options);
+}
+
+std::vector<std::string> RegisteredClusterers() {
+  Registry& registry = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  std::vector<std::string> names;
+  names.reserve(registry.factories.size());
+  for (const auto& [name, unused] : registry.factories) {
+    (void)unused;
+    names.push_back(name);
+  }
+  return names;  // std::map iteration is already sorted.
+}
+
+}  // namespace cluster
+}  // namespace fairkm

@@ -24,6 +24,13 @@ struct ClusteringResult {
   double total_objective = 0.0;   ///< Method objective (= SSE for plain K-Means).
   int iterations = 0;
   bool converged = false;
+
+  // Telemetry shared across methods through the cluster::Clusterer interface
+  // so harnesses (exp runner, CLI) can report uniformly. Methods without the
+  // corresponding machinery leave the defaults.
+  double lambda_used = 0.0;     ///< Resolved fairness weight (0 = none).
+  double sweep_seconds = 0.0;   ///< Wall time inside optimization sweeps.
+  double pruned_fraction = 0.0; ///< Candidate evaluations rejected by pruning.
 };
 
 /// \brief Validates that every id is within [0, k) and sizes match.

@@ -64,9 +64,9 @@ struct ZgyaOptions {
   double min_improvement = 1e-9;
 };
 
-/// \brief ZGYA output with the decomposed objective.
+/// \brief ZGYA output with the decomposed objective (lambda_used lives in
+/// the ClusteringResult base).
 struct ZgyaResult : ClusteringResult {
-  double lambda_used = 0.0;
   double kmeans_term = 0.0;
   double kl_term = 0.0;  ///< sum_C KL(P_C || U) at the final state.
 };

@@ -1,12 +1,6 @@
 #include "core/fairkm.h"
 
-#include <algorithm>
-#include <memory>
-
-#include "common/thread_pool.h"
-#include "common/timer.h"
-#include "core/fairkm_state.h"
-#include "core/pruning.h"
+#include "core/solver.h"
 
 namespace fairkm {
 namespace core {
@@ -17,219 +11,20 @@ double SuggestLambda(size_t num_rows, int k) {
   return ratio * ratio;
 }
 
-namespace {
-
-// Picks the best move for point i given its precomputed per-cluster K-Means
-// deltas and the live O(1)-per-attribute fairness deltas, and applies it.
-// Returns true when the point moved.
-bool ApplyBestMove(FairKMState* state, size_t i, const double* km_deltas,
-                   double lambda, double min_improvement, int k) {
-  const int from = state->cluster_of(i);
-  double best_delta = -min_improvement;
-  int best_cluster = from;
-  for (int c = 0; c < k; ++c) {
-    if (c == from) continue;
-    const double delta = km_deltas[c] + lambda * state->DeltaFairness(i, c);
-    if (delta < best_delta) {
-      best_delta = delta;
-      best_cluster = c;
-    }
-  }
-  if (best_cluster == from) return false;
-  state->Move(i, best_cluster);
-  return true;
-}
-
-}  // namespace
-
+// Compatibility wrapper: one blocking run of the FairKMSolver session
+// (core/solver.h), which owns the Algorithm-1 sweep engine. Equal inputs and
+// rng draws yield trajectories bit-identical to the historical in-place
+// implementation.
 Result<FairKMResult> RunFairKM(const data::Matrix& points,
                                const data::SensitiveView& sensitive,
                                const FairKMOptions& options, Rng* rng) {
   if (rng == nullptr) return Status::InvalidArgument("rng must not be null");
-  if (options.max_iterations <= 0) {
-    return Status::InvalidArgument("max_iterations must be positive");
-  }
-  if (options.minibatch_size < 0) {
-    return Status::InvalidArgument("minibatch_size must be non-negative");
-  }
-  if (options.num_threads < 0) {
-    return Status::InvalidArgument("num_threads must be non-negative");
-  }
-  const bool parallel = options.sweep_mode == SweepMode::kParallelSnapshot;
-  if (parallel && options.minibatch_size <= 0) {
-    return Status::InvalidArgument(
-        "parallel snapshot sweep requires minibatch_size > 0 (candidates are "
-        "evaluated against the frozen prototype snapshot)");
-  }
-  // Validate k before SuggestLambda, whose k > 0 DCHECK would abort first in
-  // debug builds.
-  if (options.k <= 0) return Status::InvalidArgument("k must be positive");
-  const size_t n = points.rows();
-  const size_t k = static_cast<size_t>(options.k);
-  const double lambda =
-      options.lambda < 0 ? SuggestLambda(n, options.k) : options.lambda;
-
-  FAIRKM_ASSIGN_OR_RETURN(
-      cluster::Assignment initial,
-      cluster::MakeInitialAssignment(points, options.k, options.init, rng));
-  FAIRKM_ASSIGN_OR_RETURN(FairKMState state,
-                          FairKMState::Create(&points, &sensitive, options.k,
-                                              std::move(initial), options.fairness));
-
-  const bool minibatch = options.minibatch_size > 0;
-  state.EnablePrototypeSnapshot(minibatch);
-  // Hoisted batch size: one full sweep is a single "batch" without
-  // mini-batching, so the sweep loop below is uniform across modes.
-  const size_t batch_size =
-      minibatch ? static_cast<size_t>(options.minibatch_size) : n;
-
-  // Bound-gated pruning (core/pruning.h): on unless the options or the
-  // FAIRKM_DISABLE_PRUNING escape hatch turn it off. k = 1 has no candidate
-  // moves to gate, so skip the bookkeeping entirely.
-  const bool pruning =
-      options.enable_pruning && !PruningDisabledByEnv() && options.k > 1;
-  state.EnableBoundTracking(pruning);
-  std::unique_ptr<SweepPruner> pruner;
-  if (pruning) {
-    pruner = std::make_unique<SweepPruner>(&state, lambda,
-                                           options.min_improvement);
-  }
-
-  const size_t num_threads = !parallel ? 1
-                             : options.num_threads > 0
-                                 ? static_cast<size_t>(options.num_threads)
-                                 : ThreadPool::DefaultThreadCount();
-  std::unique_ptr<ThreadPool> pool;
-  if (parallel && num_threads > 1) pool = std::make_unique<ThreadPool>(num_threads);
-
-  // Scratch for the batched K-Means kernel: one row of k candidate deltas
-  // (plus, when pruning, k exported distances) per in-flight point — the
-  // whole batch in parallel mode, one row otherwise.
-  const size_t rows = parallel ? std::min(batch_size, n) : 1;
-  std::vector<double> km_deltas(rows * k);
-  std::vector<double> km_dists(pruning ? rows * k : 0);
-  // Parallel mode: which batch points phase 1 actually evaluated (survivors
-  // of the phase-1 gate; phase 2 may evaluate stragglers on demand).
-  std::vector<uint8_t> evaluated(parallel ? rows : 0, 1);
-  auto dists_row = [&](size_t offset) -> double* {
-    return pruning ? km_dists.data() + offset * k : nullptr;
-  };
-
-  FairKMResult result;
-  result.lambda_used = lambda;
-  result.pruning_enabled = pruning;
-  const uint64_t cands_per_point = static_cast<uint64_t>(k - 1);
-  Timer sweep_timer;
-  for (int iter = 0; iter < options.max_iterations; ++iter) {
-    size_t moves = 0;
-    // Round-robin over objects (paper Algorithm 1, step 4): each object is
-    // re-assigned to the cluster minimizing the exact objective change
-    // (Eq. 9), with prototypes and fractional representations updated
-    // immediately (steps 6-7) — or in mini-batches when configured.
-    for (size_t batch_start = 0; batch_start < n; batch_start += batch_size) {
-      const size_t batch_end = std::min(n, batch_start + batch_size);
-      if (parallel) {
-        // Phase 1 (concurrent, read-only): batched K-Means deltas for every
-        // point of the mini-batch that survives the pruning gate, against
-        // the frozen prototype snapshot. Fairness deltas are intentionally
-        // left to phase 2 — they read live aggregates, which is exactly what
-        // the serial mini-batch sweep does, so both modes walk identical
-        // trajectories. The gate is re-checked live in phase 2 (earlier
-        // moves of the same batch shift the fairness bounds), so a phase-1
-        // skip is only a prefetch decision, never a correctness one.
-        const size_t count = batch_end - batch_start;
-        auto eval_point = [&](size_t offset) {
-          const size_t i = batch_start + offset;
-          if (pruner && pruner->ShouldPrune(i)) {
-            evaluated[offset] = 0;
-            return;
-          }
-          evaluated[offset] = 1;
-          state.DeltaKMeansAllClusters(i, km_deltas.data() + offset * k,
-                                       dists_row(offset));
-          if (pruner) pruner->Refresh(i, dists_row(offset));
-        };
-        if (pool) {
-          const size_t shards = std::min(pool->num_threads(), count);
-          const size_t chunk = (count + shards - 1) / shards;
-          for (size_t s = 0; s < shards; ++s) {
-            const size_t lo = s * chunk;
-            const size_t hi = std::min(count, lo + chunk);
-            if (lo >= hi) break;
-            pool->Submit([&eval_point, lo, hi] {
-              for (size_t off = lo; off < hi; ++off) eval_point(off);
-            });
-          }
-          pool->Wait();
-        } else {
-          for (size_t off = 0; off < count; ++off) eval_point(off);
-        }
-        // Phase 2 (sequential): pick and apply moves in round-robin order.
-        // Phase-1 survivors go straight to the exact argmin — their deltas
-        // are already computed, so re-running the gate would only duplicate
-        // the fairness work ApplyBestMove does anyway. Phase-1-pruned
-        // points re-check the gate live (earlier moves of this batch may
-        // have shifted the fairness bounds); if it no longer holds they are
-        // evaluated on demand against the still-frozen snapshot, which
-        // yields deltas identical to a phase-1 evaluation.
-        for (size_t i = batch_start; i < batch_end; ++i) {
-          const size_t offset = i - batch_start;
-          result.total_candidates += cands_per_point;
-          if (pruner && !evaluated[offset]) {
-            if (pruner->ShouldPrune(i)) {
-              result.pruned_candidates += cands_per_point;
-              continue;
-            }
-            state.DeltaKMeansAllClusters(i, km_deltas.data() + offset * k,
-                                         dists_row(offset));
-            pruner->Refresh(i, dists_row(offset));
-          }
-          if (ApplyBestMove(&state, i, km_deltas.data() + offset * k, lambda,
-                            options.min_improvement, options.k)) {
-            if (pruner) pruner->Invalidate(i);
-            ++moves;
-          }
-        }
-      } else {
-        for (size_t i = batch_start; i < batch_end; ++i) {
-          result.total_candidates += cands_per_point;
-          if (pruner && pruner->ShouldPrune(i)) {
-            result.pruned_candidates += cands_per_point;
-            continue;
-          }
-          state.DeltaKMeansAllClusters(i, km_deltas.data(), dists_row(0));
-          if (pruner) pruner->Refresh(i, dists_row(0));
-          if (ApplyBestMove(&state, i, km_deltas.data(), lambda,
-                            options.min_improvement, options.k)) {
-            if (pruner) pruner->Invalidate(i);
-            ++moves;
-          }
-        }
-      }
-      // Interior batch boundary: re-synchronize the prototype snapshot. The
-      // end-of-sweep refresh below covers the final batch, so a sweep that
-      // ends exactly on a boundary refreshes once, not twice.
-      if (minibatch && batch_end < n) state.RefreshPrototypes();
-    }
-    if (minibatch) state.RefreshPrototypes();
-    result.iterations = iter + 1;
-    // O(k + k sum m) per sweep from the maintained caches — the scratch
-    // O(n d) recompute would otherwise dominate a heavily pruned sweep.
-    result.objective_history.push_back(state.KMeansTermCached() +
-                                       lambda * state.FairnessTermCached());
-    if (moves == 0) {
-      result.converged = true;
-      break;
-    }
-  }
-  result.sweep_seconds = sweep_timer.ElapsedSeconds();
-
-  result.assignment = state.assignment();
-  cluster::FinalizeResult(points, options.k, &result);
-  result.kmeans_term = result.kmeans_objective;
-  result.fairness_term = state.FairnessTerm();
-  result.total_objective = result.kmeans_term + lambda * result.fairness_term;
-  return result;
+  FAIRKM_ASSIGN_OR_RETURN(FairKMSolver solver,
+                          FairKMSolver::Create(&points, &sensitive, options));
+  FAIRKM_RETURN_NOT_OK(solver.Init(rng));
+  FAIRKM_ASSIGN_OR_RETURN(RunStop stop, solver.Run());
+  (void)stop;  // Converged or hit max_iterations; both finalize below.
+  return solver.CurrentResult();
 }
 
 }  // namespace core

@@ -74,17 +74,15 @@ struct FairKMOptions {
 };
 
 /// \brief FairKM output: clustering plus the decomposed objective.
+/// lambda_used / sweep_seconds / pruned_fraction live in the
+/// cluster::ClusteringResult base so method-agnostic harnesses see them.
 struct FairKMResult : cluster::ClusteringResult {
-  double lambda_used = 0.0;
   double kmeans_term = 0.0;    ///< First term of Eq. 1 at the final state.
   double fairness_term = 0.0;  ///< deviation_S(C, X) at the final state.
   /// Total objective after every sweep (non-increasing when minibatch_size
   /// is 0, since every accepted move strictly decreases Eq. 1).
   std::vector<double> objective_history;
 
-  /// Wall time spent inside the optimization sweeps (excludes input
-  /// validation, initialization and result finalization).
-  double sweep_seconds = 0.0;
   /// Whether bound-gated pruning actually ran (options + environment).
   bool pruning_enabled = false;
   /// Candidate-evaluation accounting across all sweeps: each point processed
@@ -108,6 +106,12 @@ double SuggestLambda(size_t num_rows, int k);
 /// \brief Runs FairKM. `sensitive` may contain any mix of categorical and
 /// numeric attributes; with an empty view (or lambda = 0) FairKM degenerates
 /// to a move-based K-Means.
+///
+/// This is a thin compatibility wrapper over core::FairKMSolver
+/// (core/solver.h): construct, Init from `rng`, Run to convergence or
+/// options.max_iterations. Callers that run many seeds, need stepwise
+/// control, checkpoints or out-of-sample assignment should use the solver
+/// directly.
 Result<FairKMResult> RunFairKM(const data::Matrix& points,
                                const data::SensitiveView& sensitive,
                                const FairKMOptions& options, Rng* rng);

@@ -53,49 +53,61 @@ Result<FairKMState> FairKMState::Create(const data::Matrix* points,
 
 void FairKMState::BuildAggregates(cluster::Assignment initial) {
   assignment_ = std::move(initial);
-  store_ = data::PointStore(*points_);
+  // Immutable caches (aligned store, per-point norms): built once per
+  // (points, state) pair; a Reset over the same points skips the O(n d)
+  // copy and the allocations entirely — the multi-seed fast path.
+  if (store_.rows() != n_ || store_.cols() != d_) {
+    store_ = data::PointStore(*points_);
+    point_norms_.assign(n_, 0.0);
+    total_point_norm_ = 0.0;
+    for (size_t i = 0; i < n_; ++i) {
+      const double* row = store_.Row(i);
+      point_norms_[i] = kernels::Dot(row, row, stride_);
+      total_point_norm_ += point_norms_[i];
+    }
+  }
   counts_.assign(static_cast<size_t>(k_), 0);
   sums_.assign(static_cast<size_t>(k_) * stride_, 0.0);
-  point_norms_.assign(n_, 0.0);
   for (size_t i = 0; i < n_; ++i) {
     const size_t c = static_cast<size_t>(assignment_[i]);
     ++counts_[c];
     const double* row = store_.Row(i);
     double* acc = sums_.data() + c * stride_;
     for (size_t j = 0; j < d_; ++j) acc[j] += row[j];
-    point_norms_[i] = kernels::Dot(row, row, stride_);
   }
-  total_point_norm_ = 0.0;
-  for (size_t i = 0; i < n_; ++i) total_point_norm_ += point_norms_[i];
   sum_norms_.assign(static_cast<size_t>(k_), 0.0);
   for (int c = 0; c < k_; ++c) {
     const double* s = sums_.data() + static_cast<size_t>(c) * stride_;
     sum_norms_[static_cast<size_t>(c)] = kernels::Dot(s, s, stride_);
   }
-  cat_counts_.clear();
-  for (const auto& attr : sensitive_->categorical) {
-    std::vector<int64_t> counts(static_cast<size_t>(k_) * attr.cardinality, 0);
-    for (size_t i = 0; i < n_; ++i) {
-      ++counts[static_cast<size_t>(assignment_[i]) * attr.cardinality +
-               attr.codes[i]];
-    }
-    cat_counts_.push_back(std::move(counts));
-  }
-  num_sums_.clear();
-  for (const auto& attr : sensitive_->numeric) {
-    std::vector<double> sums(static_cast<size_t>(k_), 0.0);
-    for (size_t i = 0; i < n_; ++i) {
-      sums[static_cast<size_t>(assignment_[i])] += attr.values[i];
-    }
-    num_sums_.push_back(std::move(sums));
-  }
-  cat_u2_.assign(sensitive_->categorical.size(),
-                 std::vector<double>(static_cast<size_t>(k_), 0.0));
-  cat_uq_.assign(sensitive_->categorical.size(),
-                 std::vector<double>(static_cast<size_t>(k_), 0.0));
-  cat_q2_.assign(sensitive_->categorical.size(), 0.0);
-  for (size_t a = 0; a < sensitive_->categorical.size(); ++a) {
+  // Per-attribute aggregates: resize the outer vectors once, .assign() the
+  // inner ones so repeated Resets reuse their capacity.
+  const size_t num_cat = sensitive_->categorical.size();
+  const size_t num_num = sensitive_->numeric.size();
+  cat_counts_.resize(num_cat);
+  for (size_t a = 0; a < num_cat; ++a) {
     const auto& attr = sensitive_->categorical[a];
+    cat_counts_[a].assign(static_cast<size_t>(k_) * attr.cardinality, 0);
+    for (size_t i = 0; i < n_; ++i) {
+      ++cat_counts_[a][static_cast<size_t>(assignment_[i]) * attr.cardinality +
+                       attr.codes[i]];
+    }
+  }
+  num_sums_.resize(num_num);
+  for (size_t a = 0; a < num_num; ++a) {
+    const auto& attr = sensitive_->numeric[a];
+    num_sums_[a].assign(static_cast<size_t>(k_), 0.0);
+    for (size_t i = 0; i < n_; ++i) {
+      num_sums_[a][static_cast<size_t>(assignment_[i])] += attr.values[i];
+    }
+  }
+  cat_u2_.resize(num_cat);
+  cat_uq_.resize(num_cat);
+  cat_q2_.assign(num_cat, 0.0);
+  for (size_t a = 0; a < num_cat; ++a) {
+    const auto& attr = sensitive_->categorical[a];
+    cat_u2_[a].assign(static_cast<size_t>(k_), 0.0);
+    cat_uq_[a].assign(static_cast<size_t>(k_), 0.0);
     double q2 = 0.0;
     for (int s = 0; s < attr.cardinality; ++s) {
       q2 += attr.dataset_fractions[s] * attr.dataset_fractions[s];
@@ -106,6 +118,16 @@ void FairKMState::BuildAggregates(cluster::Assignment initial) {
   proto_counts_ = counts_;
   proto_sums_ = sums_;
   proto_sum_norms_ = sum_norms_;
+}
+
+Status FairKMState::Reset(cluster::Assignment initial) {
+  FAIRKM_RETURN_NOT_OK(cluster::ValidateAssignment(initial, n_, k_));
+  BuildAggregates(std::move(initial));
+  // Re-derive the bound bookkeeping from the fresh aggregates (zero drift,
+  // recomputed tables) — exactly the state a newly created instance with
+  // bound tracking enabled would carry.
+  if (track_bounds_) EnableBoundTracking(true);
+  return Status::OK();
 }
 
 void FairKMState::RecomputeCatMoments(size_t a, int c) {
@@ -284,14 +306,16 @@ void FairKMState::EnableBoundTracking(bool enable) {
   }
   drift_.assign(static_cast<size_t>(k_), 0.0);
   max_step_sum_ = 0.0;
-  cat_rem_delta_.clear();
-  cat_ins_delta_.clear();
+  const size_t num_cat = sensitive_->categorical.size();
+  cat_rem_delta_.resize(num_cat);
+  cat_ins_delta_.resize(num_cat);
   size_t max_card = 0;
-  for (const auto& attr : sensitive_->categorical) {
+  for (size_t a = 0; a < num_cat; ++a) {
+    const auto& attr = sensitive_->categorical[a];
     const size_t cells =
         static_cast<size_t>(k_) * static_cast<size_t>(attr.cardinality);
-    cat_rem_delta_.emplace_back(cells, 0.0);
-    cat_ins_delta_.emplace_back(cells, 0.0);
+    cat_rem_delta_[a].assign(cells, 0.0);
+    cat_ins_delta_[a].assign(cells, 0.0);
     max_card = std::max(max_card, static_cast<size_t>(attr.cardinality));
   }
   delta_scratch_rem_.assign(max_card, 0.0);
@@ -495,6 +519,115 @@ double FairKMState::DeltaFairness(size_t i, int to) const {
                scale_to_before * u_to * u_to));
   }
   return delta;
+}
+
+double FairKMState::DeltaFairnessInsertion(const int32_t* cat_codes,
+                                           const double* num_values,
+                                           int to) const {
+  if (sensitive_->empty()) return 0.0;
+  const size_t c_to = counts_[static_cast<size_t>(to)];
+  const double scale_to_before = ClusterScale(config_.weighting, c_to, n_);
+  const double scale_to_after = ClusterScale(config_.weighting, c_to + 1, n_);
+
+  double delta = 0.0;
+  for (size_t a = 0; a < sensitive_->categorical.size(); ++a) {
+    const auto& attr = sensitive_->categorical[a];
+    const int m = attr.cardinality;
+    const int32_t v = cat_codes[a];
+    FAIRKM_DCHECK(v >= 0 && v < m);
+    const double q_v = attr.dataset_fractions[v];
+    const double q2 = cat_q2_[a];
+    const double norm =
+        config_.normalize_domain ? 1.0 / static_cast<double>(m) : 1.0;
+    // Insertion sends u_s -> u_s - q_s + [s=v] (same closed form as the
+    // target-cluster half of DeltaFairness).
+    const double u2_to = cat_u2_[a][static_cast<size_t>(to)];
+    const double uq_to = cat_uq_[a][static_cast<size_t>(to)];
+    const double u_v_to =
+        static_cast<double>(cat_counts_[a][static_cast<size_t>(to) * m + v]) -
+        static_cast<double>(c_to) * q_v;
+    const double after_to = u2_to + q2 + 1.0 - 2.0 * (uq_to - u_v_to + q_v);
+    delta += attr.weight * norm *
+             (scale_to_after * after_to - scale_to_before * u2_to);
+  }
+  for (size_t a = 0; a < sensitive_->numeric.size(); ++a) {
+    const auto& attr = sensitive_->numeric[a];
+    const double x = num_values[a];
+    const double mean = attr.dataset_mean;
+    const double u =
+        num_sums_[a][static_cast<size_t>(to)] - static_cast<double>(c_to) * mean;
+    const double u_after = u + x - mean;
+    delta += attr.weight *
+             (scale_to_after * u_after * u_after - scale_to_before * u * u);
+  }
+  return delta;
+}
+
+void FairKMState::SaveCheckpoint(Checkpoint* out) const {
+  out->assignment = assignment_;
+  out->counts = counts_;
+  out->sums = sums_;
+  out->sum_norms = sum_norms_;
+  out->cat_counts = cat_counts_;
+  out->num_sums = num_sums_;
+  out->cat_u2 = cat_u2_;
+  out->cat_uq = cat_uq_;
+  out->use_snapshot = use_snapshot_;
+  out->proto_counts = proto_counts_;
+  out->proto_sums = proto_sums_;
+  out->proto_sum_norms = proto_sum_norms_;
+  out->track_bounds = track_bounds_;
+  out->drift = drift_;
+  out->max_step_sum = max_step_sum_;
+  out->cat_rem_delta = cat_rem_delta_;
+  out->cat_ins_delta = cat_ins_delta_;
+  out->fair_rem_bound = fair_rem_bound_;
+  out->fair_ins_bound = fair_ins_bound_;
+  out->ins_best = ins_best_;
+  out->ins_second = ins_second_;
+  out->ins_best_cluster = ins_best_cluster_;
+  out->addf_best = addf_best_;
+  out->addf_second = addf_second_;
+  out->addf_best_cluster = addf_best_cluster_;
+}
+
+Status FairKMState::RestoreCheckpoint(const Checkpoint& cp) {
+  FAIRKM_RETURN_NOT_OK(cluster::ValidateAssignment(cp.assignment, n_, k_));
+  if (cp.counts.size() != static_cast<size_t>(k_) ||
+      cp.sums.size() != static_cast<size_t>(k_) * stride_ ||
+      cp.cat_counts.size() != sensitive_->categorical.size() ||
+      cp.num_sums.size() != sensitive_->numeric.size()) {
+    return Status::InvalidArgument(
+        "checkpoint shape does not match this state's points/sensitive/k");
+  }
+  if (cp.use_snapshot != use_snapshot_ || cp.track_bounds != track_bounds_) {
+    return Status::InvalidArgument(
+        "checkpoint was taken under different snapshot/bound-tracking modes");
+  }
+  assignment_ = cp.assignment;
+  counts_ = cp.counts;
+  sums_ = cp.sums;
+  sum_norms_ = cp.sum_norms;
+  cat_counts_ = cp.cat_counts;
+  num_sums_ = cp.num_sums;
+  cat_u2_ = cp.cat_u2;
+  cat_uq_ = cp.cat_uq;
+  proto_counts_ = cp.proto_counts;
+  proto_sums_ = cp.proto_sums;
+  proto_sum_norms_ = cp.proto_sum_norms;
+  drift_ = cp.drift;
+  max_step_sum_ = cp.max_step_sum;
+  cat_rem_delta_ = cp.cat_rem_delta;
+  cat_ins_delta_ = cp.cat_ins_delta;
+  fair_rem_bound_ = cp.fair_rem_bound;
+  fair_ins_bound_ = cp.fair_ins_bound;
+  ins_best_ = cp.ins_best;
+  ins_second_ = cp.ins_second;
+  ins_best_cluster_ = cp.ins_best_cluster;
+  addf_best_ = cp.addf_best;
+  addf_second_ = cp.addf_second;
+  addf_best_cluster_ = cp.addf_best_cluster;
+  return Status::OK();
 }
 
 double FairKMState::ReferenceDeltaFairness(size_t i, int to) const {

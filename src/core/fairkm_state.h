@@ -91,6 +91,46 @@ class FairKMState {
                                     cluster::Assignment initial,
                                     FairnessTermConfig config = {});
 
+  /// \brief Rebuilds every per-assignment aggregate for a new initial
+  /// assignment over the SAME points/sensitive view, reusing the aligned
+  /// point store, the per-point norm cache and all buffer allocations (the
+  /// multi-seed fast path of core::FairKMSolver — allocation-free after the
+  /// first build). Snapshot/bound-tracking modes are preserved; bound state
+  /// is recomputed from scratch (zero drift, fresh tables).
+  Status Reset(cluster::Assignment initial);
+
+  /// \brief Full copy of the per-assignment mutable state (everything except
+  /// the immutable point store / norm caches), the payload of
+  /// core::FairKMSolver checkpoints. Restoring it reproduces the exact
+  /// floating-point aggregates — including the incremental summation order
+  /// baked into the sums — so resumed trajectories are bit-identical.
+  struct Checkpoint {
+    cluster::Assignment assignment;
+    std::vector<size_t> counts;
+    data::AlignedVector sums;
+    std::vector<double> sum_norms;
+    std::vector<std::vector<int64_t>> cat_counts;
+    std::vector<std::vector<double>> num_sums;
+    std::vector<std::vector<double>> cat_u2, cat_uq;
+    bool use_snapshot = false;
+    std::vector<size_t> proto_counts;
+    data::AlignedVector proto_sums;
+    std::vector<double> proto_sum_norms;
+    bool track_bounds = false;
+    std::vector<double> drift;
+    double max_step_sum = 0.0;
+    std::vector<std::vector<double>> cat_rem_delta, cat_ins_delta;
+    std::vector<double> fair_rem_bound, fair_ins_bound;
+    double ins_best = 0.0, ins_second = 0.0;
+    int ins_best_cluster = -1;
+    double addf_best = 0.0, addf_second = 0.0;
+    int addf_best_cluster = -1;
+  };
+  void SaveCheckpoint(Checkpoint* out) const;
+  /// \brief Restores a checkpoint taken from a state over the same
+  /// points/sensitive/k and the same snapshot/bound-tracking modes.
+  Status RestoreCheckpoint(const Checkpoint& cp);
+
   /// \brief Exact change of the K-Means term if point `i` moved to `to`
   /// (0 when `to` is its current cluster).
   double DeltaKMeans(size_t i, int to) const;
@@ -114,6 +154,16 @@ class FairKMState {
   /// \brief Exact change of the fairness deviation term for the same move,
   /// in O(1) per sensitive attribute (see the header comment derivation).
   double DeltaFairness(size_t i, int to) const;
+
+  /// \brief Fairness-term change of inserting an OUT-OF-SAMPLE point with
+  /// the given sensitive values into cluster `to` (the serving-path half of
+  /// DeltaFairness: no removal, the dataset size n and the dataset-level
+  /// fractions stay those of the training data — the trained model is not
+  /// mutated). `cat_codes` must hold one code per categorical attribute of
+  /// the training view (in view order), `num_values` one value per numeric
+  /// attribute; either may be null when the view has none.
+  double DeltaFairnessInsertion(const int32_t* cat_codes,
+                                const double* num_values, int to) const;
 
   /// \brief Pre-expansion O(d) two-distance K-Means delta (oracle/bench).
   double ReferenceDeltaKMeans(size_t i, int to) const;

@@ -1,5 +1,6 @@
 #include "core/pruning.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdlib>
 #include <limits>
@@ -156,6 +157,29 @@ void SweepPruner::Refresh(size_t i, const double* dists) {
 }
 
 void SweepPruner::Invalidate(size_t i) { fresh_[i] = 0; }
+
+void SweepPruner::Reset() { std::fill(fresh_.begin(), fresh_.end(), 0); }
+
+void SweepPruner::SaveCheckpoint(Checkpoint* out) const {
+  out->lb0 = lb0_;
+  out->drift_ref = drift_ref_;
+  out->lbmin0 = lbmin0_;
+  out->max_drift_ref = max_drift_ref_;
+  out->fresh = fresh_;
+}
+
+Status SweepPruner::RestoreCheckpoint(const Checkpoint& cp) {
+  if (cp.lb0.size() != lb0_.size() || cp.fresh.size() != fresh_.size()) {
+    return Status::InvalidArgument(
+        "pruner checkpoint shape does not match this state's n/k");
+  }
+  lb0_ = cp.lb0;
+  drift_ref_ = cp.drift_ref;
+  lbmin0_ = cp.lbmin0;
+  max_drift_ref_ = cp.max_drift_ref;
+  fresh_ = cp.fresh;
+  return Status::OK();
+}
 
 }  // namespace core
 }  // namespace fairkm

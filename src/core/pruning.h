@@ -85,6 +85,26 @@ class SweepPruner {
   /// \brief Marks point i's bounds stale (call after the point moved).
   void Invalidate(size_t i);
 
+  /// \brief Marks every point stale, reusing the allocations — the per-Init
+  /// reuse path of core::FairKMSolver (stale entries are never read, so no
+  /// other slot needs clearing).
+  void Reset();
+
+  /// \brief Updates the gate's lambda (e.g. a lambda sweep reusing one
+  /// solver). The stored distance bounds are lambda-independent, so they
+  /// stay valid; only the gate arithmetic changes.
+  void set_lambda(double lambda) { lambda_ = lambda; }
+
+  /// \brief Full copy of the per-point bound state; restoring it alongside
+  /// the owning FairKMState's checkpoint resumes with bit-identical pruning
+  /// decisions (and therefore bit-identical pruned-candidate counters).
+  struct Checkpoint {
+    std::vector<double> lb0, drift_ref, lbmin0, max_drift_ref;
+    std::vector<uint8_t> fresh;
+  };
+  void SaveCheckpoint(Checkpoint* out) const;
+  Status RestoreCheckpoint(const Checkpoint& cp);
+
   // Introspection for the testlib invariant checks.
   bool IsFresh(size_t i) const { return fresh_[i] != 0; }
   /// \brief Current upper bound on d(i, mu_{cluster_of(i)}).

@@ -1,0 +1,549 @@
+#include "core/solver.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "cluster/kmeans.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+
+namespace fairkm {
+namespace core {
+
+FairKMSolver::FairKMSolver(const data::Matrix* points,
+                           const data::SensitiveView* sensitive,
+                           FairKMOptions options)
+    : points_(points),
+      sensitive_(sensitive),
+      options_(options),
+      n_(points->rows()),
+      lambda_(options.lambda < 0 ? SuggestLambda(points->rows(), options.k)
+                                 : options.lambda),
+      minibatch_(options.minibatch_size > 0),
+      // Hoisted batch size: one full sweep is a single "batch" without
+      // mini-batching, so the sweep engine is uniform across modes.
+      batch_size_(options.minibatch_size > 0
+                      ? static_cast<size_t>(options.minibatch_size)
+                      : points->rows()),
+      parallel_(options.sweep_mode == SweepMode::kParallelSnapshot),
+      // Bound-gated pruning (core/pruning.h): on unless the options or the
+      // FAIRKM_DISABLE_PRUNING escape hatch turn it off. k = 1 has no
+      // candidate moves to gate, so skip the bookkeeping entirely.
+      pruning_(options.enable_pruning && !PruningDisabledByEnv() &&
+               options.k > 1) {}
+
+FairKMSolver::FairKMSolver(FairKMSolver&&) noexcept = default;
+FairKMSolver& FairKMSolver::operator=(FairKMSolver&&) noexcept = default;
+FairKMSolver::~FairKMSolver() = default;
+
+Result<FairKMSolver> FairKMSolver::Create(const data::Matrix* points,
+                                          const data::SensitiveView* sensitive,
+                                          const FairKMOptions& options) {
+  if (points == nullptr || sensitive == nullptr) {
+    return Status::InvalidArgument("points/sensitive must not be null");
+  }
+  if (options.max_iterations <= 0) {
+    return Status::InvalidArgument("max_iterations must be positive");
+  }
+  if (options.minibatch_size < 0) {
+    return Status::InvalidArgument("minibatch_size must be non-negative");
+  }
+  if (options.num_threads < 0) {
+    return Status::InvalidArgument("num_threads must be non-negative");
+  }
+  if (options.sweep_mode == SweepMode::kParallelSnapshot &&
+      options.minibatch_size <= 0) {
+    return Status::InvalidArgument(
+        "parallel snapshot sweep requires minibatch_size > 0 (candidates are "
+        "evaluated against the frozen prototype snapshot)");
+  }
+  // Validate k before SuggestLambda, whose k > 0 DCHECK would abort first in
+  // debug builds.
+  if (options.k <= 0) return Status::InvalidArgument("k must be positive");
+  return FairKMSolver(points, sensitive, options);
+}
+
+Status FairKMSolver::Init(Rng* rng) {
+  if (rng == nullptr) return Status::InvalidArgument("rng must not be null");
+  FAIRKM_ASSIGN_OR_RETURN(
+      cluster::Assignment initial,
+      cluster::MakeInitialAssignment(*points_, options_.k, options_.init, rng));
+  return Init(std::move(initial));
+}
+
+Status FairKMSolver::Init(uint64_t seed) {
+  Rng rng(seed);
+  return Init(&rng);
+}
+
+Status FairKMSolver::Init(cluster::Assignment warm_start) {
+  if (!state_) {
+    // First Init: build the session state — the aligned point store, norm
+    // caches, aggregates, bound tables, pruner, thread pool and batch
+    // scratch. Every later Init reuses all of it.
+    FAIRKM_ASSIGN_OR_RETURN(
+        FairKMState built,
+        FairKMState::Create(points_, sensitive_, options_.k,
+                            std::move(warm_start), options_.fairness));
+    state_ = std::make_unique<FairKMState>(std::move(built));
+    state_->EnablePrototypeSnapshot(minibatch_);
+    state_->EnableBoundTracking(pruning_);
+    if (pruning_) {
+      pruner_ = std::make_unique<SweepPruner>(state_.get(), lambda_,
+                                              options_.min_improvement);
+    }
+    const size_t k = static_cast<size_t>(options_.k);
+    // Scratch for the batched K-Means kernel: one row of k candidate deltas
+    // (plus, when pruning, k exported distances) per in-flight point — the
+    // whole mini-batch in parallel mode, one row otherwise.
+    const size_t rows = parallel_ ? std::min(batch_size_, std::max<size_t>(n_, 1))
+                                  : 1;
+    km_deltas_.assign(rows * k, 0.0);
+    km_dists_.assign(pruning_ ? rows * k : 0, 0.0);
+    evaluated_.assign(parallel_ ? rows : 0, 1);
+    if (parallel_) {
+      const size_t num_threads = options_.num_threads > 0
+                                     ? static_cast<size_t>(options_.num_threads)
+                                     : ThreadPool::DefaultThreadCount();
+      if (num_threads > 1) pool_ = std::make_unique<ThreadPool>(num_threads);
+    }
+  } else {
+    FAIRKM_RETURN_NOT_OK(state_->Reset(std::move(warm_start)));
+    if (pruner_) {
+      pruner_->Reset();
+      pruner_->set_lambda(lambda_);
+    }
+  }
+  sweeps_completed_ = 0;
+  converged_ = false;
+  next_point_ = 0;
+  moves_in_sweep_ = 0;
+  objective_history_.clear();
+  total_candidates_ = 0;
+  pruned_candidates_ = 0;
+  sweep_seconds_ = 0.0;
+  return Status::OK();
+}
+
+double FairKMSolver::Objective() const {
+  FAIRKM_DCHECK(state_ != nullptr);
+  return state_->KMeansTermCached() + lambda_ * state_->FairnessTermCached();
+}
+
+// Picks the best move for point i given its precomputed per-cluster K-Means
+// deltas and the live O(1)-per-attribute fairness deltas, and applies it.
+// Returns true when the point moved.
+bool FairKMSolver::ApplyBestMove(size_t i, const double* km_deltas) {
+  const int from = state_->cluster_of(i);
+  double best_delta = -options_.min_improvement;
+  int best_cluster = from;
+  for (int c = 0; c < options_.k; ++c) {
+    if (c == from) continue;
+    const double delta = km_deltas[c] + lambda_ * state_->DeltaFairness(i, c);
+    if (delta < best_delta) {
+      best_delta = delta;
+      best_cluster = c;
+    }
+  }
+  if (best_cluster == from) return false;
+  state_->Move(i, best_cluster);
+  return true;
+}
+
+void FairKMSolver::ProcessBatchSerial(size_t batch_start, size_t batch_end) {
+  const size_t k = static_cast<size_t>(options_.k);
+  const uint64_t cands_per_point = static_cast<uint64_t>(k - 1);
+  for (size_t i = batch_start; i < batch_end; ++i) {
+    total_candidates_ += cands_per_point;
+    if (pruner_ && pruner_->ShouldPrune(i)) {
+      pruned_candidates_ += cands_per_point;
+      continue;
+    }
+    state_->DeltaKMeansAllClusters(i, km_deltas_.data(), DistsRow(0));
+    if (pruner_) pruner_->Refresh(i, DistsRow(0));
+    if (ApplyBestMove(i, km_deltas_.data())) {
+      if (pruner_) pruner_->Invalidate(i);
+      ++moves_in_sweep_;
+    }
+  }
+}
+
+void FairKMSolver::ProcessBatchParallel(size_t batch_start, size_t batch_end) {
+  const size_t k = static_cast<size_t>(options_.k);
+  const uint64_t cands_per_point = static_cast<uint64_t>(k - 1);
+  // Phase 1 (concurrent, read-only): batched K-Means deltas for every point
+  // of the mini-batch that survives the pruning gate, against the frozen
+  // prototype snapshot. Fairness deltas are intentionally left to phase 2 —
+  // they read live aggregates, which is exactly what the serial mini-batch
+  // sweep does, so both modes walk identical trajectories. The gate is
+  // re-checked live in phase 2 (earlier moves of the same batch shift the
+  // fairness bounds), so a phase-1 skip is only a prefetch decision, never a
+  // correctness one.
+  const size_t count = batch_end - batch_start;
+  auto eval_point = [this, batch_start, k](size_t offset) {
+    const size_t i = batch_start + offset;
+    if (pruner_ && pruner_->ShouldPrune(i)) {
+      evaluated_[offset] = 0;
+      return;
+    }
+    evaluated_[offset] = 1;
+    state_->DeltaKMeansAllClusters(i, km_deltas_.data() + offset * k,
+                                   DistsRow(offset));
+    if (pruner_) pruner_->Refresh(i, DistsRow(offset));
+  };
+  if (pool_) {
+    const size_t shards = std::min(pool_->num_threads(), count);
+    const size_t chunk = (count + shards - 1) / shards;
+    for (size_t s = 0; s < shards; ++s) {
+      const size_t lo = s * chunk;
+      const size_t hi = std::min(count, lo + chunk);
+      if (lo >= hi) break;
+      pool_->Submit([&eval_point, lo, hi] {
+        for (size_t off = lo; off < hi; ++off) eval_point(off);
+      });
+    }
+    pool_->Wait();
+  } else {
+    for (size_t off = 0; off < count; ++off) eval_point(off);
+  }
+  // Phase 2 (sequential): pick and apply moves in round-robin order.
+  // Phase-1 survivors go straight to the exact argmin — their deltas are
+  // already computed, so re-running the gate would only duplicate the
+  // fairness work ApplyBestMove does anyway. Phase-1-pruned points re-check
+  // the gate live (earlier moves of this batch may have shifted the fairness
+  // bounds); if it no longer holds they are evaluated on demand against the
+  // still-frozen snapshot, which yields deltas identical to a phase-1
+  // evaluation.
+  for (size_t i = batch_start; i < batch_end; ++i) {
+    const size_t offset = i - batch_start;
+    total_candidates_ += cands_per_point;
+    if (pruner_ && !evaluated_[offset]) {
+      if (pruner_->ShouldPrune(i)) {
+        pruned_candidates_ += cands_per_point;
+        continue;
+      }
+      state_->DeltaKMeansAllClusters(i, km_deltas_.data() + offset * k,
+                                     DistsRow(offset));
+      pruner_->Refresh(i, DistsRow(offset));
+    }
+    if (ApplyBestMove(i, km_deltas_.data() + offset * k)) {
+      if (pruner_) pruner_->Invalidate(i);
+      ++moves_in_sweep_;
+    }
+  }
+}
+
+FairKMSolver::BatchesOutcome FairKMSolver::RunBatches(
+    const ProgressCallback& progress, double deadline, double spent_before,
+    RunStop* stop) {
+  Timer call_timer;
+  while (true) {
+    const size_t batch_start = next_point_;
+    const size_t batch_end = std::min(n_, batch_start + batch_size_);
+    Timer batch_timer;
+    if (parallel_) {
+      ProcessBatchParallel(batch_start, batch_end);
+    } else {
+      ProcessBatchSerial(batch_start, batch_end);
+    }
+    // Re-synchronize the prototype snapshot at every mini-batch boundary
+    // (the one-shot path refreshed interior boundaries in the loop and the
+    // final batch after it — once per batch either way).
+    if (minibatch_) state_->RefreshPrototypes();
+    const bool sweep_done = batch_end >= n_;
+    if (sweep_done) {
+      ++sweeps_completed_;
+      // O(k + k sum m) per sweep from the maintained caches — the scratch
+      // O(n d) recompute would otherwise dominate a heavily pruned sweep.
+      objective_history_.push_back(Objective());
+      if (moves_in_sweep_ == 0) converged_ = true;
+    }
+    sweep_seconds_ += batch_timer.ElapsedSeconds();
+    bool cancelled = false;
+    if (progress) {
+      SweepProgress p;
+      p.sweep = sweep_done ? sweeps_completed_ : sweeps_completed_ + 1;
+      p.points_processed = batch_end;
+      p.num_points = n_;
+      p.sweep_complete = sweep_done;
+      p.moves_in_sweep = moves_in_sweep_;
+      p.converged = converged_;
+      p.objective = Objective();
+      p.sweep_seconds = sweep_seconds_;
+      cancelled = !progress(p);
+    }
+    if (sweep_done) {
+      next_point_ = 0;
+      moves_in_sweep_ = 0;
+      if (cancelled) {
+        *stop = RunStop::kCancelled;
+        return BatchesOutcome::kStopped;
+      }
+      return BatchesOutcome::kSweepComplete;
+    }
+    next_point_ = batch_end;
+    if (cancelled) {
+      *stop = RunStop::kCancelled;
+      return BatchesOutcome::kStopped;
+    }
+    if (deadline >= 0 &&
+        spent_before + call_timer.ElapsedSeconds() >= deadline) {
+      *stop = RunStop::kTimeBudget;
+      return BatchesOutcome::kStopped;
+    }
+  }
+}
+
+Result<bool> FairKMSolver::Sweep() {
+  if (!initialized()) {
+    return Status::InvalidArgument("solver not initialized: call Init first");
+  }
+  if (converged_) return false;
+  // The session's iteration cap applies to stepwise driving too (a pending
+  // cancelled sweep may still finish).
+  if (!mid_sweep() && sweeps_completed_ >= options_.max_iterations) {
+    return false;
+  }
+  RunStop stop = RunStop::kConverged;
+  // With no callback and no deadline the batch engine always completes the
+  // pending sweep.
+  (void)RunBatches(nullptr, /*deadline=*/-1.0, /*spent_before=*/0.0, &stop);
+  return !converged_;
+}
+
+Result<RunStop> FairKMSolver::Run(const RunBudget& budget,
+                                  const ProgressCallback& progress) {
+  if (!initialized()) {
+    return Status::InvalidArgument("solver not initialized: call Init first");
+  }
+  if (converged_) return RunStop::kConverged;
+  Timer run_timer;
+  int sweeps_this_call = 0;
+  while (true) {
+    if (!mid_sweep() && sweeps_completed_ >= options_.max_iterations) {
+      return RunStop::kIterationCap;
+    }
+    if (budget.max_sweeps >= 0 && sweeps_this_call >= budget.max_sweeps) {
+      return RunStop::kSweepBudget;
+    }
+    if (budget.max_seconds >= 0 &&
+        run_timer.ElapsedSeconds() >= budget.max_seconds) {
+      return RunStop::kTimeBudget;
+    }
+    RunStop stop = RunStop::kConverged;
+    if (RunBatches(progress, budget.max_seconds, run_timer.ElapsedSeconds(),
+                   &stop) == BatchesOutcome::kStopped) {
+      // A callback cancelling on the boundary that converged the run is
+      // still a converged run.
+      return converged_ ? RunStop::kConverged : stop;
+    }
+    ++sweeps_this_call;
+    if (converged_) return RunStop::kConverged;
+  }
+}
+
+Result<FairKMResult> FairKMSolver::CurrentResult() const {
+  if (!initialized()) {
+    return Status::InvalidArgument("solver not initialized: call Init first");
+  }
+  FairKMResult result;
+  result.lambda_used = lambda_;
+  result.pruning_enabled = pruning_;
+  result.iterations = sweeps_completed_;
+  result.converged = converged_;
+  result.objective_history = objective_history_;
+  result.sweep_seconds = sweep_seconds_;
+  result.total_candidates = total_candidates_;
+  result.pruned_candidates = pruned_candidates_;
+  result.pruned_fraction = result.PrunedFraction();
+  result.assignment = state_->assignment();
+  cluster::FinalizeResult(*points_, options_.k, &result);
+  result.kmeans_term = result.kmeans_objective;
+  result.fairness_term = state_->FairnessTerm();
+  result.total_objective = result.kmeans_term + lambda_ * result.fairness_term;
+  return result;
+}
+
+Result<SolverCheckpoint> FairKMSolver::Snapshot() const {
+  if (!initialized()) {
+    return Status::InvalidArgument("solver not initialized: nothing to snapshot");
+  }
+  SolverCheckpoint cp;
+  cp.num_rows = n_;
+  cp.k = options_.k;
+  cp.batch_size = batch_size_;
+  cp.parallel = parallel_;
+  cp.lambda = lambda_;
+  state_->SaveCheckpoint(&cp.state);
+  cp.has_pruner = pruner_ != nullptr;
+  if (pruner_) pruner_->SaveCheckpoint(&cp.pruner);
+  cp.sweeps_completed = sweeps_completed_;
+  cp.converged = converged_;
+  cp.next_point = next_point_;
+  cp.moves_in_sweep = moves_in_sweep_;
+  cp.objective_history = objective_history_;
+  cp.total_candidates = total_candidates_;
+  cp.pruned_candidates = pruned_candidates_;
+  cp.sweep_seconds = sweep_seconds_;
+  return cp;
+}
+
+Status FairKMSolver::Restore(const SolverCheckpoint& cp) {
+  if (cp.num_rows != n_ || cp.k != options_.k) {
+    return Status::InvalidArgument(
+        "checkpoint does not match this solver's inputs (n/k differ)");
+  }
+  if (cp.batch_size != batch_size_ || cp.parallel != parallel_) {
+    return Status::InvalidArgument(
+        "checkpoint was taken under a different mini-batch size or sweep "
+        "mode (prototype-refresh boundaries would diverge)");
+  }
+  if (cp.has_pruner != pruning_) {
+    return Status::InvalidArgument(
+        "checkpoint was taken under a different pruning setting");
+  }
+  if (cp.next_point != 0 &&
+      (cp.next_point >= n_ || cp.next_point % batch_size_ != 0)) {
+    return Status::InvalidArgument(
+        "checkpoint sweep cursor is not a mini-batch boundary");
+  }
+  if (!state_) {
+    // Materialize the session state lazily from the checkpoint's
+    // assignment, then overwrite with the exact float state below.
+    FAIRKM_RETURN_NOT_OK(Init(cp.state.assignment));
+  }
+  FAIRKM_RETURN_NOT_OK(state_->RestoreCheckpoint(cp.state));
+  if (pruner_) {
+    FAIRKM_RETURN_NOT_OK(pruner_->RestoreCheckpoint(cp.pruner));
+    pruner_->set_lambda(cp.lambda);
+  }
+  lambda_ = cp.lambda;
+  sweeps_completed_ = cp.sweeps_completed;
+  converged_ = cp.converged;
+  next_point_ = cp.next_point;
+  moves_in_sweep_ = cp.moves_in_sweep;
+  objective_history_ = cp.objective_history;
+  total_candidates_ = cp.total_candidates;
+  pruned_candidates_ = cp.pruned_candidates;
+  sweep_seconds_ = cp.sweep_seconds;
+  return Status::OK();
+}
+
+Status FairKMSolver::SetLambda(double lambda) {
+  if (mid_sweep()) {
+    return Status::InvalidArgument(
+        "cannot change lambda mid-sweep (finish or re-Init the run first)");
+  }
+  lambda_ = lambda < 0 ? SuggestLambda(n_, options_.k) : lambda;
+  options_.lambda = lambda;
+  if (pruner_) pruner_->set_lambda(lambda_);
+  return Status::OK();
+}
+
+Result<cluster::Assignment> FairKMSolver::Assign(
+    const data::Matrix& new_points) const {
+  return AssignImpl(new_points, nullptr);
+}
+
+Result<cluster::Assignment> FairKMSolver::Assign(
+    const data::Matrix& new_points,
+    const data::SensitiveView& new_sensitive) const {
+  return AssignImpl(new_points, &new_sensitive);
+}
+
+Result<cluster::Assignment> FairKMSolver::AssignImpl(
+    const data::Matrix& new_points,
+    const data::SensitiveView* new_sensitive) const {
+  if (!initialized()) {
+    return Status::InvalidArgument(
+        "solver not initialized: Assign needs a trained state");
+  }
+  if (new_points.cols() != points_->cols()) {
+    return Status::InvalidArgument(
+        "new points have " + std::to_string(new_points.cols()) +
+        " features, the trained model has " + std::to_string(points_->cols()));
+  }
+  const size_t rows = new_points.rows();
+  const size_t num_cat = sensitive_->categorical.size();
+  const size_t num_num = sensitive_->numeric.size();
+  if (new_sensitive != nullptr) {
+    if (new_sensitive->categorical.size() != num_cat ||
+        new_sensitive->numeric.size() != num_num) {
+      return Status::InvalidArgument(
+          "new sensitive view must mirror the training view's attribute "
+          "structure (same categorical/numeric attributes, same order)");
+    }
+    if (!new_sensitive->empty() && new_sensitive->num_rows() != rows) {
+      return Status::InvalidArgument(
+          "new sensitive view covers " +
+          std::to_string(new_sensitive->num_rows()) + " rows, points have " +
+          std::to_string(rows));
+    }
+    for (size_t a = 0; a < num_cat; ++a) {
+      const auto& attr = new_sensitive->categorical[a];
+      const int m = sensitive_->categorical[a].cardinality;
+      for (size_t i = 0; i < rows; ++i) {
+        if (attr.codes[i] < 0 || attr.codes[i] >= m) {
+          return Status::InvalidArgument(
+              "attribute \"" + sensitive_->categorical[a].name + "\" code " +
+              std::to_string(attr.codes[i]) + " at row " + std::to_string(i) +
+              " outside the trained cardinality " + std::to_string(m));
+        }
+      }
+    }
+  }
+
+  // Score each point independently against the frozen trained model: the
+  // Eq. 1 insertion cost |C|/(|C|+1) d(x, mu_C)^2 plus, when sensitive
+  // values are supplied, lambda times the exact fairness insertion delta.
+  // Empty clusters have no prototype to serve and are not candidates.
+  const data::Matrix centroids = state_->Centroids();
+  const size_t d = points_->cols();
+  const int k = options_.k;
+  cluster::Assignment out(rows, 0);
+  std::vector<int32_t> codes(num_cat, 0);
+  std::vector<double> values(num_num, 0.0);
+  for (size_t i = 0; i < rows; ++i) {
+    const double* x = new_points.Row(i);
+    if (new_sensitive != nullptr) {
+      for (size_t a = 0; a < num_cat; ++a) {
+        codes[a] = new_sensitive->categorical[a].codes[i];
+      }
+      for (size_t a = 0; a < num_num; ++a) {
+        values[a] = new_sensitive->numeric[a].values[i];
+      }
+    }
+    double best = 0.0;
+    int best_cluster = -1;
+    for (int c = 0; c < k; ++c) {
+      const size_t cnt = state_->cluster_size(c);
+      if (cnt == 0) continue;
+      const double* mu = centroids.Row(static_cast<size_t>(c));
+      double dist = 0.0;
+      for (size_t j = 0; j < d; ++j) {
+        const double diff = x[j] - mu[j];
+        dist += diff * diff;
+      }
+      double cost =
+          static_cast<double>(cnt) / static_cast<double>(cnt + 1) * dist;
+      if (new_sensitive != nullptr) {
+        cost += lambda_ * state_->DeltaFairnessInsertion(
+                              codes.data(), values.data(), c);
+      }
+      if (best_cluster < 0 || cost < best) {
+        best = cost;
+        best_cluster = c;
+      }
+    }
+    if (best_cluster < 0) {
+      return Status::InvalidArgument(
+          "trained model has no non-empty cluster to assign to");
+    }
+    out[i] = best_cluster;
+  }
+  return out;
+}
+
+}  // namespace core
+}  // namespace fairkm

@@ -1,0 +1,288 @@
+// FairKMSolver — the session API around the paper's Algorithm 1.
+//
+// core::RunFairKM (core/fairkm.h) runs one seed, blocking, rebuilding every
+// cache from scratch. The solver factors that single call into an explicit
+// lifecycle so serving-style workloads can amortize and observe it:
+//
+//   * Create once per (dataset, sensitive view): validates the options and
+//     captures the inputs. The expensive immutable caches — the aligned
+//     lane-padded PointStore, per-point norms, the fairness constant tables
+//     — are built at the first Init and REUSED by every later Init, so a
+//     multi-seed protocol (paper §5.5.1) or a lambda sweep (§5.3) pays the
+//     O(n d) setup and its allocations once, not per run.
+//   * Init(seed | rng | warm-start assignment) starts a run. Re-Init is the
+//     warm path: allocation-free after the first, and bit-identical to a
+//     freshly constructed solver given the same inputs.
+//   * Sweep() advances one Algorithm-1 sweep at a time; Run(budget,
+//     progress) loops sweeps under an iteration and/or wall-clock budget,
+//     invoking the progress callback at every mini-batch boundary. A
+//     callback returning false cancels cooperatively: the solver stops at
+//     that batch boundary with all aggregates consistent and queryable
+//     (CurrentResult / Assign / state() all work), and a later Sweep/Run
+//     resumes exactly where it stopped.
+//   * Snapshot()/Restore() checkpoint the full mutable float state
+//     (aggregates in their incremental summation order, pruner bounds,
+//     sweep cursor), so a restored run replays the EXACT trajectory of an
+//     uninterrupted one — bit-identical assignments, objective history and
+//     pruning counters — in every SweepMode x kernel backend x pruning
+//     setting.
+//   * Assign(new_points[, new_sensitive]) is the out-of-sample serving
+//     path: each new point goes to the non-empty trained cluster minimizing
+//     its Eq. 1 insertion cost |C|/(|C|+1) d(x, mu_C)^2 (+ lambda times the
+//     fairness insertion delta when sensitive values are supplied). The
+//     trained model is not mutated; points are scored independently.
+//
+// The solver is move-only; it references the points/sensitive view, which
+// must outlive it unchanged.
+
+#ifndef FAIRKM_CORE_SOLVER_H_
+#define FAIRKM_CORE_SOLVER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cluster/clusterer.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/fairkm.h"
+#include "core/fairkm_state.h"
+#include "core/pruning.h"
+#include "data/matrix.h"
+#include "data/sensitive.h"
+
+namespace fairkm {
+
+class ThreadPool;
+
+namespace core {
+
+/// \brief Budget for FairKMSolver::Run. Negative fields mean "unbounded";
+/// options.max_iterations always caps the total sweep count of the session.
+struct RunBudget {
+  /// Sweeps this Run call may complete (a partial sweep resumed from a
+  /// cancellation counts when it completes within this call).
+  int max_sweeps = -1;
+  /// Wall-clock cap for this Run call, checked at mini-batch boundaries —
+  /// the solver stops mid-sweep (resumable) once exceeded.
+  double max_seconds = -1.0;
+};
+
+/// \brief Why a Run call returned.
+enum class RunStop {
+  kConverged,      ///< A full sweep produced no move.
+  kIterationCap,   ///< options.max_iterations sweeps completed.
+  kSweepBudget,    ///< budget.max_sweeps sweeps completed in this call.
+  kTimeBudget,     ///< budget.max_seconds exceeded (possibly mid-sweep).
+  kCancelled,      ///< The progress callback returned false.
+};
+
+/// \brief Progress-callback payload, emitted at every mini-batch boundary
+/// (once per sweep when mini-batching is off).
+struct SweepProgress {
+  int sweep = 0;               ///< 1-based index of the sweep in progress.
+  size_t points_processed = 0; ///< Points handled so far within this sweep.
+  size_t num_points = 0;       ///< Dataset size n.
+  bool sweep_complete = false; ///< This boundary finished the sweep.
+  size_t moves_in_sweep = 0;   ///< Accepted moves so far within this sweep.
+  bool converged = false;      ///< Sweep completed with zero moves.
+  double objective = 0.0;      ///< Cached Eq. 1 value at this boundary.
+  double sweep_seconds = 0.0;  ///< Accumulated wall time inside sweeps.
+};
+
+/// \brief Return false to cancel cooperatively at this batch boundary.
+using ProgressCallback = std::function<bool(const SweepProgress&)>;
+
+/// \brief Checkpoint of a run in flight; see FairKMSolver::Snapshot().
+struct SolverCheckpoint {
+  size_t num_rows = 0;
+  int k = 0;
+  /// Sweep-shape identity: restoring under a different mini-batch size or
+  /// sweep mode would silently change refresh boundaries, so Restore
+  /// rejects mismatches.
+  size_t batch_size = 0;
+  bool parallel = false;
+  double lambda = 0.0;
+  FairKMState::Checkpoint state;
+  bool has_pruner = false;
+  SweepPruner::Checkpoint pruner;
+  int sweeps_completed = 0;
+  bool converged = false;
+  size_t next_point = 0;      ///< Sweep cursor (0 = at a sweep boundary).
+  size_t moves_in_sweep = 0;
+  std::vector<double> objective_history;
+  uint64_t total_candidates = 0;
+  uint64_t pruned_candidates = 0;
+  double sweep_seconds = 0.0;
+};
+
+/// \brief Reusable FairKM optimization session (see the header comment).
+class FairKMSolver {
+ public:
+  /// \brief Validates `options` and binds the inputs (not copied; they must
+  /// outlive the solver unchanged). No per-run state is built yet.
+  static Result<FairKMSolver> Create(const data::Matrix* points,
+                                     const data::SensitiveView* sensitive,
+                                     const FairKMOptions& options);
+
+  // Move-only; special members out of line (ThreadPool is only forward-
+  // declared here).
+  FairKMSolver(FairKMSolver&&) noexcept;
+  FairKMSolver& operator=(FairKMSolver&&) noexcept;
+  FairKMSolver(const FairKMSolver&) = delete;
+  FairKMSolver& operator=(const FairKMSolver&) = delete;
+  ~FairKMSolver();
+
+  /// \brief Starts a run from the options' initialization strategy, drawing
+  /// from `rng` exactly as RunFairKM does (equal seeds, equal trajectories).
+  Status Init(Rng* rng);
+  /// \brief Convenience: Init with a fresh Rng(seed).
+  Status Init(uint64_t seed);
+  /// \brief Starts a run from a caller-provided (warm-start) assignment.
+  Status Init(cluster::Assignment warm_start);
+
+  /// \brief True after a successful Init (or Restore).
+  bool initialized() const { return state_ != nullptr; }
+
+  /// \brief Completes the current sweep (resuming a cancelled one first if
+  /// necessary). Returns true when the sweep accepted at least one move;
+  /// false means the run cannot advance further — converged, or
+  /// options.max_iterations sweeps already completed (no-op in both cases).
+  Result<bool> Sweep();
+
+  /// \brief Runs sweeps until convergence, options.max_iterations, or the
+  /// budget/cancellation stops it. `progress`, when set, fires at every
+  /// mini-batch boundary.
+  Result<RunStop> Run(const RunBudget& budget = {},
+                      const ProgressCallback& progress = nullptr);
+
+  // --- Observation (require initialized()).
+  int sweeps_completed() const { return sweeps_completed_; }
+  bool converged() const { return converged_; }
+  /// \brief True when a cancelled/timed-out sweep is pending mid-flight.
+  bool mid_sweep() const { return next_point_ != 0; }
+  /// \brief Cached Eq. 1 objective of the current state, O(k (1 + |S|)).
+  double Objective() const;
+  const cluster::Assignment& assignment() const {
+    FAIRKM_DCHECK(state_ != nullptr);
+    return state_->assignment();
+  }
+  const std::vector<double>& objective_history() const {
+    return objective_history_;
+  }
+  /// \brief Finalized result (centroids, decomposed objective, telemetry) of
+  /// the current state — valid at any consistent point, including after a
+  /// cancellation. O(n d).
+  Result<FairKMResult> CurrentResult() const;
+  /// \brief Read access to the live optimizer state (tests/introspection).
+  const FairKMState& state() const {
+    FAIRKM_DCHECK(state_ != nullptr);
+    return *state_;
+  }
+
+  // --- Checkpoint / resume.
+  /// \brief Captures the complete mutable run state. Restoring it (into this
+  /// or any solver Created over the same inputs and options) and continuing
+  /// replays the uninterrupted trajectory bit-identically.
+  Result<SolverCheckpoint> Snapshot() const;
+  Status Restore(const SolverCheckpoint& checkpoint);
+
+  // --- Serving path.
+  /// \brief Maps out-of-sample points (same feature width) to the trained
+  /// clusters by Eq. 1 K-Means insertion cost. Empty clusters are not
+  /// candidates; ties break toward the smallest cluster id.
+  Result<cluster::Assignment> Assign(const data::Matrix& new_points) const;
+  /// \brief Same, adding lambda times the fairness insertion delta of each
+  /// point's sensitive values. `new_sensitive` must mirror the training
+  /// view's attribute structure (same order, cardinalities within range);
+  /// the dataset-level fractions/means of the TRAINING data price the
+  /// deltas — the trained model is the distribution reference.
+  Result<cluster::Assignment> Assign(
+      const data::Matrix& new_points,
+      const data::SensitiveView& new_sensitive) const;
+
+  // --- Knobs.
+  /// \brief Changes the fairness weight (negative = the (n/k)^2 heuristic).
+  /// Allowed between runs and between sweeps, not mid-sweep; typical use is
+  /// a lambda sweep re-Initing one solver per point.
+  Status SetLambda(double lambda);
+  double lambda() const { return lambda_; }
+  int k() const { return options_.k; }
+  size_t num_rows() const { return n_; }
+  const FairKMOptions& options() const { return options_; }
+  const data::Matrix* points() const { return points_; }
+  const data::SensitiveView* sensitive() const { return sensitive_; }
+
+ private:
+  FairKMSolver(const data::Matrix* points, const data::SensitiveView* sensitive,
+               FairKMOptions options);
+
+  // Batch engine: advances the pending sweep from next_point_ to its end or
+  // to a cancellation/time-budget stop (outcome in *stop: kCancelled or
+  // kTimeBudget; untouched when the sweep completed). `deadline` < 0 means
+  // no time cap; it is measured against sweep_seconds_ growth within this
+  // call plus `spent_before`.
+  enum class BatchesOutcome { kSweepComplete, kStopped };
+  BatchesOutcome RunBatches(const ProgressCallback& progress, double deadline,
+                            double spent_before, RunStop* stop);
+  void ProcessBatchSerial(size_t batch_start, size_t batch_end);
+  void ProcessBatchParallel(size_t batch_start, size_t batch_end);
+  bool ApplyBestMove(size_t i, const double* km_deltas);
+  Result<cluster::Assignment> AssignImpl(
+      const data::Matrix& new_points,
+      const data::SensitiveView* new_sensitive) const;
+  double* DistsRow(size_t offset) {
+    return pruner_ ? km_dists_.data() + offset * static_cast<size_t>(options_.k)
+                   : nullptr;
+  }
+
+  const data::Matrix* points_;
+  const data::SensitiveView* sensitive_;
+  FairKMOptions options_;
+  size_t n_ = 0;
+  double lambda_ = 0.0;
+  bool minibatch_ = false;
+  size_t batch_size_ = 0;
+  bool parallel_ = false;
+  bool pruning_ = false;
+
+  // Session state, built at the first Init and reused afterwards.
+  std::unique_ptr<FairKMState> state_;
+  std::unique_ptr<SweepPruner> pruner_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::vector<double> km_deltas_;
+  std::vector<double> km_dists_;
+  std::vector<uint8_t> evaluated_;
+
+  // Run progress.
+  int sweeps_completed_ = 0;
+  bool converged_ = false;
+  size_t next_point_ = 0;
+  size_t moves_in_sweep_ = 0;
+  std::vector<double> objective_history_;
+  uint64_t total_candidates_ = 0;
+  uint64_t pruned_candidates_ = 0;
+  double sweep_seconds_ = 0.0;
+};
+
+/// \brief cluster::Clusterer adapter: runs a full FairKM session per
+/// Cluster() call, keeping the solver (and its caches) warm across calls
+/// that pass the same points/sensitive objects — the registry-facing face
+/// of the session API. A non-empty `attribute` restricts the run to that
+/// categorical sensitive attribute of the view passed to Cluster() (the
+/// paper's FairKM(S) mode). Construction cannot fail; option/attribute
+/// errors surface at the first Cluster() call.
+std::unique_ptr<cluster::Clusterer> MakeFairKMClusterer(
+    const FairKMOptions& options, const std::string& attribute = "");
+
+/// \brief Registers "fairkm" in the cluster::Clusterer registry
+/// (idempotent). Call this before CreateClusterer("fairkm"): registration
+/// lives in this translation unit, and a binary that references no other
+/// core symbol would otherwise never link it in (static-library semantics).
+void EnsureFairKMClustererRegistered();
+
+}  // namespace core
+}  // namespace fairkm
+
+#endif  // FAIRKM_CORE_SOLVER_H_

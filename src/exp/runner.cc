@@ -3,11 +3,10 @@
 #include <optional>
 
 #include "cluster/kmeans.h"
-#include "cluster/zgya.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
-#include "core/fairkm.h"
+#include "core/solver.h"
 #include "exp/table.h"
 
 namespace fairkm {
@@ -45,90 +44,101 @@ std::string PerfSummary(const AggregateOutcome& agg) {
 ExperimentRunner::ExperimentRunner(const ExperimentData* data, size_t num_threads)
     : data_(data), num_threads_(num_threads == 0 ? 1 : num_threads) {}
 
-Result<cluster::ClusteringResult> ExperimentRunner::RunBlindReference(
-    int k, uint64_t seed) const {
-  Rng rng(seed);
+namespace {
+
+// The ONE definition of the S-blind reference configuration. Both the
+// DevC/DevO reference run and the kKMeansBlind method session build from it,
+// which is what keeps the blind method's deviation from its own same-seed
+// reference exactly zero.
+cluster::KMeansOptions BlindReferenceOptions(int k) {
   cluster::KMeansOptions options;
   options.k = k;
   options.init = cluster::KMeansInit::kRandomAssignment;
   options.max_iterations = 100;
-  return cluster::RunKMeans(data_->features, options, &rng);
+  return options;
 }
 
-Status ExperimentRunner::RunMethod(const RunConfig& config, uint64_t seed,
-                                   SeedOutcome* outcome) const {
+}  // namespace
+
+Result<cluster::ClusteringResult> ExperimentRunner::RunBlindReference(
+    int k, uint64_t seed) const {
   Rng rng(seed);
+  return cluster::RunKMeans(data_->features, BlindReferenceOptions(k), &rng);
+}
+
+Result<MethodSession> ExperimentRunner::MakeSession(
+    const RunConfig& config) const {
+  MethodSession session;
   switch (config.method) {
     case Method::kKMeansBlind: {
-      FAIRKM_ASSIGN_OR_RETURN(cluster::ClusteringResult result,
-                              RunBlindReference(config.k, seed));
-      outcome->iterations = result.iterations;
-      outcome->converged = result.converged;
-      outcome->assignment = std::move(result.assignment);
-      return Status::OK();
+      const cluster::KMeansOptions blind =
+          BlindReferenceOptions(config.fairkm.k);
+      cluster::ClustererOptions options;
+      options.k = blind.k;
+      options.max_iterations = blind.max_iterations;
+      options.init = blind.init;
+      FAIRKM_ASSIGN_OR_RETURN(session.clusterer,
+                              cluster::CreateClusterer("kmeans", options));
+      return session;
     }
     case Method::kFairKMAll:
-    case Method::kFairKMSingle: {
-      core::FairKMOptions options;
-      options.k = config.k;
-      options.lambda = config.lambda;
-      options.max_iterations = config.max_iterations;
-      options.fairness = config.fairness;
-      options.minibatch_size = config.minibatch;
-      options.sweep_mode = config.sweep_mode;
-      options.num_threads = config.fairkm_threads;
-      options.enable_pruning = config.fairkm_pruning;
-      data::SensitiveView view;
-      if (config.method == Method::kFairKMSingle) {
-        FAIRKM_ASSIGN_OR_RETURN(
-            view, data_->sensitive.SelectCategorical(config.single_attribute));
-      } else {
-        view = data_->sensitive;
-      }
-      FAIRKM_ASSIGN_OR_RETURN(core::FairKMResult result,
-                              core::RunFairKM(data_->features, view, options, &rng));
-      outcome->iterations = result.iterations;
-      outcome->converged = result.converged;
-      outcome->sweep_seconds = result.sweep_seconds;
-      outcome->pruned_fraction = result.PrunedFraction();
-      outcome->assignment = std::move(result.assignment);
-      return Status::OK();
-    }
+      session.clusterer = core::MakeFairKMClusterer(config.fairkm);
+      return session;
+    case Method::kFairKMSingle:
+      session.clusterer =
+          core::MakeFairKMClusterer(config.fairkm, config.single_attribute);
+      return session;
     case Method::kZgyaSingle:
     case Method::kZgyaHard: {
-      FAIRKM_ASSIGN_OR_RETURN(
-          data::SensitiveView view,
-          data_->sensitive.SelectCategorical(config.single_attribute));
-      cluster::ZgyaOptions options;
-      options.k = config.k;
+      cluster::ClustererOptions options;
+      options.k = config.fairkm.k;
       options.lambda = config.zgya_lambda;
-      options.max_iterations = config.max_iterations;
-      options.mode = config.method == Method::kZgyaHard
-                         ? cluster::ZgyaOptions::Mode::kHardMoves
-                         : cluster::ZgyaOptions::Mode::kSoftVariational;
-      if (config.zgya_soft_temperature > 0) {
-        options.soft_temperature = config.zgya_soft_temperature;
-      }
+      options.max_iterations = config.fairkm.max_iterations;
+      options.attribute = config.single_attribute;
+      options.soft_temperature = config.zgya_soft_temperature;
       FAIRKM_ASSIGN_OR_RETURN(
-          cluster::ZgyaResult result,
-          cluster::RunZgya(data_->features, view.categorical[0], options, &rng));
-      outcome->iterations = result.iterations;
-      outcome->converged = result.converged;
-      outcome->assignment = std::move(result.assignment);
-      return Status::OK();
+          session.clusterer,
+          cluster::CreateClusterer(
+              config.method == Method::kZgyaHard ? "zgya-hard" : "zgya",
+              options));
+      return session;
     }
   }
   return Status::InvalidArgument("unknown method");
 }
 
+Status ExperimentRunner::RunMethod(uint64_t seed, MethodSession* session,
+                                   SeedOutcome* outcome) const {
+  Rng rng(seed);
+  FAIRKM_ASSIGN_OR_RETURN(
+      cluster::ClusteringResult result,
+      session->clusterer->Cluster(data_->features, data_->sensitive, &rng));
+  outcome->iterations = result.iterations;
+  outcome->converged = result.converged;
+  outcome->sweep_seconds = result.sweep_seconds;
+  outcome->pruned_fraction = result.pruned_fraction;
+  outcome->assignment = std::move(result.assignment);
+  return Status::OK();
+}
+
 Result<SeedOutcome> ExperimentRunner::RunSeed(const RunConfig& config,
                                               uint64_t seed) const {
+  FAIRKM_ASSIGN_OR_RETURN(MethodSession session, MakeSession(config));
+  return RunSeed(config, seed, &session);
+}
+
+Result<SeedOutcome> ExperimentRunner::RunSeed(const RunConfig& config,
+                                              uint64_t seed,
+                                              MethodSession* session) const {
+  if (session == nullptr || session->clusterer == nullptr) {
+    return Status::InvalidArgument("session not built: use MakeSession");
+  }
   SeedOutcome outcome;
   Timer timer;
-  FAIRKM_RETURN_NOT_OK(RunMethod(config, seed, &outcome));
+  FAIRKM_RETURN_NOT_OK(RunMethod(seed, session, &outcome));
   outcome.seconds = timer.ElapsedSeconds();
 
-  const int k = config.k;
+  const int k = config.fairkm.k;
   outcome.co = metrics::ClusteringObjective(data_->features, outcome.assignment, k);
   metrics::SilhouetteOptions sil;
   sil.seed = seed ^ 0x51L;
@@ -155,16 +165,41 @@ Result<AggregateOutcome> ExperimentRunner::Run(const RunConfig& config,
   std::vector<std::optional<SeedOutcome>> outcomes(num_seeds);
   std::vector<Status> statuses(num_seeds, Status::OK());
 
-  ParallelFor(num_seeds, num_threads_, [&](size_t s) {
-    Result<SeedOutcome> r = RunSeed(config, base_seed + s);
-    if (r.ok()) {
-      outcomes[s] = std::move(r).ValueOrDie();
-    } else {
-      statuses[s] = r.status();
+  if (num_threads_ == 1) {
+    // Serial: one shared session drives every seed — the FairKM solver
+    // inside is allocation-free after the first seed (tentpole of the
+    // session API; BM_FairKM_MultiSeed_* quantifies the win).
+    FAIRKM_ASSIGN_OR_RETURN(MethodSession session, MakeSession(config));
+    for (size_t s = 0; s < num_seeds; ++s) {
+      Result<SeedOutcome> r = RunSeed(config, base_seed + s, &session);
+      if (r.ok()) {
+        outcomes[s] = std::move(r).ValueOrDie();
+      } else {
+        statuses[s] = r.status();
+      }
     }
-  });
-  for (const Status& st : statuses) {
-    FAIRKM_RETURN_NOT_OK(st);
+  } else {
+    // Seed-parallel: sessions are not thread-safe, so each seed builds its
+    // own (trading solver reuse for concurrency).
+    ParallelFor(num_seeds, num_threads_, [&](size_t s) {
+      Result<SeedOutcome> r = RunSeed(config, base_seed + s);
+      if (r.ok()) {
+        outcomes[s] = std::move(r).ValueOrDie();
+      } else {
+        statuses[s] = r.status();
+      }
+    });
+  }
+  for (size_t s = 0; s < num_seeds; ++s) {
+    const Status& st = statuses[s];
+    if (!st.ok()) {
+      // Surface WHICH seed of the aggregate failed — a multi-seed protocol
+      // is undiagnosable from the bare per-seed message alone.
+      return Status(st.code(), "seed " + std::to_string(base_seed + s) +
+                                   " (index " + std::to_string(s) + " of " +
+                                   std::to_string(num_seeds) +
+                                   ") failed: " + st.message());
+    }
   }
 
   AggregateOutcome agg;

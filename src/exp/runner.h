@@ -9,9 +9,11 @@
 #define FAIRKM_EXP_RUNNER_H_
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "cluster/clusterer.h"
 #include "cluster/types.h"
 #include "common/stats.h"
 #include "common/status.h"
@@ -41,27 +43,19 @@ std::string MethodName(Method method);
 /// \brief One experiment configuration.
 struct RunConfig {
   Method method = Method::kFairKMAll;
-  int k = 5;
-  /// FairKM lambda; negative = the paper heuristic (n/k)^2.
-  double lambda = -1.0;
+  /// The full FairKM configuration, embedded verbatim (core/fairkm.h) — the
+  /// single source of truth for every FairKM knob (k, lambda,
+  /// max_iterations, fairness-term construction, mini-batch, sweep mode,
+  /// threads, pruning). The structural fields every method shares — k and
+  /// max_iterations — are read from here by the non-FairKM methods too (the
+  /// S-blind K-Means reference keeps its own fixed 100-iteration Lloyd cap).
+  core::FairKMOptions fairkm;
   /// ZGYA lambda; negative = auto balance (see cluster/zgya.h).
   double zgya_lambda = -1.0;
   /// ZGYA soft-mode temperature; negative = the library default.
   double zgya_soft_temperature = -1.0;
   /// Attribute for the *Single methods.
   std::string single_attribute;
-  int max_iterations = 30;
-  /// Fairness-term construction (FairKM ablations).
-  core::FairnessTermConfig fairness;
-  /// FairKM mini-batch size (0 = paper behaviour).
-  int minibatch = 0;
-  /// FairKM candidate-evaluation sweep (kParallelSnapshot needs minibatch > 0).
-  core::SweepMode sweep_mode = core::SweepMode::kSerial;
-  /// FairKM parallel-sweep worker threads (0 = hardware concurrency).
-  int fairkm_threads = 0;
-  /// FairKM bound-gated candidate pruning (core/pruning.h); trajectory is
-  /// bit-identical either way, so this is a perf knob only.
-  bool fairkm_pruning = true;
 };
 
 /// \brief Per-seed measurements.
@@ -106,6 +100,16 @@ struct AggregateOutcome {
 /// reproduction output doubles as a perf record.
 std::string PerfSummary(const AggregateOutcome& agg);
 
+/// \brief Reusable per-configuration state for RunSeed: the method's
+/// cluster::Clusterer instance. The FairKM adapter keeps a warm
+/// core::FairKMSolver inside, so running many seeds through one session
+/// pays the point-store/cache construction and its allocations once (the
+/// §5.5.1 multi-seed fast path). Build with ExperimentRunner::MakeSession;
+/// do not share one session across threads.
+struct MethodSession {
+  std::unique_ptr<cluster::Clusterer> clusterer;
+};
+
 /// \brief Runs configurations over seeds and aggregates.
 class ExperimentRunner {
  public:
@@ -113,18 +117,31 @@ class ExperimentRunner {
   /// across seeds (1 = serial; aggregation order is deterministic either way).
   ExperimentRunner(const ExperimentData* data, size_t num_threads = 1);
 
-  /// \brief Runs one seed of one configuration (exposed for tests/examples).
+  /// \brief Builds the reusable session for one configuration: the method is
+  /// resolved uniformly (K-Means/ZGYA through the cluster::Clusterer
+  /// registry, FairKM through its solver-backed adapter).
+  Result<MethodSession> MakeSession(const RunConfig& config) const;
+
+  /// \brief Runs one seed of one configuration, cold (a fresh session).
   Result<SeedOutcome> RunSeed(const RunConfig& config, uint64_t seed) const;
 
+  /// \brief Runs one seed against a caller-held session (the warm path).
+  /// Results are bit-identical to the cold overload.
+  Result<SeedOutcome> RunSeed(const RunConfig& config, uint64_t seed,
+                              MethodSession* session) const;
+
   /// \brief Runs `num_seeds` seeds (base_seed, base_seed+1, ...) and
-  /// aggregates. Any failing seed aborts the whole run with its status.
+  /// aggregates. Serial runners (num_threads = 1) share one session across
+  /// all seeds; seed-parallel runners trade that reuse for concurrency. Any
+  /// failing seed aborts the whole run with a status naming the seed and its
+  /// index.
   Result<AggregateOutcome> Run(const RunConfig& config, size_t num_seeds,
                                uint64_t base_seed = 1000) const;
 
  private:
-  /// Runs the configured method, filling `outcome`'s assignment plus the
+  /// Runs the session's method, filling `outcome`'s assignment plus the
   /// iteration/convergence/sweep-perf telemetry.
-  Status RunMethod(const RunConfig& config, uint64_t seed,
+  Status RunMethod(uint64_t seed, MethodSession* session,
                    SeedOutcome* outcome) const;
   /// The same-seed S-blind reference clustering for DevC/DevO.
   Result<cluster::ClusteringResult> RunBlindReference(int k, uint64_t seed) const;

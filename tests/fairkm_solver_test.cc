@@ -1,0 +1,459 @@
+// FairKMSolver session-API lifecycle tests: wrapper equivalence, stepwise
+// sweeps, checkpoint-resume and warm-start bit-identity (all SweepModes x
+// pruning settings), cooperative cancellation consistency, budgets, and the
+// out-of-sample Assign() path cross-checked against brute force.
+
+#include "core/solver.h"
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/fairkm.h"
+#include "testlib/brute_force.h"
+#include "testlib/worlds.h"
+
+namespace fairkm {
+namespace core {
+namespace {
+
+using testutil::BruteForceAssign;
+using testutil::MakeSeededWorld;
+using testutil::SeededWorld;
+using testutil::StateMatchesBruteForce;
+using testutil::WorldSpec;
+
+struct ModeParam {
+  const char* name;
+  int minibatch;
+  SweepMode sweep;
+  bool pruning;
+};
+
+// Every SweepMode x pruning combination (the parallel snapshot sweep
+// requires a mini-batch). The kernel-backend axis is covered by running the
+// whole suite under FAIRKM_FORCE_SCALAR in CI; the pruning-off axis is
+// additionally covered by FAIRKM_DISABLE_PRUNING, which both sides of every
+// comparison see identically.
+const ModeParam kModes[] = {
+    {"serial", 0, SweepMode::kSerial, true},
+    {"serial-exact", 0, SweepMode::kSerial, false},
+    {"minibatch", 16, SweepMode::kSerial, true},
+    {"minibatch-exact", 16, SweepMode::kSerial, false},
+    {"parallel", 16, SweepMode::kParallelSnapshot, true},
+    {"parallel-exact", 16, SweepMode::kParallelSnapshot, false},
+};
+
+FairKMOptions OptionsFor(const ModeParam& mode) {
+  FairKMOptions options;
+  options.k = 3;
+  options.lambda = 60.0;
+  options.max_iterations = 12;
+  options.minibatch_size = mode.minibatch;
+  options.sweep_mode = mode.sweep;
+  options.enable_pruning = mode.pruning;
+  return options;
+}
+
+FairKMSolver MakeSolver(const SeededWorld& world, const FairKMOptions& options) {
+  return FairKMSolver::Create(&world.points, &world.sensitive, options)
+      .ValueOrDie();
+}
+
+// Asserts two finished runs took bit-identical trajectories: assignments,
+// per-sweep objective history, iteration/convergence flags, and (pruning
+// telemetry included) the exact candidate counters.
+void ExpectSameTrajectory(const FairKMResult& a, const FairKMResult& b,
+                          const char* label) {
+  SCOPED_TRACE(label);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_EQ(a.objective_history, b.objective_history);
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.converged, b.converged);
+  EXPECT_EQ(a.total_candidates, b.total_candidates);
+  EXPECT_EQ(a.pruned_candidates, b.pruned_candidates);
+}
+
+TEST(FairKMSolverTest, WrapperAndLifecycleAreBitIdentical) {
+  for (const ModeParam& mode : kModes) {
+    const SeededWorld world = MakeSeededWorld(71);
+    const FairKMOptions options = OptionsFor(mode);
+
+    Rng wrapper_rng(5);
+    const FairKMResult via_wrapper =
+        RunFairKM(world.points, world.sensitive, options, &wrapper_rng)
+            .ValueOrDie();
+
+    FairKMSolver solver = MakeSolver(world, options);
+    Rng solver_rng(5);
+    ASSERT_TRUE(solver.Init(&solver_rng).ok());
+    ASSERT_TRUE(solver.Run().ok());
+    const FairKMResult via_solver = solver.CurrentResult().ValueOrDie();
+
+    ExpectSameTrajectory(via_wrapper, via_solver, mode.name);
+  }
+}
+
+TEST(FairKMSolverTest, StepwiseSweepMatchesRun) {
+  const SeededWorld world = MakeSeededWorld(72);
+  const FairKMOptions options = OptionsFor(kModes[0]);
+
+  FairKMSolver all_at_once = MakeSolver(world, options);
+  ASSERT_TRUE(all_at_once.Init(uint64_t{9}).ok());
+  ASSERT_TRUE(all_at_once.Run().ok());
+
+  FairKMSolver stepwise = MakeSolver(world, options);
+  ASSERT_TRUE(stepwise.Init(uint64_t{9}).ok());
+  while (!stepwise.converged() &&
+         stepwise.sweeps_completed() < options.max_iterations) {
+    ASSERT_TRUE(stepwise.Sweep().ok());
+  }
+
+  ExpectSameTrajectory(all_at_once.CurrentResult().ValueOrDie(),
+                       stepwise.CurrentResult().ValueOrDie(), "stepwise");
+}
+
+TEST(FairKMSolverTest, SnapshotResumeIsBitIdentical) {
+  for (const ModeParam& mode : kModes) {
+    const SeededWorld world = MakeSeededWorld(73);
+    const FairKMOptions options = OptionsFor(mode);
+
+    FairKMSolver reference = MakeSolver(world, options);
+    ASSERT_TRUE(reference.Init(uint64_t{11}).ok());
+    ASSERT_TRUE(reference.Run().ok());
+    const FairKMResult uninterrupted = reference.CurrentResult().ValueOrDie();
+
+    // Run three sweeps, checkpoint, keep running: the checkpointed solver
+    // itself must stay on the uninterrupted trajectory...
+    FairKMSolver paused = MakeSolver(world, options);
+    ASSERT_TRUE(paused.Init(uint64_t{11}).ok());
+    RunBudget first_leg;
+    first_leg.max_sweeps = 3;
+    ASSERT_TRUE(paused.Run(first_leg).ok());
+    const SolverCheckpoint checkpoint = paused.Snapshot().ValueOrDie();
+    ASSERT_TRUE(paused.Run().ok());
+    ExpectSameTrajectory(uninterrupted, paused.CurrentResult().ValueOrDie(),
+                         mode.name);
+
+    // ...and so must a FRESH solver restored from the checkpoint (the
+    // checkpoint carries the exact float aggregates and pruner bounds, so
+    // even the pruned-candidate counters match).
+    FairKMSolver resumed = MakeSolver(world, options);
+    ASSERT_TRUE(resumed.Restore(checkpoint).ok());
+    ASSERT_TRUE(resumed.Run().ok());
+    ExpectSameTrajectory(uninterrupted, resumed.CurrentResult().ValueOrDie(),
+                         mode.name);
+  }
+}
+
+TEST(FairKMSolverTest, MidSweepCancelSnapshotResumeIsBitIdentical) {
+  for (const ModeParam& mode : kModes) {
+    if (mode.minibatch == 0) continue;  // Mid-sweep needs >1 batch per sweep.
+    const SeededWorld world = MakeSeededWorld(74);
+    const FairKMOptions options = OptionsFor(mode);
+
+    FairKMSolver reference = MakeSolver(world, options);
+    ASSERT_TRUE(reference.Init(uint64_t{13}).ok());
+    ASSERT_TRUE(reference.Run().ok());
+    const FairKMResult uninterrupted = reference.CurrentResult().ValueOrDie();
+
+    // Cancel at the second mini-batch boundary of sweep 2 (a mid-sweep
+    // point: 60 points / batch 16 -> boundaries at 16, 32, 48, 60).
+    FairKMSolver cancelled = MakeSolver(world, options);
+    ASSERT_TRUE(cancelled.Init(uint64_t{13}).ok());
+    int boundaries_seen = 0;
+    const RunStop stop =
+        cancelled
+            .Run({},
+                 [&](const SweepProgress& progress) {
+                   ++boundaries_seen;
+                   return !(progress.sweep == 2 &&
+                            progress.points_processed == 32);
+                 })
+            .ValueOrDie();
+    ASSERT_EQ(stop, RunStop::kCancelled) << mode.name;
+    ASSERT_TRUE(cancelled.mid_sweep()) << mode.name;
+    ASSERT_GT(boundaries_seen, 4) << mode.name;
+
+    // The mid-sweep checkpoint resumes bit-identically in a fresh solver...
+    const SolverCheckpoint checkpoint = cancelled.Snapshot().ValueOrDie();
+    FairKMSolver resumed = MakeSolver(world, options);
+    ASSERT_TRUE(resumed.Restore(checkpoint).ok());
+    ASSERT_TRUE(resumed.Run().ok());
+    ExpectSameTrajectory(uninterrupted, resumed.CurrentResult().ValueOrDie(),
+                         mode.name);
+
+    // ...and the cancelled solver itself picks up where it stopped.
+    ASSERT_TRUE(cancelled.Run().ok());
+    ExpectSameTrajectory(uninterrupted, cancelled.CurrentResult().ValueOrDie(),
+                         mode.name);
+  }
+}
+
+TEST(FairKMSolverTest, CancellationLeavesConsistentQueryableState) {
+  const ModeParam mode = {"minibatch", 16, SweepMode::kSerial, true};
+  const SeededWorld world = MakeSeededWorld(75);
+  const FairKMOptions options = OptionsFor(mode);
+
+  FairKMSolver solver = MakeSolver(world, options);
+  ASSERT_TRUE(solver.Init(uint64_t{17}).ok());
+  const RunStop stop =
+      solver
+          .Run({},
+               [](const SweepProgress& progress) {
+                 return progress.points_processed < 32;  // Cancel mid-sweep 1.
+               })
+          .ValueOrDie();
+  ASSERT_EQ(stop, RunStop::kCancelled);
+  ASSERT_TRUE(solver.mid_sweep());
+
+  // Every aggregate the half-swept state exposes must match scratch
+  // recomputation, and the observation APIs must all work.
+  EXPECT_TRUE(StateMatchesBruteForce(solver.state(), world.points,
+                                     world.sensitive));
+  const FairKMResult partial = solver.CurrentResult().ValueOrDie();
+  EXPECT_EQ(partial.assignment.size(), world.points.rows());
+  EXPECT_FALSE(partial.converged);
+  EXPECT_TRUE(solver.Assign(world.points).ok());
+}
+
+TEST(FairKMSolverTest, SolverReuseAcrossSeedsMatchesColdSolvers) {
+  for (const ModeParam& mode : kModes) {
+    const SeededWorld world = MakeSeededWorld(76);
+    const FairKMOptions options = OptionsFor(mode);
+    FairKMSolver reused = MakeSolver(world, options);
+    for (uint64_t seed = 1; seed <= 3; ++seed) {
+      ASSERT_TRUE(reused.Init(seed).ok());
+      ASSERT_TRUE(reused.Run().ok());
+
+      FairKMSolver cold = MakeSolver(world, options);
+      ASSERT_TRUE(cold.Init(seed).ok());
+      ASSERT_TRUE(cold.Run().ok());
+
+      ExpectSameTrajectory(cold.CurrentResult().ValueOrDie(),
+                           reused.CurrentResult().ValueOrDie(), mode.name);
+    }
+  }
+}
+
+TEST(FairKMSolverTest, WarmStartAssignmentMatchesColdSolver) {
+  const SeededWorld world = MakeSeededWorld(77);
+  const FairKMOptions options = OptionsFor(kModes[0]);
+
+  // A used solver warm-started from an explicit assignment must replay the
+  // cold solver's trajectory from that same assignment.
+  FairKMSolver reused = MakeSolver(world, options);
+  ASSERT_TRUE(reused.Init(uint64_t{3}).ok());
+  ASSERT_TRUE(reused.Run().ok());
+  ASSERT_TRUE(reused.Init(world.assignment).ok());
+  ASSERT_TRUE(reused.Run().ok());
+
+  FairKMSolver cold = MakeSolver(world, options);
+  ASSERT_TRUE(cold.Init(world.assignment).ok());
+  ASSERT_TRUE(cold.Run().ok());
+  ExpectSameTrajectory(cold.CurrentResult().ValueOrDie(),
+                       reused.CurrentResult().ValueOrDie(), "warm-start");
+
+  // Warm-starting from a converged assignment converges after one sweep.
+  ASSERT_TRUE(cold.Init(cold.assignment()).ok());
+  ASSERT_TRUE(cold.Run().ok());
+  EXPECT_TRUE(cold.converged());
+  EXPECT_EQ(cold.sweeps_completed(), 1);
+}
+
+TEST(FairKMSolverTest, RunBudgetsStopAndResume) {
+  const SeededWorld world = MakeSeededWorld(78);
+  FairKMOptions options = OptionsFor(kModes[0]);
+  options.max_iterations = 30;
+
+  FairKMSolver solver = MakeSolver(world, options);
+  ASSERT_TRUE(solver.Init(uint64_t{21}).ok());
+
+  RunBudget two_sweeps;
+  two_sweeps.max_sweeps = 2;
+  const RunStop stop = solver.Run(two_sweeps).ValueOrDie();
+  if (stop == RunStop::kSweepBudget) {
+    EXPECT_EQ(solver.sweeps_completed(), 2);
+    EXPECT_EQ(solver.objective_history().size(), 2u);
+  } else {
+    EXPECT_EQ(stop, RunStop::kConverged);  // Tiny worlds may converge first.
+  }
+
+  RunBudget no_time;
+  no_time.max_seconds = 0.0;
+  if (!solver.converged()) {
+    EXPECT_EQ(solver.Run(no_time).ValueOrDie(), RunStop::kTimeBudget);
+  }
+
+  // Budgeted legs compose into the uninterrupted trajectory.
+  while (!solver.converged() &&
+         solver.sweeps_completed() < options.max_iterations) {
+    ASSERT_TRUE(solver.Run(two_sweeps).ok());
+  }
+  FairKMSolver straight = MakeSolver(world, options);
+  ASSERT_TRUE(straight.Init(uint64_t{21}).ok());
+  ASSERT_TRUE(straight.Run().ok());
+  ExpectSameTrajectory(straight.CurrentResult().ValueOrDie(),
+                       solver.CurrentResult().ValueOrDie(), "budget-legs");
+}
+
+TEST(FairKMSolverTest, SweepHonorsTheIterationCap) {
+  const SeededWorld world = MakeSeededWorld(84);
+  FairKMOptions options = OptionsFor(kModes[0]);
+  options.max_iterations = 1;
+
+  FairKMSolver solver = MakeSolver(world, options);
+  ASSERT_TRUE(solver.Init(uint64_t{8}).ok());
+  ASSERT_TRUE(solver.Sweep().ValueOrDie());  // Sweep 1 moves something.
+  EXPECT_EQ(solver.sweeps_completed(), 1);
+  // The cap makes further stepping a no-op, so `while (Sweep())` terminates
+  // even on configurations that never converge.
+  EXPECT_FALSE(solver.Sweep().ValueOrDie());
+  EXPECT_EQ(solver.sweeps_completed(), 1);
+  EXPECT_FALSE(solver.converged());
+}
+
+TEST(FairKMSolverTest, SetLambdaOnReusedSolverMatchesFreshSolver) {
+  const SeededWorld world = MakeSeededWorld(79);
+  FairKMOptions options = OptionsFor(kModes[0]);
+
+  FairKMSolver reused = MakeSolver(world, options);
+  ASSERT_TRUE(reused.Init(uint64_t{2}).ok());
+  ASSERT_TRUE(reused.Run().ok());
+  ASSERT_TRUE(reused.SetLambda(350.0).ok());
+  ASSERT_TRUE(reused.Init(uint64_t{2}).ok());
+  ASSERT_TRUE(reused.Run().ok());
+
+  options.lambda = 350.0;
+  FairKMSolver fresh = MakeSolver(world, options);
+  ASSERT_TRUE(fresh.Init(uint64_t{2}).ok());
+  ASSERT_TRUE(fresh.Run().ok());
+  ExpectSameTrajectory(fresh.CurrentResult().ValueOrDie(),
+                       reused.CurrentResult().ValueOrDie(), "set-lambda");
+  EXPECT_EQ(reused.lambda(), 350.0);
+
+  // Negative re-resolves the paper heuristic.
+  ASSERT_TRUE(reused.SetLambda(-1.0).ok());
+  EXPECT_EQ(reused.lambda(), SuggestLambda(world.points.rows(), options.k));
+}
+
+TEST(FairKMSolverTest, AssignMatchesBruteForce) {
+  for (const ModeParam& mode : kModes) {
+    const SeededWorld world = MakeSeededWorld(80);
+    // Same spec, different seed: structurally compatible out-of-sample data.
+    const SeededWorld fresh = MakeSeededWorld(81);
+    const FairKMOptions options = OptionsFor(mode);
+
+    FairKMSolver solver = MakeSolver(world, options);
+    ASSERT_TRUE(solver.Init(uint64_t{31}).ok());
+    ASSERT_TRUE(solver.Run().ok());
+
+    const cluster::Assignment blind =
+        solver.Assign(fresh.points).ValueOrDie();
+    EXPECT_EQ(blind, BruteForceAssign(world.points, world.sensitive,
+                                      solver.assignment(), options.k,
+                                      solver.lambda(), fresh.points,
+                                      /*new_sensitive=*/nullptr))
+        << mode.name;
+
+    const cluster::Assignment fair =
+        solver.Assign(fresh.points, fresh.sensitive).ValueOrDie();
+    EXPECT_EQ(fair, BruteForceAssign(world.points, world.sensitive,
+                                     solver.assignment(), options.k,
+                                     solver.lambda(), fresh.points,
+                                     &fresh.sensitive))
+        << mode.name;
+    // With the training view's own rows, lambda pulls assignments toward
+    // fairness: the two paths must at least both be valid (and usually
+    // differ); validity is what we assert.
+    for (int32_t c : fair) {
+      EXPECT_GE(c, 0);
+      EXPECT_LT(c, options.k);
+    }
+  }
+}
+
+TEST(FairKMSolverTest, AssignValidatesInputs) {
+  const SeededWorld world = MakeSeededWorld(82);
+  const FairKMOptions options = OptionsFor(kModes[0]);
+
+  FairKMSolver untrained = MakeSolver(world, options);
+  EXPECT_FALSE(untrained.Assign(world.points).ok());
+
+  FairKMSolver solver = MakeSolver(world, options);
+  ASSERT_TRUE(solver.Init(uint64_t{1}).ok());
+  ASSERT_TRUE(solver.Run().ok());
+
+  data::Matrix wrong_width(2, world.points.cols() + 1);
+  EXPECT_FALSE(solver.Assign(wrong_width).ok());
+
+  // Mismatched attribute structure.
+  data::SensitiveView missing_attrs;
+  EXPECT_FALSE(solver.Assign(world.points, missing_attrs).ok());
+
+  // Out-of-range code.
+  data::SensitiveView bad = world.sensitive;
+  bad.categorical[0].codes[0] =
+      static_cast<int32_t>(bad.categorical[0].cardinality);
+  EXPECT_FALSE(solver.Assign(world.points, bad).ok());
+}
+
+TEST(FairKMSolverTest, LifecycleGuardsAndCheckpointValidation) {
+  const SeededWorld world = MakeSeededWorld(83);
+  const FairKMOptions options = OptionsFor(kModes[0]);
+
+  FairKMSolver solver = MakeSolver(world, options);
+  EXPECT_FALSE(solver.initialized());
+  EXPECT_FALSE(solver.Sweep().ok());
+  EXPECT_FALSE(solver.Run().ok());
+  EXPECT_FALSE(solver.CurrentResult().ok());
+  EXPECT_FALSE(solver.Snapshot().ok());
+
+  ASSERT_TRUE(solver.Init(uint64_t{4}).ok());
+  ASSERT_TRUE(solver.Run().ok());
+  const SolverCheckpoint checkpoint = solver.Snapshot().ValueOrDie();
+
+  // A solver with different options rejects the checkpoint.
+  FairKMOptions other = options;
+  other.k = options.k + 1;
+  FairKMSolver mismatched =
+      FairKMSolver::Create(&world.points, &world.sensitive, other).ValueOrDie();
+  EXPECT_FALSE(mismatched.Restore(checkpoint).ok());
+
+  // A solver with a different mini-batch shape rejects the checkpoint (the
+  // prototype-refresh boundaries would diverge).
+  FairKMOptions batched = options;
+  batched.minibatch_size = 16;
+  FairKMSolver different_batching =
+      FairKMSolver::Create(&world.points, &world.sensitive, batched)
+          .ValueOrDie();
+  EXPECT_FALSE(different_batching.Restore(checkpoint).ok());
+
+  FairKMOptions unpruned = options;
+  unpruned.enable_pruning = false;
+  FairKMSolver pruning_off =
+      FairKMSolver::Create(&world.points, &world.sensitive, unpruned)
+          .ValueOrDie();
+  // Mode mismatch is rejected unless the environment already forced
+  // pruning off for both sides.
+  if (!PruningDisabledByEnv() && options.k > 1) {
+    EXPECT_FALSE(pruning_off.Restore(checkpoint).ok());
+  }
+
+  // Create-level validation mirrors RunFairKM.
+  FairKMOptions bad = options;
+  bad.k = 0;
+  EXPECT_FALSE(FairKMSolver::Create(&world.points, &world.sensitive, bad).ok());
+  bad = options;
+  bad.max_iterations = 0;
+  EXPECT_FALSE(FairKMSolver::Create(&world.points, &world.sensitive, bad).ok());
+  bad = options;
+  bad.sweep_mode = SweepMode::kParallelSnapshot;
+  bad.minibatch_size = 0;
+  EXPECT_FALSE(FairKMSolver::Create(&world.points, &world.sensitive, bad).ok());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace fairkm

@@ -23,13 +23,13 @@ TEST(KinematicsIntegrationTest, PaperShapeHolds) {
 
   exp::RunConfig blind;
   blind.method = exp::Method::kKMeansBlind;
-  blind.k = k;
+  blind.fairkm.k = k;
   auto blind_agg = runner.Run(blind, seeds).ValueOrDie();
 
   exp::RunConfig fair;
   fair.method = exp::Method::kFairKMAll;
-  fair.k = k;
-  fair.lambda = data.paper_lambda;
+  fair.fairkm.k = k;
+  fair.fairkm.lambda = data.paper_lambda;
   auto fair_agg = runner.Run(fair, seeds).ValueOrDie();
 
   // FairKM improves mean fairness substantially over the blind baseline
@@ -56,15 +56,15 @@ TEST(KinematicsIntegrationTest, FairKMSingleBeatsZgyaSingle) {
   for (const auto& attr : data.sensitive_names) {
     exp::RunConfig fair;
     fair.method = exp::Method::kFairKMSingle;
-    fair.k = k;
-    fair.lambda = data.paper_lambda;
+    fair.fairkm.k = k;
+    fair.fairkm.lambda = data.paper_lambda;
     fair.single_attribute = attr;
     auto fair_agg = runner.Run(fair, seeds).ValueOrDie();
     fairkm_aw += fair_agg.FairnessOf(attr).aw.mean();
 
     exp::RunConfig zgya;
     zgya.method = exp::Method::kZgyaSingle;
-    zgya.k = k;
+    zgya.fairkm.k = k;
     zgya.zgya_lambda = data.zgya_lambda;
     zgya.zgya_soft_temperature = data.zgya_soft_temperature;
     zgya.single_attribute = attr;
@@ -87,18 +87,18 @@ TEST(AdultIntegrationTest, PaperShapeHoldsOnSubsample) {
 
   exp::RunConfig blind;
   blind.method = exp::Method::kKMeansBlind;
-  blind.k = k;
+  blind.fairkm.k = k;
   auto blind_agg = runner.Run(blind, seeds).ValueOrDie();
 
   exp::RunConfig fair;
   fair.method = exp::Method::kFairKMAll;
-  fair.k = k;
-  fair.lambda = lambda;
+  fair.fairkm.k = k;
+  fair.fairkm.lambda = lambda;
   auto fair_agg = runner.Run(fair, seeds).ValueOrDie();
 
   exp::RunConfig zgya;
   zgya.method = exp::Method::kZgyaSingle;
-  zgya.k = k;
+  zgya.fairkm.k = k;
   zgya.zgya_lambda = data.zgya_lambda;
   zgya.zgya_soft_temperature = data.zgya_soft_temperature;
   zgya.single_attribute = "gender";
@@ -131,8 +131,8 @@ TEST(LambdaSweepIntegrationTest, FairnessImprovesMonotonicallyInTrend) {
   for (double lambda : lambdas) {
     exp::RunConfig config;
     config.method = exp::Method::kFairKMAll;
-    config.k = k;
-    config.lambda = lambda;
+    config.fairkm.k = k;
+    config.fairkm.lambda = lambda;
     auto agg = runner.Run(config, 4).ValueOrDie();
     ae.push_back(agg.FairnessOf("mean").ae.mean());
   }

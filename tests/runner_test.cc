@@ -29,7 +29,7 @@ TEST_F(RunnerTest, BlindKMeansHasZeroDeviationFromItself) {
   ExperimentRunner runner(data_);
   RunConfig config;
   config.method = Method::kKMeansBlind;
-  config.k = 4;
+  config.fairkm.k = 4;
   auto outcome = runner.RunSeed(config, 3).ValueOrDie();
   EXPECT_EQ(outcome.devc, 0.0);
   EXPECT_EQ(outcome.devo, 0.0);
@@ -40,8 +40,8 @@ TEST_F(RunnerTest, FairKMSeedOutcomeIsComplete) {
   ExperimentRunner runner(data_);
   RunConfig config;
   config.method = Method::kFairKMAll;
-  config.k = 4;
-  config.lambda = core::SuggestLambda(data_->features.rows(), 4);
+  config.fairkm.k = 4;
+  config.fairkm.lambda = core::SuggestLambda(data_->features.rows(), 4);
   auto outcome = runner.RunSeed(config, 5).ValueOrDie();
   EXPECT_EQ(outcome.assignment.size(), data_->features.rows());
   EXPECT_GT(outcome.co, 0.0);
@@ -55,7 +55,7 @@ TEST_F(RunnerTest, SingleAttributeMethodsNeedAValidAttribute) {
   ExperimentRunner runner(data_);
   RunConfig config;
   config.method = Method::kZgyaSingle;
-  config.k = 3;
+  config.fairkm.k = 3;
   config.single_attribute = "not-an-attribute";
   EXPECT_FALSE(runner.RunSeed(config, 1).ok());
   config.single_attribute = "gender";
@@ -66,7 +66,7 @@ TEST_F(RunnerTest, AggregationAveragesSeeds) {
   ExperimentRunner runner(data_, /*num_threads=*/2);
   RunConfig config;
   config.method = Method::kKMeansBlind;
-  config.k = 3;
+  config.fairkm.k = 3;
   auto agg = runner.Run(config, 4, 100).ValueOrDie();
   EXPECT_EQ(agg.total_runs, 4u);
   EXPECT_EQ(agg.co.count(), 4u);
@@ -83,9 +83,9 @@ TEST_F(RunnerTest, ParallelAndSerialAggregationAgree) {
   ExperimentRunner parallel(data_, 4);
   RunConfig config;
   config.method = Method::kFairKMAll;
-  config.k = 3;
-  config.lambda = core::SuggestLambda(data_->features.rows(), 3);
-  config.max_iterations = 10;
+  config.fairkm.k = 3;
+  config.fairkm.lambda = core::SuggestLambda(data_->features.rows(), 3);
+  config.fairkm.max_iterations = 10;
   auto a = serial.Run(config, 3, 50).ValueOrDie();
   auto b = parallel.Run(config, 3, 50).ValueOrDie();
   EXPECT_NEAR(a.co.mean(), b.co.mean(), 1e-9);
@@ -106,15 +106,46 @@ TEST_F(RunnerTest, MethodNamesAreHumanReadable) {
   EXPECT_EQ(MethodName(Method::kZgyaHard), "ZGYA-hard(S)");
 }
 
+TEST_F(RunnerTest, FailingSeedIsNamedInTheAggregateStatus) {
+  ExperimentRunner runner(data_);
+  RunConfig config;
+  config.method = Method::kZgyaSingle;
+  config.fairkm.k = 3;
+  config.single_attribute = "not-an-attribute";
+  auto result = runner.Run(config, 3, 500);
+  ASSERT_FALSE(result.ok());
+  // The aggregate status must say WHICH seed failed, not just why.
+  EXPECT_NE(result.status().message().find("seed 500"), std::string::npos)
+      << result.status().ToString();
+  EXPECT_NE(result.status().message().find("index 0 of 3"), std::string::npos)
+      << result.status().ToString();
+}
+
+TEST_F(RunnerTest, SharedSessionMatchesColdRunSeed) {
+  ExperimentRunner runner(data_);
+  RunConfig config;
+  config.method = Method::kFairKMAll;
+  config.fairkm.k = 3;
+  config.fairkm.lambda = core::SuggestLambda(data_->features.rows(), 3);
+  config.fairkm.max_iterations = 8;
+  auto session = runner.MakeSession(config).ValueOrDie();
+  for (uint64_t seed : {900u, 901u, 902u}) {
+    auto warm = runner.RunSeed(config, seed, &session).ValueOrDie();
+    auto cold = runner.RunSeed(config, seed).ValueOrDie();
+    EXPECT_EQ(warm.assignment, cold.assignment) << "seed " << seed;
+    EXPECT_EQ(warm.iterations, cold.iterations) << "seed " << seed;
+  }
+}
+
 TEST_F(RunnerTest, FairKMBeatsBlindOnFairnessAggregates) {
   ExperimentRunner runner(data_, 2);
   RunConfig blind;
   blind.method = Method::kKMeansBlind;
-  blind.k = 4;
+  blind.fairkm.k = 4;
   RunConfig fair;
   fair.method = Method::kFairKMAll;
-  fair.k = 4;
-  fair.lambda = core::SuggestLambda(data_->features.rows(), 4);
+  fair.fairkm.k = 4;
+  fair.fairkm.lambda = core::SuggestLambda(data_->features.rows(), 4);
   auto blind_agg = runner.Run(blind, 3, 7).ValueOrDie();
   auto fair_agg = runner.Run(fair, 3, 7).ValueOrDie();
   EXPECT_LT(fair_agg.FairnessOf("mean").ae.mean(),

@@ -37,6 +37,94 @@ BruteForceAggregates RecomputeAggregates(const data::Matrix& points,
   return out;
 }
 
+cluster::Assignment BruteForceAssign(const data::Matrix& points,
+                                     const data::SensitiveView& sensitive,
+                                     const cluster::Assignment& trained, int k,
+                                     double lambda,
+                                     const data::Matrix& new_points,
+                                     const data::SensitiveView* new_sensitive,
+                                     const core::FairnessTermConfig& config) {
+  const BruteForceAggregates agg =
+      RecomputeAggregates(points, sensitive, trained, k, config);
+  const size_t n = points.rows();  // Serving holds the training n fixed.
+  const size_t d = points.cols();
+
+  // Scratch-recomputed deviation term of ONE cluster given its value counts
+  // / numeric sums and size (only the candidate cluster's term changes on a
+  // virtual insertion; every other cluster cancels in the delta).
+  auto cluster_term = [&](int c, size_t size,
+                          const std::vector<std::vector<int64_t>>& cat_counts,
+                          const std::vector<std::vector<double>>& num_sums) {
+    const double scale = core::ClusterScale(config.weighting, size, n);
+    double total = 0.0;
+    for (size_t a = 0; a < sensitive.categorical.size(); ++a) {
+      const auto& attr = sensitive.categorical[a];
+      const double norm =
+          config.normalize_domain ? 1.0 / attr.cardinality : 1.0;
+      double dev = 0.0;
+      for (int s = 0; s < attr.cardinality; ++s) {
+        const double u =
+            static_cast<double>(
+                cat_counts[a][static_cast<size_t>(c) * attr.cardinality +
+                              static_cast<size_t>(s)]) -
+            static_cast<double>(size) * attr.dataset_fractions[s];
+        dev += u * u;
+      }
+      total += attr.weight * norm * scale * dev;
+    }
+    for (size_t a = 0; a < sensitive.numeric.size(); ++a) {
+      const auto& attr = sensitive.numeric[a];
+      const double u = num_sums[a][static_cast<size_t>(c)] -
+                       static_cast<double>(size) * attr.dataset_mean;
+      total += attr.weight * scale * u * u;
+    }
+    return total;
+  };
+
+  cluster::Assignment out(new_points.rows(), 0);
+  for (size_t i = 0; i < new_points.rows(); ++i) {
+    const double* x = new_points.Row(i);
+    double best = 0.0;
+    int best_cluster = -1;
+    for (int c = 0; c < k; ++c) {
+      const size_t cnt = agg.counts[static_cast<size_t>(c)];
+      if (cnt == 0) continue;  // No prototype to serve.
+      const double* mu = agg.centroids.Row(static_cast<size_t>(c));
+      double dist = 0.0;
+      for (size_t j = 0; j < d; ++j) {
+        const double diff = x[j] - mu[j];
+        dist += diff * diff;
+      }
+      double cost =
+          static_cast<double>(cnt) / static_cast<double>(cnt + 1) * dist;
+      if (new_sensitive != nullptr) {
+        // Virtually insert the point's sensitive values into cluster c.
+        auto cat_counts = agg.cat_counts;
+        auto num_sums = agg.num_sums;
+        for (size_t a = 0; a < sensitive.categorical.size(); ++a) {
+          const int m = sensitive.categorical[a].cardinality;
+          ++cat_counts[a][static_cast<size_t>(c) * m +
+                          static_cast<size_t>(
+                              new_sensitive->categorical[a].codes[i])];
+        }
+        for (size_t a = 0; a < sensitive.numeric.size(); ++a) {
+          num_sums[a][static_cast<size_t>(c)] +=
+              new_sensitive->numeric[a].values[i];
+        }
+        const double before = cluster_term(c, cnt, agg.cat_counts, agg.num_sums);
+        const double after = cluster_term(c, cnt + 1, cat_counts, num_sums);
+        cost += lambda * (after - before);
+      }
+      if (best_cluster < 0 || cost < best) {
+        best = cost;
+        best_cluster = c;
+      }
+    }
+    out[i] = best_cluster < 0 ? 0 : best_cluster;
+  }
+  return out;
+}
+
 double BruteForceDeltaKMeans(const data::Matrix& points,
                              const cluster::Assignment& assignment, int k,
                              size_t i, int to) {

@@ -60,6 +60,24 @@ double BruteForceDeltaFairness(const data::SensitiveView& sensitive,
     const data::SensitiveView& sensitive,
     const core::FairnessTermConfig& config = {}, double tolerance = 1e-9);
 
+/// \brief Out-of-sample best-candidate placement recomputed from first
+/// principles — the ground truth for FairKMSolver::Assign. Each new point
+/// goes to the non-empty cluster of `trained` minimizing
+///   |C|/(|C|+1) * d(x, mu_C)^2  +  lambda * (fairness insertion delta),
+/// where the insertion delta is the cluster's scratch-recomputed deviation
+/// term (over the TRAINING view's dataset-level fractions/means and the
+/// training dataset size, matching the serving-path modeling) with the
+/// point's sensitive values virtually added, minus the term before. Pass
+/// `new_sensitive` = nullptr for the features-only path (no fairness term).
+/// Ties break toward the smallest cluster id, like the solver.
+cluster::Assignment BruteForceAssign(const data::Matrix& points,
+                                     const data::SensitiveView& sensitive,
+                                     const cluster::Assignment& trained, int k,
+                                     double lambda,
+                                     const data::Matrix& new_points,
+                                     const data::SensitiveView* new_sensitive,
+                                     const core::FairnessTermConfig& config = {});
+
 /// \brief Verifies the pruning engine's bounds against exact evaluation for
 /// every point whose bounds are fresh:
 ///   * the distance upper/lower bounds bracket the exact (clamped,

@@ -38,6 +38,11 @@
 #      BM_FairKM_AllAttributes (Adult, all sensitive attributes) must be
 #      >= MIN_PRUNED_FRACTION (default 0.5) — the bounds must actually bite
 #      on the paper's own workload, not just on synthetic data.
+#   5. Solver reuse: BM_FairKM_MultiSeed_Cold (fresh FairKMSolver per seed)
+#      vs BM_FairKM_MultiSeed_Reused (one solver re-Init'ed per seed, the
+#      session API's warm path) must show >= MIN_REUSE_SPEEDUP (default
+#      1.03; ~1.1x measured — trajectories are bit-identical, the gate
+#      asserts the amortized construction actually pays).
 # The BM_ActiveKernelBackend_<name> marker entry records which backend the
 # runtime dispatch picked for this host/run.
 #
@@ -45,6 +50,7 @@
 # FILTER (default: the FairKM sweep/kernel benches), MIN_TIME (default 0.2),
 # MIN_SPEEDUP (default 2.0), MIN_SIMD_RATIO (default 0.9),
 # MIN_PRUNE_SPEEDUP (default 2.0), MIN_PRUNED_FRACTION (default 0.5),
+# MIN_REUSE_SPEEDUP (default 1.03),
 # SKIP_BUILD=1 to use an existing binary as-is (gate 0 still applies).
 
 set -euo pipefail
@@ -53,12 +59,13 @@ cd "$(dirname "$0")/.."
 
 BUILD_DIR=${BUILD_DIR:-build-bench}
 OUT=${OUT:-BENCH_scaling.json}
-FILTER=${FILTER:-'SweepCandidates|FairKM_AllAttributes|FairKM_MiniBatch|FairKM_ParallelSweep|FairKM_Sweep|MoveDeltaEvaluation|KernelGemv|KernelCatMoments|ActiveKernelBackend|BuildConfig'}
+FILTER=${FILTER:-'SweepCandidates|FairKM_AllAttributes|FairKM_MiniBatch|FairKM_MultiSeed|FairKM_ParallelSweep|FairKM_Sweep|MoveDeltaEvaluation|KernelGemv|KernelCatMoments|ActiveKernelBackend|BuildConfig'}
 MIN_TIME=${MIN_TIME:-0.2}
 MIN_SPEEDUP=${MIN_SPEEDUP:-2.0}
 MIN_SIMD_RATIO=${MIN_SIMD_RATIO:-0.9}
 MIN_PRUNE_SPEEDUP=${MIN_PRUNE_SPEEDUP:-2.0}
 MIN_PRUNED_FRACTION=${MIN_PRUNED_FRACTION:-0.5}
+MIN_REUSE_SPEEDUP=${MIN_REUSE_SPEEDUP:-1.03}
 BENCH="$BUILD_DIR/bench/bench_scaling"
 
 if [[ "${SKIP_BUILD:-0}" != "1" ]]; then
@@ -141,6 +148,18 @@ jq -e --argjson min "$MIN_PRUNED_FRACTION" '
   | "Adult all-attributes pruned fraction: \($frac * 100 | round)%",
     (if $frac >= $min then "OK: >= \($min * 100 | round)%"
      else error("pruned fraction \($frac) below required \($min)") end)
+' "$OUT"
+
+# Gate 5: reusing one FairKMSolver across seeds must beat constructing a
+# cold solver per seed (same seeds, bit-identical trajectories — only the
+# per-seed setup work differs).
+jq -e --argjson min "$MIN_REUSE_SPEEDUP" '
+  (.benchmarks[] | select(.name == "BM_FairKM_MultiSeed_Cold") | .real_time) as $cold
+  | (.benchmarks[] | select(.name == "BM_FairKM_MultiSeed_Reused") | .real_time) as $reused
+  | ($cold / $reused) as $speedup
+  | "multi-seed solver-reuse speedup: \($speedup * 100 | round / 100)x (cold \($cold) vs reused \($reused))",
+    (if $speedup >= $min then "OK: >= \($min)x"
+     else error("solver-reuse speedup \($speedup) below required \($min)x") end)
 ' "$OUT"
 
 echo "wrote $OUT"

@@ -25,6 +25,9 @@ for arg in "$@"; do
   esac
 done
 
+echo "== header self-containment (installed public headers) =="
+tools/check_headers.sh
+
 echo "== tier-1: configure + build + ctest (${BUILD_DIR}) =="
 cmake -B "$BUILD_DIR" -S . -DFAIRKM_WERROR=ON
 cmake --build "$BUILD_DIR" -j "$JOBS"
@@ -52,6 +55,6 @@ cmake -B "$TSAN_BUILD_DIR" -S . \
   -DFAIRKM_BUILD_EXAMPLES=OFF
 cmake --build "$TSAN_BUILD_DIR" -j "$JOBS"
 ctest --test-dir "$TSAN_BUILD_DIR" --output-on-failure -j "$JOBS" \
-  -R 'FairKMParallel|ThreadPool|FairKMCrossCheck.ParallelSnapshot|StressScaling.Optimizer|Pruning'
+  -R 'FairKMParallel|ThreadPool|FairKMCrossCheck.ParallelSnapshot|StressScaling.Optimizer|Pruning|FairKMSolver'
 
 echo "== all checks passed =="

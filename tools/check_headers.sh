@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Header self-containment check: every public header under src/ (the set
+# install() ships to ${includedir}/fairkm and exports through
+# find_package(fairkm)) must compile as a standalone translation unit — an
+# external consumer may include any of them first, so each must pull in its
+# own dependencies.
+#
+#   tools/check_headers.sh            # all of src/**/*.h
+#   CXX=clang++ tools/check_headers.sh
+#
+# Knobs: CXX (default c++), CXXFLAGS_EXTRA (appended).
+
+set -uo pipefail
+
+cd "$(dirname "$0")/.."
+
+CXX=${CXX:-c++}
+if ! command -v "$CXX" > /dev/null 2>&1; then
+  echo "check_headers: compiler '$CXX' not found" >&2
+  exit 2
+fi
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+fail=0
+checked=0
+while IFS= read -r hdr; do
+  hdr=${hdr#src/}
+  printf '#include "%s"\n' "$hdr" > "$TMP/tu.cc"
+  if ! "$CXX" -std=c++17 -fsyntax-only -Wall -Wextra -Werror -Isrc \
+       ${CXXFLAGS_EXTRA:-} "$TMP/tu.cc" 2> "$TMP/err"; then
+    echo "NOT SELF-CONTAINED: src/$hdr" >&2
+    cat "$TMP/err" >&2
+    fail=1
+  fi
+  checked=$((checked + 1))
+done < <(find src -name '*.h' | sort)
+
+if [[ "$fail" != 0 ]]; then
+  echo "header self-containment check FAILED" >&2
+  exit 1
+fi
+echo "header self-containment: $checked headers OK"

@@ -8,15 +8,16 @@
 // with an extra "cluster" column.
 
 #include <cstdio>
+#include <memory>
 #include <set>
 
-#include "cluster/kmeans.h"
-#include "cluster/zgya.h"
+#include "cluster/clusterer.h"
 #include "common/args.h"
 #include "common/csv.h"
 #include "common/string_util.h"
 #include "core/fairkm.h"
 #include "core/kernels/kernels.h"
+#include "core/solver.h"
 #include "data/dataset.h"
 #include "data/preprocess.h"
 #include "data/sensitive.h"
@@ -91,21 +92,22 @@ Status Run(const ArgParser& args) {
   const std::string method = ToLower(args.GetString("method"));
   Rng rng(seed);
 
-  cluster::Assignment assignment;
-  if (method == "kmeans") {
-    cluster::KMeansOptions options;
-    options.k = k;
-    FAIRKM_ASSIGN_OR_RETURN(cluster::ClusteringResult result,
-                            cluster::RunKMeans(matrix, options, &rng));
-    assignment = std::move(result.assignment);
-  } else if (method == "fairkm") {
+  // Uniform method selection through the cluster::Clusterer registry. The
+  // FairKM entry takes its full typed options (the generic registry knobs
+  // cover only the shared subset — k/lambda/iterations/attribute).
+  core::EnsureFairKMClustererRegistered();
+  std::unique_ptr<cluster::Clusterer> clusterer;
+  if (method == "fairkm") {
     if (sensitive.empty()) {
       return Status::InvalidArgument("fairkm needs --sensitive attributes");
     }
     core::FairKMOptions options;
     options.k = k;
     options.lambda = args.GetDouble("lambda");
-    options.max_iterations = static_cast<int>(args.GetInt("max-iterations"));
+    // 0 = method default (30, the paper's §5.4 protocol).
+    if (const int cap = static_cast<int>(args.GetInt("max-iterations")); cap > 0) {
+      options.max_iterations = cap;
+    }
     options.minibatch_size = static_cast<int>(args.GetInt("minibatch"));
     options.num_threads = static_cast<int>(args.GetInt("threads"));
     options.enable_pruning = !args.GetBool("no-prune");
@@ -119,33 +121,26 @@ Status Run(const ArgParser& args) {
     } else if (sweep != "serial") {
       return Status::InvalidArgument("--sweep must be serial or parallel");
     }
-    FAIRKM_ASSIGN_OR_RETURN(core::FairKMResult result,
-                            core::RunFairKM(matrix, sensitive, options, &rng));
+    clusterer = core::MakeFairKMClusterer(options);
+  } else {
+    cluster::ClustererOptions options;
+    options.k = k;
+    options.lambda = args.GetDouble("lambda");
+    // <= 0 keeps each method's own default (K-Means: 100 Lloyd iterations,
+    // ZGYA: 30 sweeps).
+    options.max_iterations = static_cast<int>(args.GetInt("max-iterations"));
+    FAIRKM_ASSIGN_OR_RETURN(clusterer, cluster::CreateClusterer(method, options));
+  }
+  FAIRKM_ASSIGN_OR_RETURN(cluster::ClusteringResult result,
+                          clusterer->Cluster(matrix, sensitive, &rng));
+  if (method == "fairkm") {
     std::printf("FairKM: lambda = %g, %d iterations, converged = %s\n",
                 result.lambda_used, result.iterations,
                 result.converged ? "yes" : "no");
-    std::printf("sweep: %.1f ms, pruning %s, pruned %.1f%% of %llu candidate "
-                "evaluations\n",
-                result.sweep_seconds * 1e3,
-                result.pruning_enabled ? "on" : "off",
-                result.PrunedFraction() * 100.0,
-                static_cast<unsigned long long>(result.total_candidates));
-    assignment = std::move(result.assignment);
-  } else if (method == "zgya") {
-    if (sensitive.categorical.size() != 1) {
-      return Status::InvalidArgument(
-          "zgya needs exactly one categorical --sensitive attribute");
-    }
-    cluster::ZgyaOptions options;
-    options.k = k;
-    options.lambda = args.GetDouble("lambda");
-    FAIRKM_ASSIGN_OR_RETURN(
-        cluster::ZgyaResult result,
-        cluster::RunZgya(matrix, sensitive.categorical[0], options, &rng));
-    assignment = std::move(result.assignment);
-  } else {
-    return Status::InvalidArgument("--method must be kmeans, fairkm or zgya");
+    std::printf("sweep: %.1f ms, pruned %.1f%% of the candidate evaluations\n",
+                result.sweep_seconds * 1e3, result.pruned_fraction * 100.0);
   }
+  cluster::Assignment assignment = std::move(result.assignment);
 
   // Report.
   std::printf("n = %zu rows, %zu task attributes, k = %d, method = %s\n",
@@ -189,10 +184,13 @@ int main(int argc, char** argv) {
   args.AddFlag("features", "", "comma-separated task columns (default: all numeric)");
   args.AddFlag("sensitive", "", "comma-separated categorical sensitive columns");
   args.AddFlag("numeric-sensitive", "", "comma-separated numeric sensitive columns");
-  args.AddFlag("method", "fairkm", "kmeans | fairkm | zgya");
+  args.AddFlag("method", "fairkm",
+               "clusterer registry name: kmeans | fairkm | zgya | zgya-hard");
   args.AddFlag("k", "5", "number of clusters");
   args.AddFlag("lambda", "-1", "fairness weight (-1 = auto heuristic)");
-  args.AddFlag("max-iterations", "30", "optimizer sweep cap");
+  args.AddFlag("max-iterations", "0",
+               "optimizer iteration cap (0 = method default: fairkm/zgya 30, "
+               "kmeans 100)");
   args.AddFlag("minibatch", "0", "prototype refresh batch (0 = every move)");
   args.AddFlag("sweep", "serial", "candidate evaluation: serial | parallel");
   args.AddFlag("threads", "0", "parallel sweep workers (0 = hardware)");
