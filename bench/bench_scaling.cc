@@ -25,9 +25,12 @@
 #include "core/fairkm.h"
 #include "core/fairkm_naive.h"
 #include "core/fairkm_state.h"
+#include "common/timer.h"
 #include "core/kernels/kernels.h"
 #include "core/solver.h"
 #include "data/preprocess.h"
+#include "serve/assign_batch.h"
+#include "serve/model_snapshot.h"
 
 namespace {
 
@@ -203,6 +206,75 @@ void BM_FairKM_MultiSeed_Reused(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FairKM_MultiSeed_Reused)->Unit(benchmark::kMillisecond);
+
+// Serving-path pair (n = 8192, d = 64, k = 8): _Scalar scores out-of-sample
+// points one at a time through FairKMSolver::Assign (naive per-candidate
+// distance loop); _Batched scores the same points through serve::AssignBatch
+// over a frozen ModelSnapshot — one GemvAligned pass per point against all k
+// centroids with the expanded-form distance and cached ||mu||^2. Assignments
+// are bit-identical (tests/serve_assign_test.cc); tools/bench_json.sh gates
+// Scalar/Batched >= MIN_ASSIGN_SPEEDUP. Both report points_per_sec.
+constexpr size_t kAssignN = 8192;
+constexpr size_t kAssignD = 64;
+
+struct AssignBenchModel {
+  core::FairKMSolver solver;
+  std::shared_ptr<const serve::ModelSnapshot> snapshot;
+};
+
+AssignBenchModel& AssignModel() {
+  static AssignBenchModel* cached = [] {
+    const auto& world = SyntheticWorld(kAssignN, kAssignD);
+    core::FairKMOptions options;
+    options.k = 8;
+    options.lambda = core::SuggestLambda(kAssignN, options.k);
+    options.max_iterations = 3;
+    auto* model = new AssignBenchModel{
+        core::FairKMSolver::Create(&world.features, &world.sensitive, options)
+            .ValueOrDie(),
+        nullptr};
+    model->solver.Init(uint64_t{1}).Abort();
+    model->solver.Run().ValueOrDie();
+    model->snapshot = serve::MakeModelSnapshot(model->solver).ValueOrDie();
+    return model;
+  }();
+  return *cached;
+}
+
+void BM_Assign_Scalar(benchmark::State& state) {
+  AssignBenchModel& model = AssignModel();
+  const auto& world = SyntheticWorld(kAssignN, kAssignD);
+  size_t points = 0;
+  Timer timer;
+  for (auto _ : state) {
+    auto assigned = model.solver.Assign(world.features).ValueOrDie();
+    points += assigned.size();
+    benchmark::DoNotOptimize(assigned.data());
+  }
+  const double seconds = timer.ElapsedSeconds();
+  state.counters["points_per_sec"] =
+      seconds > 0.0 ? static_cast<double>(points) / seconds : 0.0;
+}
+BENCHMARK(BM_Assign_Scalar)->Unit(benchmark::kMillisecond);
+
+void BM_Assign_Batched(benchmark::State& state) {
+  AssignBenchModel& model = AssignModel();
+  const auto& world = SyntheticWorld(kAssignN, kAssignD);
+  serve::AssignScratch scratch;
+  size_t points = 0;
+  Timer timer;
+  for (auto _ : state) {
+    auto assigned =
+        serve::AssignBatch(*model.snapshot, world.features, nullptr, &scratch)
+            .ValueOrDie();
+    points += assigned.size();
+    benchmark::DoNotOptimize(assigned.data());
+  }
+  const double seconds = timer.ElapsedSeconds();
+  state.counters["points_per_sec"] =
+      seconds > 0.0 ? static_cast<double>(points) / seconds : 0.0;
+}
+BENCHMARK(BM_Assign_Batched)->Unit(benchmark::kMillisecond);
 
 void BM_FairKM_DatasetSize(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));

@@ -40,12 +40,10 @@ Result<FairKMState> FairKMState::Create(const data::Matrix* points,
   }
   if (k <= 0) return Status::InvalidArgument("k must be positive");
   FAIRKM_RETURN_NOT_OK(cluster::ValidateAssignment(initial, points->rows(), k));
-  if (!sensitive->empty() && sensitive->num_rows() != points->rows()) {
-    return Status::InvalidArgument("sensitive view covers " +
-                                   std::to_string(sensitive->num_rows()) +
-                                   " rows, points have " +
-                                   std::to_string(points->rows()));
-  }
+  // Full structural audit, not just num_rows() (which reads only the first
+  // attribute): every attribute's length, fraction table and code range —
+  // BuildAggregates indexes all of them unchecked.
+  FAIRKM_RETURN_NOT_OK(sensitive->Validate(points->rows()));
   FairKMState state(points, sensitive, k, config);
   state.BuildAggregates(std::move(initial));
   return state;
@@ -561,6 +559,14 @@ double FairKMState::DeltaFairnessInsertion(const int32_t* cat_codes,
              (scale_to_after * u_after * u_after - scale_to_before * u * u);
   }
   return delta;
+}
+
+void FairKMState::ExportFairnessMoments(FairnessMomentTables* out) const {
+  out->cat_counts = cat_counts_;
+  out->cat_u2 = cat_u2_;
+  out->cat_uq = cat_uq_;
+  out->cat_q2 = cat_q2_;
+  out->num_sums = num_sums_;
 }
 
 void FairKMState::SaveCheckpoint(Checkpoint* out) const {

@@ -272,6 +272,31 @@ class FairKMState {
   /// (its removal not included), in O(|S|) table lookups.
   double FairInsertionDelta(size_t i, int c) const;
 
+  // --- Model export (the serving tier's frozen-snapshot path, src/serve/).
+
+  /// \brief Copy-out of the fairness moment tables a frozen model snapshot
+  /// needs to price DeltaFairnessInsertion without touching the live state:
+  /// the exact integer value counts, the maintained U2/UQ moments, the
+  /// assignment-independent Q2 constants and the numeric value sums. The
+  /// copied doubles are the exact values the live insertion delta reads, so
+  /// a snapshot evaluated with the same arithmetic reproduces it
+  /// bit-for-bit.
+  struct FairnessMomentTables {
+    std::vector<std::vector<int64_t>> cat_counts;  ///< [a][c * m_a + s]
+    std::vector<std::vector<double>> cat_u2;       ///< [a][c]
+    std::vector<std::vector<double>> cat_uq;       ///< [a][c]
+    std::vector<double> cat_q2;                    ///< [a]
+    std::vector<std::vector<double>> num_sums;     ///< [a][c]
+  };
+  void ExportFairnessMoments(FairnessMomentTables* out) const;
+
+  /// \brief Padded row width of the k x stride cluster-sum matrix.
+  size_t stride() const { return stride_; }
+  /// \brief Live k x stride feature sums (aligned, zero-padded rows).
+  const data::AlignedVector& cluster_sums() const { return sums_; }
+  /// \brief The fairness-term configuration the aggregates were built under.
+  const FairnessTermConfig& config() const { return config_; }
+
  private:
   FairKMState(const data::Matrix* points, const data::SensitiveView* sensitive, int k,
               FairnessTermConfig config);

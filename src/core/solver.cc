@@ -7,6 +7,7 @@
 #include "cluster/kmeans.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "core/kernels/kernels.h"
 
 namespace fairkm {
 namespace core {
@@ -436,9 +437,55 @@ Status FairKMSolver::SetLambda(double lambda) {
         "cannot change lambda mid-sweep (finish or re-Init the run first)");
   }
   lambda_ = lambda < 0 ? SuggestLambda(n_, options_.k) : lambda;
-  options_.lambda = lambda;
+  // Record the RESOLVED weight: after auto-suggest the session's option must
+  // agree with lambda_ (and with CurrentResult().lambda_used), not hold the
+  // negative sentinel the caller passed.
+  options_.lambda = lambda_;
   if (pruner_) pruner_->set_lambda(lambda_);
   return Status::OK();
+}
+
+Result<ModelExport> FairKMSolver::ExportModel() const {
+  if (!initialized()) {
+    return Status::InvalidArgument(
+        "solver not initialized: ExportModel needs a trained state");
+  }
+  ModelExport m;
+  m.num_rows = n_;
+  m.d = points_->cols();
+  m.stride = state_->stride();
+  m.k = options_.k;
+  m.lambda = lambda_;
+  m.config = state_->config();
+  const size_t k = static_cast<size_t>(options_.k);
+  m.counts.resize(k);
+  m.centroids.assign(k * m.stride, 0.0);
+  m.centroid_norms.assign(k, 0.0);
+  const data::AlignedVector& sums = state_->cluster_sums();
+  for (size_t c = 0; c < k; ++c) {
+    m.counts[c] = state_->cluster_size(static_cast<int>(c));
+    if (m.counts[c] == 0) continue;
+    // Same sums[j] * (1/|C|) expression as FairKMState::Centroids(), so the
+    // exported centroid doubles are bit-identical to the ones the scalar
+    // Assign oracle scores against. The zero padding of the sums rows keeps
+    // the padded centroid entries exact zeros.
+    const double inv = 1.0 / static_cast<double>(m.counts[c]);
+    const double* src = sums.data() + c * m.stride;
+    double* dst = m.centroids.data() + c * m.stride;
+    for (size_t j = 0; j < m.d; ++j) dst[j] = src[j] * inv;
+    m.centroid_norms[c] = kernels::Dot(dst, dst, m.stride);
+  }
+  state_->ExportFairnessMoments(&m.moments);
+  m.categorical.reserve(sensitive_->categorical.size());
+  for (const auto& attr : sensitive_->categorical) {
+    m.categorical.push_back(
+        {attr.name, attr.cardinality, attr.dataset_fractions, attr.weight});
+  }
+  m.numeric.reserve(sensitive_->numeric.size());
+  for (const auto& attr : sensitive_->numeric) {
+    m.numeric.push_back({attr.name, attr.dataset_mean, attr.weight});
+  }
+  return m;
 }
 
 Result<cluster::Assignment> FairKMSolver::Assign(
@@ -474,11 +521,26 @@ Result<cluster::Assignment> FairKMSolver::AssignImpl(
           "new sensitive view must mirror the training view's attribute "
           "structure (same categorical/numeric attributes, same order)");
     }
-    if (!new_sensitive->empty() && new_sensitive->num_rows() != rows) {
-      return Status::InvalidArgument(
-          "new sensitive view covers " +
-          std::to_string(new_sensitive->num_rows()) + " rows, points have " +
-          std::to_string(rows));
+    // Check EVERY attribute's length, not just num_rows() (which reads only
+    // the first attribute): a ragged view would otherwise pass here and the
+    // code-range loop below would read attr.codes[i] out of bounds.
+    for (size_t a = 0; a < num_cat; ++a) {
+      const auto& attr = new_sensitive->categorical[a];
+      if (attr.codes.size() != rows) {
+        return Status::InvalidArgument(
+            "new sensitive attribute \"" + sensitive_->categorical[a].name +
+            "\" covers " + std::to_string(attr.codes.size()) +
+            " rows, points have " + std::to_string(rows));
+      }
+    }
+    for (size_t a = 0; a < num_num; ++a) {
+      const auto& attr = new_sensitive->numeric[a];
+      if (attr.values.size() != rows) {
+        return Status::InvalidArgument(
+            "new sensitive attribute \"" + sensitive_->numeric[a].name +
+            "\" covers " + std::to_string(attr.values.size()) +
+            " rows, points have " + std::to_string(rows));
+      }
     }
     for (size_t a = 0; a < num_cat; ++a) {
       const auto& attr = new_sensitive->categorical[a];

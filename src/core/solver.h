@@ -117,6 +117,47 @@ struct SolverCheckpoint {
   double sweep_seconds = 0.0;
 };
 
+/// \brief Self-contained frozen copy of a trained FairKM model: everything
+/// the out-of-sample serving path (src/serve/) needs to score Eq. 1
+/// insertion costs without touching the live solver — exact centroids in the
+/// aligned lane-padded kernel layout with their cached squared norms
+/// (expanded-form distance), cluster sizes, the fairness moment tables, and
+/// the training view's attribute structure (names, cardinalities, TRAINING
+/// dataset fractions/means, weights — the trained model is the distribution
+/// reference for out-of-sample deltas). Owns all of its storage; the solver
+/// and its inputs may mutate or die after the export.
+struct ModelExport {
+  size_t num_rows = 0;  ///< Training-set size n.
+  size_t d = 0;         ///< Feature width.
+  size_t stride = 0;    ///< Padded centroid row width (multiple of 4).
+  int k = 0;
+  double lambda = 0.0;  ///< Resolved fairness weight of the session.
+  FairnessTermConfig config;
+  std::vector<size_t> counts;  ///< Cluster sizes (empty clusters stay 0).
+  /// k x stride centroid matrix, 32-byte aligned rows, zero padding and
+  /// all-zero rows for empty clusters — GemvAligned streams it directly.
+  data::AlignedVector centroids;
+  std::vector<double> centroid_norms;  ///< ||mu_c||^2 (0 for empty clusters).
+  FairKMState::FairnessMomentTables moments;
+
+  /// \brief Structure + training-data distribution of one categorical
+  /// sensitive attribute.
+  struct CategoricalAttr {
+    std::string name;
+    int cardinality = 0;
+    std::vector<double> dataset_fractions;  ///< Training Fr_X(s).
+    double weight = 1.0;
+  };
+  /// \brief Structure + training-data mean of one numeric attribute.
+  struct NumericAttr {
+    std::string name;
+    double dataset_mean = 0.0;  ///< Training dataset average.
+    double weight = 1.0;
+  };
+  std::vector<CategoricalAttr> categorical;
+  std::vector<NumericAttr> numeric;
+};
+
 /// \brief Reusable FairKM optimization session (see the header comment).
 class FairKMSolver {
  public:
@@ -201,6 +242,12 @@ class FairKMSolver {
   Result<cluster::Assignment> Assign(
       const data::Matrix& new_points,
       const data::SensitiveView& new_sensitive) const;
+  /// \brief Freezes the current trained model into a self-contained
+  /// ModelExport (see its comment) — the input of serve::ModelSnapshot.
+  /// Requires initialized(); call only from the solver's owning thread at a
+  /// consistent point (between sweeps, or inside a Run progress callback,
+  /// which fires at mini-batch boundaries with all aggregates consistent).
+  Result<ModelExport> ExportModel() const;
 
   // --- Knobs.
   /// \brief Changes the fairness weight (negative = the (n/k)^2 heuristic).

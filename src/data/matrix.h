@@ -64,7 +64,10 @@ inline size_t PaddedStride(size_t cols) {
   return (cols + lane - 1) / lane * lane;
 }
 
-/// \brief Row-major dense matrix (n_rows x n_cols) of doubles.
+/// \brief Row-major dense matrix (n_rows x n_cols) of doubles. Storage is
+/// 32-byte aligned so that when cols is a whole number of SIMD lanes every
+/// row is kernel-ready in place (the serving tier's AssignBatch streams such
+/// matrices through the aligned kernels without copying).
 class Matrix {
  public:
   Matrix() = default;
@@ -81,8 +84,8 @@ class Matrix {
   double& At(size_t r, size_t c) { return data_[r * cols_ + c]; }
   double At(size_t r, size_t c) const { return data_[r * cols_ + c]; }
 
-  std::vector<double>& data() { return data_; }
-  const std::vector<double>& data() const { return data_; }
+  AlignedVector& data() { return data_; }
+  const AlignedVector& data() const { return data_; }
 
   /// \brief Returns a new matrix containing the given rows, in order.
   Matrix SelectRows(const std::vector<size_t>& indices) const {
@@ -99,7 +102,7 @@ class Matrix {
  private:
   size_t rows_ = 0;
   size_t cols_ = 0;
-  std::vector<double> data_;
+  AlignedVector data_;
 };
 
 /// \brief Squared Euclidean distance between two rows of length `dim`.

@@ -5,6 +5,45 @@
 namespace fairkm {
 namespace data {
 
+Status SensitiveView::Validate(size_t expected_rows) const {
+  for (const auto& attr : categorical) {
+    if (attr.cardinality <= 0) {
+      return Status::InvalidArgument("sensitive attribute '" + attr.name +
+                                     "' has no categories");
+    }
+    if (attr.codes.size() != expected_rows) {
+      return Status::InvalidArgument(
+          "sensitive attribute '" + attr.name + "' covers " +
+          std::to_string(attr.codes.size()) + " rows, expected " +
+          std::to_string(expected_rows));
+    }
+    if (attr.dataset_fractions.size() != static_cast<size_t>(attr.cardinality)) {
+      return Status::InvalidArgument(
+          "sensitive attribute '" + attr.name + "' has " +
+          std::to_string(attr.dataset_fractions.size()) +
+          " dataset fractions for cardinality " +
+          std::to_string(attr.cardinality));
+    }
+    for (size_t i = 0; i < attr.codes.size(); ++i) {
+      if (attr.codes[i] < 0 || attr.codes[i] >= attr.cardinality) {
+        return Status::InvalidArgument(
+            "sensitive attribute '" + attr.name + "' code " +
+            std::to_string(attr.codes[i]) + " at row " + std::to_string(i) +
+            " outside cardinality " + std::to_string(attr.cardinality));
+      }
+    }
+  }
+  for (const auto& attr : numeric) {
+    if (attr.values.size() != expected_rows) {
+      return Status::InvalidArgument(
+          "sensitive attribute '" + attr.name + "' covers " +
+          std::to_string(attr.values.size()) + " rows, expected " +
+          std::to_string(expected_rows));
+    }
+  }
+  return Status::OK();
+}
+
 Result<SensitiveView> SensitiveView::SelectCategorical(const std::string& name) const {
   for (const auto& attr : categorical) {
     if (attr.name == name) {

@@ -48,6 +48,16 @@ struct SensitiveView {
   }
   bool empty() const { return categorical.empty() && numeric.empty(); }
 
+  /// \brief Structural validation against an expected row count. num_rows()
+  /// only reads the FIRST attribute, so a ragged view (e.g. a second
+  /// categorical attribute with fewer rows) passes a num_rows() check and
+  /// then indexes out of bounds downstream. This checks EVERY attribute:
+  /// each categorical attribute must have `expected_rows` codes, a positive
+  /// cardinality, one dataset fraction per value, and every code within
+  /// [0, cardinality); each numeric attribute must have `expected_rows`
+  /// values. An empty view is always valid.
+  Status Validate(size_t expected_rows) const;
+
   /// \brief View restricted to a single categorical attribute (used for the
   /// per-attribute ZGYA(S) / FairKM(S) invocations of the paper's §5.6).
   Result<SensitiveView> SelectCategorical(const std::string& name) const;

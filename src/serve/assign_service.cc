@@ -1,0 +1,141 @@
+#include "serve/assign_service.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "common/timer.h"
+#include "serve/assign_batch.h"
+
+namespace fairkm {
+namespace serve {
+
+namespace {
+
+uint64_t ResolveConcurrency(int requested) {
+  if (requested > 0) return static_cast<uint64_t>(requested);
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+}  // namespace
+
+AssignService::AssignService(const AssignServiceOptions& options)
+    : max_batch_points_(std::max<size_t>(options.max_batch_points, 1)),
+      max_concurrency_(ResolveConcurrency(options.max_concurrency)) {}
+
+void AssignService::Publish(std::shared_ptr<const ModelSnapshot> snapshot) {
+  // Stamp the publish time before the swap: a Metrics() racing in between
+  // sees at worst a fresh timestamp with the previous snapshot (transiently
+  // young age), never a visible snapshot with an unset timestamp.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++publishes_;
+    publish_time_ = Clock::now();
+  }
+  std::atomic_store(&snapshot_, std::move(snapshot));
+}
+
+std::shared_ptr<const ModelSnapshot> AssignService::snapshot() const {
+  return std::atomic_load(&snapshot_);
+}
+
+void AssignService::AcquireSlot() {
+  std::unique_lock<std::mutex> lock(mu_);
+  slot_free_.wait(lock, [this] { return in_flight_ < max_concurrency_; });
+  ++in_flight_;
+  peak_in_flight_ = std::max(peak_in_flight_, in_flight_);
+}
+
+void AssignService::ReleaseSlot() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --in_flight_;
+  }
+  slot_free_.notify_one();
+}
+
+Result<cluster::Assignment> AssignService::Assign(
+    const data::Matrix& points, const data::SensitiveView* sensitive) {
+  // Pin the model generation for the whole request BEFORE taking a slot:
+  // every batch of this request scores against one snapshot even if the
+  // writer publishes mid-request.
+  const std::shared_ptr<const ModelSnapshot> model = snapshot();
+  auto fail = [this](Status status) -> Result<cluster::Assignment> {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++requests_;
+    ++errors_;
+    return status;
+  };
+  if (model == nullptr) {
+    return fail(Status::InvalidArgument(
+        "no model published: call Publish before Assign"));
+  }
+  if (Status st = ValidateAssignInputs(*model, points, sensitive); !st.ok()) {
+    return fail(std::move(st));
+  }
+  const size_t rows = points.rows();
+  cluster::Assignment out(rows, 0);
+  if (rows == 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++requests_;
+    return out;
+  }
+  if (!model->has_candidates()) {
+    return fail(Status::InvalidArgument(
+        "trained model has no non-empty cluster to assign to"));
+  }
+
+  AcquireSlot();
+  // Reused across requests on this thread — the steady state allocates
+  // nothing (the buffers only grow to the largest batch/k/|S| seen).
+  thread_local AssignScratch scratch;
+  Timer timer;
+  uint64_t request_batches = 0;
+  uint64_t request_max_batch = 0;
+  for (size_t begin = 0; begin < rows; begin += max_batch_points_) {
+    const size_t end = std::min(rows, begin + max_batch_points_);
+    AssignRows(*model, points, begin, end, sensitive, &scratch, &out);
+    ++request_batches;
+    request_max_batch = std::max<uint64_t>(request_max_batch, end - begin);
+  }
+  const double elapsed = timer.ElapsedSeconds();
+  ReleaseSlot();
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++requests_;
+    points_ += rows;
+    batches_ += request_batches;
+    busy_seconds_ += elapsed;
+    max_batch_ = std::max(max_batch_, request_max_batch);
+  }
+  return out;
+}
+
+ServeMetrics AssignService::Metrics() const {
+  const bool has_model = snapshot() != nullptr;
+  std::lock_guard<std::mutex> lock(mu_);
+  ServeMetrics m;
+  m.requests = requests_;
+  m.errors = errors_;
+  m.points = points_;
+  m.batches = batches_;
+  m.busy_seconds = busy_seconds_;
+  m.points_per_second =
+      busy_seconds_ > 0.0 ? static_cast<double>(points_) / busy_seconds_ : 0.0;
+  m.avg_batch_points =
+      batches_ > 0 ? static_cast<double>(points_) / static_cast<double>(batches_)
+                   : 0.0;
+  m.max_batch_points = max_batch_;
+  m.peak_in_flight = peak_in_flight_;
+  m.snapshots_published = publishes_;
+  m.snapshot_age_seconds =
+      has_model ? std::chrono::duration<double>(Clock::now() - publish_time_)
+                      .count()
+                : -1.0;
+  return m;
+}
+
+}  // namespace serve
+}  // namespace fairkm

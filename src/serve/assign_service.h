@@ -1,0 +1,122 @@
+// AssignService — the concurrent front door of the serving tier.
+//
+// One writer (a training loop) publishes immutable ModelSnapshots; many
+// reader threads call Assign concurrently. The service
+//
+//   * holds the current snapshot in a shared_ptr swapped atomically
+//     (std::atomic_load/atomic_store), so every request scores against one
+//     stable model generation end to end, regardless of publishes racing in;
+//   * bounds concurrency with a counting-semaphore admission gate —
+//     at most max_concurrency requests score at once, the rest block at the
+//     door (backpressure instead of unbounded thread pile-up on the memory-
+//     bandwidth-limited scoring loop);
+//   * splits each request into batches of at most max_batch_points rows and
+//     scores them through the kernel-backed serve::AssignRows fast path with
+//     a per-thread reusable scratch (allocation-free steady state);
+//   * counts everything — requests, points, batches, rejected requests,
+//     scoring wall time, batch-size shape, publishes, snapshot age — into a
+//     ServeMetrics struct (fairkm_cli --serve-bench prints it).
+//
+// Thread-safe throughout: Publish, Assign and Metrics may be called from any
+// threads concurrently. The solver feeding Publish stays single-writer on
+// its own thread (see model_snapshot.h).
+
+#ifndef FAIRKM_SERVE_ASSIGN_SERVICE_H_
+#define FAIRKM_SERVE_ASSIGN_SERVICE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "cluster/types.h"
+#include "common/status.h"
+#include "data/matrix.h"
+#include "data/sensitive.h"
+#include "serve/model_snapshot.h"
+
+namespace fairkm {
+namespace serve {
+
+/// \brief Service knobs.
+struct AssignServiceOptions {
+  /// Per-request batching granularity: requests are scored in chunks of at
+  /// most this many points (metrics count each chunk as one batch).
+  size_t max_batch_points = 512;
+  /// Maximum requests scoring concurrently; further callers block until a
+  /// slot frees. 0 = number of hardware threads.
+  int max_concurrency = 0;
+};
+
+/// \brief Point-in-time counters of an AssignService.
+struct ServeMetrics {
+  uint64_t requests = 0;        ///< Completed Assign calls (ok or error).
+  uint64_t errors = 0;          ///< Assign calls that returned a non-OK status.
+  uint64_t points = 0;          ///< Points scored by successful requests.
+  uint64_t batches = 0;         ///< Scoring chunks across all requests.
+  double busy_seconds = 0.0;    ///< Wall time spent inside scoring.
+  double points_per_second = 0.0;  ///< points / busy_seconds (0 if no work).
+  double avg_batch_points = 0.0;   ///< points / batches (0 if no work).
+  uint64_t max_batch_points = 0;   ///< Largest chunk scored so far.
+  uint64_t peak_in_flight = 0;     ///< Max concurrent requests observed.
+  uint64_t snapshots_published = 0;
+  /// Seconds since the current snapshot was published (-1 with no model).
+  double snapshot_age_seconds = -1.0;
+};
+
+/// \brief Bounded-concurrency assignment service over published snapshots.
+class AssignService {
+ public:
+  explicit AssignService(const AssignServiceOptions& options = {});
+
+  /// \brief Atomically swaps in a new model generation. Requests already
+  /// scoring keep their snapshot; new requests see this one.
+  void Publish(std::shared_ptr<const ModelSnapshot> snapshot);
+
+  /// \brief The currently published model generation (null before the first
+  /// Publish).
+  std::shared_ptr<const ModelSnapshot> snapshot() const;
+
+  /// \brief Scores one request against the current snapshot (fairness term
+  /// included iff `sensitive` is non-null — same contract as
+  /// serve::AssignBatch). Blocks while max_concurrency requests are already
+  /// scoring.
+  Result<cluster::Assignment> Assign(
+      const data::Matrix& points,
+      const data::SensitiveView* sensitive = nullptr);
+
+  /// \brief Snapshot of the counters.
+  ServeMetrics Metrics() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  // Counting-semaphore admission gate.
+  void AcquireSlot();
+  void ReleaseSlot();
+
+  const size_t max_batch_points_;
+  const uint64_t max_concurrency_;
+
+  // Current model generation; accessed only through std::atomic_load/store.
+  std::shared_ptr<const ModelSnapshot> snapshot_;
+
+  mutable std::mutex mu_;  // Guards the gate + every counter below.
+  std::condition_variable slot_free_;
+  uint64_t in_flight_ = 0;
+  uint64_t peak_in_flight_ = 0;
+  uint64_t requests_ = 0;
+  uint64_t errors_ = 0;
+  uint64_t points_ = 0;
+  uint64_t batches_ = 0;
+  double busy_seconds_ = 0.0;
+  uint64_t max_batch_ = 0;
+  uint64_t publishes_ = 0;
+  Clock::time_point publish_time_{};
+};
+
+}  // namespace serve
+}  // namespace fairkm
+
+#endif  // FAIRKM_SERVE_ASSIGN_SERVICE_H_

@@ -1,0 +1,14 @@
+#include "serve/model_snapshot.h"
+
+namespace fairkm {
+namespace serve {
+
+Result<std::shared_ptr<const ModelSnapshot>> MakeModelSnapshot(
+    const core::FairKMSolver& solver, uint64_t version) {
+  FAIRKM_ASSIGN_OR_RETURN(core::ModelExport model, solver.ExportModel());
+  return std::shared_ptr<const ModelSnapshot>(
+      std::make_shared<ModelSnapshot>(std::move(model), version));
+}
+
+}  // namespace serve
+}  // namespace fairkm

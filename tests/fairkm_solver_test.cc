@@ -338,6 +338,28 @@ TEST(FairKMSolverTest, SetLambdaOnReusedSolverMatchesFreshSolver) {
   EXPECT_EQ(reused.lambda(), SuggestLambda(world.points.rows(), options.k));
 }
 
+TEST(FairKMSolverTest, SetLambdaRecordsResolvedAutoSuggestOption) {
+  const SeededWorld world = MakeSeededWorld(85);
+  const FairKMOptions options = OptionsFor(kModes[0]);
+
+  FairKMSolver solver = MakeSolver(world, options);
+  ASSERT_TRUE(solver.Init(uint64_t{5}).ok());
+  ASSERT_TRUE(solver.Run().ok());
+
+  // Regression: SetLambda(-1) used to store the raw -1 sentinel into
+  // options().lambda while lambda_ held the resolved heuristic, so the
+  // session's recorded option disagreed with every weight it actually ran.
+  ASSERT_TRUE(solver.SetLambda(-1.0).ok());
+  const double resolved = SuggestLambda(world.points.rows(), options.k);
+  EXPECT_EQ(solver.lambda(), resolved);
+  EXPECT_EQ(solver.options().lambda, resolved);
+
+  ASSERT_TRUE(solver.Init(uint64_t{5}).ok());
+  ASSERT_TRUE(solver.Run().ok());
+  EXPECT_EQ(solver.CurrentResult().ValueOrDie().lambda_used,
+            solver.options().lambda);
+}
+
 TEST(FairKMSolverTest, AssignMatchesBruteForce) {
   for (const ModeParam& mode : kModes) {
     const SeededWorld world = MakeSeededWorld(80);
@@ -397,6 +419,26 @@ TEST(FairKMSolverTest, AssignValidatesInputs) {
   bad.categorical[0].codes[0] =
       static_cast<int32_t>(bad.categorical[0].cardinality);
   EXPECT_FALSE(solver.Assign(world.points, bad).ok());
+
+  // Ragged SECOND categorical attribute: num_rows() (first attribute only)
+  // still matches, so the old row check passed and the scoring loop read
+  // past the short code vector. Every attribute's length must be validated.
+  data::SensitiveView ragged_cat = world.sensitive;
+  ASSERT_GE(ragged_cat.categorical.size(), 2u);
+  ragged_cat.categorical[1].codes.pop_back();
+  EXPECT_FALSE(solver.Assign(world.points, ragged_cat).ok());
+
+  // Same for a ragged numeric attribute.
+  data::SensitiveView ragged_num = world.sensitive;
+  ASSERT_GE(ragged_num.numeric.size(), 1u);
+  ragged_num.numeric[0].values.pop_back();
+  EXPECT_FALSE(solver.Assign(world.points, ragged_num).ok());
+
+  // The training path runs the same audit: Init over a ragged view fails
+  // instead of building aggregates off the end of the short attribute.
+  FairKMSolver ragged_trainer =
+      FairKMSolver::Create(&world.points, &ragged_cat, options).ValueOrDie();
+  EXPECT_FALSE(ragged_trainer.Init(uint64_t{1}).ok());
 }
 
 TEST(FairKMSolverTest, LifecycleGuardsAndCheckpointValidation) {

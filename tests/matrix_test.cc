@@ -130,6 +130,18 @@ TEST(AlignedStorageTest, PaddedStrideRoundsToFourDoubles) {
   EXPECT_EQ(PaddedStride(0), 0u);
 }
 
+TEST(AlignedStorageTest, MatrixStorageIs32ByteAligned) {
+  // The serving tier's zero-copy fast path streams request matrices through
+  // the aligned kernels whenever cols is a whole number of SIMD lanes; that
+  // contract needs every Matrix base pointer 32-byte aligned.
+  for (size_t cols : {1, 4, 64}) {
+    Matrix m(17, cols, 1.0);
+    EXPECT_EQ(
+        reinterpret_cast<uintptr_t>(m.data().data()) % kKernelAlignment, 0u)
+        << "cols=" << cols;
+  }
+}
+
 TEST(AlignedStorageTest, AlignedVectorIs32ByteAligned) {
   for (size_t n : {1, 3, 7, 100, 1000}) {
     AlignedVector v(n, 1.0);

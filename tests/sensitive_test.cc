@@ -82,6 +82,44 @@ TEST(SensitiveViewTest, EmptyView) {
   EXPECT_EQ(view.num_rows(), 0u);
 }
 
+TEST(SensitiveViewTest, ValidateChecksEveryAttribute) {
+  Dataset d = MakeSample();
+  const SensitiveView view =
+      MakeSensitiveView(d, {"gender", "race"}, {"age"}).ValueOrDie();
+  const size_t rows = view.num_rows();
+  EXPECT_TRUE(view.Validate(rows).ok());
+  EXPECT_FALSE(view.Validate(rows + 1).ok());
+
+  // An empty view is consistent with any row count.
+  EXPECT_TRUE(SensitiveView{}.Validate(17).ok());
+
+  // Ragged SECOND categorical attribute: num_rows() still reports the full
+  // row count (it reads only the first attribute), Validate must not.
+  SensitiveView ragged_cat = view;
+  ragged_cat.categorical[1].codes.pop_back();
+  EXPECT_EQ(ragged_cat.num_rows(), rows);
+  EXPECT_FALSE(ragged_cat.Validate(rows).ok());
+
+  // Ragged numeric attribute.
+  SensitiveView ragged_num = view;
+  ragged_num.numeric[0].values.pop_back();
+  EXPECT_FALSE(ragged_num.Validate(rows).ok());
+
+  // Non-positive cardinality, short fraction table, out-of-range code.
+  SensitiveView bad_card = view;
+  bad_card.categorical[0].cardinality = 0;
+  EXPECT_FALSE(bad_card.Validate(rows).ok());
+
+  SensitiveView bad_fractions = view;
+  bad_fractions.categorical[0].dataset_fractions.pop_back();
+  EXPECT_FALSE(bad_fractions.Validate(rows).ok());
+
+  SensitiveView bad_code = view;
+  bad_code.categorical[0].codes[0] =
+      static_cast<int32_t>(bad_code.categorical[0].cardinality);
+  EXPECT_FALSE(bad_code.Validate(rows).ok());
+}
+
 }  // namespace
 }  // namespace data
 }  // namespace fairkm

@@ -1,0 +1,268 @@
+// Serving-tier AssignBatch tests: the batched kernel path must pick
+// bit-identical clusters to the scalar FairKMSolver::Assign oracle in every
+// SweepMode x pruning x kernel-backend combination, and the snapshot /
+// validation edge cases (ragged views, empty models, zero-row requests,
+// scratch reuse) must behave exactly like the scalar path.
+
+#include "serve/assign_batch.h"
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/fairkm.h"
+#include "core/kernels/kernels.h"
+#include "core/solver.h"
+#include "serve/model_snapshot.h"
+#include "testlib/worlds.h"
+
+namespace fairkm {
+namespace serve {
+namespace {
+
+using core::FairKMOptions;
+using core::FairKMSolver;
+using core::SweepMode;
+using testutil::MakeSeededWorld;
+using testutil::SeededWorld;
+using testutil::WorldSpec;
+
+struct ModeParam {
+  const char* name;
+  int minibatch;
+  SweepMode sweep;
+  bool pruning;
+};
+
+const ModeParam kModes[] = {
+    {"serial", 0, SweepMode::kSerial, true},
+    {"serial-exact", 0, SweepMode::kSerial, false},
+    {"minibatch", 16, SweepMode::kSerial, true},
+    {"minibatch-exact", 16, SweepMode::kSerial, false},
+    {"parallel", 16, SweepMode::kParallelSnapshot, true},
+    {"parallel-exact", 16, SweepMode::kParallelSnapshot, false},
+};
+
+FairKMOptions OptionsFor(const ModeParam& mode) {
+  FairKMOptions options;
+  options.k = 3;
+  options.lambda = 60.0;
+  options.max_iterations = 12;
+  options.minibatch_size = mode.minibatch;
+  options.sweep_mode = mode.sweep;
+  options.enable_pruning = mode.pruning;
+  return options;
+}
+
+FairKMSolver MakeSolver(const SeededWorld& world, const FairKMOptions& options) {
+  return FairKMSolver::Create(&world.points, &world.sensitive, options)
+      .ValueOrDie();
+}
+
+// Restores kernel dispatch when a test pins the scalar backend.
+struct BackendGuard {
+  ~BackendGuard() { core::kernels::SetActiveBackend(nullptr); }
+};
+
+// A trained solver plus its frozen snapshot.
+struct TrainedModel {
+  FairKMSolver solver;
+  std::shared_ptr<const ModelSnapshot> snapshot;
+};
+
+TrainedModel Train(const SeededWorld& world, const FairKMOptions& options,
+                   uint64_t init_seed) {
+  TrainedModel model{MakeSolver(world, options), nullptr};
+  EXPECT_TRUE(model.solver.Init(init_seed).ok());
+  EXPECT_TRUE(model.solver.Run().ok());
+  model.snapshot = MakeModelSnapshot(model.solver).ValueOrDie();
+  return model;
+}
+
+// The tentpole contract: for every sweep/pruning mode and both kernel
+// backends, AssignBatch returns the EXACT assignment vector of the scalar
+// solver path — blind and fairness-aware, on a lane-padded width (dim 5 ->
+// stride 8) so the padding lanes are exercised.
+TEST(ServeAssignTest, BatchedMatchesScalarOracleAcrossModesAndBackends) {
+  WorldSpec spec;
+  spec.per_blob = 30;
+  spec.dim = 5;  // Not a multiple of the kernel lane width.
+  BackendGuard guard;
+  for (const bool force_scalar : {true, false}) {
+    core::kernels::SetActiveBackend(
+        force_scalar ? &core::kernels::ScalarBackend() : nullptr);
+    for (const ModeParam& mode : kModes) {
+      SCOPED_TRACE(::testing::Message()
+                   << mode.name << (force_scalar ? " scalar" : " dispatch"));
+      const SeededWorld world = MakeSeededWorld(90, spec);
+      const SeededWorld fresh = MakeSeededWorld(91, spec);
+      TrainedModel model = Train(world, OptionsFor(mode), 33);
+
+      const cluster::Assignment blind_scalar =
+          model.solver.Assign(fresh.points).ValueOrDie();
+      const cluster::Assignment blind_batched =
+          AssignBatch(*model.snapshot, fresh.points).ValueOrDie();
+      EXPECT_EQ(blind_batched, blind_scalar);
+
+      const cluster::Assignment fair_scalar =
+          model.solver.Assign(fresh.points, fresh.sensitive).ValueOrDie();
+      const cluster::Assignment fair_batched =
+          AssignBatch(*model.snapshot, fresh.points, &fresh.sensitive)
+              .ValueOrDie();
+      EXPECT_EQ(fair_batched, fair_scalar);
+
+      // Scoring the training rows themselves must agree too.
+      EXPECT_EQ(
+          AssignBatch(*model.snapshot, world.points, &world.sensitive)
+              .ValueOrDie(),
+          model.solver.Assign(world.points, world.sensitive).ValueOrDie());
+    }
+  }
+}
+
+TEST(ServeAssignTest, ScratchReuseAndBlockBoundariesAreStable) {
+  // More rows than one kBlockRows block would hold is overkill for a unit
+  // test; instead reuse one scratch across differently shaped requests and
+  // expect identical answers to scratch-free calls.
+  const SeededWorld world = MakeSeededWorld(92);
+  const SeededWorld fresh = MakeSeededWorld(93);
+  TrainedModel model = Train(world, OptionsFor(kModes[2]), 7);
+
+  AssignScratch scratch;
+  const cluster::Assignment fair =
+      AssignBatch(*model.snapshot, fresh.points, &fresh.sensitive, &scratch)
+          .ValueOrDie();
+  EXPECT_EQ(fair, AssignBatch(*model.snapshot, fresh.points, &fresh.sensitive)
+                      .ValueOrDie());
+  // A blind call reusing the (now warm) scratch: buffers shrink-to-fit is
+  // never required, stale contents must not leak into the next request.
+  const cluster::Assignment blind =
+      AssignBatch(*model.snapshot, world.points, nullptr, &scratch)
+          .ValueOrDie();
+  EXPECT_EQ(blind, AssignBatch(*model.snapshot, world.points).ValueOrDie());
+  // And the same fair request again through the reused scratch.
+  EXPECT_EQ(fair, AssignBatch(*model.snapshot, fresh.points, &fresh.sensitive,
+                              &scratch)
+                      .ValueOrDie());
+}
+
+TEST(ServeAssignTest, ZeroRowRequestReturnsEmpty) {
+  const SeededWorld world = MakeSeededWorld(94);
+  TrainedModel model = Train(world, OptionsFor(kModes[0]), 11);
+
+  const data::Matrix no_points(0, world.points.cols());
+  EXPECT_TRUE(AssignBatch(*model.snapshot, no_points).ValueOrDie().empty());
+
+  // With a structurally matching zero-row sensitive view.
+  data::SensitiveView no_rows = world.sensitive;
+  for (auto& attr : no_rows.categorical) attr.codes.clear();
+  for (auto& attr : no_rows.numeric) attr.values.clear();
+  EXPECT_TRUE(AssignBatch(*model.snapshot, no_points, &no_rows)
+                  .ValueOrDie()
+                  .empty());
+}
+
+TEST(ServeAssignTest, ValidationMirrorsScalarPath) {
+  const SeededWorld world = MakeSeededWorld(95);
+  TrainedModel model = Train(world, OptionsFor(kModes[0]), 13);
+
+  // Wrong feature width.
+  const data::Matrix wrong_width(2, world.points.cols() + 1);
+  EXPECT_FALSE(AssignBatch(*model.snapshot, wrong_width).ok());
+
+  // Attribute structure must mirror the trained view.
+  data::SensitiveView missing_attrs;
+  EXPECT_FALSE(AssignBatch(*model.snapshot, world.points, &missing_attrs).ok());
+
+  // Codes must stay within the TRAINED cardinality.
+  data::SensitiveView bad_code = world.sensitive;
+  bad_code.categorical[0].codes[0] =
+      static_cast<int32_t>(bad_code.categorical[0].cardinality);
+  EXPECT_FALSE(AssignBatch(*model.snapshot, world.points, &bad_code).ok());
+
+  // Ragged second categorical attribute (passes a first-attribute-only row
+  // check): must be rejected before any indexing.
+  data::SensitiveView ragged_cat = world.sensitive;
+  ASSERT_GE(ragged_cat.categorical.size(), 2u);
+  ragged_cat.categorical[1].codes.pop_back();
+  EXPECT_FALSE(AssignBatch(*model.snapshot, world.points, &ragged_cat).ok());
+
+  // Ragged numeric attribute.
+  data::SensitiveView ragged_num = world.sensitive;
+  ASSERT_GE(ragged_num.numeric.size(), 1u);
+  ragged_num.numeric[0].values.pop_back();
+  EXPECT_FALSE(AssignBatch(*model.snapshot, world.points, &ragged_num).ok());
+}
+
+TEST(ServeAssignTest, AllClustersEmptyModelCannotServe) {
+  // A zero-row training set yields a valid solver whose clusters are all
+  // empty. Exporting works (counts all zero), but assigning a real point has
+  // no candidate cluster — an error, exactly like the scalar path.
+  const data::Matrix no_points(0, 4);
+  data::SensitiveView no_view;  // Empty view: n rows trivially consistent.
+  FairKMOptions options;
+  options.k = 3;
+  options.lambda = 60.0;
+  options.enable_pruning = false;
+  FairKMSolver solver =
+      FairKMSolver::Create(&no_points, &no_view, options).ValueOrDie();
+  ASSERT_TRUE(solver.Init(cluster::Assignment{}).ok());
+
+  const std::shared_ptr<const ModelSnapshot> snapshot =
+      MakeModelSnapshot(solver).ValueOrDie();
+  EXPECT_FALSE(snapshot->has_candidates());
+
+  data::Matrix one_point(1, 4);
+  EXPECT_FALSE(AssignBatch(*snapshot, one_point).ok());
+  EXPECT_FALSE(solver.Assign(one_point).ok());
+
+  // Zero rows in, zero rows out — even with no candidates (the scalar loop
+  // never runs; the batched path matches that ordering).
+  const data::Matrix empty_request(0, 4);
+  EXPECT_TRUE(AssignBatch(*snapshot, empty_request).ValueOrDie().empty());
+  EXPECT_TRUE(solver.Assign(empty_request).ValueOrDie().empty());
+}
+
+TEST(ServeAssignTest, SnapshotExportRequiresTrainedSolver) {
+  const SeededWorld world = MakeSeededWorld(96);
+  FairKMSolver untrained = MakeSolver(world, OptionsFor(kModes[0]));
+  EXPECT_FALSE(untrained.ExportModel().ok());
+  EXPECT_FALSE(MakeModelSnapshot(untrained).ok());
+}
+
+TEST(ServeAssignTest, SnapshotIsSelfContainedAndVersioned) {
+  const SeededWorld world = MakeSeededWorld(97);
+  const SeededWorld fresh = MakeSeededWorld(98);
+  const FairKMOptions options = OptionsFor(kModes[2]);
+
+  FairKMSolver solver = MakeSolver(world, options);
+  ASSERT_TRUE(solver.Init(uint64_t{21}).ok());
+  ASSERT_TRUE(solver.Run().ok());
+  const cluster::Assignment at_export =
+      solver.Assign(fresh.points, fresh.sensitive).ValueOrDie();
+  const std::shared_ptr<const ModelSnapshot> snapshot =
+      MakeModelSnapshot(solver, /*version=*/42).ValueOrDie();
+
+  EXPECT_EQ(snapshot->version(), 42u);
+  EXPECT_EQ(snapshot->k(), options.k);
+  EXPECT_EQ(snapshot->d(), world.points.cols());
+  EXPECT_EQ(snapshot->training_rows(), world.points.rows());
+  size_t total = 0;
+  for (const size_t count : snapshot->model().counts) total += count;
+  EXPECT_EQ(total, world.points.rows());
+
+  // The solver keeps training past the export; the frozen snapshot still
+  // answers with the generation it captured.
+  ASSERT_TRUE(solver.SetLambda(solver.lambda() * 4.0).ok());
+  ASSERT_TRUE(solver.Init(uint64_t{22}).ok());
+  ASSERT_TRUE(solver.Run().ok());
+  EXPECT_EQ(AssignBatch(*snapshot, fresh.points, &fresh.sensitive)
+                .ValueOrDie(),
+            at_export);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace fairkm

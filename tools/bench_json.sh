@@ -43,6 +43,11 @@
 #      session API's warm path) must show >= MIN_REUSE_SPEEDUP (default
 #      1.03; ~1.1x measured — trajectories are bit-identical, the gate
 #      asserts the amortized construction actually pays).
+#   6. Batched serving: BM_Assign_Scalar (per-point FairKMSolver::Assign)
+#      vs BM_Assign_Batched (serve::AssignBatch over a frozen ModelSnapshot,
+#      expanded-form distances on the aligned GEMV kernels) must show
+#      >= MIN_ASSIGN_SPEEDUP (default 2.0). Assignments are bit-identical
+#      (tests/serve_assign_test.cc); only the scoring path differs.
 # The BM_ActiveKernelBackend_<name> marker entry records which backend the
 # runtime dispatch picked for this host/run.
 #
@@ -50,7 +55,7 @@
 # FILTER (default: the FairKM sweep/kernel benches), MIN_TIME (default 0.2),
 # MIN_SPEEDUP (default 2.0), MIN_SIMD_RATIO (default 0.9),
 # MIN_PRUNE_SPEEDUP (default 2.0), MIN_PRUNED_FRACTION (default 0.5),
-# MIN_REUSE_SPEEDUP (default 1.03),
+# MIN_REUSE_SPEEDUP (default 1.03), MIN_ASSIGN_SPEEDUP (default 2.0),
 # SKIP_BUILD=1 to use an existing binary as-is (gate 0 still applies).
 
 set -euo pipefail
@@ -59,13 +64,14 @@ cd "$(dirname "$0")/.."
 
 BUILD_DIR=${BUILD_DIR:-build-bench}
 OUT=${OUT:-BENCH_scaling.json}
-FILTER=${FILTER:-'SweepCandidates|FairKM_AllAttributes|FairKM_MiniBatch|FairKM_MultiSeed|FairKM_ParallelSweep|FairKM_Sweep|MoveDeltaEvaluation|KernelGemv|KernelCatMoments|ActiveKernelBackend|BuildConfig'}
+FILTER=${FILTER:-'Assign_|SweepCandidates|FairKM_AllAttributes|FairKM_MiniBatch|FairKM_MultiSeed|FairKM_ParallelSweep|FairKM_Sweep|MoveDeltaEvaluation|KernelGemv|KernelCatMoments|ActiveKernelBackend|BuildConfig'}
 MIN_TIME=${MIN_TIME:-0.2}
 MIN_SPEEDUP=${MIN_SPEEDUP:-2.0}
 MIN_SIMD_RATIO=${MIN_SIMD_RATIO:-0.9}
 MIN_PRUNE_SPEEDUP=${MIN_PRUNE_SPEEDUP:-2.0}
 MIN_PRUNED_FRACTION=${MIN_PRUNED_FRACTION:-0.5}
 MIN_REUSE_SPEEDUP=${MIN_REUSE_SPEEDUP:-1.03}
+MIN_ASSIGN_SPEEDUP=${MIN_ASSIGN_SPEEDUP:-2.0}
 BENCH="$BUILD_DIR/bench/bench_scaling"
 
 if [[ "${SKIP_BUILD:-0}" != "1" ]]; then
@@ -160,6 +166,19 @@ jq -e --argjson min "$MIN_REUSE_SPEEDUP" '
   | "multi-seed solver-reuse speedup: \($speedup * 100 | round / 100)x (cold \($cold) vs reused \($reused))",
     (if $speedup >= $min then "OK: >= \($min)x"
      else error("solver-reuse speedup \($speedup) below required \($min)x") end)
+' "$OUT"
+
+# Gate 6: the batched serving path must beat the per-point scalar Assign by
+# a real margin — same model, same points, bit-identical assignments; the
+# difference is the aligned GEMV + expanded-form distance scoring.
+jq -e --argjson min "$MIN_ASSIGN_SPEEDUP" '
+  (.benchmarks[] | select(.name == "BM_Assign_Scalar") | .real_time) as $scalar
+  | (.benchmarks[] | select(.name == "BM_Assign_Batched") | .real_time) as $batched
+  | (.benchmarks[] | select(.name == "BM_Assign_Batched") | .points_per_sec // 0) as $pps
+  | ($scalar / $batched) as $speedup
+  | "batched-assign speedup: \($speedup * 100 | round / 100)x (scalar \($scalar) vs batched \($batched); batched throughput \($pps | round) points/s)",
+    (if $speedup >= $min then "OK: >= \($min)x"
+     else error("batched-assign speedup \($speedup) below required \($min)x") end)
 ' "$OUT"
 
 echo "wrote $OUT"

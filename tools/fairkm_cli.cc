@@ -7,38 +7,181 @@
 // method, reports quality/fairness measures, and writes the input back out
 // with an extra "cluster" column.
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <set>
+#include <thread>
 
 #include "cluster/clusterer.h"
 #include "common/args.h"
 #include "common/csv.h"
 #include "common/string_util.h"
+#include "common/timer.h"
 #include "core/fairkm.h"
 #include "core/kernels/kernels.h"
 #include "core/solver.h"
 #include "data/dataset.h"
 #include "data/preprocess.h"
 #include "data/sensitive.h"
+#include "exp/datasets.h"
 #include "exp/table.h"
 #include "metrics/fairness.h"
 #include "metrics/quality.h"
+#include "serve/assign_service.h"
+#include "serve/model_snapshot.h"
 
 using namespace fairkm;
 
 namespace {
 
-Status Run(const ArgParser& args) {
-  // Kernel backend: "auto" keeps the runtime cpuid dispatch (which
-  // FAIRKM_FORCE_SCALAR in the environment already narrows to scalar);
-  // "scalar" pins the portable backend from the command line.
+// Kernel backend: "auto" keeps the runtime cpuid dispatch (which
+// FAIRKM_FORCE_SCALAR in the environment already narrows to scalar);
+// "scalar" pins the portable backend from the command line.
+Status ApplyKernelFlag(const ArgParser& args) {
   const std::string kernels = ToLower(args.GetString("kernels"));
   if (kernels == "scalar") {
     core::kernels::SetActiveBackend(&core::kernels::ScalarBackend());
   } else if (kernels != "auto") {
     return Status::InvalidArgument("--kernels must be auto or scalar");
   }
+  return Status::OK();
+}
+
+const char* RunStopName(core::RunStop stop) {
+  switch (stop) {
+    case core::RunStop::kConverged: return "converged";
+    case core::RunStop::kIterationCap: return "iteration cap";
+    case core::RunStop::kSweepBudget: return "sweep budget";
+    case core::RunStop::kTimeBudget: return "time budget";
+    case core::RunStop::kCancelled: return "cancelled";
+  }
+  return "unknown";
+}
+
+// --serve-bench: exercises the serving tier end to end on the synthetic
+// Adult dataset. One trainer thread (this one) keeps sweeping and publishes
+// a fresh immutable ModelSnapshot at every mini-batch boundary; N reader
+// threads hammer AssignService::Assign with the full dataset as the request
+// until the deadline. Prints the ServeMetrics counters at the end.
+Status ServeBench(const ArgParser& args) {
+  FAIRKM_RETURN_NOT_OK(ApplyKernelFlag(args));
+  const double seconds = args.GetDouble("serve-seconds");
+  const int readers = static_cast<int>(args.GetInt("serve-readers"));
+  const size_t batch = static_cast<size_t>(args.GetInt("serve-batch"));
+  const size_t rows = static_cast<size_t>(args.GetInt("serve-rows"));
+  if (seconds <= 0.0) {
+    return Status::InvalidArgument("--serve-seconds must be positive");
+  }
+  if (readers <= 0) {
+    return Status::InvalidArgument("--serve-readers must be positive");
+  }
+  if (batch == 0) return Status::InvalidArgument("--serve-batch must be positive");
+
+  exp::AdultExperimentOptions data_options;
+  data_options.subsample = rows;
+  FAIRKM_ASSIGN_OR_RETURN(exp::ExperimentData data,
+                          exp::LoadAdultExperiment(data_options));
+
+  core::FairKMOptions options;
+  options.k = static_cast<int>(args.GetInt("k"));
+  options.lambda = args.GetDouble("lambda");
+  options.minibatch_size = static_cast<int>(args.GetInt("minibatch"));
+  // The publish cadence is the mini-batch boundary; a serving trainer without
+  // mini-batching would republish only once per sweep.
+  if (options.minibatch_size <= 0) options.minibatch_size = 256;
+  options.num_threads = static_cast<int>(args.GetInt("threads"));
+  options.enable_pruning = !args.GetBool("no-prune");
+  if (const int cap = static_cast<int>(args.GetInt("max-iterations")); cap > 0) {
+    options.max_iterations = cap;
+  }
+
+  FAIRKM_ASSIGN_OR_RETURN(
+      core::FairKMSolver solver,
+      core::FairKMSolver::Create(&data.features, &data.sensitive, options));
+  FAIRKM_RETURN_NOT_OK(
+      solver.Init(static_cast<uint64_t>(args.GetInt("seed"))));
+
+  serve::AssignServiceOptions service_options;
+  service_options.max_batch_points = batch;
+  service_options.max_concurrency = readers;
+  serve::AssignService service(service_options);
+  uint64_t version = 0;
+  FAIRKM_ASSIGN_OR_RETURN(std::shared_ptr<const serve::ModelSnapshot> first,
+                          serve::MakeModelSnapshot(solver, version));
+  service.Publish(std::move(first));
+
+  std::printf(
+      "serve-bench: n = %zu rows, %zu features, k = %d, lambda = %g\n",
+      data.features.rows(), data.features.cols(), options.k, solver.lambda());
+  std::printf("serve-bench: %d readers, batch %zu, %.1f s deadline\n", readers,
+              batch, seconds);
+  std::printf("kernel backend: %s\n", core::kernels::ActiveBackend().name);
+
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> reader_errors{0};
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(readers));
+  for (int t = 0; t < readers; ++t) {
+    pool.emplace_back([&] {
+      while (!done.load(std::memory_order_acquire)) {
+        if (!service.Assign(data.features, &data.sensitive).ok()) {
+          ++reader_errors;
+          break;
+        }
+      }
+    });
+  }
+
+  // Trainer: republish at every mini-batch boundary until the optimizer
+  // converges/caps or the deadline cuts it off; the readers then run the
+  // remaining clock against the last published generation.
+  Timer timer;
+  const auto republish = [&](const core::SweepProgress&) {
+    auto snapshot = serve::MakeModelSnapshot(solver, version + 1);
+    if (snapshot.ok()) {
+      ++version;
+      service.Publish(snapshot.ValueOrDie());
+    }
+    return timer.ElapsedSeconds() < seconds;
+  };
+  core::RunBudget budget;
+  budget.max_seconds = seconds;
+  FAIRKM_ASSIGN_OR_RETURN(const core::RunStop stop,
+                          solver.Run(budget, republish));
+  while (timer.ElapsedSeconds() < seconds && reader_errors.load() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  done.store(true, std::memory_order_release);
+  for (std::thread& reader : pool) reader.join();
+
+  std::printf("trainer: %d sweeps, stop = %s, %llu snapshots published\n",
+              solver.sweeps_completed(), RunStopName(stop),
+              static_cast<unsigned long long>(version + 1));
+  const serve::ServeMetrics m = service.Metrics();
+  std::printf("requests:         %llu (%llu errors)\n",
+              static_cast<unsigned long long>(m.requests),
+              static_cast<unsigned long long>(m.errors));
+  std::printf("points scored:    %llu (%.0f points/s)\n",
+              static_cast<unsigned long long>(m.points), m.points_per_second);
+  std::printf("batches:          %llu (avg %.1f points, max %llu)\n",
+              static_cast<unsigned long long>(m.batches), m.avg_batch_points,
+              static_cast<unsigned long long>(m.max_batch_points));
+  std::printf("busy:             %.3f s scoring, peak %llu in flight\n",
+              m.busy_seconds,
+              static_cast<unsigned long long>(m.peak_in_flight));
+  std::printf("snapshot:         v%llu, age %.3f s\n",
+              static_cast<unsigned long long>(service.snapshot()->version()),
+              m.snapshot_age_seconds);
+  if (reader_errors.load() > 0) {
+    return Status::Internal("serve-bench reader requests failed");
+  }
+  return Status::OK();
+}
+
+Status Run(const ArgParser& args) {
+  FAIRKM_RETURN_NOT_OK(ApplyKernelFlag(args));
 
   const std::string input = args.GetString("input");
   if (input.empty()) return Status::InvalidArgument("--input is required");
@@ -201,6 +344,15 @@ int main(int argc, char** argv) {
   args.AddFlag("kernels", "auto",
                "kernel backend: auto (cpuid dispatch) | scalar");
   args.AddFlag("seed", "42", "random seed");
+  args.AddFlag("serve-bench", "false",
+               "run the serving-tier benchmark (trainer publishing snapshots "
+               "+ concurrent readers) on the synthetic Adult dataset and "
+               "print the AssignService metrics");
+  args.AddFlag("serve-seconds", "2", "serve-bench: wall-clock deadline");
+  args.AddFlag("serve-readers", "2", "serve-bench: concurrent reader threads");
+  args.AddFlag("serve-batch", "512", "serve-bench: max points per scoring batch");
+  args.AddFlag("serve-rows", "8192",
+               "serve-bench: Adult subsample size (0 = full dataset)");
   args.AddFlag("help", "false", "show usage");
   if (Status st = args.Parse(argc, argv); !st.ok()) {
     std::fprintf(stderr, "%s\n%s", st.ToString().c_str(),
@@ -211,7 +363,8 @@ int main(int argc, char** argv) {
     std::printf("%s", args.HelpString("fairkm_cli").c_str());
     return 0;
   }
-  if (Status st = Run(args); !st.ok()) {
+  if (Status st = args.GetBool("serve-bench") ? ServeBench(args) : Run(args);
+      !st.ok()) {
     std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
     return 1;
   }
