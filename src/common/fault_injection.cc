@@ -1,0 +1,256 @@
+#include "common/fault_injection.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+namespace fairkm {
+namespace fault {
+
+namespace internal {
+std::atomic<int> armed_points{0};
+}  // namespace internal
+
+namespace {
+
+struct PointState {
+  FaultSpec spec;
+  uint64_t hits = 0;   // times reached while armed
+  int fired = 0;       // times the fault actually applied
+  bool disarmed = false;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, PointState> points;
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();  // leaked: used during shutdown
+  return *registry;
+}
+
+Status MakeErrorStatus(const char* point, const FaultSpec& spec) {
+  std::string msg = spec.message.empty()
+                        ? std::string("injected fault at ") + point
+                        : spec.message;
+  return Status(spec.code, std::move(msg));
+}
+
+void RecountArmedLocked(Registry& reg) {
+  int armed = 0;
+  for (const auto& kv : reg.points) {
+    if (!kv.second.disarmed) ++armed;
+  }
+  internal::armed_points.store(armed, std::memory_order_relaxed);
+}
+
+bool ParseKind(const std::string& v, FaultSpec* spec) {
+  if (v == "error") {
+    spec->kind = Kind::kError;
+  } else if (v == "short") {
+    spec->kind = Kind::kShortWrite;
+    if (spec->keep_bytes == SIZE_MAX) spec->keep_bytes = 0;
+  } else if (v == "torn") {
+    spec->kind = Kind::kTornRename;
+  } else if (v == "delay") {
+    spec->kind = Kind::kDelay;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool ParseCode(const std::string& v, FaultSpec* spec) {
+  if (v == "io") {
+    spec->code = StatusCode::kIOError;
+  } else if (v == "dataloss") {
+    spec->code = StatusCode::kDataLoss;
+  } else if (v == "unavailable") {
+    spec->code = StatusCode::kUnavailable;
+  } else if (v == "internal") {
+    spec->code = StatusCode::kInternal;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+// Arms faults named in the FAIRKM_FAULT environment variable before main()
+// runs, so child processes under test need no code changes. A malformed
+// value aborts: a typo silently arming nothing would invalidate the test.
+struct EnvArmer {
+  EnvArmer() {
+    const char* env = std::getenv("FAIRKM_FAULT");
+    if (env == nullptr || env[0] == '\0') return;
+    Status st = ArmFromString(env);
+    if (!st.ok()) {
+      std::fprintf(stderr, "FAIRKM_FAULT: %s\n", st.ToString().c_str());
+      std::abort();
+    }
+  }
+};
+const EnvArmer env_armer;
+
+}  // namespace
+
+void Arm(const std::string& point, FaultSpec spec) {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  PointState& state = reg.points[point];
+  state.spec = std::move(spec);
+  state.hits = 0;
+  state.fired = 0;
+  state.disarmed = false;
+  RecountArmedLocked(reg);
+}
+
+void Disarm(const std::string& point) {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  auto it = reg.points.find(point);
+  if (it != reg.points.end()) it->second.disarmed = true;
+  RecountArmedLocked(reg);
+}
+
+void DisarmAll() {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  reg.points.clear();
+  internal::armed_points.store(0, std::memory_order_relaxed);
+}
+
+bool Hit(const char* point, FaultAction* action) {
+  if (!Enabled()) return false;
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  auto it = reg.points.find(point);
+  if (it == reg.points.end() || it->second.disarmed) return false;
+  PointState& state = it->second;
+  const FaultSpec& spec = state.spec;
+  const uint64_t hit_index = state.hits++;
+  if (hit_index < static_cast<uint64_t>(spec.skip)) return false;
+  if (spec.max_fires >= 0 && state.fired >= spec.max_fires) return false;
+  ++state.fired;
+  if (spec.max_fires >= 0 && state.fired >= spec.max_fires) {
+    state.disarmed = true;
+    RecountArmedLocked(reg);
+  }
+  action->kind = spec.kind;
+  action->keep_bytes = spec.keep_bytes;
+  action->delay_seconds = spec.delay_seconds;
+  action->status = spec.kind == Kind::kDelay ? Status::OK()
+                                             : MakeErrorStatus(point, spec);
+  return true;
+}
+
+uint64_t HitCount(const std::string& point) {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  auto it = reg.points.find(point);
+  return it == reg.points.end() ? 0 : it->second.hits;
+}
+
+Status Check(const char* point) {
+  FaultAction action;
+  if (!Hit(point, &action)) return Status::OK();
+  if (action.kind == Kind::kDelay) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(action.delay_seconds));
+    return Status::OK();
+  }
+  // kError, and also short/torn faults reaching a plain fault point: surface
+  // the injected status rather than silently ignoring the arming.
+  return action.status;
+}
+
+Status ArmFromString(const std::string& env_value) {
+  size_t pos = 0;
+  while (pos < env_value.size()) {
+    size_t end = env_value.find(';', pos);
+    if (end == std::string::npos) end = env_value.size();
+    const std::string clause = env_value.substr(pos, end - pos);
+    pos = end + 1;
+    if (clause.empty()) continue;
+
+    const size_t eq = clause.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::InvalidArgument("fault clause is not point=kind[,...]: " +
+                                     clause);
+    }
+    const std::string point = clause.substr(0, eq);
+    FaultSpec spec;
+    size_t field_pos = eq + 1;
+    bool first_field = true;
+    while (field_pos <= clause.size()) {
+      size_t field_end = clause.find(',', field_pos);
+      if (field_end == std::string::npos) field_end = clause.size();
+      const std::string field = clause.substr(field_pos, field_end - field_pos);
+      field_pos = field_end + 1;
+      if (field.empty()) {
+        if (first_field) {
+          return Status::InvalidArgument("fault clause missing kind: " +
+                                         clause);
+        }
+        continue;
+      }
+      if (first_field) {
+        first_field = false;
+        if (!ParseKind(field, &spec)) {
+          return Status::InvalidArgument("unknown fault kind: " + field);
+        }
+        continue;
+      }
+      const size_t feq = field.find('=');
+      if (feq == std::string::npos || feq == 0 || feq + 1 >= field.size()) {
+        return Status::InvalidArgument("fault option is not key=value: " +
+                                       field);
+      }
+      const std::string key = field.substr(0, feq);
+      const std::string value = field.substr(feq + 1);
+      char* parse_end = nullptr;
+      if (key == "code") {
+        if (!ParseCode(value, &spec)) {
+          return Status::InvalidArgument("unknown fault code: " + value);
+        }
+      } else if (key == "skip") {
+        spec.skip = static_cast<int>(std::strtol(value.c_str(), &parse_end, 10));
+        if (parse_end == nullptr || *parse_end != '\0' || spec.skip < 0) {
+          return Status::InvalidArgument("bad skip value: " + value);
+        }
+      } else if (key == "fires") {
+        spec.max_fires =
+            static_cast<int>(std::strtol(value.c_str(), &parse_end, 10));
+        if (parse_end == nullptr || *parse_end != '\0' || spec.max_fires < 0) {
+          return Status::InvalidArgument("bad fires value: " + value);
+        }
+      } else if (key == "keep") {
+        const long long keep = std::strtoll(value.c_str(), &parse_end, 10);
+        if (parse_end == nullptr || *parse_end != '\0' || keep < 0) {
+          return Status::InvalidArgument("bad keep value: " + value);
+        }
+        spec.keep_bytes = static_cast<size_t>(keep);
+      } else if (key == "seconds") {
+        spec.delay_seconds = std::strtod(value.c_str(), &parse_end);
+        if (parse_end == nullptr || *parse_end != '\0' ||
+            spec.delay_seconds < 0) {
+          return Status::InvalidArgument("bad seconds value: " + value);
+        }
+      } else {
+        return Status::InvalidArgument("unknown fault option: " + key);
+      }
+    }
+    if (first_field) {
+      return Status::InvalidArgument("fault clause missing kind: " + clause);
+    }
+    Arm(point, std::move(spec));
+  }
+  return Status::OK();
+}
+
+}  // namespace fault
+}  // namespace fairkm

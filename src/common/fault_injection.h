@@ -1,0 +1,135 @@
+// Deterministic fault injection for robustness tests.
+//
+// Production code marks the operations that can fail in the wild — file
+// writes, fsyncs, renames, scoring batches — with named fault points. A test
+// (or the FAIRKM_FAULT environment variable) arms a point with a FaultSpec;
+// the next time execution reaches it, the fault fires: an injected error
+// Status, a short write (only a prefix of the payload reaches the file), a
+// torn rename (the destination ends up with a truncated image, as a crash
+// mid-replace on a non-atomic filesystem would leave), or a wall-clock delay
+// (to force deadline misses without real load).
+//
+// Cost when disarmed: every fault point is a single relaxed atomic load and
+// a never-taken branch — no lock, no map lookup, no allocation — so the hot
+// paths can keep their points compiled in unconditionally.
+//
+//   Status Save(...) {
+//     FAIRKM_FAULT_POINT("checkpoint.write");   // error/delay injection
+//     ...
+//   }
+//
+// Richer faults (short writes, torn renames) are consumed by the I/O layer
+// through fault::Hit(), which reports the full action to apply.
+//
+// Environment arming (processes under test, CI smoke runs):
+//   FAIRKM_FAULT="checkpoint.write=error;serve.batch=delay,seconds=0.002"
+// Each ';'-separated clause is point=kind[,key=value...] with kinds
+//   error  [,code=io|dataloss|unavailable|internal]  -> injected Status
+//   short  [,keep=N]       -> keep only the first N payload bytes (default 0)
+//   torn   [,keep=N]       -> destination gets first N bytes (default half)
+//   delay  [,seconds=X]    -> sleep X seconds, then continue (default 0.001)
+// plus the shared keys skip=N (let the first N hits pass) and fires=N
+// (disarm after N firings; default unlimited).
+//
+// Thread-safe throughout; the registry is mutex-protected and only touched
+// when at least one point is armed.
+
+#ifndef FAIRKM_COMMON_FAULT_INJECTION_H_
+#define FAIRKM_COMMON_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace fairkm {
+namespace fault {
+
+/// \brief What an armed fault point does when it fires.
+enum class Kind {
+  kError,       ///< Return an injected error Status.
+  kShortWrite,  ///< Truncate the payload before it reaches the file.
+  kTornRename,  ///< Replace the rename with a truncated destination image.
+  kDelay,       ///< Sleep, then continue normally.
+};
+
+/// \brief Arming descriptor for one fault point.
+struct FaultSpec {
+  Kind kind = Kind::kError;
+  /// Injected status for kError (message defaults to naming the point).
+  StatusCode code = StatusCode::kIOError;
+  std::string message;
+  /// Hits that pass through unharmed before the first firing.
+  int skip = 0;
+  /// Firings before the point disarms itself (-1 = unlimited).
+  int max_fires = -1;
+  /// kShortWrite / kTornRename: payload bytes that survive. For kTornRename
+  /// the sentinel SIZE_MAX means "half of the payload".
+  size_t keep_bytes = SIZE_MAX;
+  /// kDelay: sleep length.
+  double delay_seconds = 0.001;
+};
+
+/// \brief The action a fired fault point reports to its caller.
+struct FaultAction {
+  Kind kind = Kind::kError;
+  Status status;            ///< Non-OK for kError.
+  size_t keep_bytes = 0;    ///< Resolved byte count for short/torn faults.
+  double delay_seconds = 0; ///< For kDelay.
+};
+
+namespace internal {
+/// Count of armed points; the macro's fast-path guard. Relaxed is enough:
+/// arming happens-before the faulted operation in any sane test, and a
+/// stale read only delays the first firing by one hit.
+extern std::atomic<int> armed_points;
+}  // namespace internal
+
+/// \brief True when any fault point is armed (one relaxed load).
+inline bool Enabled() {
+  return internal::armed_points.load(std::memory_order_relaxed) != 0;
+}
+
+/// \brief Arms `point` with `spec` (replacing any previous arming).
+void Arm(const std::string& point, FaultSpec spec);
+
+/// \brief Disarms `point` (no-op when not armed).
+void Disarm(const std::string& point);
+
+/// \brief Disarms everything and resets hit counters (test teardown).
+void DisarmAll();
+
+/// \brief Full check: true when `point` is armed and fires this hit, with
+/// the action to apply in `*action`. Counts hits and honors skip/max_fires.
+bool Hit(const char* point, FaultAction* action);
+
+/// \brief Times `point` has been reached while armed (skipped or fired).
+uint64_t HitCount(const std::string& point);
+
+/// \brief Simple-statement form: for kError returns the injected status; for
+/// kDelay sleeps and returns OK; short/torn faults (which need an I/O layer
+/// to interpret them) also surface as their injected-error status so a
+/// mis-placed arming can never be silently ignored. OK when disarmed.
+Status Check(const char* point);
+
+/// \brief Parses a FAIRKM_FAULT-style spec string and arms every clause.
+/// Returns kInvalidArgument (arming nothing further) on a malformed clause.
+Status ArmFromString(const std::string& env_value);
+
+}  // namespace fault
+}  // namespace fairkm
+
+/// \brief Named fault point: in a Status-returning function, injects the
+/// armed fault for `point` (error Status propagates to the caller, delay
+/// sleeps in place). One relaxed atomic load when nothing is armed.
+#define FAIRKM_FAULT_POINT(point)                                  \
+  do {                                                             \
+    if (::fairkm::fault::Enabled()) {                              \
+      ::fairkm::Status _fault_st = ::fairkm::fault::Check(point);  \
+      if (!_fault_st.ok()) return _fault_st;                       \
+    }                                                              \
+  } while (false)
+
+#endif  // FAIRKM_COMMON_FAULT_INJECTION_H_

@@ -29,6 +29,12 @@ const char* StatusCodeToString(StatusCode code) {
       return "Infeasible";
     case StatusCode::kNotConverged:
       return "Not converged";
+    case StatusCode::kDeadlineExceeded:
+      return "Deadline exceeded";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kDataLoss:
+      return "Data loss";
   }
   return "Unknown";
 }

@@ -28,7 +28,10 @@ enum class StatusCode : int {
   kInternal = 7,
   kUnbounded = 8,    ///< LP objective unbounded below.
   kInfeasible = 9,   ///< LP constraint system infeasible.
-  kNotConverged = 10 ///< Iterative solver hit its iteration cap without converging.
+  kNotConverged = 10, ///< Iterative solver hit its iteration cap without converging.
+  kDeadlineExceeded = 11, ///< The operation's wall-clock deadline passed.
+  kUnavailable = 12, ///< Transiently overloaded or shutting down; retryable.
+  kDataLoss = 13     ///< Persisted data is corrupt or torn (unrecoverable read).
 };
 
 /// \brief Returns a human-readable name for a StatusCode ("OK", "Invalid argument", ...).
@@ -74,6 +77,15 @@ class Status {
   }
   static Status NotConverged(std::string msg) {
     return Status(StatusCode::kNotConverged, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,49 @@
+// Durable on-disk form of core::SolverCheckpoint.
+//
+// The file is a section container (common/io.h) with magic "FKMC" and three
+// sections: run metadata, the FairKMState float aggregates, and (when the
+// run prunes) the SweepPruner bound tables. Every double is stored as its
+// raw 8-byte image, so a solver restored from disk replays the exact
+// trajectory of the in-memory Snapshot()/Restore() path — bit-identical
+// assignments, objective history, and pruning counters.
+//
+// Corruption (torn write, truncation, bit rot) reads as kDataLoss — the
+// signal FairKMSolver::ResumeFromCheckpointDir uses to fall back to the
+// previous good checkpoint. A file written by a NEWER format version reads
+// as kInvalidArgument (intact file, too-old binary).
+
+#ifndef FAIRKM_CORE_CHECKPOINT_IO_H_
+#define FAIRKM_CORE_CHECKPOINT_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/solver.h"
+
+namespace fairkm {
+namespace core {
+
+/// \brief Durably writes `cp` to `path` (temp + fsync + atomic rename).
+/// Fault scope "checkpoint" (checkpoint.open/.write/.fsync/.rename).
+Status WriteSolverCheckpoint(const std::string& path,
+                             const SolverCheckpoint& cp);
+
+/// \brief Reads and verifies a checkpoint file. kDataLoss on corruption,
+/// kNotFound when absent, kInvalidArgument on a newer format version.
+Result<SolverCheckpoint> ReadSolverCheckpoint(const std::string& path);
+
+/// \brief Canonical file name of the checkpoint taken after
+/// `sweeps_completed` sweeps: "ckpt-00000012.fkmc". Fixed-width so the
+/// lexicographic order of names is the chronological order of checkpoints.
+std::string CheckpointFileName(int sweeps_completed);
+
+/// \brief Checkpoint files ("ckpt-*.fkmc") in `dir`, oldest first. An
+/// empty list (not an error) when the directory exists but holds none;
+/// kNotFound when the directory itself is missing.
+Result<std::vector<std::string>> ListCheckpointFiles(const std::string& dir);
+
+}  // namespace core
+}  // namespace fairkm
+
+#endif  // FAIRKM_CORE_CHECKPOINT_IO_H_

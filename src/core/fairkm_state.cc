@@ -44,6 +44,9 @@ Result<FairKMState> FairKMState::Create(const data::Matrix* points,
   // attribute): every attribute's length, fraction table and code range —
   // BuildAggregates indexes all of them unchecked.
   FAIRKM_RETURN_NOT_OK(sensitive->Validate(points->rows()));
+  // The aligned point store about to be built streams these coordinates
+  // through every kernel unchecked — refuse NaN/Inf here, at the boundary.
+  FAIRKM_RETURN_NOT_OK(data::ValidateFinite(*points, "points"));
   FairKMState state(points, sensitive, k, config);
   state.BuildAggregates(std::move(initial));
   return state;

@@ -5,8 +5,10 @@
 #include <utility>
 
 #include "cluster/kmeans.h"
+#include "common/io.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "core/checkpoint_io.h"
 #include "core/kernels/kernels.h"
 
 namespace fairkm {
@@ -44,6 +46,9 @@ Result<FairKMSolver> FairKMSolver::Create(const data::Matrix* points,
   if (points == nullptr || sensitive == nullptr) {
     return Status::InvalidArgument("points/sensitive must not be null");
   }
+  // Catch NaN/Inf coordinates before the session binds them: once inside
+  // the aligned point store they would silently poison every aggregate.
+  FAIRKM_RETURN_NOT_OK(data::ValidateFinite(*points, "points"));
   if (options.max_iterations <= 0) {
     return Status::InvalidArgument("max_iterations must be positive");
   }
@@ -313,34 +318,86 @@ Result<bool> FairKMSolver::Sweep() {
   return !converged_;
 }
 
+namespace {
+
+// Drops the oldest checkpoint files beyond `keep` (best effort per file;
+// the first removal error surfaces so a wedged directory is not silent).
+Status PruneOldCheckpoints(const std::string& dir, int keep) {
+  if (keep < 1) keep = 1;
+  FAIRKM_ASSIGN_OR_RETURN(std::vector<std::string> names,
+                          ListCheckpointFiles(dir));
+  Status first_error;
+  for (size_t i = 0; i + static_cast<size_t>(keep) < names.size(); ++i) {
+    Status st = io::RemoveFile(dir + "/" + names[i]);
+    if (!st.ok() && first_error.ok()) first_error = st;
+  }
+  return first_error;
+}
+
+}  // namespace
+
 Result<RunStop> FairKMSolver::Run(const RunBudget& budget,
                                   const ProgressCallback& progress) {
+  if (budget.resume && !budget.checkpoint_dir.empty()) {
+    Status st = ResumeFromCheckpointDir(budget.checkpoint_dir);
+    // An empty/missing directory means "nothing to resume yet": fall
+    // through to the solver's current state. Corruption (kDataLoss) and
+    // real I/O failures do surface.
+    if (!st.ok() && st.code() != StatusCode::kNotFound) return st;
+  }
   if (!initialized()) {
     return Status::InvalidArgument("solver not initialized: call Init first");
+  }
+  const bool auto_checkpoint =
+      budget.checkpoint_every > 0 && !budget.checkpoint_dir.empty();
+  if (auto_checkpoint) {
+    FAIRKM_RETURN_NOT_OK(io::CreateDirectories(budget.checkpoint_dir));
   }
   if (converged_) return RunStop::kConverged;
   Timer run_timer;
   int sweeps_this_call = 0;
+  int last_saved_sweep = -1;
+  bool last_save_mid_sweep = false;
+  auto checkpoint_now = [&]() -> Status {
+    FAIRKM_RETURN_NOT_OK(SaveCheckpoint(budget.checkpoint_dir + "/" +
+                                        CheckpointFileName(sweeps_completed_)));
+    last_saved_sweep = sweeps_completed_;
+    last_save_mid_sweep = mid_sweep();
+    return PruneOldCheckpoints(budget.checkpoint_dir, budget.checkpoint_keep);
+  };
+  // Every stop path also checkpoints (unless the stop state is already on
+  // disk), so a restart resumes from the stop point, not the last interval.
+  auto finish = [&](RunStop stop) -> Result<RunStop> {
+    if (auto_checkpoint && (last_saved_sweep != sweeps_completed_ ||
+                            last_save_mid_sweep != mid_sweep())) {
+      FAIRKM_RETURN_NOT_OK(checkpoint_now());
+    }
+    return stop;
+  };
   while (true) {
     if (!mid_sweep() && sweeps_completed_ >= options_.max_iterations) {
-      return RunStop::kIterationCap;
+      return finish(RunStop::kIterationCap);
     }
     if (budget.max_sweeps >= 0 && sweeps_this_call >= budget.max_sweeps) {
-      return RunStop::kSweepBudget;
+      return finish(RunStop::kSweepBudget);
     }
     if (budget.max_seconds >= 0 &&
         run_timer.ElapsedSeconds() >= budget.max_seconds) {
-      return RunStop::kTimeBudget;
+      return finish(RunStop::kTimeBudget);
     }
     RunStop stop = RunStop::kConverged;
     if (RunBatches(progress, budget.max_seconds, run_timer.ElapsedSeconds(),
                    &stop) == BatchesOutcome::kStopped) {
       // A callback cancelling on the boundary that converged the run is
       // still a converged run.
-      return converged_ ? RunStop::kConverged : stop;
+      return finish(converged_ ? RunStop::kConverged : stop);
     }
     ++sweeps_this_call;
-    if (converged_) return RunStop::kConverged;
+    if (auto_checkpoint &&
+        sweeps_completed_ % budget.checkpoint_every == 0) {
+      FAIRKM_RETURN_NOT_OK(checkpoint_now());
+    }
+    if (converged_) return finish(RunStop::kConverged);
   }
 }
 
@@ -431,6 +488,36 @@ Status FairKMSolver::Restore(const SolverCheckpoint& cp) {
   return Status::OK();
 }
 
+Status FairKMSolver::SaveCheckpoint(const std::string& path) const {
+  FAIRKM_ASSIGN_OR_RETURN(SolverCheckpoint cp, Snapshot());
+  return WriteSolverCheckpoint(path, cp);
+}
+
+Status FairKMSolver::LoadCheckpoint(const std::string& path) {
+  FAIRKM_ASSIGN_OR_RETURN(SolverCheckpoint cp, ReadSolverCheckpoint(path));
+  return Restore(cp);
+}
+
+Status FairKMSolver::ResumeFromCheckpointDir(const std::string& dir) {
+  FAIRKM_ASSIGN_OR_RETURN(std::vector<std::string> names,
+                          ListCheckpointFiles(dir));
+  if (names.empty()) {
+    return Status::NotFound("no checkpoints in " + dir);
+  }
+  // Newest first; a corrupt (or incompatible) file falls back to the one
+  // before it, so a crash that tore the latest write costs one interval,
+  // not the run.
+  Status newest_failure;
+  for (auto it = names.rbegin(); it != names.rend(); ++it) {
+    Status st = LoadCheckpoint(dir + "/" + *it);
+    if (st.ok()) return st;
+    if (newest_failure.ok()) newest_failure = st;
+  }
+  return Status::DataLoss("no valid checkpoint in " + dir +
+                          " (newest failed with: " + newest_failure.ToString() +
+                          ")");
+}
+
 Status FairKMSolver::SetLambda(double lambda) {
   if (mid_sweep()) {
     return Status::InvalidArgument(
@@ -511,6 +598,7 @@ Result<cluster::Assignment> FairKMSolver::AssignImpl(
         "new points have " + std::to_string(new_points.cols()) +
         " features, the trained model has " + std::to_string(points_->cols()));
   }
+  FAIRKM_RETURN_NOT_OK(data::ValidateFinite(new_points, "new points"));
   const size_t rows = new_points.rows();
   const size_t num_cat = sensitive_->categorical.size();
   const size_t num_num = sensitive_->numeric.size();
@@ -540,6 +628,13 @@ Result<cluster::Assignment> FairKMSolver::AssignImpl(
             "new sensitive attribute \"" + sensitive_->numeric[a].name +
             "\" covers " + std::to_string(attr.values.size()) +
             " rows, points have " + std::to_string(rows));
+      }
+      for (size_t i = 0; i < rows; ++i) {
+        if (!std::isfinite(attr.values[i])) {
+          return Status::InvalidArgument(
+              "new sensitive attribute \"" + sensitive_->numeric[a].name +
+              "\" has a non-finite value at row " + std::to_string(i));
+        }
       }
     }
     for (size_t a = 0; a < num_cat; ++a) {

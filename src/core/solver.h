@@ -41,6 +41,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "cluster/clusterer.h"
@@ -67,6 +68,25 @@ struct RunBudget {
   /// Wall-clock cap for this Run call, checked at mini-batch boundaries —
   /// the solver stops mid-sweep (resumable) once exceeded.
   double max_seconds = -1.0;
+
+  // --- Durable auto-checkpointing (see core/checkpoint_io.h).
+  /// Directory for automatic checkpoints (created if missing). Empty
+  /// disables the feature; checkpoint_every must also be > 0.
+  std::string checkpoint_dir;
+  /// Take a durable checkpoint every this many completed sweeps, plus one
+  /// at whatever point the Run call stops (so a restart never loses more
+  /// than the current mini-batch). 0 disables auto-checkpointing.
+  int checkpoint_every = 0;
+  /// Checkpoint files retained in checkpoint_dir; older ones are pruned
+  /// after each successful write. At least 2 keeps a fallback when the
+  /// newest file is torn by a crash.
+  int checkpoint_keep = 2;
+  /// When true (and checkpoint_dir is set), Run first restores the newest
+  /// valid checkpoint in checkpoint_dir — skipping corrupt files in favor
+  /// of the previous good one — before running. An empty/missing directory
+  /// falls through to the solver's current state; a directory where every
+  /// checkpoint is corrupt fails the Run with kDataLoss.
+  bool resume = false;
 };
 
 /// \brief Why a Run call returned.
@@ -228,6 +248,19 @@ class FairKMSolver {
   /// replays the uninterrupted trajectory bit-identically.
   Result<SolverCheckpoint> Snapshot() const;
   Status Restore(const SolverCheckpoint& checkpoint);
+
+  // --- Durable checkpoints (core/checkpoint_io.h format).
+  /// \brief Snapshot() written durably to `path` (temp + fsync + atomic
+  /// rename; fault scope "checkpoint"). Requires initialized().
+  Status SaveCheckpoint(const std::string& path) const;
+  /// \brief Reads a checkpoint file and Restore()s it. kDataLoss when the
+  /// file is corrupt (the solver's state is untouched on any failure).
+  Status LoadCheckpoint(const std::string& path);
+  /// \brief Restores the newest valid checkpoint in `dir`, falling back to
+  /// older files when newer ones are corrupt or incompatible. kNotFound
+  /// when the directory is missing or holds no checkpoints; kDataLoss when
+  /// checkpoints exist but none restores.
+  Status ResumeFromCheckpointDir(const std::string& dir);
 
   // --- Serving path.
   /// \brief Maps out-of-sample points (same feature width) to the trained

@@ -1,6 +1,7 @@
 #include "data/dataset.h"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 
 #include "common/string_util.h"
@@ -36,6 +37,16 @@ Status Dataset::CheckLength(size_t len, const std::string& name) {
 Status Dataset::AddNumeric(std::string name, std::vector<double> values) {
   for (const auto& c : numeric_) {
     if (c.name == name) return Status::AlreadyExists("numeric column '" + name + "'");
+  }
+  // Reject NaN/Inf at ingestion: a non-finite coordinate would otherwise
+  // propagate through every centroid and distance downstream. Checked
+  // before CheckLength, which commits the dataset's row count.
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (!std::isfinite(values[i])) {
+      return Status::InvalidArgument("column '" + name +
+                                     "' has a non-finite value at row " +
+                                     std::to_string(i));
+    }
   }
   FAIRKM_RETURN_NOT_OK(CheckLength(values.size(), name));
   numeric_.push_back(NumericColumn{std::move(name), std::move(values)});

@@ -6,8 +6,10 @@
 #ifndef FAIRKM_DATA_MATRIX_H_
 #define FAIRKM_DATA_MATRIX_H_
 
+#include <cmath>
 #include <cstddef>
 #include <new>
+#include <string>
 #include <vector>
 
 #include "common/status.h"
@@ -104,6 +106,25 @@ class Matrix {
   size_t cols_ = 0;
   AlignedVector data_;
 };
+
+/// \brief Rejects NaN/Inf entries with kInvalidArgument naming the first
+/// offending cell. Every boundary where numeric data enters the pipeline
+/// (dataset build, solver creation, serve requests) runs this once, so the
+/// distance/aggregate kernels never have to reason about non-finite values
+/// (a single NaN would silently poison every centroid it touches).
+inline Status ValidateFinite(const Matrix& m, const std::string& what) {
+  for (size_t r = 0; r < m.rows(); ++r) {
+    const double* row = m.Row(r);
+    for (size_t c = 0; c < m.cols(); ++c) {
+      if (!std::isfinite(row[c])) {
+        return Status::InvalidArgument(
+            what + " contains a non-finite value at row " + std::to_string(r) +
+            ", column " + std::to_string(c));
+      }
+    }
+  }
+  return Status::OK();
+}
 
 /// \brief Squared Euclidean distance between two rows of length `dim`.
 inline double SquaredDistance(const double* a, const double* b, size_t dim) {

@@ -1,5 +1,7 @@
 #include "data/sensitive.h"
 
+#include <cmath>
+
 #include "common/stats.h"
 
 namespace fairkm {
@@ -39,6 +41,17 @@ Status SensitiveView::Validate(size_t expected_rows) const {
           "sensitive attribute '" + attr.name + "' covers " +
           std::to_string(attr.values.size()) + " rows, expected " +
           std::to_string(expected_rows));
+    }
+    if (!std::isfinite(attr.dataset_mean)) {
+      return Status::InvalidArgument("sensitive attribute '" + attr.name +
+                                     "' has a non-finite dataset mean");
+    }
+    for (size_t i = 0; i < attr.values.size(); ++i) {
+      if (!std::isfinite(attr.values[i])) {
+        return Status::InvalidArgument(
+            "sensitive attribute '" + attr.name +
+            "' has a non-finite value at row " + std::to_string(i));
+      }
     }
   }
   return Status::OK();

@@ -1,6 +1,7 @@
 #include "serve/assign_batch.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <string>
 
@@ -75,6 +76,7 @@ Status ValidateAssignInputs(const ModelSnapshot& snapshot,
         "new points have " + std::to_string(new_points.cols()) +
         " features, the published model has " + std::to_string(m.d));
   }
+  FAIRKM_RETURN_NOT_OK(data::ValidateFinite(new_points, "request points"));
   if (new_sensitive == nullptr) return Status::OK();
   const size_t rows = new_points.rows();
   if (new_sensitive->categorical.size() != m.categorical.size() ||
@@ -110,6 +112,13 @@ Status ValidateAssignInputs(const ModelSnapshot& snapshot,
           "new sensitive attribute \"" + m.numeric[a].name + "\" covers " +
           std::to_string(attr.values.size()) + " rows, points have " +
           std::to_string(rows));
+    }
+    for (size_t i = 0; i < rows; ++i) {
+      if (!std::isfinite(attr.values[i])) {
+        return Status::InvalidArgument(
+            "new sensitive attribute \"" + m.numeric[a].name +
+            "\" has a non-finite value at row " + std::to_string(i));
+      }
     }
   }
   return Status::OK();

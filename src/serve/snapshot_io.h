@@ -1,0 +1,40 @@
+// Durable serialization of published model snapshots.
+//
+// The serving tier's counterpart to core/checkpoint_io: a trained
+// core::ModelExport (plus its publish version) is frozen to disk in the
+// CRC-framed section container of common/io.h, written atomically
+// (temp + fsync + rename), and read back bit-identically — centroids,
+// cached norms and fairness moment tables all travel as raw 8-byte double
+// images. A server restart can therefore Publish the last exported model
+// immediately, before any solver has retrained, and a corrupt or torn file
+// reads as kDataLoss instead of poisoning the service.
+//
+// Fault scope: "snapshot" (snapshot.open / .write / .fsync / .rename /
+// .read), armable via FAIRKM_FAULT or fault::Arm in tests.
+
+#ifndef FAIRKM_SERVE_SNAPSHOT_IO_H_
+#define FAIRKM_SERVE_SNAPSHOT_IO_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "serve/model_snapshot.h"
+
+namespace fairkm {
+namespace serve {
+
+/// \brief Durably writes `snapshot` (model + publish version) to `path`.
+Status WriteModelSnapshot(const std::string& path,
+                          const ModelSnapshot& snapshot);
+
+/// \brief Reads a snapshot written by WriteModelSnapshot. kNotFound when the
+/// file is absent, kDataLoss on any corruption, kInvalidArgument when the
+/// file's format version is newer than this binary understands.
+Result<std::shared_ptr<const ModelSnapshot>> ReadModelSnapshot(
+    const std::string& path);
+
+}  // namespace serve
+}  // namespace fairkm
+
+#endif  // FAIRKM_SERVE_SNAPSHOT_IO_H_

@@ -72,3 +72,66 @@ foreach(line IN LISTS body)
 endforeach()
 
 message(STATUS "fairkm_cli smoke test passed")
+
+# --- Durable checkpoints: run with auto-checkpointing, then resume. ---
+
+set(ckpt_dir "${WORK_DIR}/ckpt")
+file(REMOVE_RECURSE "${ckpt_dir}")
+
+execute_process(
+  COMMAND "${FAIRKM_CLI}"
+          --input "${input}" --sensitive gender --method fairkm --k 2 --seed 7
+          --checkpoint-dir "${ckpt_dir}" --checkpoint-every 1
+          --max-iterations 2
+  RESULT_VARIABLE exit_code
+  OUTPUT_VARIABLE stdout
+  ERROR_VARIABLE stderr)
+if(NOT exit_code EQUAL 0)
+  message(FATAL_ERROR "checkpointed run exited with ${exit_code}\nstdout:\n${stdout}\nstderr:\n${stderr}")
+endif()
+string(FIND "${stdout}" "checkpoints: ${ckpt_dir}" pos)
+if(pos EQUAL -1)
+  message(FATAL_ERROR "stdout missing the checkpoint report line:\n${stdout}")
+endif()
+
+file(GLOB ckpt_files "${ckpt_dir}/*.fkmc")
+list(LENGTH ckpt_files n_ckpts)
+if(n_ckpts EQUAL 0)
+  message(FATAL_ERROR "no checkpoint files written to ${ckpt_dir}")
+endif()
+
+execute_process(
+  COMMAND "${FAIRKM_CLI}"
+          --input "${input}" --sensitive gender --method fairkm --k 2 --seed 7
+          --checkpoint-dir "${ckpt_dir}" --checkpoint-every 1 --resume
+  RESULT_VARIABLE exit_code
+  OUTPUT_VARIABLE stdout
+  ERROR_VARIABLE stderr)
+if(NOT exit_code EQUAL 0)
+  message(FATAL_ERROR "resumed run exited with ${exit_code}\nstdout:\n${stdout}\nstderr:\n${stderr}")
+endif()
+string(FIND "${stdout}" "converged = yes" pos)
+if(pos EQUAL -1)
+  message(FATAL_ERROR "resumed run did not converge:\n${stdout}")
+endif()
+
+# --- Fault injection: an injected checkpoint-fsync failure must surface as a
+# clean non-zero exit with the injected status, not a crash. ---
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env "FAIRKM_FAULT=checkpoint.fsync=error"
+          "${FAIRKM_CLI}"
+          --input "${input}" --sensitive gender --method fairkm --k 2 --seed 7
+          --checkpoint-dir "${ckpt_dir}" --checkpoint-every 1
+  RESULT_VARIABLE exit_code
+  OUTPUT_VARIABLE stdout
+  ERROR_VARIABLE stderr)
+if(NOT exit_code EQUAL 1)
+  message(FATAL_ERROR "fault-injected run should exit 1, got ${exit_code}\nstdout:\n${stdout}\nstderr:\n${stderr}")
+endif()
+string(FIND "${stderr}" "injected fault at checkpoint.fsync" pos)
+if(pos EQUAL -1)
+  message(FATAL_ERROR "stderr missing the injected fault status:\n${stderr}")
+endif()
+
+message(STATUS "fairkm_cli checkpoint + fault-injection smoke test passed")

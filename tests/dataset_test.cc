@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "data/matrix.h"
 
 namespace fairkm {
@@ -64,6 +66,22 @@ TEST(DatasetTest, DuplicateColumnRejected) {
 TEST(DatasetTest, LengthMismatchRejected) {
   Dataset d = MakeSample();
   EXPECT_EQ(d.AddNumeric("bad", {1, 2}).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DatasetTest, NonFiniteValuesRejected) {
+  Dataset d;
+  EXPECT_EQ(
+      d.AddNumeric("bad", {1.0, std::numeric_limits<double>::quiet_NaN()})
+          .code(),
+      StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      d.AddNumeric("bad", {std::numeric_limits<double>::infinity(), 2.0})
+          .code(),
+      StatusCode::kInvalidArgument);
+  // A rejected add leaves no trace: the dataset's row count is still
+  // unset, so a differently-sized clean column is welcome.
+  EXPECT_TRUE(d.AddNumeric("good", {1.0, 2.0, 3.0}).ok());
+  EXPECT_EQ(d.num_rows(), 3u);
 }
 
 TEST(DatasetTest, OutOfRangeCodesRejected) {

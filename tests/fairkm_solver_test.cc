@@ -6,6 +6,9 @@
 #include "core/solver.h"
 
 #include <cstdint>
+#include <filesystem>
+#include <limits>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -145,6 +148,46 @@ TEST(FairKMSolverTest, SnapshotResumeIsBitIdentical) {
     ExpectSameTrajectory(uninterrupted, resumed.CurrentResult().ValueOrDie(),
                          mode.name);
   }
+}
+
+// The durable path (SaveCheckpoint -> file -> LoadCheckpoint) must preserve
+// the same bit-identical-resume contract as the in-memory Snapshot/Restore
+// pair, in every SweepMode x pruning combination. (The kernel-backend axis
+// is covered by the CI scalar-forced job running this same suite.)
+TEST(FairKMSolverTest, DurableCheckpointResumeIsBitIdentical) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() / "fairkm_solver_durable_ckpt";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  for (const ModeParam& mode : kModes) {
+    const SeededWorld world = MakeSeededWorld(73);
+    const FairKMOptions options = OptionsFor(mode);
+
+    FairKMSolver reference = MakeSolver(world, options);
+    ASSERT_TRUE(reference.Init(uint64_t{11}).ok());
+    ASSERT_TRUE(reference.Run().ok());
+    const FairKMResult uninterrupted = reference.CurrentResult().ValueOrDie();
+
+    // Three sweeps, a durable checkpoint, then a FRESH solver restored from
+    // the file finishes the run on the uninterrupted trajectory.
+    FairKMSolver paused = MakeSolver(world, options);
+    ASSERT_TRUE(paused.Init(uint64_t{11}).ok());
+    RunBudget first_leg;
+    first_leg.max_sweeps = 3;
+    ASSERT_TRUE(paused.Run(first_leg).ok());
+    const std::string path =
+        (dir / (std::string(mode.name) + ".fkmc")).string();
+    ASSERT_TRUE(paused.SaveCheckpoint(path).ok());
+
+    FairKMSolver resumed = MakeSolver(world, options);
+    ASSERT_TRUE(resumed.LoadCheckpoint(path).ok());
+    ASSERT_TRUE(resumed.Run().ok());
+    ExpectSameTrajectory(uninterrupted, resumed.CurrentResult().ValueOrDie(),
+                         mode.name);
+  }
+  fs::remove_all(dir);
 }
 
 TEST(FairKMSolverTest, MidSweepCancelSnapshotResumeIsBitIdentical) {
@@ -439,6 +482,37 @@ TEST(FairKMSolverTest, AssignValidatesInputs) {
   FairKMSolver ragged_trainer =
       FairKMSolver::Create(&world.points, &ragged_cat, options).ValueOrDie();
   EXPECT_FALSE(ragged_trainer.Init(uint64_t{1}).ok());
+}
+
+TEST(FairKMSolverTest, NonFiniteInputsAreRejectedAtEveryBoundary) {
+  const SeededWorld world = MakeSeededWorld(85);
+  const FairKMOptions options = OptionsFor(kModes[0]);
+
+  // Training boundary: a NaN coordinate never reaches the point store.
+  data::Matrix nan_points = world.points;
+  nan_points.At(3, 1) = std::numeric_limits<double>::quiet_NaN();
+  const auto create = FairKMSolver::Create(&nan_points, &world.sensitive, options);
+  ASSERT_FALSE(create.ok());
+  EXPECT_EQ(create.status().code(), StatusCode::kInvalidArgument);
+
+  // Training boundary, numeric sensitive attribute.
+  data::SensitiveView inf_sensitive = world.sensitive;
+  ASSERT_GE(inf_sensitive.numeric.size(), 1u);
+  inf_sensitive.numeric[0].values[0] = std::numeric_limits<double>::infinity();
+  FairKMSolver trainer =
+      FairKMSolver::Create(&world.points, &inf_sensitive, options).ValueOrDie();
+  EXPECT_EQ(trainer.Init(uint64_t{1}).code(), StatusCode::kInvalidArgument);
+
+  // Serving boundary: out-of-sample requests get the same screening.
+  FairKMSolver solver = MakeSolver(world, options);
+  ASSERT_TRUE(solver.Init(uint64_t{1}).ok());
+  ASSERT_TRUE(solver.Run().ok());
+  data::Matrix nan_request = world.points;
+  nan_request.At(0, 0) = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(solver.Assign(nan_request).ok());
+  data::SensitiveView nan_numeric = world.sensitive;
+  nan_numeric.numeric[0].values[2] = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(solver.Assign(world.points, nan_numeric).ok());
 }
 
 TEST(FairKMSolverTest, LifecycleGuardsAndCheckpointValidation) {

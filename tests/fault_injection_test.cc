@@ -1,0 +1,162 @@
+#include "common/fault_injection.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/timer.h"
+
+namespace fairkm {
+namespace {
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void TearDown() override { fault::DisarmAll(); }
+};
+
+Status GuardedOperation() {
+  FAIRKM_FAULT_POINT("fault_test.op");
+  return Status::OK();
+}
+
+TEST_F(FaultInjectionTest, DisarmedIsFreeAndOk) {
+  EXPECT_FALSE(fault::Enabled());
+  EXPECT_TRUE(GuardedOperation().ok());
+  fault::FaultAction action;
+  EXPECT_FALSE(fault::Hit("fault_test.op", &action));
+}
+
+TEST_F(FaultInjectionTest, ErrorFaultFiresWithDefaultMessage) {
+  fault::Arm("fault_test.op", fault::FaultSpec{});
+  EXPECT_TRUE(fault::Enabled());
+  Status st = GuardedOperation();
+  EXPECT_EQ(st.code(), StatusCode::kIOError);
+  EXPECT_NE(st.message().find("fault_test.op"), std::string::npos);
+  EXPECT_EQ(fault::HitCount("fault_test.op"), 1u);
+}
+
+TEST_F(FaultInjectionTest, ErrorFaultCarriesConfiguredCodeAndMessage) {
+  fault::FaultSpec spec;
+  spec.code = StatusCode::kDataLoss;
+  spec.message = "disk ate it";
+  fault::Arm("fault_test.op", spec);
+  Status st = GuardedOperation();
+  EXPECT_EQ(st.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(st.message(), "disk ate it");
+}
+
+TEST_F(FaultInjectionTest, UnrelatedPointIsUnaffected) {
+  fault::Arm("fault_test.other", fault::FaultSpec{});
+  EXPECT_TRUE(fault::Enabled());
+  EXPECT_TRUE(GuardedOperation().ok());
+}
+
+TEST_F(FaultInjectionTest, SkipDelaysFirstFiring) {
+  fault::FaultSpec spec;
+  spec.skip = 2;
+  fault::Arm("fault_test.op", spec);
+  EXPECT_TRUE(GuardedOperation().ok());
+  EXPECT_TRUE(GuardedOperation().ok());
+  EXPECT_FALSE(GuardedOperation().ok());
+  EXPECT_EQ(fault::HitCount("fault_test.op"), 3u);
+}
+
+TEST_F(FaultInjectionTest, MaxFiresSelfDisarms) {
+  fault::FaultSpec spec;
+  spec.max_fires = 1;
+  fault::Arm("fault_test.op", spec);
+  EXPECT_FALSE(GuardedOperation().ok());
+  EXPECT_FALSE(fault::Enabled());
+  EXPECT_TRUE(GuardedOperation().ok());
+}
+
+TEST_F(FaultInjectionTest, DisarmStopsFiring) {
+  fault::Arm("fault_test.op", fault::FaultSpec{});
+  EXPECT_FALSE(GuardedOperation().ok());
+  fault::Disarm("fault_test.op");
+  EXPECT_TRUE(GuardedOperation().ok());
+}
+
+TEST_F(FaultInjectionTest, DelayFaultSleepsThenSucceeds) {
+  fault::FaultSpec spec;
+  spec.kind = fault::Kind::kDelay;
+  spec.delay_seconds = 0.02;
+  fault::Arm("fault_test.op", spec);
+  Timer timer;
+  EXPECT_TRUE(GuardedOperation().ok());
+  EXPECT_GE(timer.ElapsedSeconds(), 0.015);
+}
+
+TEST_F(FaultInjectionTest, ShortWriteReachingPlainPointIsLoud) {
+  // A short-write fault armed on a point that has no I/O layer to interpret
+  // it must still surface as an error, never be silently swallowed.
+  fault::FaultSpec spec;
+  spec.kind = fault::Kind::kShortWrite;
+  spec.keep_bytes = 3;
+  fault::Arm("fault_test.op", spec);
+  EXPECT_EQ(GuardedOperation().code(), StatusCode::kIOError);
+}
+
+TEST_F(FaultInjectionTest, HitReportsActionDetails) {
+  fault::FaultSpec spec;
+  spec.kind = fault::Kind::kShortWrite;
+  spec.keep_bytes = 17;
+  fault::Arm("fault_test.op", spec);
+  fault::FaultAction action;
+  ASSERT_TRUE(fault::Hit("fault_test.op", &action));
+  EXPECT_EQ(action.kind, fault::Kind::kShortWrite);
+  EXPECT_EQ(action.keep_bytes, 17u);
+}
+
+TEST_F(FaultInjectionTest, ArmFromStringParsesClauses) {
+  Status st = fault::ArmFromString(
+      "a.write=error,code=dataloss,skip=1,fires=2;"
+      "b.rename=torn,keep=8;"
+      "c.batch=delay,seconds=0.5");
+  ASSERT_TRUE(st.ok()) << st;
+  EXPECT_TRUE(fault::Enabled());
+
+  fault::FaultAction action;
+  EXPECT_FALSE(fault::Hit("a.write", &action));  // skip=1
+  ASSERT_TRUE(fault::Hit("a.write", &action));
+  EXPECT_EQ(action.status.code(), StatusCode::kDataLoss);
+
+  ASSERT_TRUE(fault::Hit("b.rename", &action));
+  EXPECT_EQ(action.kind, fault::Kind::kTornRename);
+  EXPECT_EQ(action.keep_bytes, 8u);
+
+  ASSERT_TRUE(fault::Hit("c.batch", &action));
+  EXPECT_EQ(action.kind, fault::Kind::kDelay);
+  EXPECT_EQ(action.delay_seconds, 0.5);
+}
+
+TEST_F(FaultInjectionTest, ArmFromStringRejectsMalformedInput) {
+  EXPECT_EQ(fault::ArmFromString("justapoint").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(fault::ArmFromString("p=explode").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(fault::ArmFromString("p=error,code=nope").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(fault::ArmFromString("p=error,skip=-1").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(fault::ArmFromString("p=delay,seconds=fast").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(fault::ArmFromString("p=").code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(FaultInjectionTest, TornRenameDefaultsToHalfSentinel) {
+  ASSERT_TRUE(fault::ArmFromString("p=torn").ok());
+  fault::FaultAction action;
+  ASSERT_TRUE(fault::Hit("p", &action));
+  EXPECT_EQ(action.keep_bytes, SIZE_MAX);  // resolved to half by the I/O layer
+}
+
+TEST_F(FaultInjectionTest, ShortDefaultsToZeroKeep) {
+  ASSERT_TRUE(fault::ArmFromString("p=short").ok());
+  fault::FaultAction action;
+  ASSERT_TRUE(fault::Hit("p", &action));
+  EXPECT_EQ(action.keep_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace fairkm

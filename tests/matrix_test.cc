@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <limits>
+#include <string>
 #include <utility>
 
 #include "data/point_store.h"
@@ -173,6 +175,24 @@ TEST(PointStoreTest, DefaultConstructedIsEmpty) {
   EXPECT_TRUE(store.empty());
   EXPECT_EQ(store.rows(), 0u);
   EXPECT_EQ(store.stride(), 0u);
+}
+
+TEST(MatrixTest, ValidateFiniteRejectsNanAndInf) {
+  Matrix m(2, 3, 1.0);
+  EXPECT_TRUE(ValidateFinite(m, "points").ok());
+  EXPECT_TRUE(ValidateFinite(Matrix(), "points").ok());
+
+  m.At(1, 2) = std::numeric_limits<double>::quiet_NaN();
+  const Status nan_st = ValidateFinite(m, "points");
+  EXPECT_EQ(nan_st.code(), StatusCode::kInvalidArgument);
+  // The message pinpoints the offending cell.
+  EXPECT_NE(nan_st.message().find("row 1"), std::string::npos);
+  EXPECT_NE(nan_st.message().find("column 2"), std::string::npos);
+
+  m.At(1, 2) = -std::numeric_limits<double>::infinity();
+  EXPECT_EQ(ValidateFinite(m, "points").code(), StatusCode::kInvalidArgument);
+  m.At(1, 2) = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(ValidateFinite(m, "points").code(), StatusCode::kInvalidArgument);
 }
 
 }  // namespace

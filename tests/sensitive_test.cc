@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 namespace fairkm {
 namespace data {
 namespace {
@@ -118,6 +120,26 @@ TEST(SensitiveViewTest, ValidateChecksEveryAttribute) {
   bad_code.categorical[0].codes[0] =
       static_cast<int32_t>(bad_code.categorical[0].cardinality);
   EXPECT_FALSE(bad_code.Validate(rows).ok());
+}
+
+TEST(SensitiveViewTest, ValidateRejectsNonFiniteNumericValues) {
+  Dataset d = MakeSample();
+  const SensitiveView view =
+      MakeSensitiveView(d, {"gender"}, {"age"}).ValueOrDie();
+  const size_t rows = view.num_rows();
+  ASSERT_TRUE(view.Validate(rows).ok());
+
+  SensitiveView nan_value = view;
+  nan_value.numeric[0].values[2] = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(nan_value.Validate(rows).code(), StatusCode::kInvalidArgument);
+
+  SensitiveView inf_value = view;
+  inf_value.numeric[0].values[0] = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(inf_value.Validate(rows).code(), StatusCode::kInvalidArgument);
+
+  SensitiveView bad_mean = view;
+  bad_mean.numeric[0].dataset_mean = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(bad_mean.Validate(rows).code(), StatusCode::kInvalidArgument);
 }
 
 }  // namespace

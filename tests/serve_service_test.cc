@@ -52,10 +52,16 @@ TEST(ServeServiceTest, RequiresPublishedModel) {
   AssignService service;
   const SeededWorld world = MakeSeededWorld(100);
   EXPECT_EQ(service.snapshot(), nullptr);
-  EXPECT_FALSE(service.Assign(world.points).ok());
+  // Before the first Publish the service is NOT misconfigured and the
+  // request is NOT malformed — the right answer is the retryable
+  // kUnavailable, so a client backoff loop rides out a slow first publish.
+  const auto result = service.Assign(world.points);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
   const ServeMetrics metrics = service.Metrics();
   EXPECT_EQ(metrics.requests, 1u);
   EXPECT_EQ(metrics.errors, 1u);
+  EXPECT_EQ(metrics.not_ready, 1u);
   EXPECT_EQ(metrics.snapshots_published, 0u);
   EXPECT_EQ(metrics.snapshot_age_seconds, -1.0);
 }

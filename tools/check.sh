@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# CI entry point: tier-1 verify (configure, build, full ctest) followed by an
-# ASan/UBSan build of the unit+integration suites and a TSan build of the
-# suites that exercise the parallel sweep and the thread pool.
+# CI entry point: tier-1 verify (configure, build, full ctest), an explicit
+# fault-injection/durability gate, then an ASan/UBSan build of the
+# unit+integration suites and a TSan build of the suites that exercise the
+# parallel sweep, the thread pool and the serving tier.
 #
 #   tools/check.sh            # everything
 #   tools/check.sh --fast     # tier-1 only, skip the sanitizer passes
@@ -33,6 +34,15 @@ cmake -B "$BUILD_DIR" -S . -DFAIRKM_WERROR=ON
 cmake --build "$BUILD_DIR" -j "$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
+# Explicit gate over the fault-injection/durability surface: the corruption,
+# torn-write and degraded-serve suites plus the CLI smoke (which includes an
+# env-armed FAIRKM_FAULT run). Redundant with the full ctest above by
+# construction — the point is that label/regex drift elsewhere can never
+# silently drop these suites from CI.
+echo "== fault injection: durability + degraded-serve suites =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" \
+  -R 'FaultInjection|Crc32|BinaryIo|IoTest|CheckpointIo|SnapshotIo|ServeRobustness|RetryPolicy|cli_smoke'
+
 if [[ "$FAST" == "1" ]]; then
   echo "== skipping sanitizer pass (--fast) =="
   exit 0
@@ -55,6 +65,6 @@ cmake -B "$TSAN_BUILD_DIR" -S . \
   -DFAIRKM_BUILD_EXAMPLES=OFF
 cmake --build "$TSAN_BUILD_DIR" -j "$JOBS"
 ctest --test-dir "$TSAN_BUILD_DIR" --output-on-failure -j "$JOBS" \
-  -R 'FairKMParallel|ThreadPool|FairKMCrossCheck.ParallelSnapshot|StressScaling.Optimizer|Pruning|FairKMSolver'
+  -R 'FairKMParallel|ThreadPool|FairKMCrossCheck.ParallelSnapshot|StressScaling.Optimizer|Pruning|FairKMSolver|Serve|RetryPolicy'
 
 echo "== all checks passed =="

@@ -71,6 +71,8 @@ Status ServeBench(const ArgParser& args) {
   const int readers = static_cast<int>(args.GetInt("serve-readers"));
   const size_t batch = static_cast<size_t>(args.GetInt("serve-batch"));
   const size_t rows = static_cast<size_t>(args.GetInt("serve-rows"));
+  const double deadline_ms = args.GetDouble("serve-deadline-ms");
+  const double queue_timeout_ms = args.GetDouble("serve-queue-timeout-ms");
   if (seconds <= 0.0) {
     return Status::InvalidArgument("--serve-seconds must be positive");
   }
@@ -106,7 +108,14 @@ Status ServeBench(const ArgParser& args) {
   serve::AssignServiceOptions service_options;
   service_options.max_batch_points = batch;
   service_options.max_concurrency = readers;
+  service_options.max_queue_depth =
+      static_cast<size_t>(args.GetInt("serve-queue-depth"));
   serve::AssignService service(service_options);
+  serve::AssignRequestOptions request_options;
+  if (deadline_ms > 0.0) request_options.deadline_seconds = deadline_ms / 1e3;
+  if (queue_timeout_ms > 0.0) {
+    request_options.queue_timeout_seconds = queue_timeout_ms / 1e3;
+  }
   uint64_t version = 0;
   FAIRKM_ASSIGN_OR_RETURN(std::shared_ptr<const serve::ModelSnapshot> first,
                           serve::MakeModelSnapshot(solver, version));
@@ -126,10 +135,18 @@ Status ServeBench(const ArgParser& args) {
   for (int t = 0; t < readers; ++t) {
     pool.emplace_back([&] {
       while (!done.load(std::memory_order_acquire)) {
-        if (!service.Assign(data.features, &data.sensitive).ok()) {
-          ++reader_errors;
-          break;
+        auto result =
+            service.Assign(data.features, &data.sensitive, request_options);
+        if (result.ok()) continue;
+        // Load shedding and deadline misses are expected degradation under
+        // overload (counted in ServeMetrics); anything else is a real bug.
+        const StatusCode code = result.status().code();
+        if (code == StatusCode::kUnavailable ||
+            code == StatusCode::kDeadlineExceeded) {
+          continue;
         }
+        ++reader_errors;
+        break;
       }
     });
   }
@@ -155,6 +172,8 @@ Status ServeBench(const ArgParser& args) {
   }
   done.store(true, std::memory_order_release);
   for (std::thread& reader : pool) reader.join();
+  FAIRKM_RETURN_NOT_OK(service.Drain(5.0));
+  service.Shutdown();
 
   std::printf("trainer: %d sweeps, stop = %s, %llu snapshots published\n",
               solver.sweeps_completed(), RunStopName(stop),
@@ -171,11 +190,68 @@ Status ServeBench(const ArgParser& args) {
   std::printf("busy:             %.3f s scoring, peak %llu in flight\n",
               m.busy_seconds,
               static_cast<unsigned long long>(m.peak_in_flight));
+  std::printf("shed:             %llu queue-full, %llu queue-timeout, "
+              "%llu not-ready\n",
+              static_cast<unsigned long long>(m.shed_queue_full),
+              static_cast<unsigned long long>(m.shed_queue_timeout),
+              static_cast<unsigned long long>(m.not_ready));
+  std::printf("deadline:         %llu exceeded, %llu partial points burnt, "
+              "peak queue %llu\n",
+              static_cast<unsigned long long>(m.deadline_exceeded),
+              static_cast<unsigned long long>(m.deadline_partial_points),
+              static_cast<unsigned long long>(m.peak_queue_depth));
   std::printf("snapshot:         v%llu, age %.3f s\n",
               static_cast<unsigned long long>(service.snapshot()->version()),
               m.snapshot_age_seconds);
   if (reader_errors.load() > 0) {
     return Status::Internal("serve-bench reader requests failed");
+  }
+  return Status::OK();
+}
+
+// Shared tail of Run(): method-specific telemetry lines, the quality and
+// fairness report, and the optional input-plus-cluster-column output CSV.
+Status Report(const ArgParser& args, const std::string& method,
+              const data::Matrix& matrix, const data::SensitiveView& sensitive,
+              cluster::ClusteringResult result, CsvTable csv) {
+  const int k = static_cast<int>(args.GetInt("k"));
+  if (method == "fairkm") {
+    std::printf("FairKM: lambda = %g, %d iterations, converged = %s\n",
+                result.lambda_used, result.iterations,
+                result.converged ? "yes" : "no");
+    std::printf("sweep: %.1f ms, pruned %.1f%% of the candidate evaluations\n",
+                result.sweep_seconds * 1e3, result.pruned_fraction * 100.0);
+  }
+  cluster::Assignment assignment = std::move(result.assignment);
+
+  std::printf("n = %zu rows, %zu task attributes, k = %d, method = %s\n",
+              matrix.rows(), matrix.cols(), k, method.c_str());
+  std::printf("kernel backend: %s\n", core::kernels::ActiveBackend().name);
+  std::printf("clustering objective (SSE): %.4f\n",
+              metrics::ClusteringObjective(matrix, assignment, k));
+  std::printf("silhouette: %.4f\n", metrics::SilhouetteScore(matrix, assignment, k));
+  if (!sensitive.empty()) {
+    auto fairness = metrics::EvaluateFairness(sensitive, assignment, k);
+    exp::TablePrinter table({"Sensitive attribute", "AE", "AW", "ME", "MW"});
+    for (const auto& attr : fairness.per_attribute) {
+      table.AddRow({attr.attribute, exp::Cell(attr.ae), exp::Cell(attr.aw),
+                    exp::Cell(attr.me), exp::Cell(attr.mw)});
+    }
+    table.AddSeparator();
+    table.AddRow({"mean", exp::Cell(fairness.mean.ae), exp::Cell(fairness.mean.aw),
+                  exp::Cell(fairness.mean.me), exp::Cell(fairness.mean.mw)});
+    table.Print();
+  }
+
+  // Output CSV: input columns + cluster id.
+  const std::string output = args.GetString("output");
+  if (!output.empty()) {
+    csv.header.push_back("cluster");
+    for (size_t i = 0; i < csv.rows.size(); ++i) {
+      csv.rows[i].push_back(std::to_string(assignment[i]));
+    }
+    FAIRKM_RETURN_NOT_OK(WriteCsvFile(csv, output));
+    std::printf("wrote %s\n", output.c_str());
   }
   return Status::OK();
 }
@@ -239,6 +315,13 @@ Status Run(const ArgParser& args) {
   // FairKM entry takes its full typed options (the generic registry knobs
   // cover only the shared subset — k/lambda/iterations/attribute).
   core::EnsureFairKMClustererRegistered();
+  const std::string checkpoint_dir = args.GetString("checkpoint-dir");
+  if (!checkpoint_dir.empty() && method != "fairkm") {
+    return Status::InvalidArgument("--checkpoint-dir requires --method fairkm");
+  }
+  if (args.GetBool("resume") && checkpoint_dir.empty()) {
+    return Status::InvalidArgument("--resume requires --checkpoint-dir");
+  }
   std::unique_ptr<cluster::Clusterer> clusterer;
   if (method == "fairkm") {
     if (sensitive.empty()) {
@@ -264,7 +347,34 @@ Status Run(const ArgParser& args) {
     } else if (sweep != "serial") {
       return Status::InvalidArgument("--sweep must be serial or parallel");
     }
-    clusterer = core::MakeFairKMClusterer(options);
+    if (checkpoint_dir.empty()) {
+      clusterer = core::MakeFairKMClusterer(options);
+    } else {
+      // Durable-checkpoint path: drive the solver session directly so the
+      // run auto-checkpoints (core/checkpoint_io.h format: temp file +
+      // fsync + atomic rename, CRC-verified on read) and --resume can pick
+      // up where a crashed or cancelled run stopped.
+      core::RunBudget budget;
+      budget.checkpoint_dir = checkpoint_dir;
+      budget.checkpoint_every =
+          static_cast<int>(args.GetInt("checkpoint-every"));
+      budget.resume = args.GetBool("resume");
+      if (budget.checkpoint_every <= 0) {
+        return Status::InvalidArgument("--checkpoint-every must be positive");
+      }
+      FAIRKM_ASSIGN_OR_RETURN(
+          core::FairKMSolver solver,
+          core::FairKMSolver::Create(&matrix, &sensitive, options));
+      FAIRKM_RETURN_NOT_OK(solver.Init(&rng));
+      FAIRKM_ASSIGN_OR_RETURN(const core::RunStop stop, solver.Run(budget));
+      std::printf("checkpoints: %s, every %d sweeps, stop = %s\n",
+                  checkpoint_dir.c_str(), budget.checkpoint_every,
+                  RunStopName(stop));
+      FAIRKM_ASSIGN_OR_RETURN(core::FairKMResult fair_result,
+                              solver.CurrentResult());
+      return Report(args, method, matrix, sensitive, std::move(fair_result),
+                    std::move(csv));
+    }
   } else {
     cluster::ClustererOptions options;
     options.k = k;
@@ -276,46 +386,8 @@ Status Run(const ArgParser& args) {
   }
   FAIRKM_ASSIGN_OR_RETURN(cluster::ClusteringResult result,
                           clusterer->Cluster(matrix, sensitive, &rng));
-  if (method == "fairkm") {
-    std::printf("FairKM: lambda = %g, %d iterations, converged = %s\n",
-                result.lambda_used, result.iterations,
-                result.converged ? "yes" : "no");
-    std::printf("sweep: %.1f ms, pruned %.1f%% of the candidate evaluations\n",
-                result.sweep_seconds * 1e3, result.pruned_fraction * 100.0);
-  }
-  cluster::Assignment assignment = std::move(result.assignment);
-
-  // Report.
-  std::printf("n = %zu rows, %zu task attributes, k = %d, method = %s\n",
-              matrix.rows(), matrix.cols(), k, method.c_str());
-  std::printf("kernel backend: %s\n", core::kernels::ActiveBackend().name);
-  std::printf("clustering objective (SSE): %.4f\n",
-              metrics::ClusteringObjective(matrix, assignment, k));
-  std::printf("silhouette: %.4f\n", metrics::SilhouetteScore(matrix, assignment, k));
-  if (!sensitive.empty()) {
-    auto fairness = metrics::EvaluateFairness(sensitive, assignment, k);
-    exp::TablePrinter table({"Sensitive attribute", "AE", "AW", "ME", "MW"});
-    for (const auto& attr : fairness.per_attribute) {
-      table.AddRow({attr.attribute, exp::Cell(attr.ae), exp::Cell(attr.aw),
-                    exp::Cell(attr.me), exp::Cell(attr.mw)});
-    }
-    table.AddSeparator();
-    table.AddRow({"mean", exp::Cell(fairness.mean.ae), exp::Cell(fairness.mean.aw),
-                  exp::Cell(fairness.mean.me), exp::Cell(fairness.mean.mw)});
-    table.Print();
-  }
-
-  // Output CSV: input columns + cluster id.
-  const std::string output = args.GetString("output");
-  if (!output.empty()) {
-    csv.header.push_back("cluster");
-    for (size_t i = 0; i < csv.rows.size(); ++i) {
-      csv.rows[i].push_back(std::to_string(assignment[i]));
-    }
-    FAIRKM_RETURN_NOT_OK(WriteCsvFile(csv, output));
-    std::printf("wrote %s\n", output.c_str());
-  }
-  return Status::OK();
+  return Report(args, method, matrix, sensitive, std::move(result),
+                std::move(csv));
 }
 
 }  // namespace
@@ -344,6 +416,15 @@ int main(int argc, char** argv) {
   args.AddFlag("kernels", "auto",
                "kernel backend: auto (cpuid dispatch) | scalar");
   args.AddFlag("seed", "42", "random seed");
+  args.AddFlag("checkpoint-dir", "",
+               "fairkm: directory for durable auto-checkpoints (CRC-verified, "
+               "atomically replaced; empty = off)");
+  args.AddFlag("checkpoint-every", "5",
+               "fairkm: sweeps between auto-checkpoints (one more is always "
+               "taken when the run stops)");
+  args.AddFlag("resume", "false",
+               "fairkm: restore the newest valid checkpoint in "
+               "--checkpoint-dir before running (corrupt files are skipped)");
   args.AddFlag("serve-bench", "false",
                "run the serving-tier benchmark (trainer publishing snapshots "
                "+ concurrent readers) on the synthetic Adult dataset and "
@@ -353,6 +434,15 @@ int main(int argc, char** argv) {
   args.AddFlag("serve-batch", "512", "serve-bench: max points per scoring batch");
   args.AddFlag("serve-rows", "8192",
                "serve-bench: Adult subsample size (0 = full dataset)");
+  args.AddFlag("serve-deadline-ms", "0",
+               "serve-bench: per-request deadline in milliseconds, queue wait "
+               "included (0 = none)");
+  args.AddFlag("serve-queue-timeout-ms", "0",
+               "serve-bench: give up on requests that wait longer than this "
+               "in the admission queue (0 = none)");
+  args.AddFlag("serve-queue-depth", "1024",
+               "serve-bench: admission-queue depth; requests beyond it are "
+               "shed immediately");
   args.AddFlag("help", "false", "show usage");
   if (Status st = args.Parse(argc, argv); !st.ok()) {
     std::fprintf(stderr, "%s\n%s", st.ToString().c_str(),
