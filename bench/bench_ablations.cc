@@ -12,6 +12,7 @@
 #include "bench_common.h"
 #include "common/timer.h"
 #include "core/fairkm.h"
+#include "core/solver.h"
 #include "exp/table.h"
 #include "metrics/fairness.h"
 #include "metrics/quality.h"
@@ -19,6 +20,21 @@
 namespace {
 
 using namespace fairkm;
+
+// Session-API replacement for the retired RunFairKM wrapper (bit-identical
+// trajectories): Create + Init + Run + CurrentResult.
+Result<core::FairKMResult> RunSession(const data::Matrix& points,
+                                      const data::SensitiveView& sensitive,
+                                      const core::FairKMOptions& options,
+                                      Rng* rng) {
+  FAIRKM_ASSIGN_OR_RETURN(
+      core::FairKMSolver solver,
+      core::FairKMSolver::Create(&points, &sensitive, options));
+  FAIRKM_RETURN_NOT_OK(solver.Init(rng));
+  FAIRKM_ASSIGN_OR_RETURN(core::RunStop stop, solver.Run());
+  (void)stop;
+  return solver.CurrentResult();
+}
 using bench::BenchEnv;
 
 void AblateClusterWeighting(const exp::ExperimentData& data, const BenchEnv& env) {
@@ -46,7 +62,7 @@ void AblateClusterWeighting(const exp::ExperimentData& data, const BenchEnv& env
       options.lambda = data.paper_lambda * mode.lambda_scale;
       options.fairness.weighting = mode.weighting;
       Rng rng(1000 + s);
-      auto r = core::RunFairKM(data.features, data.sensitive, options, &rng)
+      auto r = RunSession(data.features, data.sensitive, options, &rng)
                    .ValueOrDie();
       co.Add(r.kmeans_objective);
       ae.Add(metrics::EvaluateFairness(data.sensitive, r.assignment, k).mean.ae);
@@ -89,7 +105,7 @@ void AblateDomainNormalization(const exp::ExperimentData& data, const BenchEnv& 
           normalize ? data.paper_lambda : data.paper_lambda / mean_cardinality;
       options.fairness.normalize_domain = normalize;
       Rng rng(1000 + s);
-      auto r = core::RunFairKM(data.features, data.sensitive, options, &rng)
+      auto r = RunSession(data.features, data.sensitive, options, &rng)
                    .ValueOrDie();
       auto summary = metrics::EvaluateFairness(data.sensitive, r.assignment, k);
       for (const auto& attr : summary.per_attribute) {
@@ -124,7 +140,7 @@ void AblateMiniBatch(const exp::ExperimentData& data, const BenchEnv& env) {
       options.minibatch_size = batch;
       Rng rng(1000 + s);
       Timer timer;
-      auto r = core::RunFairKM(data.features, data.sensitive, options, &rng)
+      auto r = RunSession(data.features, data.sensitive, options, &rng)
                    .ValueOrDie();
       seconds.Add(timer.ElapsedSeconds());
       co.Add(r.kmeans_objective);
@@ -189,7 +205,7 @@ void AblateAttributeWeights(const exp::ExperimentData& data, const BenchEnv& env
       options.lambda = data.paper_lambda;
       Rng rng(1000 + s);
       auto r =
-          core::RunFairKM(data.features, view, options, &rng).ValueOrDie();
+          RunSession(data.features, view, options, &rng).ValueOrDie();
       auto summary = metrics::EvaluateFairness(data.sensitive, r.assignment, k);
       double other_sum = 0.0;
       size_t other_n = 0;

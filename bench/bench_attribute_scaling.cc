@@ -12,6 +12,7 @@
 #include "bench_common.h"
 #include "common/timer.h"
 #include "core/fairkm.h"
+#include "core/solver.h"
 #include "data/preprocess.h"
 #include "exp/table.h"
 #include "metrics/fairness.h"
@@ -19,6 +20,21 @@
 namespace {
 
 using namespace fairkm;
+
+// Session-API replacement for the retired RunFairKM wrapper (bit-identical
+// trajectories): Create + Init + Run + CurrentResult.
+Result<core::FairKMResult> RunSession(const data::Matrix& points,
+                                      const data::SensitiveView& sensitive,
+                                      const core::FairKMOptions& options,
+                                      Rng* rng) {
+  FAIRKM_ASSIGN_OR_RETURN(
+      core::FairKMSolver solver,
+      core::FairKMSolver::Create(&points, &sensitive, options));
+  FAIRKM_RETURN_NOT_OK(solver.Init(rng));
+  FAIRKM_ASSIGN_OR_RETURN(core::RunStop stop, solver.Run());
+  (void)stop;
+  return solver.CurrentResult();
+}
 
 struct SyntheticWorld {
   data::Matrix points;
@@ -86,14 +102,14 @@ void RunSweep(const char* title, const std::vector<std::pair<int, int>>& setting
       blind_opt.lambda = 0.0;
       Rng r1(500 + s);
       auto blind =
-          core::RunFairKM(w.points, w.sensitive, blind_opt, &r1).ValueOrDie();
+          RunSession(w.points, w.sensitive, blind_opt, &r1).ValueOrDie();
 
       core::FairKMOptions fair_opt;
       fair_opt.k = k;  // lambda auto = (n/k)^2.
       Rng r2(500 + s);
       Timer timer;
       auto fair =
-          core::RunFairKM(w.points, w.sensitive, fair_opt, &r2).ValueOrDie();
+          RunSession(w.points, w.sensitive, fair_opt, &r2).ValueOrDie();
       seconds.Add(timer.ElapsedSeconds());
 
       blind_ae.Add(

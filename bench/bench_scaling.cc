@@ -27,7 +27,9 @@
 #include "core/fairkm_state.h"
 #include "common/timer.h"
 #include "core/kernels/kernels.h"
+#include "core/sharded_sweep.h"
 #include "core/solver.h"
+#include "data/point_store.h"
 #include "data/preprocess.h"
 #include "serve/assign_batch.h"
 #include "serve/model_snapshot.h"
@@ -35,6 +37,22 @@
 namespace {
 
 using namespace fairkm;
+
+
+// The solver-session equivalent of the retired RunFairKM wrapper — same
+// draws, same trajectory; one Create + Init + Run + CurrentResult per call.
+Result<core::FairKMResult> RunSession(const data::Matrix& points,
+                                      const data::SensitiveView& sensitive,
+                                      const core::FairKMOptions& options,
+                                      Rng* rng) {
+  FAIRKM_ASSIGN_OR_RETURN(
+      core::FairKMSolver solver,
+      core::FairKMSolver::Create(&points, &sensitive, options));
+  FAIRKM_RETURN_NOT_OK(solver.Init(rng));
+  FAIRKM_ASSIGN_OR_RETURN(core::RunStop stop, solver.Run());
+  (void)stop;
+  return solver.CurrentResult();
+}
 
 const exp::ExperimentData& AdultSlice(size_t rows) {
   static std::map<size_t, std::unique_ptr<exp::ExperimentData>> cache;
@@ -121,7 +139,7 @@ void FairKMSweepBody(benchmark::State& state, size_t n, size_t d, bool prune) {
   double pruned_fraction = 0.0, sweep_seconds = 0.0;
   for (auto _ : state) {
     Rng rng(42);
-    auto result = core::RunFairKM(world.features, world.sensitive, options, &rng);
+    auto result = RunSession(world.features, world.sensitive, options, &rng);
     const core::FairKMResult& r = result.ValueOrDie();
     pruned_fraction = r.PrunedFraction();
     sweep_seconds = r.sweep_seconds;
@@ -285,7 +303,7 @@ void BM_FairKM_DatasetSize(benchmark::State& state) {
   options.max_iterations = 10;
   for (auto _ : state) {
     Rng rng(42);
-    auto result = core::RunFairKM(data.features, data.sensitive, options, &rng);
+    auto result = RunSession(data.features, data.sensitive, options, &rng);
     benchmark::DoNotOptimize(result.ok());
   }
   state.SetComplexityN(static_cast<int64_t>(n));
@@ -307,7 +325,7 @@ void BM_FairKM_Fast(benchmark::State& state) {
   options.max_iterations = 5;
   for (auto _ : state) {
     Rng rng(7);
-    auto result = core::RunFairKM(data.features, data.sensitive, options, &rng);
+    auto result = RunSession(data.features, data.sensitive, options, &rng);
     benchmark::DoNotOptimize(result.ok());
   }
 }
@@ -356,7 +374,7 @@ void BM_FairKM_AllAttributes(benchmark::State& state) {
   double pruned_fraction = 0.0;
   for (auto _ : state) {
     Rng rng(42);
-    auto result = core::RunFairKM(data.features, data.sensitive, options, &rng);
+    auto result = RunSession(data.features, data.sensitive, options, &rng);
     pruned_fraction = result.ValueOrDie().PrunedFraction();
     benchmark::DoNotOptimize(result.ok());
   }
@@ -374,7 +392,7 @@ void BM_FairKM_AllAttributes_Exact(benchmark::State& state) {
   options.enable_pruning = false;
   for (auto _ : state) {
     Rng rng(42);
-    auto result = core::RunFairKM(data.features, data.sensitive, options, &rng);
+    auto result = RunSession(data.features, data.sensitive, options, &rng);
     benchmark::DoNotOptimize(result.ok());
   }
 }
@@ -388,7 +406,7 @@ void BM_FairKM_MiniBatch(benchmark::State& state) {
   options.minibatch_size = static_cast<int>(state.range(0));
   for (auto _ : state) {
     Rng rng(42);
-    auto result = core::RunFairKM(data.features, data.sensitive, options, &rng);
+    auto result = RunSession(data.features, data.sensitive, options, &rng);
     benchmark::DoNotOptimize(result.ok());
   }
 }
@@ -586,11 +604,73 @@ void BM_FairKM_ParallelSweep(benchmark::State& state) {
   options.num_threads = static_cast<int>(state.range(0));
   for (auto _ : state) {
     Rng rng(42);
-    auto result = core::RunFairKM(data.features, data.sensitive, options, &rng);
+    auto result = RunSession(data.features, data.sensitive, options, &rng);
     benchmark::DoNotOptimize(result.ok());
   }
 }
 BENCHMARK(BM_FairKM_ParallelSweep)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+
+// Out-of-core pair (n = 20000, d = 32, k = 8, 2 workers): _InProcess runs
+// the snapshot sweep over the in-memory point store; _Sharded runs the SAME
+// options through core::ShardedSweep over an mmap-backed store file, with
+// each shard evicted from the page cache as the sweep passes it.
+// Trajectories are bit-identical (tests/sharded_sweep_test.cc); what this
+// pair measures is the out-of-core overhead (refaults + madvise), which
+// tools/bench_json.sh bounds: Sharded/InProcess <= MAX_SHARDED_OVERHEAD.
+// The one-time store materialization is excluded from both sides.
+constexpr size_t kShardedN = 20000;
+constexpr size_t kShardedD = 32;
+
+core::FairKMOptions ShardedBenchOptions() {
+  core::FairKMOptions options;
+  options.k = 8;
+  options.lambda = core::SuggestLambda(kShardedN, options.k);
+  options.max_iterations = 3;
+  options.minibatch_size = 1024;
+  options.sweep_mode = core::SweepMode::kParallelSnapshot;
+  options.num_threads = 2;
+  return options;
+}
+
+void BM_FairKM_SnapshotSweep_InProcess(benchmark::State& state) {
+  const auto& world = SyntheticWorld(kShardedN, kShardedD);
+  const core::FairKMOptions options = ShardedBenchOptions();
+  for (auto _ : state) {
+    auto solver =
+        core::FairKMSolver::Create(&world.features, &world.sensitive, options)
+            .ValueOrDie();
+    solver.Init(uint64_t{42}).Abort();
+    solver.Run().ValueOrDie();
+    benchmark::DoNotOptimize(solver.assignment().data());
+  }
+}
+BENCHMARK(BM_FairKM_SnapshotSweep_InProcess)->Unit(benchmark::kMillisecond);
+
+void BM_FairKM_SnapshotSweep_Sharded(benchmark::State& state) {
+  const auto& world = SyntheticWorld(kShardedN, kShardedD);
+  const core::FairKMOptions options = ShardedBenchOptions();
+  static const std::shared_ptr<const data::PointStore> store = [] {
+    data::PointStoreSpec spec;
+    spec.backend = data::PointStoreSpec::Backend::kMmap;
+    spec.path = "/tmp/fairkm_bench_sharded.fkps";
+    return data::PointStore::Create(SyntheticWorld(kShardedN, kShardedD).features,
+                                    spec)
+        .ValueOrDie();
+  }();
+  double evictions = 0.0;
+  for (auto _ : state) {
+    auto sweep =
+        core::ShardedSweep::Create(store, &world.sensitive, options, 8)
+            .ValueOrDie();
+    sweep.Init(uint64_t{42}).Abort();
+    sweep.Run().ValueOrDie();
+    evictions = static_cast<double>(sweep.stats().evictions);
+    benchmark::DoNotOptimize(sweep.solver().assignment().data());
+  }
+  state.counters["evictions"] = evictions;
+}
+BENCHMARK(BM_FairKM_SnapshotSweep_Sharded)->Unit(benchmark::kMillisecond);
 
 void BM_MoveDeltaEvaluation(benchmark::State& state) {
   const auto& data = AdultSlice(2000);

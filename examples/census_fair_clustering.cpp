@@ -13,6 +13,7 @@
 #include "cluster/kmeans.h"
 #include "common/args.h"
 #include "core/fairkm.h"
+#include "core/solver.h"
 #include "exp/datasets.h"
 #include "exp/table.h"
 #include "metrics/fairness.h"
@@ -57,9 +58,18 @@ int main(int argc, char** argv) {
   core::FairKMOptions fopt;
   fopt.k = k;
   fopt.lambda = lambda;
+  // The session API: Create binds the inputs, Init(seed) draws the paper's
+  // random initial assignment, Run sweeps to convergence.
+  core::FairKMSolver solver =
+      core::FairKMSolver::Create(&data.features, &data.sensitive, fopt)
+          .ValueOrDie();
   Rng fair_rng(seed);
-  auto fair =
-      core::RunFairKM(data.features, data.sensitive, fopt, &fair_rng).ValueOrDie();
+  if (Status st = solver.Init(&fair_rng); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  solver.Run().ValueOrDie();
+  auto fair = solver.CurrentResult().ValueOrDie();
 
   auto blind_fairness = metrics::EvaluateFairness(data.sensitive, blind.assignment, k);
   auto fair_fairness = metrics::EvaluateFairness(data.sensitive, fair.assignment, k);

@@ -10,6 +10,7 @@
 #include "cluster/kmeans.h"
 #include "common/args.h"
 #include "core/fairkm.h"
+#include "core/solver.h"
 #include "exp/datasets.h"
 #include "exp/table.h"
 #include "metrics/fairness.h"
@@ -76,9 +77,16 @@ int main(int argc, char** argv) {
   core::FairKMOptions fopt;
   fopt.k = k;
   fopt.lambda = lambda;
+  core::FairKMSolver solver =
+      core::FairKMSolver::Create(&data.features, &data.sensitive, fopt)
+          .ValueOrDie();
   Rng fair_rng(seed);
-  auto fair =
-      core::RunFairKM(data.features, data.sensitive, fopt, &fair_rng).ValueOrDie();
+  if (Status st = solver.Init(&fair_rng); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  solver.Run().ValueOrDie();
+  auto fair = solver.CurrentResult().ValueOrDie();
   PrintTypeMix("\nFairKM questionnaires (balanced type mix):", fair.assignment, k,
                *type);
 

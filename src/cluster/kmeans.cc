@@ -116,6 +116,16 @@ size_t AssignToNearest(const data::Matrix& points, const data::Matrix& centers,
   return changes;
 }
 
+Result<Assignment> MakeRandomAssignment(size_t n, int k, Rng* rng) {
+  if (k <= 0) return Status::InvalidArgument("k must be positive");
+  if (rng == nullptr) return Status::InvalidArgument("rng must not be null");
+  Assignment assignment(n);
+  for (size_t i = 0; i < n; ++i) {
+    assignment[i] = static_cast<int32_t>(rng->UniformInt(static_cast<uint64_t>(k)));
+  }
+  return assignment;
+}
+
 Result<Assignment> MakeInitialAssignment(const data::Matrix& points, int k,
                                          KMeansInit init, Rng* rng) {
   FAIRKM_RETURN_NOT_OK(CheckInputs(points, k));
@@ -129,10 +139,7 @@ Result<Assignment> MakeInitialAssignment(const data::Matrix& points, int k,
       break;
     }
     case KMeansInit::kRandomAssignment: {
-      assignment.resize(n);
-      for (size_t i = 0; i < n; ++i) {
-        assignment[i] = static_cast<int32_t>(rng->UniformInt(static_cast<uint64_t>(k)));
-      }
+      FAIRKM_ASSIGN_OR_RETURN(assignment, MakeRandomAssignment(n, k, rng));
       break;
     }
     case KMeansInit::kRandomCenters: {

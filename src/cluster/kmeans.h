@@ -48,6 +48,13 @@ Result<ClusteringResult> RunKMeans(const data::Matrix& points,
 Result<Assignment> MakeInitialAssignment(const data::Matrix& points, int k,
                                          KMeansInit init, Rng* rng);
 
+/// \brief The kRandomAssignment strategy without the matrix: depends only on
+/// (n, k, rng draws), so store-backed sessions (out-of-core PointStore runs
+/// with no data::Matrix in memory) draw the SAME initial assignment as a
+/// matrix-backed session with an equal seed. MakeInitialAssignment's
+/// kRandomAssignment branch routes through this.
+Result<Assignment> MakeRandomAssignment(size_t n, int k, Rng* rng);
+
 }  // namespace cluster
 }  // namespace fairkm
 

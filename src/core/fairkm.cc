@@ -1,5 +1,7 @@
 #include "core/fairkm.h"
 
+#include <cmath>
+
 #include "core/solver.h"
 
 namespace fairkm {
@@ -9,6 +11,32 @@ double SuggestLambda(size_t num_rows, int k) {
   FAIRKM_DCHECK(k > 0);
   const double ratio = static_cast<double>(num_rows) / static_cast<double>(k);
   return ratio * ratio;
+}
+
+Status FairKMOptions::Validate() const {
+  if (k <= 0) return Status::InvalidArgument("k must be positive");
+  if (max_iterations <= 0) {
+    return Status::InvalidArgument("max_iterations must be positive");
+  }
+  if (minibatch_size < 0) {
+    return Status::InvalidArgument("minibatch_size must be >= 0");
+  }
+  if (num_threads < 0) {
+    return Status::InvalidArgument("num_threads must be >= 0");
+  }
+  if (sweep_mode == SweepMode::kParallelSnapshot && minibatch_size == 0) {
+    return Status::InvalidArgument(
+        "parallel snapshot sweep requires minibatch_size > 0 (candidates are "
+        "evaluated against the frozen prototype snapshot)");
+  }
+  if (std::isnan(lambda) || std::isinf(lambda)) {
+    return Status::InvalidArgument(
+        "lambda must be finite (negative means auto)");
+  }
+  if (std::isnan(min_improvement) || min_improvement < 0.0) {
+    return Status::InvalidArgument("min_improvement must be >= 0");
+  }
+  return Status::OK();
 }
 
 // Compatibility wrapper: one blocking run of the FairKMSolver session

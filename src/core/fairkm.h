@@ -71,6 +71,20 @@ struct FairKMOptions {
   /// FAIRKM_DISABLE_PRUNING environment variable (or fairkm_cli --no-prune)
   /// forces the exact path regardless.
   bool enable_pruning = true;
+
+  /// \brief The one documented validity surface for this struct: every
+  /// entry point that consumes FairKMOptions (FairKMSolver::Create, the
+  /// RunFairKM wrapper, core::ShardedSweep::Create) calls this instead of
+  /// scattering ad-hoc checks. Rejected (kInvalidArgument):
+  ///   * k <= 0,
+  ///   * max_iterations <= 0,
+  ///   * minibatch_size < 0,
+  ///   * num_threads < 0,
+  ///   * sweep_mode == kParallelSnapshot with minibatch_size == 0 (the
+  ///     parallel sweep needs the frozen-snapshot batch semantics),
+  ///   * non-finite lambda (negative finite lambda means "auto"),
+  ///   * NaN or negative min_improvement.
+  Status Validate() const;
 };
 
 /// \brief FairKM output: clustering plus the decomposed objective.
@@ -111,10 +125,12 @@ double SuggestLambda(size_t num_rows, int k);
 /// (core/solver.h): construct, Init from `rng`, Run to convergence or
 /// options.max_iterations. Callers that run many seeds, need stepwise
 /// control, checkpoints or out-of-sample assignment should use the solver
-/// directly.
-Result<FairKMResult> RunFairKM(const data::Matrix& points,
-                               const data::SensitiveView& sensitive,
-                               const FairKMOptions& options, Rng* rng);
+/// directly. Deprecated since the PR 5 lifecycle migration; the remaining
+/// in-tree callers are the oracle cross-checks that pin the wrapper's
+/// bit-identical-to-solver contract.
+[[deprecated("use FairKMSolver")]] Result<FairKMResult> RunFairKM(
+    const data::Matrix& points, const data::SensitiveView& sensitive,
+    const FairKMOptions& options, Rng* rng);
 
 }  // namespace core
 }  // namespace fairkm

@@ -18,6 +18,18 @@ namespace {
 // (infinities would poison the drift-delta subtractions with NaNs).
 constexpr double kEmptyRefillDrift = 1e30;
 
+// Full O(n) passes over the point store (norm cache, initial aggregates,
+// scratch SSE) stream in chunks of roughly this many bytes and evict behind
+// themselves, so a memory-mapped store never pages fully resident just to
+// build or finalize state — the same discipline as PointStore::Open's CRC
+// walk. EvictRows is a no-op for the memory backend, and eviction never
+// changes what a later read returns, so trajectories are unaffected.
+constexpr size_t kResidencyChunkBytes = size_t{8} << 20;
+
+size_t ResidencyChunkRows(size_t stride) {
+  return std::max<size_t>(1, kResidencyChunkBytes / (stride * sizeof(double)));
+}
+
 }  // namespace
 
 FairKMState::FairKMState(const data::Matrix* points,
@@ -30,6 +42,18 @@ FairKMState::FairKMState(const data::Matrix* points,
       d_(points->cols()),
       stride_(data::PaddedStride(points->cols())),
       config_(config) {}
+
+FairKMState::FairKMState(std::shared_ptr<const data::PointStore> store,
+                         const data::SensitiveView* sensitive, int k,
+                         FairnessTermConfig config)
+    : points_(nullptr),
+      sensitive_(sensitive),
+      k_(k),
+      n_(store->rows()),
+      d_(store->cols()),
+      stride_(store->stride()),
+      config_(config),
+      store_(std::move(store)) {}
 
 Result<FairKMState> FairKMState::Create(const data::Matrix* points,
                                         const data::SensitiveView* sensitive, int k,
@@ -52,29 +76,66 @@ Result<FairKMState> FairKMState::Create(const data::Matrix* points,
   return state;
 }
 
+Result<FairKMState> FairKMState::Create(
+    std::shared_ptr<const data::PointStore> store,
+    const data::SensitiveView* sensitive, int k, cluster::Assignment initial,
+    FairnessTermConfig config) {
+  if (store == nullptr || sensitive == nullptr) {
+    return Status::InvalidArgument("store/sensitive must not be null");
+  }
+  if (store->empty()) {
+    return Status::InvalidArgument("point store must not be empty");
+  }
+  if (k <= 0) return Status::InvalidArgument("k must be positive");
+  FAIRKM_RETURN_NOT_OK(cluster::ValidateAssignment(initial, store->rows(), k));
+  FAIRKM_RETURN_NOT_OK(sensitive->Validate(store->rows()));
+  // Same boundary rule as the matrix path: kernels stream these rows
+  // unchecked. A store Open()ed from disk passed its CRC walk, but the CRC
+  // only proves the bytes are what the writer streamed — this rejects a
+  // store whose writer was fed NaN/Inf (RSS-bounded scan, evicts behind).
+  FAIRKM_RETURN_NOT_OK(data::ValidateFiniteStore(*store, "points"));
+  FairKMState state(std::move(store), sensitive, k, config);
+  state.BuildAggregates(std::move(initial));
+  return state;
+}
+
 void FairKMState::BuildAggregates(cluster::Assignment initial) {
   assignment_ = std::move(initial);
   // Immutable caches (aligned store, per-point norms): built once per
   // (points, state) pair; a Reset over the same points skips the O(n d)
-  // copy and the allocations entirely — the multi-seed fast path.
-  if (store_.rows() != n_ || store_.cols() != d_) {
-    store_ = data::PointStore(*points_);
+  // copy and the allocations entirely — the multi-seed fast path. A
+  // store-backed state arrives with store_ already set (possibly mmap) and
+  // only needs the norm cache.
+  if (store_ == nullptr || store_->rows() != n_ || store_->cols() != d_) {
+    store_ = std::make_shared<data::PointStore>(*points_);
+    point_norms_.clear();
+  }
+  const size_t chunk_rows = ResidencyChunkRows(stride_);
+  if (point_norms_.size() != n_) {
     point_norms_.assign(n_, 0.0);
     total_point_norm_ = 0.0;
-    for (size_t i = 0; i < n_; ++i) {
-      const double* row = store_.Row(i);
-      point_norms_[i] = kernels::Dot(row, row, stride_);
-      total_point_norm_ += point_norms_[i];
+    for (size_t base = 0; base < n_; base += chunk_rows) {
+      const size_t end = std::min(n_, base + chunk_rows);
+      for (size_t i = base; i < end; ++i) {
+        const double* row = store_->Row(i);
+        point_norms_[i] = kernels::Dot(row, row, stride_);
+        total_point_norm_ += point_norms_[i];
+      }
+      store_->EvictRows(base, end);
     }
   }
   counts_.assign(static_cast<size_t>(k_), 0);
   sums_.assign(static_cast<size_t>(k_) * stride_, 0.0);
-  for (size_t i = 0; i < n_; ++i) {
-    const size_t c = static_cast<size_t>(assignment_[i]);
-    ++counts_[c];
-    const double* row = store_.Row(i);
-    double* acc = sums_.data() + c * stride_;
-    for (size_t j = 0; j < d_; ++j) acc[j] += row[j];
+  for (size_t base = 0; base < n_; base += chunk_rows) {
+    const size_t end = std::min(n_, base + chunk_rows);
+    for (size_t i = base; i < end; ++i) {
+      const size_t c = static_cast<size_t>(assignment_[i]);
+      ++counts_[c];
+      const double* row = store_->Row(i);
+      double* acc = sums_.data() + c * stride_;
+      for (size_t j = 0; j < d_; ++j) acc[j] += row[j];
+    }
+    store_->EvictRows(base, end);
   }
   sum_norms_.assign(static_cast<size_t>(k_), 0.0);
   for (int c = 0; c < k_; ++c) {
@@ -329,7 +390,10 @@ void FairKMState::EnableBoundTracking(bool enable) {
 }
 
 double FairKMState::DistanceToMean(size_t i, const double* sums, double count) const {
-  const double* row = points_->Row(i);
+  // Store rows carry the same first d_ coordinates as the source matrix
+  // (padding lanes are untouched here), so this stays bit-identical to the
+  // historical matrix read and works for store-backed states too.
+  const double* row = store_->Row(i);
   const double inv = 1.0 / count;
   double total = 0.0;
   for (size_t j = 0; j < d_; ++j) {
@@ -341,7 +405,7 @@ double FairKMState::DistanceToMean(size_t i, const double* sums, double count) c
 
 double FairKMState::CachedDistanceToMean(size_t i, const double* sums,
                                          double sum_norm, double count) const {
-  const double* row = store_.Row(i);
+  const double* row = store_->Row(i);
   const double dot = kernels::Dot(row, sums, stride_);
   const double inv = 1.0 / count;
   const double dist = point_norms_[i] - 2.0 * dot * inv + sum_norm * inv * inv;
@@ -388,7 +452,7 @@ void FairKMState::DeltaKMeansAllClusters(size_t i, double* out,
   const std::vector<double>& sum_norms =
       use_snapshot_ ? proto_sum_norms_ : sum_norms_;
   const int from = assignment_[i];
-  const double* row = store_.Row(i);
+  const double* row = store_->Row(i);
   const double xn = point_norms_[i];
 
   // Pass 1: the k dot products x . S_c as one aligned no-tail GEMV over the
@@ -714,7 +778,7 @@ void FairKMState::Move(size_t i, int to) {
   const int from = assignment_[i];
   if (to == from) return;
   FAIRKM_DCHECK(to >= 0 && to < k_);
-  const double* row = store_.Row(i);
+  const double* row = store_->Row(i);
   double* from_sums = sums_.data() + static_cast<size_t>(from) * stride_;
   double* to_sums = sums_.data() + static_cast<size_t>(to) * stride_;
   const size_t c_from = counts_[static_cast<size_t>(from)];
@@ -785,7 +849,22 @@ void FairKMState::Move(size_t i, int to) {
 
 double FairKMState::KMeansTerm() const {
   data::Matrix centroids = Centroids();
-  return cluster::SumOfSquaredErrors(*points_, assignment_, centroids);
+  // Same accumulation order as cluster::SumOfSquaredErrors over the source
+  // matrix — store rows equal matrix rows in the first d_ lanes — but read
+  // from the store so store-backed (matrix-free) states get the identical
+  // value.
+  double sse = 0.0;
+  const size_t chunk_rows = ResidencyChunkRows(stride_);
+  for (size_t base = 0; base < n_; base += chunk_rows) {
+    const size_t end = std::min(n_, base + chunk_rows);
+    for (size_t i = base; i < end; ++i) {
+      sse += data::SquaredDistance(
+          store_->Row(i), centroids.Row(static_cast<size_t>(assignment_[i])),
+          d_);
+    }
+    store_->EvictRows(base, end);
+  }
+  return sse;
 }
 
 double FairKMState::KMeansTermCached() const {

@@ -67,6 +67,7 @@
 #define FAIRKM_CORE_FAIRKM_STATE_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "cluster/types.h"
@@ -90,6 +91,16 @@ class FairKMState {
                                     const data::SensitiveView* sensitive, int k,
                                     cluster::Assignment initial,
                                     FairnessTermConfig config = {});
+
+  /// \brief Store-backed variant: aggregates read directly from an existing
+  /// PointStore (any backend — this is how out-of-core mmap stores enter the
+  /// optimizer) and no data::Matrix is retained. Behavior is bit-identical
+  /// to the matrix overload built over the same rows: the matrix path copies
+  /// into an identical store before the first kernel pass anyway.
+  static Result<FairKMState> Create(
+      std::shared_ptr<const data::PointStore> store,
+      const data::SensitiveView* sensitive, int k,
+      cluster::Assignment initial, FairnessTermConfig config = {});
 
   /// \brief Rebuilds every per-assignment aggregate for a new initial
   /// assignment over the SAME points/sensitive view, reusing the aligned
@@ -300,6 +311,9 @@ class FairKMState {
  private:
   FairKMState(const data::Matrix* points, const data::SensitiveView* sensitive, int k,
               FairnessTermConfig config);
+  FairKMState(std::shared_ptr<const data::PointStore> store,
+              const data::SensitiveView* sensitive, int k,
+              FairnessTermConfig config);
 
   void BuildAggregates(cluster::Assignment initial);
 
@@ -328,6 +342,8 @@ class FairKMState {
   double CachedDistanceToMean(size_t i, const double* sums, double sum_norm,
                               double count) const;
 
+  // Null for store-backed states: every read goes through store_, the
+  // matrix is only needed to (re)build the store on the matrix path.
   const data::Matrix* points_;
   const data::SensitiveView* sensitive_;
   int k_;
@@ -336,9 +352,11 @@ class FairKMState {
   size_t stride_;  // Padded row width of store_/sums_ (multiple of 4).
   FairnessTermConfig config_;
 
-  // Aligned, lane-padded copy of *points_ — the layout every hot kernel
-  // streams (see data/point_store.h).
-  data::PointStore store_;
+  // Aligned, lane-padded rows — the layout every hot kernel streams (see
+  // data/point_store.h). On the matrix path this is a private copy of
+  // *points_; on the store-backed path it is the caller's store (possibly
+  // an mmap-backed one shared across sessions).
+  std::shared_ptr<const data::PointStore> store_;
 
   cluster::Assignment assignment_;
   std::vector<size_t> counts_;        // Cluster sizes.

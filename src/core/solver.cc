@@ -21,6 +21,7 @@ FairKMSolver::FairKMSolver(const data::Matrix* points,
       sensitive_(sensitive),
       options_(options),
       n_(points->rows()),
+      cols_(points->cols()),
       lambda_(options.lambda < 0 ? SuggestLambda(points->rows(), options.k)
                                  : options.lambda),
       minibatch_(options.minibatch_size > 0),
@@ -33,6 +34,25 @@ FairKMSolver::FairKMSolver(const data::Matrix* points,
       // Bound-gated pruning (core/pruning.h): on unless the options or the
       // FAIRKM_DISABLE_PRUNING escape hatch turn it off. k = 1 has no
       // candidate moves to gate, so skip the bookkeeping entirely.
+      pruning_(options.enable_pruning && !PruningDisabledByEnv() &&
+               options.k > 1) {}
+
+FairKMSolver::FairKMSolver(std::shared_ptr<const data::PointStore> store,
+                           const data::SensitiveView* sensitive,
+                           FairKMOptions options)
+    : points_(nullptr),
+      store_(std::move(store)),
+      sensitive_(sensitive),
+      options_(options),
+      n_(store_->rows()),
+      cols_(store_->cols()),
+      lambda_(options.lambda < 0 ? SuggestLambda(store_->rows(), options.k)
+                                 : options.lambda),
+      minibatch_(options.minibatch_size > 0),
+      batch_size_(options.minibatch_size > 0
+                      ? static_cast<size_t>(options.minibatch_size)
+                      : store_->rows()),
+      parallel_(options.sweep_mode == SweepMode::kParallelSnapshot),
       pruning_(options.enable_pruning && !PruningDisabledByEnv() &&
                options.k > 1) {}
 
@@ -49,29 +69,46 @@ Result<FairKMSolver> FairKMSolver::Create(const data::Matrix* points,
   // Catch NaN/Inf coordinates before the session binds them: once inside
   // the aligned point store they would silently poison every aggregate.
   FAIRKM_RETURN_NOT_OK(data::ValidateFinite(*points, "points"));
-  if (options.max_iterations <= 0) {
-    return Status::InvalidArgument("max_iterations must be positive");
-  }
-  if (options.minibatch_size < 0) {
-    return Status::InvalidArgument("minibatch_size must be non-negative");
-  }
-  if (options.num_threads < 0) {
-    return Status::InvalidArgument("num_threads must be non-negative");
-  }
-  if (options.sweep_mode == SweepMode::kParallelSnapshot &&
-      options.minibatch_size <= 0) {
-    return Status::InvalidArgument(
-        "parallel snapshot sweep requires minibatch_size > 0 (candidates are "
-        "evaluated against the frozen prototype snapshot)");
-  }
-  // Validate k before SuggestLambda, whose k > 0 DCHECK would abort first in
-  // debug builds.
-  if (options.k <= 0) return Status::InvalidArgument("k must be positive");
+  // One validity surface for the options (FairKMOptions::Validate). It
+  // checks k before anything that would reach SuggestLambda, whose k > 0
+  // DCHECK would abort first in debug builds.
+  FAIRKM_RETURN_NOT_OK(options.Validate());
   return FairKMSolver(points, sensitive, options);
+}
+
+Result<FairKMSolver> FairKMSolver::Create(
+    std::shared_ptr<const data::PointStore> store,
+    const data::SensitiveView* sensitive, const FairKMOptions& options) {
+  if (store == nullptr || sensitive == nullptr) {
+    return Status::InvalidArgument("store/sensitive must not be null");
+  }
+  if (store->empty()) {
+    return Status::InvalidArgument("store must not be empty");
+  }
+  // The store's checksums prove the bytes survived the round trip, not that
+  // the payload was finite; scan here exactly as the matrix path does.
+  FAIRKM_RETURN_NOT_OK(data::ValidateFiniteStore(*store, "points"));
+  FAIRKM_RETURN_NOT_OK(options.Validate());
+  return FairKMSolver(std::move(store), sensitive, options);
 }
 
 Status FairKMSolver::Init(Rng* rng) {
   if (rng == nullptr) return Status::InvalidArgument("rng must not be null");
+  if (points_ == nullptr) {
+    // Store-backed session: only the paper's random-assignment init is
+    // available (the other strategies score candidate centers against the
+    // full matrix). MakeRandomAssignment draws exactly what the matrix path
+    // draws, so equal seeds keep the two backends bit-identical.
+    if (options_.init != cluster::KMeansInit::kRandomAssignment) {
+      return Status::InvalidArgument(
+          "store-backed sessions support only KMeansInit::kRandomAssignment "
+          "(or a warm-start assignment)");
+    }
+    FAIRKM_ASSIGN_OR_RETURN(
+        cluster::Assignment initial,
+        cluster::MakeRandomAssignment(n_, options_.k, rng));
+    return Init(std::move(initial));
+  }
   FAIRKM_ASSIGN_OR_RETURN(
       cluster::Assignment initial,
       cluster::MakeInitialAssignment(*points_, options_.k, options_.init, rng));
@@ -87,12 +124,22 @@ Status FairKMSolver::Init(cluster::Assignment warm_start) {
   if (!state_) {
     // First Init: build the session state — the aligned point store, norm
     // caches, aggregates, bound tables, pruner, thread pool and batch
-    // scratch. Every later Init reuses all of it.
-    FAIRKM_ASSIGN_OR_RETURN(
-        FairKMState built,
-        FairKMState::Create(points_, sensitive_, options_.k,
-                            std::move(warm_start), options_.fairness));
-    state_ = std::make_unique<FairKMState>(std::move(built));
+    // scratch. Every later Init reuses all of it. A store-backed session
+    // hands its (possibly memory-mapped) store to the state instead of a
+    // matrix to copy.
+    if (points_ != nullptr) {
+      FAIRKM_ASSIGN_OR_RETURN(
+          FairKMState built,
+          FairKMState::Create(points_, sensitive_, options_.k,
+                              std::move(warm_start), options_.fairness));
+      state_ = std::make_unique<FairKMState>(std::move(built));
+    } else {
+      FAIRKM_ASSIGN_OR_RETURN(
+          FairKMState built,
+          FairKMState::Create(store_, sensitive_, options_.k,
+                              std::move(warm_start), options_.fairness));
+      state_ = std::make_unique<FairKMState>(std::move(built));
+    }
     state_->EnablePrototypeSnapshot(minibatch_);
     state_->EnableBoundTracking(pruning_);
     if (pruning_) {
@@ -416,7 +463,51 @@ Result<FairKMResult> FairKMSolver::CurrentResult() const {
   result.pruned_candidates = pruned_candidates_;
   result.pruned_fraction = result.PrunedFraction();
   result.assignment = state_->assignment();
-  cluster::FinalizeResult(*points_, options_.k, &result);
+  if (points_ != nullptr) {
+    cluster::FinalizeResult(*points_, options_.k, &result);
+  } else {
+    // Store-backed finalize, mirroring cluster::FinalizeResult exactly —
+    // same ComputeCentroids accumulation order (row-major sum, then one
+    // 1/|C| scale) and same SumOfSquaredErrors loop — so matrix- and
+    // store-backed sessions report bit-identical centroids and objectives.
+    // Both passes stream in chunks and evict behind themselves, keeping the
+    // finalize RSS-bounded on mmap stores (eviction never changes a read).
+    const size_t k = static_cast<size_t>(options_.k);
+    const size_t chunk_rows = std::max<size_t>(
+        1, (size_t{8} << 20) / (store_->stride() * sizeof(double)));
+    data::Matrix centroids(k, cols_);
+    std::vector<size_t> sizes(k, 0);
+    for (size_t base = 0; base < n_; base += chunk_rows) {
+      const size_t end = std::min(n_, base + chunk_rows);
+      for (size_t i = base; i < end; ++i) {
+        const size_t c = static_cast<size_t>(result.assignment[i]);
+        ++sizes[c];
+        const double* row = store_->Row(i);
+        double* acc = centroids.Row(c);
+        for (size_t j = 0; j < cols_; ++j) acc[j] += row[j];
+      }
+      store_->EvictRows(base, end);
+    }
+    for (size_t c = 0; c < k; ++c) {
+      if (sizes[c] == 0) continue;
+      double* acc = centroids.Row(c);
+      const double inv = 1.0 / static_cast<double>(sizes[c]);
+      for (size_t j = 0; j < cols_; ++j) acc[j] *= inv;
+    }
+    double sse = 0.0;
+    for (size_t base = 0; base < n_; base += chunk_rows) {
+      const size_t end = std::min(n_, base + chunk_rows);
+      for (size_t i = base; i < end; ++i) {
+        sse += data::SquaredDistance(
+            store_->Row(i),
+            centroids.Row(static_cast<size_t>(result.assignment[i])), cols_);
+      }
+      store_->EvictRows(base, end);
+    }
+    result.centroids = std::move(centroids);
+    result.sizes = std::move(sizes);
+    result.kmeans_objective = sse;
+  }
   result.kmeans_term = result.kmeans_objective;
   result.fairness_term = state_->FairnessTerm();
   result.total_objective = result.kmeans_term + lambda_ * result.fairness_term;
@@ -539,7 +630,7 @@ Result<ModelExport> FairKMSolver::ExportModel() const {
   }
   ModelExport m;
   m.num_rows = n_;
-  m.d = points_->cols();
+  m.d = cols_;
   m.stride = state_->stride();
   m.k = options_.k;
   m.lambda = lambda_;
@@ -593,10 +684,10 @@ Result<cluster::Assignment> FairKMSolver::AssignImpl(
     return Status::InvalidArgument(
         "solver not initialized: Assign needs a trained state");
   }
-  if (new_points.cols() != points_->cols()) {
+  if (new_points.cols() != cols_) {
     return Status::InvalidArgument(
         "new points have " + std::to_string(new_points.cols()) +
-        " features, the trained model has " + std::to_string(points_->cols()));
+        " features, the trained model has " + std::to_string(cols_));
   }
   FAIRKM_RETURN_NOT_OK(data::ValidateFinite(new_points, "new points"));
   const size_t rows = new_points.rows();
@@ -656,7 +747,7 @@ Result<cluster::Assignment> FairKMSolver::AssignImpl(
   // values are supplied, lambda times the exact fairness insertion delta.
   // Empty clusters have no prototype to serve and are not candidates.
   const data::Matrix centroids = state_->Centroids();
-  const size_t d = points_->cols();
+  const size_t d = cols_;
   const int k = options_.k;
   cluster::Assignment out(rows, 0);
   std::vector<int32_t> codes(num_cat, 0);

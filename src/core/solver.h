@@ -34,6 +34,14 @@
 //
 // The solver is move-only; it references the points/sensitive view, which
 // must outlive it unchanged.
+//
+// Storage backends: the matrix-backed Create copies the rows into an
+// in-memory aligned PointStore at the first Init. The store-backed Create
+// binds a data::PointStore directly — including the memory-mapped file
+// backend (see data/point_store.h) — so the sweep engine streams rows
+// straight off the mapping and the resident set is governed by the page
+// cache, not by an in-process copy. Both paths walk bit-identical
+// trajectories given equal inputs and seeds.
 
 #ifndef FAIRKM_CORE_SOLVER_H_
 #define FAIRKM_CORE_SOLVER_H_
@@ -51,6 +59,7 @@
 #include "core/fairkm_state.h"
 #include "core/pruning.h"
 #include "data/matrix.h"
+#include "data/point_store.h"
 #include "data/sensitive.h"
 
 namespace fairkm {
@@ -66,7 +75,9 @@ struct RunBudget {
   /// cancellation counts when it completes within this call).
   int max_sweeps = -1;
   /// Wall-clock cap for this Run call, checked at mini-batch boundaries —
-  /// the solver stops mid-sweep (resumable) once exceeded.
+  /// the solver stops mid-sweep (resumable) once exceeded. Like every other
+  /// duration in the library API, this is seconds as a double (CLI tools
+  /// that expose millisecond flags convert at parse time).
   double max_seconds = -1.0;
 
   // --- Durable auto-checkpointing (see core/checkpoint_io.h).
@@ -187,6 +198,19 @@ class FairKMSolver {
                                      const data::SensitiveView* sensitive,
                                      const FairKMOptions& options);
 
+  /// \brief Store-backed session: binds a PointStore (shared ownership)
+  /// instead of a matrix. With the mmap backend the dataset never enters the
+  /// process heap — rows are read straight off the read-only mapping, and
+  /// PointStore::EvictRows lets a sharded driver (core/sharded_sweep.h)
+  /// bound the resident set. Restrictions of this path: Init(rng) supports
+  /// only cluster::KMeansInit::kRandomAssignment (the paper's Algorithm-1
+  /// initialization; other strategies need matrix access) and points() is
+  /// null. Trajectories are bit-identical to a matrix-backed session over
+  /// the same rows with an equal seed.
+  static Result<FairKMSolver> Create(
+      std::shared_ptr<const data::PointStore> store,
+      const data::SensitiveView* sensitive, const FairKMOptions& options);
+
   // Move-only; special members out of line (ThreadPool is only forward-
   // declared here).
   FairKMSolver(FairKMSolver&&) noexcept;
@@ -291,12 +315,18 @@ class FairKMSolver {
   int k() const { return options_.k; }
   size_t num_rows() const { return n_; }
   const FairKMOptions& options() const { return options_; }
+  /// \brief The bound matrix, or null for a store-backed session.
   const data::Matrix* points() const { return points_; }
+  /// \brief The bound store (null until the first Init of a matrix-backed
+  /// session; always set for a store-backed one).
+  const data::PointStore* store() const { return store_.get(); }
   const data::SensitiveView* sensitive() const { return sensitive_; }
 
  private:
   FairKMSolver(const data::Matrix* points, const data::SensitiveView* sensitive,
                FairKMOptions options);
+  FairKMSolver(std::shared_ptr<const data::PointStore> store,
+               const data::SensitiveView* sensitive, FairKMOptions options);
 
   // Batch engine: advances the pending sweep from next_point_ to its end or
   // to a cancellation/time-budget stop (outcome in *stop: kCancelled or
@@ -317,10 +347,14 @@ class FairKMSolver {
                    : nullptr;
   }
 
-  const data::Matrix* points_;
+  const data::Matrix* points_;  // Null for store-backed sessions.
+  // Shared store for store-backed sessions (set at Create); matrix-backed
+  // sessions leave it null and let FairKMState build its own copy.
+  std::shared_ptr<const data::PointStore> store_;
   const data::SensitiveView* sensitive_;
   FairKMOptions options_;
   size_t n_ = 0;
+  size_t cols_ = 0;  // Feature width, valid for both backends.
   double lambda_ = 0.0;
   bool minibatch_ = false;
   size_t batch_size_ = 0;

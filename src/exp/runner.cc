@@ -1,5 +1,6 @@
 #include "exp/runner.h"
 
+#include <algorithm>
 #include <optional>
 
 #include "cluster/kmeans.h"
@@ -179,16 +180,39 @@ Result<AggregateOutcome> ExperimentRunner::Run(const RunConfig& config,
       }
     }
   } else {
-    // Seed-parallel: sessions are not thread-safe, so each seed builds its
-    // own (trading solver reuse for concurrency).
-    ParallelFor(num_seeds, num_threads_, [&](size_t s) {
-      Result<SeedOutcome> r = RunSeed(config, base_seed + s);
-      if (r.ok()) {
-        outcomes[s] = std::move(r).ValueOrDie();
-      } else {
-        statuses[s] = r.status();
-      }
-    });
+    // Seed-parallel session pool: sessions are not thread-safe, but they ARE
+    // reusable — so instead of a cold session per seed, build ONE session
+    // per worker up front and give each worker a contiguous chunk of seeds
+    // to drive through its own warm session. Every seed past a worker's
+    // first gets the serial path's allocation-free solver reuse; outcomes
+    // stay indexed by seed, so aggregation order (and therefore the
+    // aggregate) is deterministic regardless of scheduling.
+    const size_t workers = std::min(num_threads_, num_seeds);
+    std::vector<MethodSession> sessions;
+    sessions.reserve(workers);
+    for (size_t w = 0; w < workers; ++w) {
+      FAIRKM_ASSIGN_OR_RETURN(MethodSession session, MakeSession(config));
+      sessions.push_back(std::move(session));
+    }
+    const size_t chunk = (num_seeds + workers - 1) / workers;
+    ThreadPool pool(workers);
+    for (size_t w = 0; w < workers; ++w) {
+      const size_t lo = w * chunk;
+      const size_t hi = std::min(num_seeds, lo + chunk);
+      if (lo >= hi) break;
+      pool.Submit([this, &config, base_seed, &outcomes, &statuses, &sessions,
+                   w, lo, hi] {
+        for (size_t s = lo; s < hi; ++s) {
+          Result<SeedOutcome> r = RunSeed(config, base_seed + s, &sessions[w]);
+          if (r.ok()) {
+            outcomes[s] = std::move(r).ValueOrDie();
+          } else {
+            statuses[s] = r.status();
+          }
+        }
+      });
+    }
+    pool.Wait();
   }
   for (size_t s = 0; s < num_seeds; ++s) {
     const Status& st = statuses[s];

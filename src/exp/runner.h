@@ -132,9 +132,11 @@ class ExperimentRunner {
 
   /// \brief Runs `num_seeds` seeds (base_seed, base_seed+1, ...) and
   /// aggregates. Serial runners (num_threads = 1) share one session across
-  /// all seeds; seed-parallel runners trade that reuse for concurrency. Any
-  /// failing seed aborts the whole run with a status naming the seed and its
-  /// index.
+  /// all seeds; seed-parallel runners keep a session POOL — one warm session
+  /// per worker, each driving a contiguous chunk of seeds — so solver reuse
+  /// survives parallelization. Aggregation order is deterministic either
+  /// way. Any failing seed aborts the whole run with a status naming the
+  /// seed and its index.
   Result<AggregateOutcome> Run(const RunConfig& config, size_t num_seeds,
                                uint64_t base_seed = 1000) const;
 

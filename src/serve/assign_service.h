@@ -62,6 +62,11 @@ struct AssignServiceOptions {
 };
 
 /// \brief Per-request degradation knobs. Negative fields mean "unbounded".
+///
+/// Time-unit convention (repo-wide, same as core::RunBudget.max_seconds):
+/// every duration in a public option struct is wall-clock seconds as a
+/// `double`, named `*_seconds`. Millisecond-flavoured surfaces (the CLI's
+/// `--*-ms` flags) convert at parse time; no struct field is ever in ms.
 struct AssignRequestOptions {
   /// Total wall-clock budget of the request, INCLUDING queue wait, checked
   /// cooperatively between scoring batches. Exceeding it returns

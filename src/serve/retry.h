@@ -29,6 +29,9 @@ namespace fairkm {
 namespace serve {
 
 /// \brief Jittered exponential backoff schedule.
+///
+/// Durations follow the repo-wide convention: wall-clock seconds as a
+/// `double`, named `*_seconds` (so the defaults below read 1 ms and 100 ms).
 struct RetryPolicy {
   /// Total tries, including the first (so 1 disables retrying).
   int max_attempts = 4;

@@ -135,3 +135,71 @@ if(pos EQUAL -1)
 endif()
 
 message(STATUS "fairkm_cli checkpoint + fault-injection smoke test passed")
+
+# --- Out-of-core: the mmap store + sharded sweep must produce the same
+# output CSV as the in-memory run at equal options and seed (bit-identical
+# sharded trajectory), and report the store/shard telemetry. ---
+
+set(mem_output "${WORK_DIR}/tiny_mem.csv")
+set(mmap_output "${WORK_DIR}/tiny_mmap.csv")
+set(store_file "${WORK_DIR}/tiny.fkps")
+file(REMOVE "${mem_output}" "${mmap_output}" "${store_file}")
+
+execute_process(
+  COMMAND "${FAIRKM_CLI}"
+          --input "${input}" --output "${mem_output}"
+          --sensitive gender --method fairkm --k 2 --seed 7
+          --sweep parallel --minibatch 4
+  RESULT_VARIABLE exit_code
+  OUTPUT_VARIABLE stdout
+  ERROR_VARIABLE stderr)
+if(NOT exit_code EQUAL 0)
+  message(FATAL_ERROR "in-memory snapshot run exited with ${exit_code}\nstdout:\n${stdout}\nstderr:\n${stderr}")
+endif()
+
+execute_process(
+  COMMAND "${FAIRKM_CLI}"
+          --input "${input}" --output "${mmap_output}"
+          --sensitive gender --method fairkm --k 2 --seed 7
+          --sweep parallel --minibatch 4
+          --store "mmap:${store_file}" --shards 2
+  RESULT_VARIABLE exit_code
+  OUTPUT_VARIABLE stdout
+  ERROR_VARIABLE stderr)
+if(NOT exit_code EQUAL 0)
+  message(FATAL_ERROR "mmap sharded run exited with ${exit_code}\nstdout:\n${stdout}\nstderr:\n${stderr}")
+endif()
+foreach(needle "store: ${store_file}" "sharded sweep: ")
+  string(FIND "${stdout}" "${needle}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR "stdout missing \"${needle}\":\n${stdout}")
+  endif()
+endforeach()
+if(NOT EXISTS "${store_file}")
+  message(FATAL_ERROR "mmap run did not write the store file ${store_file}")
+endif()
+
+file(READ "${mem_output}" mem_csv)
+file(READ "${mmap_output}" mmap_csv)
+if(NOT mem_csv STREQUAL mmap_csv)
+  message(FATAL_ERROR "mmap sharded output differs from the in-memory run:\n--- mem:\n${mem_csv}\n--- mmap:\n${mmap_csv}")
+endif()
+
+# A requested mmap store without the snapshot batch engine must fail with
+# the actionable message, not fall back silently.
+execute_process(
+  COMMAND "${FAIRKM_CLI}"
+          --input "${input}" --sensitive gender --method fairkm --k 2 --seed 7
+          --store "mmap:${store_file}"
+  RESULT_VARIABLE exit_code
+  OUTPUT_VARIABLE stdout
+  ERROR_VARIABLE stderr)
+if(NOT exit_code EQUAL 1)
+  message(FATAL_ERROR "mmap-without-parallel run should exit 1, got ${exit_code}\nstdout:\n${stdout}\nstderr:\n${stderr}")
+endif()
+string(FIND "${stderr}" "requires --sweep parallel" pos)
+if(pos EQUAL -1)
+  message(FATAL_ERROR "stderr missing the --sweep parallel requirement:\n${stderr}")
+endif()
+
+message(STATUS "fairkm_cli out-of-core smoke test passed")

@@ -9,6 +9,7 @@
 #include <cmath>
 
 #include "core/fairkm.h"
+#include "test_util.h"
 #include "testlib/worlds.h"
 
 namespace fairkm {
@@ -18,9 +19,9 @@ namespace {
 core::FairKMResult MustRun(const SeededWorld& world,
                            const core::FairKMOptions& options, uint64_t seed) {
   Rng rng(seed);
-  auto result = core::RunFairKM(world.points, world.sensitive, options, &rng);
+  auto result = RunFairKMSession(world.points, world.sensitive, options, &rng);
   if (!result.ok()) {
-    ADD_FAILURE() << "RunFairKM: " << result.status().ToString();
+    ADD_FAILURE() << "FairKM session: " << result.status().ToString();
     return core::FairKMResult{};
   }
   return result.MoveValueUnsafe();
@@ -33,7 +34,7 @@ TEST(FairKMParallel, RejectsParallelSweepWithoutMinibatch) {
   options.sweep_mode = core::SweepMode::kParallelSnapshot;
   options.minibatch_size = 0;
   Rng rng(12);
-  EXPECT_FALSE(core::RunFairKM(world.points, world.sensitive, options, &rng).ok());
+  EXPECT_FALSE(RunFairKMSession(world.points, world.sensitive, options, &rng).ok());
 }
 
 TEST(FairKMParallel, RejectsNegativeThreadCount) {
@@ -44,7 +45,7 @@ TEST(FairKMParallel, RejectsNegativeThreadCount) {
   options.sweep_mode = core::SweepMode::kParallelSnapshot;
   options.num_threads = -1;
   Rng rng(14);
-  EXPECT_FALSE(core::RunFairKM(world.points, world.sensitive, options, &rng).ok());
+  EXPECT_FALSE(RunFairKMSession(world.points, world.sensitive, options, &rng).ok());
 }
 
 TEST(FairKMParallel, ThreadCountDoesNotChangeTheTrajectory) {

@@ -17,6 +17,7 @@
 #include "core/fairkm_state.h"
 #include "core/kernels/kernels.h"
 #include "testlib/brute_force.h"
+#include "test_util.h"
 #include "testlib/worlds.h"
 
 namespace fairkm {
@@ -26,7 +27,7 @@ namespace {
 core::FairKMResult RunWorld(const SeededWorld& world,
                             const core::FairKMOptions& options, uint64_t seed) {
   Rng rng(seed);
-  auto result = core::RunFairKM(world.points, world.sensitive, options, &rng);
+  auto result = RunFairKMSession(world.points, world.sensitive, options, &rng);
   if (!result.ok()) {
     ADD_FAILURE() << "optimizer error: " << result.status().ToString();
     return core::FairKMResult{};

@@ -51,15 +51,15 @@ TEST(FairKMTest, ValidatesOptions) {
   SkewedWorld w = MakeSkewedWorld(1);
   FairKMOptions opt;
   Rng rng(1);
-  EXPECT_FALSE(RunFairKM(w.points, w.sensitive, opt, nullptr).ok());
+  EXPECT_FALSE(testutil::RunFairKMSession(w.points, w.sensitive, opt, nullptr).ok());
   opt.max_iterations = 0;
-  EXPECT_FALSE(RunFairKM(w.points, w.sensitive, opt, &rng).ok());
+  EXPECT_FALSE(testutil::RunFairKMSession(w.points, w.sensitive, opt, &rng).ok());
   opt.max_iterations = 30;
   opt.minibatch_size = -1;
-  EXPECT_FALSE(RunFairKM(w.points, w.sensitive, opt, &rng).ok());
+  EXPECT_FALSE(testutil::RunFairKMSession(w.points, w.sensitive, opt, &rng).ok());
   opt.minibatch_size = 0;
   opt.k = 0;
-  EXPECT_FALSE(RunFairKM(w.points, w.sensitive, opt, &rng).ok());
+  EXPECT_FALSE(testutil::RunFairKMSession(w.points, w.sensitive, opt, &rng).ok());
 }
 
 TEST(FairKMTest, RowCountMismatchRejected) {
@@ -68,7 +68,7 @@ TEST(FairKMTest, RowCountMismatchRejected) {
       {testutil::MakeCategorical({0, 1, 0}, 2)});
   FairKMOptions opt;
   Rng rng(1);
-  EXPECT_FALSE(RunFairKM(w.points, short_view, opt, &rng).ok());
+  EXPECT_FALSE(testutil::RunFairKMSession(w.points, short_view, opt, &rng).ok());
 }
 
 TEST(FairKMTest, LambdaZeroBehavesLikeKMeans) {
@@ -80,7 +80,7 @@ TEST(FairKMTest, LambdaZeroBehavesLikeKMeans) {
   opt.lambda = 0.0;
   opt.max_iterations = 60;
   Rng rng(11);
-  auto fair = RunFairKM(w.points, w.sensitive, opt, &rng).ValueOrDie();
+  auto fair = testutil::RunFairKMSession(w.points, w.sensitive, opt, &rng).ValueOrDie();
   cluster::KMeansOptions kopt;
   kopt.k = 3;
   kopt.init = cluster::KMeansInit::kRandomAssignment;
@@ -98,7 +98,7 @@ TEST(FairKMTest, ObjectiveHistoryIsNonIncreasing) {
   opt.k = 3;
   opt.lambda = SuggestLambda(w.points.rows(), 3);
   Rng rng(13);
-  auto result = RunFairKM(w.points, w.sensitive, opt, &rng).ValueOrDie();
+  auto result = testutil::RunFairKMSession(w.points, w.sensitive, opt, &rng).ValueOrDie();
   ASSERT_GE(result.objective_history.size(), 1u);
   for (size_t i = 1; i < result.objective_history.size(); ++i) {
     EXPECT_LE(result.objective_history[i], result.objective_history[i - 1] + 1e-6)
@@ -116,7 +116,7 @@ TEST(FairKMTest, ImprovesFairnessOverBlindKMeans) {
   // direction of the trade-off unambiguous for a deterministic test.
   opt.lambda = 20.0 * SuggestLambda(w.points.rows(), k);
   Rng rng(17);
-  auto fair = RunFairKM(w.points, w.sensitive, opt, &rng).ValueOrDie();
+  auto fair = testutil::RunFairKMSession(w.points, w.sensitive, opt, &rng).ValueOrDie();
 
   cluster::KMeansOptions kopt;
   kopt.k = k;
@@ -137,7 +137,7 @@ TEST(FairKMTest, ResultFieldsConsistent) {
   FairKMOptions opt;
   opt.k = 3;
   Rng rng(19);
-  auto r = RunFairKM(w.points, w.sensitive, opt, &rng).ValueOrDie();
+  auto r = testutil::RunFairKMSession(w.points, w.sensitive, opt, &rng).ValueOrDie();
   EXPECT_TRUE(cluster::ValidateAssignment(r.assignment, w.points.rows(), 3).ok());
   EXPECT_DOUBLE_EQ(r.kmeans_term, r.kmeans_objective);
   EXPECT_NEAR(r.total_objective, r.kmeans_term + r.lambda_used * r.fairness_term,
@@ -156,8 +156,8 @@ TEST(FairKMTest, DeterministicGivenSeed) {
   FairKMOptions opt;
   opt.k = 3;
   Rng r1(23), r2(23);
-  auto a = RunFairKM(w.points, w.sensitive, opt, &r1).ValueOrDie();
-  auto b = RunFairKM(w.points, w.sensitive, opt, &r2).ValueOrDie();
+  auto a = testutil::RunFairKMSession(w.points, w.sensitive, opt, &r1).ValueOrDie();
+  auto b = testutil::RunFairKMSession(w.points, w.sensitive, opt, &r2).ValueOrDie();
   EXPECT_EQ(a.assignment, b.assignment);
 }
 
@@ -171,7 +171,7 @@ TEST(FairKMTest, HigherLambdaYieldsFairerClusters) {
     opt.k = k;
     opt.lambda = lambda;
     Rng rng(29);
-    auto r = RunFairKM(w.points, w.sensitive, opt, &rng).ValueOrDie();
+    auto r = testutil::RunFairKMSession(w.points, w.sensitive, opt, &rng).ValueOrDie();
     if (prev_fairness_term >= 0) {
       EXPECT_LE(r.fairness_term, prev_fairness_term + 1e-9)
           << "lambda " << lambda;
@@ -198,10 +198,10 @@ TEST(FairKMTest, NumericSensitiveAttributeBalancesClusterMeans) {
   opt.k = 2;
   opt.lambda = 0.0;
   Rng r1(37);
-  auto blind = RunFairKM(pts, view, opt, &r1).ValueOrDie();
+  auto blind = testutil::RunFairKMSession(pts, view, opt, &r1).ValueOrDie();
   opt.lambda = 50.0 * SuggestLambda(n, 2);
   Rng r2(37);
-  auto fair = RunFairKM(pts, view, opt, &r2).ValueOrDie();
+  auto fair = testutil::RunFairKMSession(pts, view, opt, &r2).ValueOrDie();
   EXPECT_LT(fair.fairness_term, blind.fairness_term);
 }
 
@@ -228,8 +228,8 @@ TEST(FairKMTest, AttributeWeightSteersTradeoffs) {
   opt.k = 3;
   opt.lambda = SuggestLambda(n, 3);
   Rng r1(43), r2(43);
-  auto r_even = RunFairKM(pts, even, opt, &r1).ValueOrDie();
-  auto r_weighted = RunFairKM(pts, weighted, opt, &r2).ValueOrDie();
+  auto r_even = testutil::RunFairKMSession(pts, even, opt, &r1).ValueOrDie();
+  auto r_weighted = testutil::RunFairKMSession(pts, weighted, opt, &r2).ValueOrDie();
 
   auto fairness_even = metrics::EvaluateFairness(even, r_even.assignment, 3);
   auto fairness_weighted = metrics::EvaluateFairness(even, r_weighted.assignment, 3);
@@ -246,7 +246,7 @@ TEST(FairKMTest, MiniBatchModeStillConvergesAndIsFair) {
   opt.minibatch_size = 16;
   opt.max_iterations = 60;
   Rng rng(47);
-  auto r = RunFairKM(w.points, w.sensitive, opt, &rng).ValueOrDie();
+  auto r = testutil::RunFairKMSession(w.points, w.sensitive, opt, &rng).ValueOrDie();
   EXPECT_TRUE(cluster::ValidateAssignment(r.assignment, w.points.rows(), 3).ok());
 
   cluster::KMeansOptions kopt;
@@ -267,7 +267,7 @@ TEST(FairKMTest, EmptySensitiveViewDegeneratesGracefully) {
   opt.k = 2;
   opt.lambda = 123.0;
   Rng rng(53);
-  auto r = RunFairKM(pts, empty, opt, &rng).ValueOrDie();
+  auto r = testutil::RunFairKMSession(pts, empty, opt, &rng).ValueOrDie();
   EXPECT_EQ(r.fairness_term, 0.0);
   EXPECT_GT(r.kmeans_term, 0.0);
 }
@@ -279,7 +279,7 @@ TEST_P(FairKMKSweep, ValidResultsAcrossK) {
   FairKMOptions opt;
   opt.k = GetParam();
   Rng rng(59);
-  auto r = RunFairKM(w.points, w.sensitive, opt, &rng).ValueOrDie();
+  auto r = testutil::RunFairKMSession(w.points, w.sensitive, opt, &rng).ValueOrDie();
   EXPECT_TRUE(cluster::ValidateAssignment(r.assignment, w.points.rows(), opt.k).ok());
   EXPECT_GE(r.fairness_term, 0.0);
   EXPECT_GT(r.iterations, 0);

@@ -11,6 +11,7 @@
 #include "exp/runner.h"
 #include "metrics/fairness.h"
 #include "metrics/quality.h"
+#include "test_util.h"
 
 namespace fairkm {
 namespace {
@@ -152,7 +153,7 @@ TEST(AblationIntegrationTest, ClusterWeightingPreventsDegenerateClusters) {
   paper.k = k;
   paper.lambda = data.paper_lambda;
   Rng r1(3);
-  auto with = core::RunFairKM(data.features, data.sensitive, paper, &r1).ValueOrDie();
+  auto with = testutil::RunFairKMSession(data.features, data.sensitive, paper, &r1).ValueOrDie();
 
   core::FairKMOptions ablated = paper;
   ablated.fairness.weighting = core::ClusterWeighting::kUnweighted;
@@ -161,7 +162,7 @@ TEST(AblationIntegrationTest, ClusterWeightingPreventsDegenerateClusters) {
   ablated.lambda = data.paper_lambda / (k * k);
   Rng r2(3);
   auto without =
-      core::RunFairKM(data.features, data.sensitive, ablated, &r2).ValueOrDie();
+      testutil::RunFairKMSession(data.features, data.sensitive, ablated, &r2).ValueOrDie();
 
   auto count_small = [&](const std::vector<size_t>& sizes) {
     size_t small = 0;

@@ -26,14 +26,14 @@ TEST(SuggestLambdaGolden, MatchesClosedForm) {
   EXPECT_EQ(core::SuggestLambda(0, 4), 0.0);
 }
 
-TEST(SuggestLambdaGolden, AutoLambdaFlowsIntoRunFairKM) {
+TEST(SuggestLambdaGolden, AutoLambdaFlowsIntoTheSession) {
   const SeededWorld world = MakeSeededWorld(71);  // 3 x 20 points, k = 3.
   core::FairKMOptions options;
   options.k = world.k;
   options.lambda = -1.0;  // auto
   options.max_iterations = 2;
   Rng rng(72);
-  auto result = core::RunFairKM(world.points, world.sensitive, options, &rng);
+  auto result = RunFairKMSession(world.points, world.sensitive, options, &rng);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   EXPECT_EQ(result.ValueOrDie().lambda_used, 400.0);
 }

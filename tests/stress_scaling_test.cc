@@ -6,7 +6,7 @@
 //   * objective accounting: the sum of every accepted move's DeltaKMeans /
 //     DeltaFairness, accumulated over a full randomized sweep, must agree
 //     with from-scratch recomputation of both terms to 1e-6 (relative);
-//   * optimizer end states: serial and snapshot-parallel RunFairKM must
+//   * optimizer end states: serial and snapshot-parallel FairKM sessions must
 //     agree with each other, and their reported terms must agree with
 //     scratch evaluation of the final assignment.
 
@@ -17,6 +17,7 @@
 #include "core/fairkm.h"
 #include "core/fairkm_state.h"
 #include "core/objective.h"
+#include "test_util.h"
 #include "testlib/worlds.h"
 
 namespace fairkm {
@@ -122,7 +123,7 @@ TEST(StressScaling, OptimizerAgreesAcrossSweepModesAt50kPoints) {
   serial.minibatch_size = 4096;
   Rng serial_rng(3002);
   auto serial_or =
-      core::RunFairKM(world.points, world.sensitive, serial, &serial_rng);
+      RunFairKMSession(world.points, world.sensitive, serial, &serial_rng);
   ASSERT_TRUE(serial_or.ok()) << serial_or.status().ToString();
   const core::FairKMResult want = serial_or.MoveValueUnsafe();
 
@@ -131,7 +132,7 @@ TEST(StressScaling, OptimizerAgreesAcrossSweepModesAt50kPoints) {
   parallel.num_threads = 4;
   Rng parallel_rng(3002);
   auto parallel_or =
-      core::RunFairKM(world.points, world.sensitive, parallel, &parallel_rng);
+      RunFairKMSession(world.points, world.sensitive, parallel, &parallel_rng);
   ASSERT_TRUE(parallel_or.ok()) << parallel_or.status().ToString();
   const core::FairKMResult got = parallel_or.MoveValueUnsafe();
 

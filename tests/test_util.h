@@ -8,6 +8,8 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/status.h"
+#include "core/solver.h"
 #include "data/matrix.h"
 #include "data/sensitive.h"
 
@@ -72,6 +74,24 @@ inline data::NumericSensitive MakeNumeric(const std::vector<double>& values,
   for (double v : values) sum += v;
   attr.dataset_mean = values.empty() ? 0.0 : sum / static_cast<double>(values.size());
   return attr;
+}
+
+/// \brief One blocking FairKM run through the session API — what the
+/// deprecated core::RunFairKM wrapper did, spelled as Create + Init + Run +
+/// CurrentResult. Equal inputs and rng draws give bit-identical results;
+/// tests that exercise FairKM behaviour (not the wrapper itself) go through
+/// this so the deprecated symbol has no non-oracle callers left.
+inline Result<core::FairKMResult> RunFairKMSession(
+    const data::Matrix& points, const data::SensitiveView& sensitive,
+    const core::FairKMOptions& options, Rng* rng) {
+  if (rng == nullptr) return Status::InvalidArgument("rng must not be null");
+  FAIRKM_ASSIGN_OR_RETURN(
+      core::FairKMSolver solver,
+      core::FairKMSolver::Create(&points, &sensitive, options));
+  FAIRKM_RETURN_NOT_OK(solver.Init(rng));
+  FAIRKM_ASSIGN_OR_RETURN(core::RunStop stop, solver.Run());
+  (void)stop;
+  return solver.CurrentResult();
 }
 
 }  // namespace testutil

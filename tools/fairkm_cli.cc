@@ -21,8 +21,10 @@
 #include "common/timer.h"
 #include "core/fairkm.h"
 #include "core/kernels/kernels.h"
+#include "core/sharded_sweep.h"
 #include "core/solver.h"
 #include "data/dataset.h"
+#include "data/point_store.h"
 #include "data/preprocess.h"
 #include "data/sensitive.h"
 #include "exp/datasets.h"
@@ -347,6 +349,50 @@ Status Run(const ArgParser& args) {
     } else if (sweep != "serial") {
       return Status::InvalidArgument("--sweep must be serial or parallel");
     }
+    FAIRKM_ASSIGN_OR_RETURN(data::PointStoreSpec store_spec,
+                            data::PointStoreSpec::Parse(args.GetString("store")));
+    if (store_spec.backend == data::PointStoreSpec::Backend::kMmap) {
+      // Out-of-core path: materialize the (scaled) matrix once into the
+      // aligned store file, map it read-only, and drive the sharded sweep —
+      // the dataset pages stream through the page cache instead of living
+      // on the heap, and each shard is evicted as the cursor passes it.
+      if (options.sweep_mode != core::SweepMode::kParallelSnapshot) {
+        return Status::InvalidArgument(
+            "--store=mmap:<path> requires --sweep parallel and --minibatch > 0 "
+            "(the sharded driver runs over the snapshot batch engine)");
+      }
+      FAIRKM_ASSIGN_OR_RETURN(std::shared_ptr<const data::PointStore> store,
+                              data::PointStore::Create(matrix, store_spec));
+      FAIRKM_ASSIGN_OR_RETURN(
+          core::ShardedSweep sweep,
+          core::ShardedSweep::Create(store, &sensitive, options,
+                                     static_cast<int>(args.GetInt("shards"))));
+      FAIRKM_RETURN_NOT_OK(sweep.Init(&rng));
+      core::RunBudget budget;
+      if (!checkpoint_dir.empty()) {
+        budget.checkpoint_dir = checkpoint_dir;
+        budget.checkpoint_every =
+            static_cast<int>(args.GetInt("checkpoint-every"));
+        budget.resume = args.GetBool("resume");
+        if (budget.checkpoint_every <= 0) {
+          return Status::InvalidArgument("--checkpoint-every must be positive");
+        }
+      }
+      FAIRKM_ASSIGN_OR_RETURN(const core::RunStop stop, sweep.Run(budget));
+      const core::ShardedSweepStats& stats = sweep.stats();
+      std::printf("store: %s (%.1f MiB on disk)\n", store->file_path().c_str(),
+                  static_cast<double>(store->data_bytes()) / (1024.0 * 1024.0));
+      std::printf("sharded sweep: %d shards x %zu rows, %llu evictions, "
+                  "peak RSS %.1f MiB, stop = %s\n",
+                  stats.num_shards, stats.shard_rows,
+                  static_cast<unsigned long long>(stats.evictions),
+                  static_cast<double>(stats.peak_rss_bytes) / (1024.0 * 1024.0),
+                  RunStopName(stop));
+      FAIRKM_ASSIGN_OR_RETURN(core::FairKMResult fair_result,
+                              sweep.solver().CurrentResult());
+      return Report(args, method, matrix, sensitive, std::move(fair_result),
+                    std::move(csv));
+    }
     if (checkpoint_dir.empty()) {
       clusterer = core::MakeFairKMClusterer(options);
     } else {
@@ -412,6 +458,13 @@ int main(int argc, char** argv) {
   args.AddFlag("no-prune", "false",
                "disable bound-gated candidate pruning (exact sweep; "
                "FAIRKM_DISABLE_PRUNING=1 does the same)");
+  args.AddFlag("store", "mem",
+               "fairkm point storage: mem | mmap:<path> (write the aligned "
+               "store file once, map it read-only, run the out-of-core "
+               "sharded sweep; requires --sweep parallel)");
+  args.AddFlag("shards", "0",
+               "fairkm --store=mmap: shards for the out-of-core sweep, each "
+               "evicted from the page cache as the sweep passes it (0 = auto)");
   args.AddFlag("scale", "minmax", "feature scaling: minmax | zscore | none");
   args.AddFlag("kernels", "auto",
                "kernel backend: auto (cpuid dispatch) | scalar");
