@@ -1,5 +1,8 @@
 #include "common/fault_injection.h"
 
+#include <signal.h>
+#include <unistd.h>
+
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -35,6 +38,15 @@ Registry& GetRegistry() {
 }
 
 Status MakeErrorStatus(const char* point, const FaultSpec& spec) {
+  if (spec.kind == Kind::kDiskFull) {
+    // Disk-full is always the typed resource error, whatever `code` says —
+    // the degradation ladders key on kResourceExhausted specifically.
+    std::string msg = spec.message.empty()
+                          ? std::string("injected disk full (ENOSPC) at ") +
+                                point
+                          : spec.message;
+    return Status::ResourceExhausted(std::move(msg));
+  }
   std::string msg = spec.message.empty()
                         ? std::string("injected fault at ") + point
                         : spec.message;
@@ -59,6 +71,10 @@ bool ParseKind(const std::string& v, FaultSpec* spec) {
     spec->kind = Kind::kTornRename;
   } else if (v == "delay") {
     spec->kind = Kind::kDelay;
+  } else if (v == "diskfull") {
+    spec->kind = Kind::kDiskFull;
+  } else if (v == "kill") {
+    spec->kind = Kind::kKill;
   } else {
     return false;
   }
@@ -74,6 +90,8 @@ bool ParseCode(const std::string& v, FaultSpec* spec) {
     spec->code = StatusCode::kUnavailable;
   } else if (v == "internal") {
     spec->code = StatusCode::kInternal;
+  } else if (v == "exhausted") {
+    spec->code = StatusCode::kResourceExhausted;
   } else {
     return false;
   }
@@ -139,6 +157,13 @@ bool Hit(const char* point, FaultAction* action) {
   if (spec.max_fires >= 0 && state.fired >= spec.max_fires) {
     state.disarmed = true;
     RecountArmedLocked(reg);
+  }
+  if (spec.kind == Kind::kKill) {
+    // The crash harness's kill site: die exactly here, with the registry
+    // mutex held and no unwinding — indistinguishable from `kill -9` landing
+    // mid-operation. Never returns.
+    ::kill(::getpid(), SIGKILL);
+    ::pause();  // unreachable; quiets noreturn-path warnings
   }
   action->kind = spec.kind;
   action->keep_bytes = spec.keep_bytes;

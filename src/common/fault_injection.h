@@ -24,10 +24,12 @@
 // Environment arming (processes under test, CI smoke runs):
 //   FAIRKM_FAULT="checkpoint.write=error;serve.batch=delay,seconds=0.002"
 // Each ';'-separated clause is point=kind[,key=value...] with kinds
-//   error  [,code=io|dataloss|unavailable|internal]  -> injected Status
+//   error  [,code=io|dataloss|unavailable|internal|exhausted] -> injected Status
 //   short  [,keep=N]       -> keep only the first N payload bytes (default 0)
 //   torn   [,keep=N]       -> destination gets first N bytes (default half)
 //   delay  [,seconds=X]    -> sleep X seconds, then continue (default 0.001)
+//   diskfull               -> typed kResourceExhausted, no payload bytes land
+//   kill                   -> SIGKILL the process at the point (kill -9)
 // plus the shared keys skip=N (let the first N hits pass) and fires=N
 // (disarm after N firings; default unlimited).
 //
@@ -53,6 +55,10 @@ enum class Kind {
   kShortWrite,  ///< Truncate the payload before it reaches the file.
   kTornRename,  ///< Replace the rename with a truncated destination image.
   kDelay,       ///< Sleep, then continue normally.
+  kDiskFull,    ///< ENOSPC: the write fails with a typed kResourceExhausted
+                ///< status after zero payload bytes reach the file.
+  kKill,        ///< SIGKILL the process at the fault point (crash harness) —
+                ///< no destructors, no atexit, exactly like `kill -9`.
 };
 
 /// \brief Arming descriptor for one fault point.

@@ -5,6 +5,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
@@ -55,6 +56,11 @@ Status WriteAll(int fd, const char* data, size_t size,
     ssize_t n = ::write(fd, data + done, size - done);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == ENOSPC) {
+        // Typed: callers (degradation ladders, retry loops) can tell a full
+        // disk from a broken one.
+        return Status::ResourceExhausted(what + ": " + std::strerror(errno));
+      }
       return Status::IOError(what + ": " + std::strerror(errno));
     }
     done += static_cast<size_t>(n);
@@ -62,16 +68,7 @@ Status WriteAll(int fd, const char* data, size_t size,
   return Status::OK();
 }
 
-/// fsync the directory containing `path` so a just-completed rename is
-/// durable. Best-effort: some filesystems reject directory fsync.
-void SyncParentDir(const std::string& path) {
-  const fs::path parent = fs::path(path).parent_path();
-  const std::string dir = parent.empty() ? "." : parent.string();
-  Fd fd(::open(dir.c_str(), O_RDONLY | O_DIRECTORY));
-  if (fd.ok()) {
-    ::fsync(fd.get());
-  }
-}
+std::atomic<uint64_t> dir_fsync_failures{0};
 
 /// Applies a fired short-write or torn-rename fault: leaves `path` holding
 /// only the first `keep` bytes of `data` (the torn default is half) and
@@ -92,6 +89,28 @@ Status WriteCorruptImage(const std::string& path, const std::string& data,
 }
 
 }  // namespace
+
+void SyncParentDirBestEffort(const std::string& path,
+                             const std::string& fault_scope) {
+  const fs::path parent = fs::path(path).parent_path();
+  const std::string dir = parent.empty() ? "." : parent.string();
+  bool synced = false;
+  if (fault::Check((fault_scope + ".dirsync").c_str()).ok()) {
+    Fd fd(::open(dir.c_str(), O_RDONLY | O_DIRECTORY));
+    if (fd.ok() && ::fsync(fd.get()) == 0) synced = true;
+  }
+  if (!synced) {
+    dir_fsync_failures.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+uint64_t DirFsyncFailures() {
+  return dir_fsync_failures.load(std::memory_order_relaxed);
+}
+
+void ResetDirFsyncFailures() {
+  dir_fsync_failures.store(0, std::memory_order_relaxed);
+}
 
 Status AtomicWriteFile(const std::string& path, const std::string& data,
                        const std::string& fault_scope) {
@@ -149,7 +168,7 @@ Status AtomicWriteFile(const std::string& path, const std::string& data,
     ::unlink(tmp.c_str());
     return rename_st;
   }
-  SyncParentDir(path);
+  SyncParentDirBestEffort(path, fault_scope);
   return Status::OK();
 }
 

@@ -7,9 +7,9 @@
 // Readers therefore see either the old file or the complete new one — never
 // a half-written image — on any POSIX filesystem that honors rename
 // atomicity. Every step carries a fault point (`<scope>.open`,
-// `<scope>.write`, `<scope>.fsync`, `<scope>.rename`) so tests can force
-// I/O errors, short writes, and torn renames deterministically
-// (common/fault_injection.h).
+// `<scope>.write`, `<scope>.fsync`, `<scope>.rename`, `<scope>.dirsync`) so
+// tests can force I/O errors, short writes, torn renames and disk-full
+// conditions deterministically (common/fault_injection.h).
 //
 // Container format (WriteSectionFile / ReadSectionFile), all integers
 // little-endian:
@@ -231,6 +231,22 @@ Status WriteSectionFile(const std::string& path, uint32_t magic,
 Result<SectionFile> ReadSectionFile(const std::string& path, uint32_t magic,
                                     uint32_t max_version,
                                     const std::string& fault_scope);
+
+/// \brief Best-effort fsync of the directory containing `path`, making a
+/// just-completed rename durable. Failures (filesystems that reject
+/// directory fsync, a fired `<scope>.dirsync` fault) do not fail the caller
+/// — the rename itself succeeded — but they are no longer silent: each one
+/// increments the process-wide DirFsyncFailures() counter so supervisors and
+/// tests can observe the durability downgrade.
+void SyncParentDirBestEffort(const std::string& path,
+                             const std::string& fault_scope);
+
+/// \brief Directory-fsync failures swallowed by SyncParentDirBestEffort
+/// since process start (or the last reset). Monotonic, thread-safe.
+uint64_t DirFsyncFailures();
+
+/// \brief Resets the DirFsyncFailures() counter (test isolation).
+void ResetDirFsyncFailures();
 
 /// \brief Creates `path` and any missing parents (OK when already present).
 Status CreateDirectories(const std::string& path);

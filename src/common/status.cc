@@ -35,6 +35,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "Unavailable";
     case StatusCode::kDataLoss:
       return "Data loss";
+    case StatusCode::kResourceExhausted:
+      return "Resource exhausted";
   }
   return "Unknown";
 }

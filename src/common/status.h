@@ -31,7 +31,8 @@ enum class StatusCode : int {
   kNotConverged = 10, ///< Iterative solver hit its iteration cap without converging.
   kDeadlineExceeded = 11, ///< The operation's wall-clock deadline passed.
   kUnavailable = 12, ///< Transiently overloaded or shutting down; retryable.
-  kDataLoss = 13     ///< Persisted data is corrupt or torn (unrecoverable read).
+  kDataLoss = 13,    ///< Persisted data is corrupt or torn (unrecoverable read).
+  kResourceExhausted = 14 ///< A finite resource ran out (disk full, quota).
 };
 
 /// \brief Returns a human-readable name for a StatusCode ("OK", "Invalid argument", ...).
@@ -86,6 +87,9 @@ class Status {
   }
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

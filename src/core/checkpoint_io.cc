@@ -1,5 +1,6 @@
 #include "core/checkpoint_io.h"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 
@@ -347,6 +348,28 @@ Result<std::vector<std::string>> ListCheckpointFiles(const std::string& dir) {
     }
   }
   return out;  // ListDirectory sorts; fixed-width names sort chronologically.
+}
+
+Status QuarantineCheckpoint(const std::string& path) {
+  const std::string quarantined = path + ".corrupt";
+  if (::rename(path.c_str(), quarantined.c_str()) != 0) {
+    if (errno == ENOENT) return Status::OK();  // already gone
+    return Status::IOError("quarantine rename " + path + ": " +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status PruneCheckpointDir(const std::string& dir, int keep) {
+  if (keep < 1) keep = 1;
+  FAIRKM_ASSIGN_OR_RETURN(std::vector<std::string> names,
+                          ListCheckpointFiles(dir));
+  Status first_error;
+  for (size_t i = 0; i + static_cast<size_t>(keep) < names.size(); ++i) {
+    Status st = io::RemoveFile(dir + "/" + names[i]);
+    if (!st.ok() && first_error.ok()) first_error = st;
+  }
+  return first_error;
 }
 
 }  // namespace core

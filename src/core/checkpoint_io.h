@@ -40,8 +40,22 @@ std::string CheckpointFileName(int sweeps_completed);
 
 /// \brief Checkpoint files ("ckpt-*.fkmc") in `dir`, oldest first. An
 /// empty list (not an error) when the directory exists but holds none;
-/// kNotFound when the directory itself is missing.
+/// kNotFound when the directory itself is missing. Quarantined files
+/// ("*.corrupt", see QuarantineCheckpoint) never match, so resume and
+/// retention pruning both skip them.
 Result<std::vector<std::string>> ListCheckpointFiles(const std::string& dir);
+
+/// \brief Moves a corrupt checkpoint aside: renames `path` to
+/// "<path>.corrupt" (never deletes — the torn frame stays available for a
+/// post-mortem, and re-resumes stop re-parsing it). An existing quarantine
+/// file of the same name is replaced; the original being already gone is OK.
+Status QuarantineCheckpoint(const std::string& path);
+
+/// \brief Drops the oldest checkpoint files in `dir` beyond `keep`
+/// (best-effort per file; the first removal error surfaces so a wedged
+/// directory is not silent). Quarantined files are not counted and not
+/// removed.
+Status PruneCheckpointDir(const std::string& dir, int keep);
 
 }  // namespace core
 }  // namespace fairkm

@@ -365,24 +365,6 @@ Result<bool> FairKMSolver::Sweep() {
   return !converged_;
 }
 
-namespace {
-
-// Drops the oldest checkpoint files beyond `keep` (best effort per file;
-// the first removal error surfaces so a wedged directory is not silent).
-Status PruneOldCheckpoints(const std::string& dir, int keep) {
-  if (keep < 1) keep = 1;
-  FAIRKM_ASSIGN_OR_RETURN(std::vector<std::string> names,
-                          ListCheckpointFiles(dir));
-  Status first_error;
-  for (size_t i = 0; i + static_cast<size_t>(keep) < names.size(); ++i) {
-    Status st = io::RemoveFile(dir + "/" + names[i]);
-    if (!st.ok() && first_error.ok()) first_error = st;
-  }
-  return first_error;
-}
-
-}  // namespace
-
 Result<RunStop> FairKMSolver::Run(const RunBudget& budget,
                                   const ProgressCallback& progress) {
   if (budget.resume && !budget.checkpoint_dir.empty()) {
@@ -410,7 +392,7 @@ Result<RunStop> FairKMSolver::Run(const RunBudget& budget,
                                         CheckpointFileName(sweeps_completed_)));
     last_saved_sweep = sweeps_completed_;
     last_save_mid_sweep = mid_sweep();
-    return PruneOldCheckpoints(budget.checkpoint_dir, budget.checkpoint_keep);
+    return PruneCheckpointDir(budget.checkpoint_dir, budget.checkpoint_keep);
   };
   // Every stop path also checkpoints (unless the stop state is already on
   // disk), so a restart resumes from the stop point, not the last interval.
@@ -600,8 +582,16 @@ Status FairKMSolver::ResumeFromCheckpointDir(const std::string& dir) {
   // not the run.
   Status newest_failure;
   for (auto it = names.rbegin(); it != names.rend(); ++it) {
-    Status st = LoadCheckpoint(dir + "/" + *it);
+    const std::string path = dir + "/" + *it;
+    Status st = LoadCheckpoint(path);
     if (st.ok()) return st;
+    // Quarantine torn/corrupt frames (rename aside, never delete) so the
+    // next resume stops re-parsing them and retention pruning skips them.
+    // kInvalidArgument files stay: they are intact, just incompatible with
+    // this binary or configuration.
+    if (st.code() == StatusCode::kDataLoss) {
+      (void)QuarantineCheckpoint(path);
+    }
     if (newest_failure.ok()) newest_failure = st;
   }
   return Status::DataLoss("no valid checkpoint in " + dir +

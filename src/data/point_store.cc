@@ -9,7 +9,6 @@
 #include <cerrno>
 #include <cmath>
 #include <cstring>
-#include <filesystem>
 #include <utility>
 
 #include "common/crc32.h"
@@ -56,24 +55,14 @@ Status WriteAll(int fd, const char* data, size_t size,
     ssize_t n = ::write(fd, data + done, size - done);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == ENOSPC) {
+        return Status::ResourceExhausted(what + ": " + std::strerror(errno));
+      }
       return Status::IOError(what + ": " + std::strerror(errno));
     }
     done += static_cast<size_t>(n);
   }
   return Status::OK();
-}
-
-// fsync the directory containing `path` so a just-completed rename is
-// durable. Best-effort, as in common/io.cc.
-void SyncParentDir(const std::string& path) {
-  const std::filesystem::path parent =
-      std::filesystem::path(path).parent_path();
-  const std::string dir = parent.empty() ? "." : parent.string();
-  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
-  if (fd >= 0) {
-    ::fsync(fd);
-    ::close(fd);
-  }
 }
 
 // File layout derived from the fixed header/frame sizes: the rows payload
@@ -154,6 +143,7 @@ PointStore::PointStore(const Matrix& m)
 
 PointStore::~PointStore() {
   if (map_ != nullptr) ::munmap(map_, map_size_);
+  if (fd_ >= 0) ::close(fd_);
 }
 
 PointStore::PointStore(PointStore&& other) noexcept
@@ -163,6 +153,7 @@ PointStore::PointStore(PointStore&& other) noexcept
       data_(std::move(other.data_)),
       map_(other.map_),
       map_size_(other.map_size_),
+      fd_(other.fd_),
       data_offset_(other.data_offset_),
       base_(other.base_),
       path_(std::move(other.path_)),
@@ -171,6 +162,7 @@ PointStore::PointStore(PointStore&& other) noexcept
   // base_ stays valid for the memory backend; only the mapping moves.
   other.map_ = nullptr;
   other.map_size_ = 0;
+  other.fd_ = -1;
   other.base_ = nullptr;
   other.rows_ = other.cols_ = other.stride_ = 0;
 }
@@ -178,18 +170,21 @@ PointStore::PointStore(PointStore&& other) noexcept
 PointStore& PointStore::operator=(PointStore&& other) noexcept {
   if (this != &other) {
     if (map_ != nullptr) ::munmap(map_, map_size_);
+    if (fd_ >= 0) ::close(fd_);
     rows_ = other.rows_;
     cols_ = other.cols_;
     stride_ = other.stride_;
     data_ = std::move(other.data_);
     map_ = other.map_;
     map_size_ = other.map_size_;
+    fd_ = other.fd_;
     data_offset_ = other.data_offset_;
     base_ = other.base_;
     path_ = std::move(other.path_);
     backend_ = other.backend_;
     other.map_ = nullptr;
     other.map_size_ = 0;
+    other.fd_ = -1;
     other.base_ = nullptr;
     other.rows_ = other.cols_ = other.stride_ = 0;
   }
@@ -341,6 +336,9 @@ Status PointStore::FileWriter::Append(const double* row) {
   if (fd_ < 0 || finished_) {
     return Status::Internal("Append on a finished or failed store writer");
   }
+  // Per-row fault point: mid-stream I/O errors, injected disk-full, and the
+  // crash harness's kill-mid-write all land here.
+  FAIRKM_RETURN_NOT_OK(fault::Check("pointstore.append"));
   if (appended_ >= rows_) {
     return Status::InvalidArgument(
         "store writer declared " + std::to_string(rows_) + " rows");
@@ -435,7 +433,7 @@ Status PointStore::FileWriter::Finish() {
     ::unlink(tmp_path_.c_str());
     return rename_st;
   }
-  SyncParentDir(path_);
+  io::SyncParentDirBestEffort(path_, "pointstore");
   finished_ = true;
   return Status::OK();
 }
@@ -468,14 +466,18 @@ Result<std::shared_ptr<const PointStore>> PointStore::Open(
     return Status::DataLoss("store file truncated before row data: " + path);
   }
   void* map = ::mmap(nullptr, file_size, PROT_READ, MAP_SHARED, fd, 0);
-  ::close(fd);  // the mapping keeps the file alive
   if (map == MAP_FAILED) {
-    return ErrnoStatus("mmap", path);
+    Status st = ErrnoStatus("mmap", path);
+    ::close(fd);
+    return st;
   }
 
   auto store = std::make_shared<PointStore>();
   store->map_ = map;
   store->map_size_ = file_size;
+  // The mapping alone keeps the file alive; the descriptor is retained so
+  // CheckBacking() can re-fstat the backing file before chunked reads.
+  store->fd_ = fd;
   store->path_ = path;
   store->backend_ = PointStoreSpec::Backend::kMmap;
   const char* bytes = static_cast<const char*>(map);
@@ -550,6 +552,9 @@ Result<std::shared_ptr<const PointStore>> PointStore::Open(
       std::max<size_t>(1, kWalkChunkBytes / (stride * sizeof(double)));
   for (size_t r = 0; r < rows; r += rows_per_chunk) {
     const size_t chunk_end = std::min(rows, r + rows_per_chunk);
+    // Guarded probe: a file truncated since the fstat above would SIGBUS on
+    // the first touch past the new EOF — re-validate before reading.
+    FAIRKM_RETURN_NOT_OK(store->CheckBacking());
     crc = Crc32cExtend(crc, store->Row(r),
                        (chunk_end - r) * stride * sizeof(double));
     for (size_t i = r; i < chunk_end; ++i) {
@@ -566,6 +571,22 @@ Result<std::shared_ptr<const PointStore>> PointStore::Open(
     return Status::DataLoss("rows section checksum mismatch in " + path);
   }
   return std::shared_ptr<const PointStore>(std::move(store));
+}
+
+Status PointStore::CheckBacking() const {
+  if (backend_ != PointStoreSpec::Backend::kMmap || map_ == nullptr) {
+    return Status::OK();
+  }
+  FAIRKM_RETURN_NOT_OK(fault::Check("pointstore.truncate"));
+  struct stat sb;
+  if (::fstat(fd_, &sb) != 0) return ErrnoStatus("stat", path_);
+  if (static_cast<size_t>(sb.st_size) < map_size_) {
+    return Status::DataLoss(
+        "store file truncated under mmap: " + path_ + " (" +
+        std::to_string(sb.st_size) + " bytes on disk, " +
+        std::to_string(map_size_) + " mapped)");
+  }
+  return Status::OK();
 }
 
 void PointStore::EvictRows(size_t begin, size_t end) const {
@@ -588,6 +609,7 @@ Status ValidateFiniteStore(const PointStore& store, const std::string& what) {
       std::max<size_t>(1, stride_bytes > 0 ? kWalkChunkBytes / stride_bytes : 1);
   for (size_t r = 0; r < store.rows(); r += rows_per_chunk) {
     const size_t chunk_end = std::min(store.rows(), r + rows_per_chunk);
+    FAIRKM_RETURN_NOT_OK(store.CheckBacking());
     for (size_t i = r; i < chunk_end; ++i) {
       const double* row = store.Row(i);
       for (size_t c = 0; c < store.cols(); ++c) {

@@ -180,6 +180,15 @@ class PointStore {
   /// from the store file — so eviction can never change results, only RSS.
   void EvictRows(size_t begin, size_t end) const;
 
+  /// \brief Re-validates the mmap backing file against the mapped size
+  /// (fstat on the retained descriptor). A store file truncated after
+  /// Open() would otherwise SIGBUS on the first touch of a page past the
+  /// new EOF; every chunked walk (Open verification, ValidateFiniteStore)
+  /// calls this before touching each chunk so truncation-under-mmap
+  /// surfaces as kDataLoss instead of a crash. OK for the memory backend.
+  /// Fault point "pointstore.truncate".
+  Status CheckBacking() const;
+
  private:
   size_t rows_ = 0;
   size_t cols_ = 0;
@@ -187,6 +196,7 @@ class PointStore {
   AlignedVector data_;               // kMemory backing
   void* map_ = nullptr;              // kMmap backing
   size_t map_size_ = 0;
+  int fd_ = -1;                      // kMmap: retained for CheckBacking fstat
   size_t data_offset_ = 0;           // file offset of row 0 inside map_
   const double* base_ = nullptr;     // row 0, either backend
   std::string path_;

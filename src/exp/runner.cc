@@ -138,25 +138,60 @@ Result<SeedOutcome> ExperimentRunner::RunSeed(const RunConfig& config,
   Timer timer;
   FAIRKM_RETURN_NOT_OK(RunMethod(seed, session, &outcome));
   outcome.seconds = timer.ElapsedSeconds();
+  FAIRKM_RETURN_NOT_OK(FillMeasurements(config, seed, &outcome));
+  return outcome;
+}
 
+Status ExperimentRunner::FillMeasurements(const RunConfig& config,
+                                          uint64_t seed,
+                                          SeedOutcome* outcome) const {
   const int k = config.fairkm.k;
-  outcome.co = metrics::ClusteringObjective(data_->features, outcome.assignment, k);
+  outcome->co = metrics::ClusteringObjective(data_->features, outcome->assignment, k);
   metrics::SilhouetteOptions sil;
   sil.seed = seed ^ 0x51L;
-  outcome.sh = metrics::SilhouetteScore(data_->features, outcome.assignment, k, sil);
+  outcome->sh = metrics::SilhouetteScore(data_->features, outcome->assignment, k, sil);
 
   FAIRKM_ASSIGN_OR_RETURN(cluster::ClusteringResult reference,
                           RunBlindReference(k, seed));
   data::Matrix centroids =
-      cluster::ComputeCentroids(data_->features, outcome.assignment, k);
-  FAIRKM_ASSIGN_OR_RETURN(outcome.devc,
+      cluster::ComputeCentroids(data_->features, outcome->assignment, k);
+  FAIRKM_ASSIGN_OR_RETURN(outcome->devc,
                           metrics::CentroidDeviation(centroids, reference.centroids));
   FAIRKM_ASSIGN_OR_RETURN(
-      outcome.devo,
-      metrics::ObjectPairDeviation(outcome.assignment, k, reference.assignment, k));
+      outcome->devo,
+      metrics::ObjectPairDeviation(outcome->assignment, k, reference.assignment, k));
 
-  outcome.fairness = metrics::EvaluateFairness(data_->sensitive, outcome.assignment, k);
-  return outcome;
+  outcome->fairness = metrics::EvaluateFairness(data_->sensitive, outcome->assignment, k);
+  return Status::OK();
+}
+
+Result<SupervisedSeedOutcome> ExperimentRunner::RunSupervisedSeed(
+    const RunConfig& config, uint64_t seed,
+    const core::SupervisorPolicy& policy,
+    const data::PointStoreSpec& store_spec) const {
+  if (config.method != Method::kFairKMAll) {
+    return Status::InvalidArgument(
+        "supervised runs drive FairKM over the full sensitive view "
+        "(method kFairKMAll)");
+  }
+  FAIRKM_ASSIGN_OR_RETURN(
+      core::SupervisedRunner runner,
+      core::SupervisedRunner::Create(&data_->features, &data_->sensitive,
+                                     config.fairkm, store_spec, policy));
+  SupervisedSeedOutcome supervised;
+  Timer timer;
+  FAIRKM_ASSIGN_OR_RETURN(supervised.stop, runner.Run(seed));
+  supervised.outcome.seconds = timer.ElapsedSeconds();
+  supervised.supervisor = runner.stats();
+
+  FAIRKM_ASSIGN_OR_RETURN(core::FairKMResult result, runner.CurrentResult());
+  supervised.outcome.assignment = std::move(result.assignment);
+  supervised.outcome.iterations = result.iterations;
+  supervised.outcome.converged = result.converged;
+  supervised.outcome.sweep_seconds = result.sweep_seconds;
+  supervised.outcome.pruned_fraction = result.PrunedFraction();
+  FAIRKM_RETURN_NOT_OK(FillMeasurements(config, seed, &supervised.outcome));
+  return supervised;
 }
 
 Result<AggregateOutcome> ExperimentRunner::Run(const RunConfig& config,

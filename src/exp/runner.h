@@ -19,6 +19,7 @@
 #include "common/status.h"
 #include "core/fairkm.h"
 #include "core/objective.h"
+#include "core/supervisor.h"
 #include "exp/datasets.h"
 #include "metrics/fairness.h"
 #include "metrics/quality.h"
@@ -110,6 +111,15 @@ struct MethodSession {
   std::unique_ptr<cluster::Clusterer> clusterer;
 };
 
+/// \brief One seed driven through the self-healing core::SupervisedRunner:
+/// the regular per-seed measurements plus the watchdog/rollback/demotion
+/// counters of the run that produced them.
+struct SupervisedSeedOutcome {
+  SeedOutcome outcome;
+  core::SupervisorStats supervisor;
+  core::RunStop stop = core::RunStop::kConverged;
+};
+
 /// \brief Runs configurations over seeds and aggregates.
 class ExperimentRunner {
  public:
@@ -140,11 +150,27 @@ class ExperimentRunner {
   Result<AggregateOutcome> Run(const RunConfig& config, size_t num_seeds,
                                uint64_t base_seed = 1000) const;
 
+  /// \brief Runs one FairKM seed under the self-healing supervisor
+  /// (core/supervisor.h) instead of the plain session adapter, measuring the
+  /// final state exactly like RunSeed and reporting the SupervisorStats
+  /// alongside. FairKM-over-all-attributes only (the supervised runtime
+  /// binds the full sensitive view). `store_spec` selects the storage
+  /// backend the supervised session starts from (the demotion ladder may
+  /// abandon it mid-run).
+  Result<SupervisedSeedOutcome> RunSupervisedSeed(
+      const RunConfig& config, uint64_t seed,
+      const core::SupervisorPolicy& policy,
+      const data::PointStoreSpec& store_spec = {}) const;
+
  private:
   /// Runs the session's method, filling `outcome`'s assignment plus the
   /// iteration/convergence/sweep-perf telemetry.
   Status RunMethod(uint64_t seed, MethodSession* session,
                    SeedOutcome* outcome) const;
+  /// Fills the quality/deviation/fairness measurements of an assignment
+  /// already stored in `outcome` (shared by RunSeed and RunSupervisedSeed).
+  Status FillMeasurements(const RunConfig& config, uint64_t seed,
+                          SeedOutcome* outcome) const;
   /// The same-seed S-blind reference clustering for DevC/DevO.
   Result<cluster::ClusteringResult> RunBlindReference(int k, uint64_t seed) const;
 

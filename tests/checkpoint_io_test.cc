@@ -266,6 +266,64 @@ TEST_F(CheckpointIoTest, AutoCheckpointingRunWritesAndPrunes) {
   EXPECT_EQ(restored.assignment(), solver.assignment());
 }
 
+TEST_F(CheckpointIoTest, QuarantineRenamesAsideAndListSkips) {
+  ASSERT_TRUE(
+      io::AtomicWriteFile(Path(CheckpointFileName(1)), "good-enough", "t")
+          .ok());
+  ASSERT_TRUE(
+      io::AtomicWriteFile(Path(CheckpointFileName(2)), "garbage", "t").ok());
+
+  ASSERT_TRUE(QuarantineCheckpoint(Path(CheckpointFileName(2))).ok());
+  EXPECT_FALSE(fs::exists(Path(CheckpointFileName(2))));
+  EXPECT_TRUE(fs::exists(Path(CheckpointFileName(2)) + ".corrupt"));
+
+  // Quarantined frames are invisible to resume and retention alike.
+  const auto names = ListCheckpointFiles(dir_.string()).ValueOrDie();
+  EXPECT_EQ(names, std::vector<std::string>{CheckpointFileName(1)});
+
+  // Idempotent: the original being already gone is OK, and a second
+  // corrupt frame of the same name replaces the old quarantine file.
+  EXPECT_TRUE(QuarantineCheckpoint(Path(CheckpointFileName(2))).ok());
+  ASSERT_TRUE(
+      io::AtomicWriteFile(Path(CheckpointFileName(2)), "garbage2", "t").ok());
+  EXPECT_TRUE(QuarantineCheckpoint(Path(CheckpointFileName(2))).ok());
+  EXPECT_TRUE(fs::exists(Path(CheckpointFileName(2)) + ".corrupt"));
+}
+
+TEST_F(CheckpointIoTest, PruneKeepsNewestAndNeverTouchesQuarantine) {
+  for (int sweep : {1, 2, 3, 4, 5}) {
+    ASSERT_TRUE(
+        io::AtomicWriteFile(Path(CheckpointFileName(sweep)), "x", "t").ok());
+  }
+  ASSERT_TRUE(QuarantineCheckpoint(Path(CheckpointFileName(3))).ok());
+
+  ASSERT_TRUE(PruneCheckpointDir(dir_.string(), 2).ok());
+  const auto names = ListCheckpointFiles(dir_.string()).ValueOrDie();
+  EXPECT_EQ(names, (std::vector<std::string>{CheckpointFileName(4),
+                                             CheckpointFileName(5)}));
+  // The quarantined frame survives pruning: it is post-mortem evidence,
+  // not retention inventory.
+  EXPECT_TRUE(fs::exists(Path(CheckpointFileName(3)) + ".corrupt"));
+}
+
+TEST_F(CheckpointIoTest, ResumeQuarantinesTheCorruptFramesItSkips) {
+  const SeededWorld world = MakeSeededWorld(95);
+  FairKMOptions options = BaseOptions();
+  ASSERT_TRUE(
+      io::AtomicWriteFile(Path(CheckpointFileName(7)), "garbage", "t").ok());
+  FairKMSolver solver =
+      FairKMSolver::Create(&world.points, &world.sensitive, options)
+          .ValueOrDie();
+  EXPECT_EQ(solver.ResumeFromCheckpointDir(dir_.string()).code(),
+            StatusCode::kDataLoss);
+  EXPECT_FALSE(fs::exists(Path(CheckpointFileName(7))));
+  EXPECT_TRUE(fs::exists(Path(CheckpointFileName(7)) + ".corrupt"));
+  // The directory now lists no checkpoints, so a re-resume is a clean
+  // kNotFound instead of re-parsing the same torn frame forever.
+  EXPECT_EQ(solver.ResumeFromCheckpointDir(dir_.string()).code(),
+            StatusCode::kNotFound);
+}
+
 TEST_F(CheckpointIoTest, ResumeFallsBackPastCorruptNewestCheckpoint) {
   const SeededWorld world = MakeSeededWorld(96);
   FairKMOptions options = BaseOptions();

@@ -158,5 +158,29 @@ TEST_F(FaultInjectionTest, ShortDefaultsToZeroKeep) {
   EXPECT_EQ(action.keep_bytes, 0u);
 }
 
+TEST_F(FaultInjectionTest, DiskFullAlwaysSurfacesAsResourceExhausted) {
+  // Disk-full is the typed resource error regardless of any `code` option:
+  // the degradation ladders key on kResourceExhausted specifically.
+  ASSERT_TRUE(fault::ArmFromString("p=diskfull,code=io").ok());
+  fault::FaultAction action;
+  ASSERT_TRUE(fault::Hit("p", &action));
+  EXPECT_EQ(action.kind, fault::Kind::kDiskFull);
+  EXPECT_EQ(action.status.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(action.status.message().find("ENOSPC"), std::string::npos);
+}
+
+TEST_F(FaultInjectionTest, KillSpecParsesWithSkipAndFires) {
+  // Only parsing is exercised here — actually hitting a kKill point sends
+  // SIGKILL to the process (the crash harness's kill site).
+  ASSERT_TRUE(fault::ArmFromString("checkpoint.write=kill,skip=3").ok());
+  fault::FaultAction action;
+  EXPECT_FALSE(fault::Hit("checkpoint.write", &action));  // skip=3: hit 0
+  EXPECT_FALSE(fault::Hit("checkpoint.write", &action));  // hit 1
+  EXPECT_EQ(fault::HitCount("checkpoint.write"), 2u);
+  fault::DisarmAll();
+  EXPECT_EQ(fault::ArmFromString("p=kill,skip=oops").code(),
+            StatusCode::kInvalidArgument);
+}
+
 }  // namespace
 }  // namespace fairkm

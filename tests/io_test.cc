@@ -284,6 +284,29 @@ TEST_F(IoTest, InjectedTornRenameIsSilentButDetectedOnRead) {
   EXPECT_FALSE(fs::exists(path + ".tmp"));
 }
 
+TEST_F(IoTest, InjectedDirsyncFailureIsCountedNotFatal) {
+  // Directory fsync is best-effort: a fired dirsync fault must not fail the
+  // write (the rename succeeded), but it must tick the process-wide counter
+  // so supervisors can observe the durability downgrade.
+  io::ResetDirFsyncFailures();
+  const std::string path = Path("sections.fkmc");
+  fault::FaultSpec spec;
+  spec.kind = fault::Kind::kError;
+  fault::Arm("test.dirsync", spec);
+  ASSERT_TRUE(
+      io::WriteSectionFile(path, kMagic, 1, SampleSections(), "test").ok());
+  EXPECT_EQ(io::DirFsyncFailures(), 1u);
+  fault::DisarmAll();
+
+  // The file itself is complete and readable despite the skipped dir fsync.
+  EXPECT_TRUE(io::ReadSectionFile(path, kMagic, 1, "test").ok());
+
+  ASSERT_TRUE(io::AtomicWriteFile(Path("clean.bin"), "x", "test").ok());
+  EXPECT_EQ(io::DirFsyncFailures(), 1u);  // no new failures
+  io::ResetDirFsyncFailures();
+  EXPECT_EQ(io::DirFsyncFailures(), 0u);
+}
+
 TEST_F(IoTest, ListDirectoryAndRemove) {
   ASSERT_TRUE(io::AtomicWriteFile(Path("b.bin"), "b", "test").ok());
   ASSERT_TRUE(io::AtomicWriteFile(Path("a.bin"), "a", "test").ok());

@@ -14,6 +14,8 @@
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
 #include <gtest/gtest.h>
 
 #include "common/crc32.h"
@@ -381,6 +383,37 @@ TEST_F(PointStoreTest, EvictedRowsRefaultToIdenticalBytes) {
   const PointStore mem(m);
   mem.EvictRows(0, mem.rows());
   ExpectStoreMatchesMatrix(mem, m);
+}
+
+TEST_F(PointStoreTest, TruncationAfterOpenReadsAsDataLossNotSigbus) {
+  // Shrinking the backing file underneath a live mapping (concurrent
+  // writer, filesystem fault) must surface as kDataLoss from the guarded
+  // probe — never as a SIGBUS on the first touch past the new EOF.
+  const Matrix m = TestMatrix(64, 6);
+  PointStoreSpec spec;
+  spec.backend = PointStoreSpec::Backend::kMmap;
+  spec.path = Path("points.fkps");
+  const auto store = PointStore::Create(m, spec).ValueOrDie();
+  ASSERT_TRUE(store->CheckBacking().ok());
+
+  const auto size = std::filesystem::file_size(spec.path);
+  ASSERT_EQ(::truncate(spec.path.c_str(), static_cast<off_t>(size / 2)), 0);
+
+  const Status probe = store->CheckBacking();
+  ASSERT_FALSE(probe.ok());
+  EXPECT_EQ(probe.code(), StatusCode::kDataLoss);
+  // The chunked walk re-probes before touching each chunk, so it refuses
+  // cleanly instead of crashing the process.
+  EXPECT_EQ(ValidateFiniteStore(*store, "points").code(),
+            StatusCode::kDataLoss);
+
+  // The injectable flavour of the same probe; the memory backend holds no
+  // mapping and never consults the fault point.
+  fault::Arm("pointstore.truncate", fault::FaultSpec{});
+  const PointStore mem(m);
+  EXPECT_TRUE(mem.CheckBacking().ok());
+  fault::DisarmAll();
+  EXPECT_EQ(store->CheckBacking().code(), StatusCode::kDataLoss);
 }
 
 TEST_F(PointStoreTest, ValidateFiniteStoreFlagsNonFiniteLanes) {

@@ -137,6 +137,37 @@ TEST_F(RunnerTest, SharedSessionMatchesColdRunSeed) {
   }
 }
 
+TEST_F(RunnerTest, SupervisedSeedMatchesPlainSeedAndFillsStats) {
+  ExperimentRunner runner(data_);
+  RunConfig config;
+  config.method = Method::kFairKMAll;
+  config.fairkm.k = 3;
+  config.fairkm.lambda = core::SuggestLambda(data_->features.rows(), 3);
+  config.fairkm.max_iterations = 8;
+
+  core::SupervisorPolicy policy;  // no checkpoint dir: in-memory snapshots
+  auto supervised = runner.RunSupervisedSeed(config, 42, policy).ValueOrDie();
+  auto plain = runner.RunSeed(config, 42).ValueOrDie();
+
+  // A fault-free supervised run is bit-identical to the plain path and
+  // carries the same downstream measurements.
+  EXPECT_EQ(supervised.outcome.assignment, plain.assignment);
+  EXPECT_EQ(supervised.outcome.iterations, plain.iterations);
+  EXPECT_EQ(supervised.outcome.co, plain.co);
+  EXPECT_EQ(supervised.outcome.fairness.per_attribute.size(), 5u);
+  EXPECT_EQ(supervised.outcome.converged, plain.converged);
+  EXPECT_EQ(supervised.stop, plain.converged ? core::RunStop::kConverged
+                                             : core::RunStop::kIterationCap);
+  EXPECT_EQ(supervised.supervisor.rollbacks, 0);
+  EXPECT_EQ(supervised.supervisor.converged, plain.converged);
+  EXPECT_GT(supervised.supervisor.sweeps_total, 0);
+
+  // Supervision is a FairKM-only concept: other methods are rejected.
+  RunConfig blind = config;
+  blind.method = Method::kKMeansBlind;
+  EXPECT_FALSE(runner.RunSupervisedSeed(blind, 42, policy).ok());
+}
+
 TEST_F(RunnerTest, FairKMBeatsBlindOnFairnessAggregates) {
   ExperimentRunner runner(data_, 2);
   RunConfig blind;

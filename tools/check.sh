@@ -41,7 +41,30 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 # silently drop these suites from CI.
 echo "== fault injection: durability + degraded-serve suites =="
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" \
-  -R 'FaultInjection|Crc32|BinaryIo|IoTest|CheckpointIo|SnapshotIo|ServeRobustness|RetryPolicy|cli_smoke'
+  -R 'FaultInjection|Crc32|BinaryIo|IoTest|CheckpointIo|SnapshotIo|ServeRobustness|RetryPolicy|cli_smoke|Supervisor|crash_recovery'
+
+# Supervisor self-healing gate: an env-armed divergence fault (one forced
+# non-finite objective) against the CLI's --supervise path must cost exactly
+# one rollback and still report a converged run. Guards the whole watchdog →
+# checkpoint-rollback → replay loop end to end from outside the process.
+echo "== supervisor: injected divergence -> one rollback + converged =="
+SUP_DIR="$BUILD_DIR/supervise_gate"
+rm -rf "$SUP_DIR" && mkdir -p "$SUP_DIR"
+awk 'BEGIN {
+  srand(7); print "f1,f2,s"
+  for (i = 0; i < 150; ++i) {
+    b = i % 3
+    printf "%.4f,%.4f,%s\n", b * 4 + rand(), b * -2 + rand(), (i % 2 ? "a" : "b")
+  }
+}' > "$SUP_DIR/toy.csv"
+SUP_OUT=$(FAIRKM_FAULT='supervisor.objective=error,fires=1' \
+  "$BUILD_DIR/tools/fairkm_cli" --input "$SUP_DIR/toy.csv" --sensitive s \
+  --k 3 --method fairkm --supervise --checkpoint-dir "$SUP_DIR/ckpt" --seed 5)
+echo "$SUP_OUT" | head -3
+echo "$SUP_OUT" | grep -q 'supervisor: stop = converged' \
+  || { echo "supervisor gate: run did not converge" >&2; exit 1; }
+echo "$SUP_OUT" | grep -q 'supervisor: rollbacks = 1 (non-finite 1' \
+  || { echo "supervisor gate: expected exactly one non-finite rollback" >&2; exit 1; }
 
 if [[ "$FAST" == "1" ]]; then
   echo "== skipping sanitizer pass (--fast) =="

@@ -23,6 +23,7 @@
 #include "core/kernels/kernels.h"
 #include "core/sharded_sweep.h"
 #include "core/solver.h"
+#include "core/supervisor.h"
 #include "data/dataset.h"
 #include "data/point_store.h"
 #include "data/preprocess.h"
@@ -324,6 +325,9 @@ Status Run(const ArgParser& args) {
   if (args.GetBool("resume") && checkpoint_dir.empty()) {
     return Status::InvalidArgument("--resume requires --checkpoint-dir");
   }
+  if (args.GetBool("supervise") && method != "fairkm") {
+    return Status::InvalidArgument("--supervise requires --method fairkm");
+  }
   std::unique_ptr<cluster::Clusterer> clusterer;
   if (method == "fairkm") {
     if (sensitive.empty()) {
@@ -351,6 +355,48 @@ Status Run(const ArgParser& args) {
     }
     FAIRKM_ASSIGN_OR_RETURN(data::PointStoreSpec store_spec,
                             data::PointStoreSpec::Parse(args.GetString("store")));
+    if (args.GetBool("supervise")) {
+      // Self-healing runtime (core/supervisor.h): divergence watchdog,
+      // checkpoint rollback, and the I/O demotion ladder around the run.
+      // Works with either store backend (the supervised session drives the
+      // store-backed solver directly, not the sharded driver).
+      core::SupervisorPolicy policy;
+      policy.checkpoint_dir = checkpoint_dir;
+      if (!checkpoint_dir.empty()) {
+        policy.checkpoint_every =
+            static_cast<int>(args.GetInt("checkpoint-every"));
+        if (policy.checkpoint_every <= 0) {
+          return Status::InvalidArgument("--checkpoint-every must be positive");
+        }
+        policy.resume = args.GetBool("resume");
+      }
+      policy.max_rollbacks = static_cast<int>(args.GetInt("max-rollbacks"));
+      policy.stall_timeout_seconds = args.GetDouble("stall-timeout-ms") / 1e3;
+      if (args.GetDouble("stall-timeout-ms") <= 0.0) {
+        policy.stall_timeout_seconds = -1.0;
+      }
+      FAIRKM_ASSIGN_OR_RETURN(
+          core::SupervisedRunner runner,
+          core::SupervisedRunner::Create(&matrix, &sensitive, options,
+                                         store_spec, policy));
+      FAIRKM_ASSIGN_OR_RETURN(const core::RunStop stop, runner.Run(seed));
+      const core::SupervisorStats& stats = runner.stats();
+      std::printf("supervisor: stop = %s, %d sweeps kept, best objective %.6g\n",
+                  RunStopName(stop), stats.sweeps_total, stats.best_objective);
+      std::printf("supervisor: rollbacks = %d (non-finite %d, regression %d, "
+                  "stall %d, io %d)\n",
+                  stats.rollbacks, stats.nonfinite_faults,
+                  stats.regression_faults, stats.stall_faults, stats.io_faults);
+      std::printf("supervisor: demotions store %d / pruning %d / parallel %d, "
+                  "%d checkpoints saved, %llu dir-fsync failures\n",
+                  stats.store_demotions, stats.pruning_demotions,
+                  stats.parallel_demotions, stats.checkpoints_saved,
+                  static_cast<unsigned long long>(stats.dir_fsync_failures));
+      FAIRKM_ASSIGN_OR_RETURN(core::FairKMResult fair_result,
+                              runner.CurrentResult());
+      return Report(args, method, matrix, sensitive, std::move(fair_result),
+                    std::move(csv));
+    }
     if (store_spec.backend == data::PointStoreSpec::Backend::kMmap) {
       // Out-of-core path: materialize the (scaled) matrix once into the
       // aligned store file, map it read-only, and drive the sharded sweep —
@@ -478,6 +524,15 @@ int main(int argc, char** argv) {
   args.AddFlag("resume", "false",
                "fairkm: restore the newest valid checkpoint in "
                "--checkpoint-dir before running (corrupt files are skipped)");
+  args.AddFlag("supervise", "false",
+               "fairkm: run under the self-healing supervisor (divergence "
+               "watchdog, rollback to the last good checkpoint, I/O demotion "
+               "ladder); combine with --checkpoint-dir for durable rollback");
+  args.AddFlag("max-rollbacks", "3",
+               "supervise: recoveries allowed before the run fails");
+  args.AddFlag("stall-timeout-ms", "0",
+               "supervise: a sweep slower than this trips the watchdog "
+               "(0 = off)");
   args.AddFlag("serve-bench", "false",
                "run the serving-tier benchmark (trainer publishing snapshots "
                "+ concurrent readers) on the synthetic Adult dataset and "
