@@ -14,9 +14,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "bench_common.h"
 #include "cluster/kmeans.h"
@@ -31,6 +33,7 @@
 #include "core/solver.h"
 #include "data/point_store.h"
 #include "data/preprocess.h"
+#include "online/online_fairkm.h"
 #include "serve/assign_batch.h"
 #include "serve/model_snapshot.h"
 
@@ -671,6 +674,124 @@ void BM_FairKM_SnapshotSweep_Sharded(benchmark::State& state) {
   state.counters["evictions"] = evictions;
 }
 BENCHMARK(BM_FairKM_SnapshotSweep_Sharded)->Unit(benchmark::kMillisecond);
+
+// Online engine pair (src/online/): _Admit measures the steady-state cost of
+// the live Eq. 1 insertion path — per admitted point the engine scores all k
+// clusters (distance + fairness insertion delta), appends to the growable
+// store, adopts the row into the state, and re-derives the n-dependent
+// dataset distribution. Each round's ids are retired outside the timed
+// region so the engine holds a steady row count and iterations stay
+// comparable. tools/bench_json.sh gates on the points_per_sec counter
+// (MIN_ADMIT_POINTS_PER_SEC). _DriftResweep measures the full bounded
+// drift-response cycle the supervisor triggers on a regression: canonical
+// Flush rebuild + one budgeted Algorithm-1 sweep + snapshot republish.
+constexpr size_t kOnlineN = 4096;
+constexpr size_t kOnlineD = 64;
+constexpr size_t kOnlineBatch = 64;
+
+online::OnlineOptions OnlineBenchOptions() {
+  online::OnlineOptions options;
+  options.solver.k = 8;
+  options.solver.lambda = core::SuggestLambda(kOnlineN, options.solver.k);
+  options.solver.max_iterations = 3;
+  // Keep the drift monitor quiet: each bench exercises exactly one path
+  // (the admit fast path, or the explicitly forced re-sweep).
+  options.drift.regression_tolerance = 1e12;
+  options.drift.resweep_max_sweeps = 1;
+  return options;
+}
+
+// Admit-side sensitive view mirroring the training structure (same attrs and
+// cardinalities, fresh random codes for the admitted rows).
+data::SensitiveView OnlineAdmitView(const data::SensitiveView& training,
+                                    size_t rows, Rng* rng) {
+  data::SensitiveView view;
+  for (const auto& attr : training.categorical) {
+    data::CategoricalSensitive a;
+    a.name = attr.name;
+    a.cardinality = attr.cardinality;
+    a.weight = attr.weight;
+    a.codes.resize(rows);
+    for (auto& code : a.codes) {
+      code = static_cast<int32_t>(
+          rng->UniformInt(static_cast<uint64_t>(attr.cardinality)));
+    }
+    a.dataset_fractions.assign(static_cast<size_t>(attr.cardinality), 0.0);
+    view.categorical.push_back(std::move(a));
+  }
+  return view;
+}
+
+data::Matrix OnlineAdmitBatch(size_t rows, Rng* rng) {
+  data::Matrix batch(rows, kOnlineD);
+  for (size_t i = 0; i < rows; ++i) {
+    double* row = batch.Row(i);
+    for (size_t j = 0; j < kOnlineD; ++j) {
+      row[j] = rng->Bernoulli(0.2) ? rng->UniformDouble(0.0, 2.0) : 0.0;
+    }
+  }
+  return batch;
+}
+
+online::OnlineFairKM& OnlineBenchEngine() {
+  static online::OnlineFairKM* engine = [] {
+    const auto& world = SyntheticWorld(kOnlineN, kOnlineD);
+    return online::OnlineFairKM::Create(world.features, world.sensitive,
+                                        OnlineBenchOptions(), /*seed=*/1)
+        .ValueOrDie()
+        .release();
+  }();
+  return *engine;
+}
+
+void BM_Online_Admit(benchmark::State& state) {
+  online::OnlineFairKM& engine = OnlineBenchEngine();
+  const auto& world = SyntheticWorld(kOnlineN, kOnlineD);
+  Rng rng(0x0A1D);
+  const data::Matrix batch = OnlineAdmitBatch(kOnlineBatch, &rng);
+  const data::SensitiveView view =
+      OnlineAdmitView(world.sensitive, kOnlineBatch, &rng);
+  size_t points = 0;
+  double admit_seconds = 0.0;
+  for (auto _ : state) {
+    Timer timer;
+    auto ids = engine.Admit(batch, &view);
+    admit_seconds += timer.ElapsedSeconds();
+    const std::vector<uint64_t>& admitted = ids.ValueOrDie();
+    points += admitted.size();
+    state.PauseTiming();
+    engine.Retire(admitted).Abort();
+    state.ResumeTiming();
+  }
+  state.counters["points_per_sec"] =
+      admit_seconds > 0.0 ? static_cast<double>(points) / admit_seconds : 0.0;
+}
+BENCHMARK(BM_Online_Admit)->Unit(benchmark::kMillisecond);
+
+void BM_Online_DriftResweep(benchmark::State& state) {
+  online::OnlineFairKM& engine = OnlineBenchEngine();
+  const auto& world = SyntheticWorld(kOnlineN, kOnlineD);
+  Rng rng(0x0A2D);
+  for (auto _ : state) {
+    state.PauseTiming();
+    // Dirty the incremental state so the re-sweep's canonical rebuild and
+    // budgeted sweep have fresh membership to chew on.
+    const data::Matrix batch = OnlineAdmitBatch(8, &rng);
+    const data::SensitiveView view = OnlineAdmitView(world.sensitive, 8, &rng);
+    auto ids = engine.Admit(batch, &view);
+    const std::vector<uint64_t> admitted = ids.ValueOrDie();
+    state.ResumeTiming();
+
+    engine.TriggerResweep().Abort();
+
+    state.PauseTiming();
+    engine.Retire(admitted).Abort();
+    state.ResumeTiming();
+  }
+  state.counters["resweeps"] =
+      static_cast<double>(engine.Stats().resweeps);
+}
+BENCHMARK(BM_Online_DriftResweep)->Unit(benchmark::kMillisecond);
 
 void BM_MoveDeltaEvaluation(benchmark::State& state) {
   const auto& data = AdultSlice(2000);

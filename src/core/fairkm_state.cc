@@ -192,6 +192,136 @@ Status FairKMState::Reset(cluster::Assignment initial) {
   return Status::OK();
 }
 
+Status FairKMState::AdmitAppended(int to) {
+  if (points_ != nullptr) {
+    return Status::InvalidArgument(
+        "AdmitAppended needs a store-backed state (the matrix overload's "
+        "private store cannot grow)");
+  }
+  if (to < 0 || to >= k_) {
+    return Status::InvalidArgument("admit target cluster " +
+                                   std::to_string(to) + " out of range");
+  }
+  if (store_->rows() != n_ + 1) {
+    return Status::InvalidArgument(
+        "AdmitAppended expects the store to hold exactly one appended row "
+        "(store has " + std::to_string(store_->rows()) + ", state tracks " +
+        std::to_string(n_) + ")");
+  }
+  if (!sensitive_->empty() && sensitive_->num_rows() != n_ + 1) {
+    return Status::InvalidArgument(
+        "AdmitAppended expects the sensitive view to hold the appended row");
+  }
+  const size_t i = n_;
+  const double* row = store_->Row(i);
+  const double norm = kernels::Dot(row, row, stride_);
+  point_norms_.push_back(norm);
+  total_point_norm_ += norm;
+  assignment_.push_back(static_cast<int32_t>(to));
+  const size_t ti = static_cast<size_t>(to);
+  ++counts_[ti];
+  double* acc = sums_.data() + ti * stride_;
+  for (size_t j = 0; j < d_; ++j) acc[j] += row[j];
+  sum_norms_[ti] = kernels::Dot(acc, acc, stride_);
+  for (size_t a = 0; a < sensitive_->categorical.size(); ++a) {
+    const auto& attr = sensitive_->categorical[a];
+    const int32_t v = attr.codes[i];
+    if (v < 0 || v >= attr.cardinality) {
+      return Status::InvalidArgument("admitted row carries code " +
+                                     std::to_string(v) +
+                                     " outside attribute \"" + attr.name +
+                                     "\" cardinality");
+    }
+    ++cat_counts_[a][ti * attr.cardinality + v];
+  }
+  for (size_t a = 0; a < sensitive_->numeric.size(); ++a) {
+    num_sums_[a][ti] += sensitive_->numeric[a].values[i];
+  }
+  n_ = store_->rows();
+  return Status::OK();
+}
+
+Status FairKMState::RetireSwapped(size_t r) {
+  if (points_ != nullptr) {
+    return Status::InvalidArgument(
+        "RetireSwapped needs a store-backed state");
+  }
+  if (r >= n_) {
+    return Status::InvalidArgument("retire row " + std::to_string(r) +
+                                   " out of range (n = " + std::to_string(n_) +
+                                   ")");
+  }
+  if (store_->rows() != n_) {
+    return Status::InvalidArgument(
+        "RetireSwapped must run BEFORE the store shrinks (store has " +
+        std::to_string(store_->rows()) + " rows, state tracks " +
+        std::to_string(n_) + ")");
+  }
+  if (n_ == 1) {
+    return Status::InvalidArgument(
+        "cannot retire the last remaining point (the optimizer needs a "
+        "non-empty point set)");
+  }
+  const size_t ci = static_cast<size_t>(assignment_[r]);
+  const double* row = store_->Row(r);
+  double* acc = sums_.data() + ci * stride_;
+  for (size_t j = 0; j < d_; ++j) acc[j] -= row[j];
+  sum_norms_[ci] = kernels::Dot(acc, acc, stride_);
+  --counts_[ci];
+  for (size_t a = 0; a < sensitive_->categorical.size(); ++a) {
+    const auto& attr = sensitive_->categorical[a];
+    --cat_counts_[a][ci * attr.cardinality + attr.codes[r]];
+  }
+  for (size_t a = 0; a < sensitive_->numeric.size(); ++a) {
+    num_sums_[a][ci] -= sensitive_->numeric[a].values[r];
+  }
+  total_point_norm_ -= point_norms_[r];
+  const size_t last = n_ - 1;
+  assignment_[r] = assignment_[last];
+  assignment_.pop_back();
+  point_norms_[r] = point_norms_[last];
+  point_norms_.pop_back();
+  --n_;
+  return Status::OK();
+}
+
+void FairKMState::RefreshDatasetStats() {
+  for (size_t a = 0; a < sensitive_->categorical.size(); ++a) {
+    const auto& attr = sensitive_->categorical[a];
+    double q2 = 0.0;
+    for (int s = 0; s < attr.cardinality; ++s) {
+      q2 += attr.dataset_fractions[s] * attr.dataset_fractions[s];
+    }
+    cat_q2_[a] = q2;
+    for (int c = 0; c < k_; ++c) RecomputeCatMoments(a, c);
+  }
+  if (track_bounds_) EnableBoundTracking(true);
+}
+
+Status FairKMState::RebuildFromStore(cluster::Assignment initial) {
+  if (points_ != nullptr) {
+    return Status::InvalidArgument(
+        "RebuildFromStore needs a store-backed state");
+  }
+  if (store_->empty()) {
+    return Status::InvalidArgument("point store must not be empty");
+  }
+  if (store_->cols() != d_) {
+    return Status::InvalidArgument("store feature width changed");
+  }
+  FAIRKM_RETURN_NOT_OK(
+      cluster::ValidateAssignment(initial, store_->rows(), k_));
+  FAIRKM_RETURN_NOT_OK(sensitive_->Validate(store_->rows()));
+  n_ = store_->rows();
+  // Dropping the norm cache forces BuildAggregates down the same chunked
+  // from-scratch pass a fresh Create runs, so total_point_norm_ carries the
+  // canonical summation order — the bit-identical-oracle half of Flush().
+  point_norms_.clear();
+  BuildAggregates(std::move(initial));
+  if (track_bounds_) EnableBoundTracking(true);
+  return Status::OK();
+}
+
 void FairKMState::RecomputeCatMoments(size_t a, int c) {
   const auto& attr = sensitive_->categorical[a];
   const int m = attr.cardinality;

@@ -142,6 +142,45 @@ class FairKMState {
   /// points/sensitive/k and the same snapshot/bound-tracking modes.
   Status RestoreCheckpoint(const Checkpoint& cp);
 
+  // --- Online growth hooks (src/online/). All three require a store-backed
+  // state (the matrix overload's private store cannot grow) whose backing
+  // PointStore the caller mutates under its own serialization — never while
+  // a sweep, a snapshot export, or any other reader is in flight.
+
+  /// \brief Folds one just-appended point into the aggregates: the backing
+  /// store AND the sensitive view must already hold num_rows()+1 rows, and
+  /// the new row is assigned to cluster `to`. Updates assignment, counts,
+  /// feature sums, norm caches and per-attribute count/sum tables
+  /// incrementally in O(d + |S|). Dataset-statistic-dependent values (the
+  /// view's fractions/means, cat_q2_, every U2/UQ moment, all bounds) go
+  /// stale — the caller MUST call RefreshDatasetStats() after its admit
+  /// batch, before any delta/objective query.
+  Status AdmitAppended(int to);
+
+  /// \brief Removes row r's contributions and mirrors the swap-with-last
+  /// the caller is about to apply to the store and view: row r's aggregates
+  /// are subtracted, then the LAST row's assignment/norm slide into slot r
+  /// and the state shrinks by one row. Call BEFORE mutating the store (this
+  /// reads row r). Same staleness contract as AdmitAppended.
+  Status RetireSwapped(size_t r);
+
+  /// \brief Recomputes everything that depends on the dataset-level
+  /// statistics after the caller updated the sensitive view's
+  /// dataset_fractions / dataset_mean for a changed membership: cat_q2_,
+  /// every (attribute, cluster) U2/UQ moment, and — when bound tracking is
+  /// on — every bound table (fresh, zero drift; per-point pruner bounds
+  /// must be invalidated by the caller, see FairKMSolver::SyncStoreGrowth).
+  /// O(k sum_S m_S).
+  void RefreshDatasetStats();
+
+  /// \brief Canonical full rebuild over the CURRENT store contents under
+  /// `initial`: clears the per-point norm caches so every aggregate —
+  /// including total ||x||^2 and the chunked summation order — is recomputed
+  /// exactly as a fresh Create over the same rows would, which is the
+  /// online engine's Flush() oracle contract (bit-identical moments, counts
+  /// and objective versus a from-scratch state).
+  Status RebuildFromStore(cluster::Assignment initial);
+
   /// \brief Exact change of the K-Means term if point `i` moved to `to`
   /// (0 when `to` is its current cluster).
   double DeltaKMeans(size_t i, int to) const;

@@ -414,6 +414,16 @@ Result<RunStop> FairKMSolver::Run(const RunBudget& budget,
         run_timer.ElapsedSeconds() >= budget.max_seconds) {
       return finish(RunStop::kTimeBudget);
     }
+    // Lambda annealing: consult the schedule only at a true sweep boundary
+    // (a resumed partial sweep finishes under its original weight), and only
+    // apply a weight that actually differs — SetLambda resets nothing, but
+    // skipping the call keeps a constant schedule a literal no-op.
+    if (budget.lambda_schedule && !mid_sweep()) {
+      const double next = budget.lambda_schedule(sweeps_completed_ + 1);
+      if (!(next == lambda_)) {
+        FAIRKM_RETURN_NOT_OK(SetLambda(next));
+      }
+    }
     RunStop stop = RunStop::kConverged;
     if (RunBatches(progress, budget.max_seconds, run_timer.ElapsedSeconds(),
                    &stop) == BatchesOutcome::kStopped) {
@@ -597,6 +607,47 @@ Status FairKMSolver::ResumeFromCheckpointDir(const std::string& dir) {
   return Status::DataLoss("no valid checkpoint in " + dir +
                           " (newest failed with: " + newest_failure.ToString() +
                           ")");
+}
+
+Status FairKMSolver::SyncStoreGrowth() {
+  if (points_ != nullptr) {
+    return Status::InvalidArgument(
+        "SyncStoreGrowth needs a store-backed session (matrix-backed "
+        "sessions own an immutable copy of the rows)");
+  }
+  if (!initialized()) {
+    return Status::InvalidArgument("solver not initialized: call Init first");
+  }
+  if (mid_sweep()) {
+    return Status::InvalidArgument(
+        "cannot resize the point set mid-sweep (finish the sweep first)");
+  }
+  if (store_->empty()) {
+    return Status::InvalidArgument("store must not be empty");
+  }
+  if (state_->num_rows() != store_->rows()) {
+    return Status::InvalidArgument(
+        "solver state tracks " + std::to_string(state_->num_rows()) +
+        " rows but the store holds " + std::to_string(store_->rows()) +
+        " — bring the state to the store first (AdmitAppended/RetireSwapped)");
+  }
+  n_ = store_->rows();
+  if (!minibatch_) batch_size_ = n_;
+  // Resize the batch scratch exactly as the first Init sized it.
+  const size_t k = static_cast<size_t>(options_.k);
+  const size_t rows =
+      parallel_ ? std::min(batch_size_, std::max<size_t>(n_, 1)) : 1;
+  km_deltas_.assign(rows * k, 0.0);
+  km_dists_.assign(pruning_ ? rows * k : 0, 0.0);
+  evaluated_.assign(parallel_ ? rows : 0, 1);
+  // The pruner's per-point bound tables are sized to n; rebuild it so every
+  // bound restarts stale (never read until refreshed by an exact pass).
+  if (pruning_) {
+    pruner_ = std::make_unique<SweepPruner>(state_.get(), lambda_,
+                                            options_.min_improvement);
+  }
+  converged_ = false;
+  return Status::OK();
 }
 
 Status FairKMSolver::SetLambda(double lambda) {

@@ -98,6 +98,16 @@ struct RunBudget {
   /// falls through to the solver's current state; a directory where every
   /// checkpoint is corrupt fails the Run with kDataLoss.
   bool resume = false;
+
+  // --- Lambda annealing (optional).
+  /// When set, invoked at every sweep boundary of this Run call with the
+  /// 1-based index of the sweep about to start; the returned weight is
+  /// applied through SetLambda (negative = the (n/k)^2 heuristic) before the
+  /// sweep runs. A schedule that returns the session's current lambda is a
+  /// strict no-op — the run is bit-identical, counters included, to one
+  /// without a schedule. Never consulted mid-sweep: a resumed partial sweep
+  /// finishes under the weight it started with.
+  std::function<double(int sweep)> lambda_schedule;
 };
 
 /// \brief Why a Run call returned.
@@ -305,6 +315,29 @@ class FairKMSolver {
   /// consistent point (between sweeps, or inside a Run progress callback,
   /// which fires at mini-batch boundaries with all aggregates consistent).
   Result<ModelExport> ExportModel() const;
+
+  // --- Online growth (src/online/).
+  /// \brief Mutable access to the live optimizer state, for the online
+  /// engine's incremental admit/retire hooks (FairKMState::AdmitAppended /
+  /// RetireSwapped / RefreshDatasetStats / RebuildFromStore). Same
+  /// consistency contract as state(): touch only between sweeps, from the
+  /// solver's owning thread. Requires initialized().
+  FairKMState* mutable_state() {
+    FAIRKM_DCHECK(state_ != nullptr);
+    return state_.get();
+  }
+  /// \brief Re-synchronizes a store-backed session after the bound store's
+  /// row count changed underneath it (online admit/retire): adopts the new
+  /// n, re-hoists the full-sweep batch size (mini-batch sizes are kept),
+  /// resizes the batch scratch, rebuilds the pruner over the resized state
+  /// (all per-point bounds restart stale — sound, just unpruned until
+  /// refreshed), and clears `converged` so the next Sweep/Run re-certifies
+  /// the objective over the new membership. The caller must already have
+  /// brought the FairKMState to the new row count (the online engine's
+  /// admit/retire hooks do). Rejected mid-sweep. Durable checkpoints taken
+  /// before a growth step no longer Restore (num_rows mismatch) — by
+  /// design; the online engine writes fresh ones after each republish.
+  Status SyncStoreGrowth();
 
   // --- Knobs.
   /// \brief Changes the fairness weight (negative = the (n/k)^2 heuristic).

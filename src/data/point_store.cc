@@ -573,6 +573,57 @@ Result<std::shared_ptr<const PointStore>> PointStore::Open(
   return std::shared_ptr<const PointStore>(std::move(store));
 }
 
+Status PointStore::AppendRow(const double* row, size_t cols) {
+  if (backend_ != PointStoreSpec::Backend::kMemory) {
+    return Status::InvalidArgument(
+        "cannot append to the read-only mmap store \"" + path_ +
+        "\": the store file is sealed (CRC-framed) and mapped read-only — "
+        "online admit needs a growable store; materialize with --store=mem");
+  }
+  if (row == nullptr || cols != cols_) {
+    return Status::InvalidArgument(
+        "AppendRow expects " + std::to_string(cols_) + " columns, got " +
+        std::to_string(cols));
+  }
+  for (size_t c = 0; c < cols; ++c) {
+    if (!std::isfinite(row[c])) {
+      return Status::InvalidArgument(
+          "appended row contains a non-finite value at column " +
+          std::to_string(c));
+    }
+  }
+  data_.resize((rows_ + 1) * stride_, 0.0);
+  double* dst = data_.data() + rows_ * stride_;
+  for (size_t c = 0; c < cols; ++c) dst[c] = row[c];
+  for (size_t c = cols; c < stride_; ++c) dst[c] = 0.0;
+  ++rows_;
+  base_ = data_.data();  // resize may have reallocated
+  return Status::OK();
+}
+
+Status PointStore::SwapRemoveRow(size_t r) {
+  if (backend_ != PointStoreSpec::Backend::kMemory) {
+    return Status::InvalidArgument(
+        "cannot remove rows from the read-only mmap store \"" + path_ +
+        "\": the store file is sealed and mapped read-only — online retire "
+        "needs a growable store; materialize with --store=mem");
+  }
+  if (r >= rows_) {
+    return Status::InvalidArgument(
+        "SwapRemoveRow index " + std::to_string(r) + " out of range (rows = " +
+        std::to_string(rows_) + ")");
+  }
+  const size_t last = rows_ - 1;
+  if (r != last) {
+    std::memcpy(data_.data() + r * stride_, data_.data() + last * stride_,
+                stride_ * sizeof(double));
+  }
+  data_.resize(last * stride_);
+  --rows_;
+  base_ = data_.data();
+  return Status::OK();
+}
+
 Status PointStore::CheckBacking() const {
   if (backend_ != PointStoreSpec::Backend::kMmap || map_ == nullptr) {
     return Status::OK();

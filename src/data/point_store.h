@@ -174,6 +174,27 @@ class PointStore {
     return base_ + r * stride_;
   }
 
+  // --- Online growth (memory backend only; src/online/).
+  //
+  // The store stays "read-only" from every reader's point of view — the
+  // online engine serializes all growth behind its own mutex and never
+  // mutates while a sweep or a serving snapshot export is reading rows.
+  // Appends may reallocate the backing buffer, so raw Row() pointers must
+  // not be cached across an AppendRow call.
+
+  /// \brief Appends one row of cols() finite doubles, zero-padding the
+  /// trailing [cols(), stride()) lanes. kMemory backend only: the mmap
+  /// backend maps a sealed CRC-framed file read-only, so appending returns
+  /// an actionable kInvalidArgument telling the caller to materialize a
+  /// growable `mem` store instead (online admit needs one).
+  Status AppendRow(const double* row, size_t cols);
+
+  /// \brief Removes row r by copying the LAST row over it and shrinking the
+  /// store by one row (O(stride), order-changing — callers maintaining a
+  /// row-indexed map must mirror the swap). kMemory backend only, same
+  /// kInvalidArgument contract as AppendRow for mmap stores.
+  Status SwapRemoveRow(size_t r);
+
   /// \brief Advises the kernel that rows [begin, end) will not be needed
   /// soon (madvise MADV_DONTNEED on the page-interior span). No-op for the
   /// memory backend. Rows stay readable — a later touch refaults the pages

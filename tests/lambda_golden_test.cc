@@ -120,6 +120,78 @@ TEST(SeededWorldDeltaGolden, PinsMoveDeltas) {
   EXPECT_NEAR(state.DeltaFairness(17, 0), golden_df_17_0, 1e-12);
 }
 
+// Lambda annealing (RunBudget.lambda_schedule): a schedule returning the
+// session's current lambda must be a strict no-op — the run is bit-identical
+// to one without a schedule (assignment, per-sweep objective history, sweep
+// count) — and a genuinely annealing schedule must be applied through
+// SetLambda at every sweep boundary.
+TEST(LambdaScheduleGolden, ConstantScheduleIsABitIdenticalNoOp) {
+  const SeededWorld world = MakeSeededWorld(91);
+  core::FairKMOptions options;
+  options.k = world.k;
+  options.lambda = 400.0;
+  options.max_iterations = 8;
+
+  core::FairKMSolver plain =
+      core::FairKMSolver::Create(&world.points, &world.sensitive, options)
+          .ValueOrDie();
+  ASSERT_TRUE(plain.Init(uint64_t{93}).ok());
+  ASSERT_TRUE(plain.Run().ok());
+
+  core::FairKMSolver scheduled =
+      core::FairKMSolver::Create(&world.points, &world.sensitive, options)
+          .ValueOrDie();
+  ASSERT_TRUE(scheduled.Init(uint64_t{93}).ok());
+  core::RunBudget budget;
+  int calls = 0;
+  budget.lambda_schedule = [&calls](int /*sweep*/) {
+    ++calls;
+    return 400.0;
+  };
+  ASSERT_TRUE(scheduled.Run(budget).ok());
+
+  EXPECT_GT(calls, 0);
+  EXPECT_EQ(scheduled.lambda(), 400.0);
+  EXPECT_EQ(scheduled.sweeps_completed(), plain.sweeps_completed());
+  EXPECT_EQ(scheduled.assignment(), plain.assignment());
+  // Bit-identical, not approximately equal: the schedule must not have
+  // perturbed a single double along the trajectory.
+  ASSERT_EQ(scheduled.objective_history().size(),
+            plain.objective_history().size());
+  for (size_t i = 0; i < plain.objective_history().size(); ++i) {
+    EXPECT_EQ(scheduled.objective_history()[i], plain.objective_history()[i])
+        << "sweep " << i;
+  }
+}
+
+TEST(LambdaScheduleGolden, AnnealingScheduleAppliesAtEverySweepBoundary) {
+  const SeededWorld world = MakeSeededWorld(95);
+  core::FairKMOptions options;
+  options.k = world.k;
+  options.lambda = 400.0;
+  options.max_iterations = 6;
+
+  core::FairKMSolver solver =
+      core::FairKMSolver::Create(&world.points, &world.sensitive, options)
+          .ValueOrDie();
+  ASSERT_TRUE(solver.Init(uint64_t{97}).ok());
+  core::RunBudget budget;
+  std::vector<int> consulted;
+  budget.lambda_schedule = [&consulted](int sweep) {
+    consulted.push_back(sweep);
+    return 100.0 * static_cast<double>(sweep);
+  };
+  ASSERT_TRUE(solver.Run(budget).ok());
+
+  // Consulted with the 1-based index of every sweep that was about to run.
+  ASSERT_FALSE(consulted.empty());
+  for (size_t i = 0; i < consulted.size(); ++i) {
+    EXPECT_EQ(consulted[i], static_cast<int>(i) + 1);
+  }
+  // The last scheduled weight is live in the session.
+  EXPECT_EQ(solver.lambda(), 100.0 * static_cast<double>(consulted.back()));
+}
+
 }  // namespace
 }  // namespace testutil
 }  // namespace fairkm

@@ -429,6 +429,69 @@ TEST_F(PointStoreTest, ValidateFiniteStoreFlagsNonFiniteLanes) {
   EXPECT_NE(st.message().find("row 3"), std::string::npos);
 }
 
+TEST_F(PointStoreTest, AppendAndSwapRemoveGrowAndShrinkTheMemoryBackend) {
+  const Matrix m = TestMatrix(4, 3);
+  PointStore store(m);
+  const std::vector<double> extra = {100.0, 101.0, 102.0};
+  ASSERT_TRUE(store.AppendRow(extra.data(), 3).ok());
+  ASSERT_EQ(store.rows(), 5u);
+  EXPECT_EQ(store.Row(4)[0], 100.0);
+  EXPECT_EQ(store.Row(4)[1], 101.0);
+  EXPECT_EQ(store.Row(4)[2], 102.0);
+  for (size_t j = 3; j < store.stride(); ++j) {
+    EXPECT_EQ(store.Row(4)[j], 0.0) << "padding lane " << j;
+  }
+  // Earlier rows survive the (possibly reallocating) growth untouched.
+  for (size_t r = 0; r < 4; ++r) {
+    for (size_t c = 0; c < 3; ++c) EXPECT_EQ(store.Row(r)[c], m.At(r, c));
+  }
+
+  EXPECT_EQ(store.AppendRow(extra.data(), 2).code(),
+            StatusCode::kInvalidArgument);
+  const std::vector<double> dirty = {
+      1.0, std::numeric_limits<double>::quiet_NaN(), 3.0};
+  EXPECT_EQ(store.AppendRow(dirty.data(), 3).code(),
+            StatusCode::kInvalidArgument);
+  ASSERT_EQ(store.rows(), 5u);  // Rejections left the store unchanged.
+
+  // Swap-with-last removal: the appended row slides into the hole.
+  ASSERT_TRUE(store.SwapRemoveRow(1).ok());
+  ASSERT_EQ(store.rows(), 4u);
+  EXPECT_EQ(store.Row(1)[0], 100.0);
+  EXPECT_EQ(store.Row(1)[1], 101.0);
+  EXPECT_EQ(store.SwapRemoveRow(17).code(), StatusCode::kInvalidArgument);
+}
+
+// The online-admit contract of the read-only backend: growing an mmap store
+// fails with an actionable kInvalidArgument (naming the `mem` remedy), and
+// the mapping is left byte-identical.
+TEST_F(PointStoreTest, MmapBackendRefusesOnlineGrowthActionably) {
+  const Matrix m = TestMatrix(6, 3);
+  PointStoreSpec spec;
+  spec.backend = PointStoreSpec::Backend::kMmap;
+  spec.path = Path("grow.fkps");
+  const auto mapped = PointStore::Create(m, spec).ValueOrDie();
+  // AppendRow/SwapRemoveRow are non-const; the shared handle is const by
+  // design (readers). The cast is safe here: the mmap paths reject before
+  // touching anything.
+  auto* store = const_cast<PointStore*>(mapped.get());
+
+  const std::vector<double> extra = {1.0, 2.0, 3.0};
+  const Status append = store->AppendRow(extra.data(), 3);
+  ASSERT_FALSE(append.ok());
+  EXPECT_EQ(append.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(append.message().find("read-only mmap store"), std::string::npos);
+  EXPECT_NE(append.message().find("--store=mem"), std::string::npos);
+
+  const Status remove = store->SwapRemoveRow(0);
+  ASSERT_FALSE(remove.ok());
+  EXPECT_EQ(remove.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(remove.message().find("--store=mem"), std::string::npos);
+
+  EXPECT_EQ(mapped->rows(), 6u);
+  ExpectStoreMatchesMatrix(*mapped, m);
+}
+
 }  // namespace
 }  // namespace data
 }  // namespace fairkm

@@ -57,6 +57,17 @@
 #      out-of-core residency control is bought with madvise calls and page
 #      refaults, not with a slower sweep. Store materialization is excluded
 #      (the store is built once outside the timed loop).
+#   8. Online admit throughput: the points_per_sec counter of
+#      BM_Online_Admit (live Eq. 1 insertion scoring + store append + state
+#      adoption + dataset-distribution refresh, batches of 64 against a
+#      4096-row engine) must be >= MIN_ADMIT_POINTS_PER_SEC (default 2000
+#      points/s — a deliberately conservative floor: the admit path must
+#      stay incremental; falling through to anything resembling a per-batch
+#      retrain drops throughput by orders of magnitude, which is what this
+#      gate is built to catch). BM_Online_DriftResweep (the full bounded
+#      drift response: canonical flush + one budgeted sweep + republish) is
+#      recorded for trend tracking but not gated — its cost is O(n) by
+#      design.
 # The BM_ActiveKernelBackend_<name> marker entry records which backend the
 # runtime dispatch picked for this host/run.
 #
@@ -66,6 +77,7 @@
 # MIN_PRUNE_SPEEDUP (default 2.0), MIN_PRUNED_FRACTION (default 0.5),
 # MIN_REUSE_SPEEDUP (default 1.03), MIN_ASSIGN_SPEEDUP (default 1.7),
 # MAX_SHARDED_OVERHEAD (default 1.15),
+# MIN_ADMIT_POINTS_PER_SEC (default 2000),
 # SHARDED_ROWS (unset: carry the existing sharded_scaling curve forward;
 # set to e.g. "1000000,10000000" to re-measure it with tools/sharded_scaling),
 # SKIP_BUILD=1 to use an existing binary as-is (gate 0 still applies).
@@ -76,7 +88,7 @@ cd "$(dirname "$0")/.."
 
 BUILD_DIR=${BUILD_DIR:-build-bench}
 OUT=${OUT:-BENCH_scaling.json}
-FILTER=${FILTER:-'Assign_|SweepCandidates|FairKM_AllAttributes|FairKM_MiniBatch|FairKM_MultiSeed|FairKM_ParallelSweep|FairKM_SnapshotSweep|FairKM_Sweep|MoveDeltaEvaluation|KernelGemv|KernelCatMoments|ActiveKernelBackend|BuildConfig'}
+FILTER=${FILTER:-'Assign_|SweepCandidates|FairKM_AllAttributes|FairKM_MiniBatch|FairKM_MultiSeed|FairKM_ParallelSweep|FairKM_SnapshotSweep|FairKM_Sweep|MoveDeltaEvaluation|KernelGemv|KernelCatMoments|ActiveKernelBackend|BuildConfig|Online_'}
 MIN_TIME=${MIN_TIME:-0.2}
 MIN_SPEEDUP=${MIN_SPEEDUP:-2.0}
 MIN_SIMD_RATIO=${MIN_SIMD_RATIO:-0.9}
@@ -85,6 +97,7 @@ MIN_PRUNED_FRACTION=${MIN_PRUNED_FRACTION:-0.5}
 MIN_REUSE_SPEEDUP=${MIN_REUSE_SPEEDUP:-1.03}
 MIN_ASSIGN_SPEEDUP=${MIN_ASSIGN_SPEEDUP:-1.7}
 MAX_SHARDED_OVERHEAD=${MAX_SHARDED_OVERHEAD:-1.15}
+MIN_ADMIT_POINTS_PER_SEC=${MIN_ADMIT_POINTS_PER_SEC:-2000}
 BENCH="$BUILD_DIR/bench/bench_scaling"
 
 if [[ "${SKIP_BUILD:-0}" != "1" ]]; then
@@ -226,6 +239,20 @@ jq -e --argjson max "$MAX_SHARDED_OVERHEAD" '
   | "sharded-sweep overhead: \($overhead * 100 | round / 100)x (in-process \($mem) vs sharded \($sharded); \($evictions | round) evictions/iter)",
     (if $overhead <= $max then "OK: <= \($max)x"
      else error("sharded sweep overhead \($overhead) above allowed \($max)x") end)
+' "$OUT"
+
+# Gate 8: the online admit path must sustain incremental throughput. The
+# counter times ONLY the Admit calls (retires that keep the engine at a
+# steady row count run outside the timed region), so this is the live
+# insertion-scoring path: anything that degenerates toward a per-batch
+# retrain craters points_per_sec and fails here. The forced-re-sweep bench
+# is printed alongside for trend tracking (its cost is O(n) by design).
+jq -e --argjson min "$MIN_ADMIT_POINTS_PER_SEC" '
+  (.benchmarks[] | select(.name == "BM_Online_Admit") | .points_per_sec // 0) as $pps
+  | (.benchmarks[] | select(.name == "BM_Online_DriftResweep") | .real_time) as $resweep
+  | "online admit throughput: \($pps | round) points/s (drift re-sweep \($resweep * 100 | round / 100) ms/cycle)",
+    (if $pps >= $min then "OK: >= \($min) points/s"
+     else error("online admit throughput \($pps) below required \($min) points/s") end)
 ' "$OUT"
 
 echo "wrote $OUT"

@@ -41,7 +41,7 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 # silently drop these suites from CI.
 echo "== fault injection: durability + degraded-serve suites =="
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" \
-  -R 'FaultInjection|Crc32|BinaryIo|IoTest|CheckpointIo|SnapshotIo|ServeRobustness|RetryPolicy|cli_smoke|Supervisor|crash_recovery'
+  -R 'FaultInjection|Crc32|BinaryIo|IoTest|CheckpointIo|SnapshotIo|ServeRobustness|RetryPolicy|cli_smoke|Supervisor|crash_recovery|OnlineDrift|OnlineRecovery'
 
 # Supervisor self-healing gate: an env-armed divergence fault (one forced
 # non-finite objective) against the CLI's --supervise path must cost exactly
@@ -66,6 +66,21 @@ echo "$SUP_OUT" | grep -q 'supervisor: stop = converged' \
 echo "$SUP_OUT" | grep -q 'supervisor: rollbacks = 1 (non-finite 1' \
   || { echo "supervisor gate: expected exactly one non-finite rollback" >&2; exit 1; }
 
+# Online drift gate: the same env-armed divergence fault against the online
+# engine's drift monitor (shared "supervisor.objective" point) must trigger
+# exactly one bounded re-sweep — with the tolerance pushed out of reach, the
+# injected non-finite objective is the ONLY thing that can fire it — and the
+# flushed state must still match a from-scratch rebuild (the oracle line).
+echo "== online: injected divergence -> exactly one bounded re-sweep =="
+ONLINE_OUT=$(FAIRKM_FAULT='supervisor.objective=error,fires=1' \
+  "$BUILD_DIR/tools/fairkm_cli" --online-bench --seed 5 \
+  --drift-tolerance 1e12)
+echo "$ONLINE_OUT" | grep -E 'resweeps|oracle'
+echo "$ONLINE_OUT" | grep -q 'online: resweeps = 1,' \
+  || { echo "online gate: expected exactly one drift re-sweep" >&2; exit 1; }
+echo "$ONLINE_OUT" | grep -q 'online: oracle = ok' \
+  || { echo "online gate: flushed state diverged from rebuild" >&2; exit 1; }
+
 if [[ "$FAST" == "1" ]]; then
   echo "== skipping sanitizer pass (--fast) =="
   exit 0
@@ -88,6 +103,6 @@ cmake -B "$TSAN_BUILD_DIR" -S . \
   -DFAIRKM_BUILD_EXAMPLES=OFF
 cmake --build "$TSAN_BUILD_DIR" -j "$JOBS"
 ctest --test-dir "$TSAN_BUILD_DIR" --output-on-failure -j "$JOBS" \
-  -R 'FairKMParallel|ThreadPool|FairKMCrossCheck.ParallelSnapshot|StressScaling.Optimizer|Pruning|FairKMSolver|Serve|RetryPolicy'
+  -R 'FairKMParallel|ThreadPool|FairKMCrossCheck.ParallelSnapshot|StressScaling.Optimizer|Pruning|FairKMSolver|Serve|RetryPolicy|Online'
 
 echo "== all checks passed =="

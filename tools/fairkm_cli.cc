@@ -9,6 +9,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstddef>
 #include <cstdio>
 #include <memory>
 #include <set>
@@ -20,6 +21,7 @@
 #include "common/string_util.h"
 #include "common/timer.h"
 #include "core/fairkm.h"
+#include "core/fairkm_state.h"
 #include "core/kernels/kernels.h"
 #include "core/sharded_sweep.h"
 #include "core/solver.h"
@@ -32,6 +34,7 @@
 #include "exp/table.h"
 #include "metrics/fairness.h"
 #include "metrics/quality.h"
+#include "online/online_fairkm.h"
 #include "serve/assign_service.h"
 #include "serve/model_snapshot.h"
 
@@ -208,6 +211,189 @@ Status ServeBench(const ArgParser& args) {
               m.snapshot_age_seconds);
   if (reader_errors.load() > 0) {
     return Status::Internal("serve-bench reader requests failed");
+  }
+  return Status::OK();
+}
+
+// Row-range slices of the Adult world, used by --online-bench to split one
+// coherent dataset into an initial training set and an admit stream whose
+// feature/sensitive structure matches it by construction.
+data::Matrix SliceRows(const data::Matrix& m, size_t begin, size_t count) {
+  data::Matrix out(count, m.cols());
+  for (size_t i = 0; i < count; ++i) {
+    const double* src = m.Row(begin + i);
+    double* dst = out.Row(i);
+    for (size_t j = 0; j < m.cols(); ++j) dst[j] = src[j];
+  }
+  return out;
+}
+
+data::SensitiveView SliceView(const data::SensitiveView& view, size_t begin,
+                              size_t count) {
+  data::SensitiveView out;
+  for (const auto& attr : view.categorical) {
+    data::CategoricalSensitive a;
+    a.name = attr.name;
+    a.cardinality = attr.cardinality;
+    a.weight = attr.weight;
+    a.codes.assign(attr.codes.begin() + static_cast<ptrdiff_t>(begin),
+                   attr.codes.begin() + static_cast<ptrdiff_t>(begin + count));
+    // Dataset-level fractions are n-dependent; the engine re-derives them
+    // over the live population after every membership change, so the slice
+    // only has to carry the structure and the codes.
+    a.dataset_fractions.assign(static_cast<size_t>(attr.cardinality), 0.0);
+    out.categorical.push_back(std::move(a));
+  }
+  for (const auto& attr : view.numeric) {
+    data::NumericSensitive a;
+    a.name = attr.name;
+    a.weight = attr.weight;
+    a.values.assign(attr.values.begin() + static_cast<ptrdiff_t>(begin),
+                    attr.values.begin() + static_cast<ptrdiff_t>(begin + count));
+    out.numeric.push_back(std::move(a));
+  }
+  return out;
+}
+
+// --online-bench: drives the online fairness engine end to end on the
+// synthetic Adult dataset. Trains on the first --online-initial rows, then
+// streams the rest in as Admit batches (retiring a fraction of each batch to
+// keep churn realistic), letting the drift monitor decide when to re-sweep.
+// Prints admit throughput, the drift/re-sweep counters, and a final oracle
+// line: after Flush(), the live state must match a from-scratch rebuild over
+// the surviving rows bit for bit. Also the target of the check.sh online
+// fault gate — with FAIRKM_FAULT='supervisor.objective=error,fires=1' armed
+// and --drift-tolerance huge, exactly one re-sweep must fire.
+Status OnlineBench(const ArgParser& args) {
+  FAIRKM_RETURN_NOT_OK(ApplyKernelFlag(args));
+  const size_t initial = static_cast<size_t>(args.GetInt("online-initial"));
+  const size_t batch = static_cast<size_t>(args.GetInt("online-admit-batch"));
+  const size_t batches =
+      static_cast<size_t>(args.GetInt("online-admit-batches"));
+  const double retire_fraction = args.GetDouble("online-retire-fraction");
+  if (initial == 0) {
+    return Status::InvalidArgument("--online-initial must be positive");
+  }
+  if (batch == 0) {
+    return Status::InvalidArgument("--online-admit-batch must be positive");
+  }
+  if (retire_fraction < 0.0 || retire_fraction >= 1.0) {
+    return Status::InvalidArgument(
+        "--online-retire-fraction must be in [0, 1)");
+  }
+
+  exp::AdultExperimentOptions data_options;
+  data_options.subsample = initial + batch * batches;
+  FAIRKM_ASSIGN_OR_RETURN(exp::ExperimentData data,
+                          exp::LoadAdultExperiment(data_options));
+  if (data.features.rows() < initial + batch * batches) {
+    return Status::InvalidArgument(
+        "--online-initial/--online-admit-batch stream larger than the "
+        "dataset");
+  }
+
+  online::OnlineOptions options;
+  options.solver.k = static_cast<int>(args.GetInt("k"));
+  options.solver.lambda = args.GetDouble("lambda");
+  options.solver.minibatch_size = static_cast<int>(args.GetInt("minibatch"));
+  options.solver.enable_pruning = !args.GetBool("no-prune");
+  if (const int cap = static_cast<int>(args.GetInt("max-iterations"));
+      cap > 0) {
+    options.solver.max_iterations = cap;
+  }
+  options.drift.regression_tolerance = args.GetDouble("drift-tolerance");
+  options.drift.resweep_max_sweeps =
+      static_cast<int>(args.GetInt("resweep-sweeps"));
+
+  const data::Matrix train = SliceRows(data.features, 0, initial);
+  const data::SensitiveView train_view = SliceView(data.sensitive, 0, initial);
+  serve::AssignService service;
+  FAIRKM_ASSIGN_OR_RETURN(
+      std::unique_ptr<online::OnlineFairKM> engine,
+      online::OnlineFairKM::Create(
+          train, train_view, options,
+          static_cast<uint64_t>(args.GetInt("seed")), &service));
+
+  std::printf(
+      "online-bench: n0 = %zu rows, %zu features, k = %d, lambda = %g\n",
+      initial, data.features.cols(), options.solver.k,
+      engine->solver().lambda());
+  std::printf(
+      "online-bench: %zu admit batches of %zu (retire fraction %.2f), drift "
+      "tolerance %g, re-sweep budget %d\n",
+      batches, batch, retire_fraction, options.drift.regression_tolerance,
+      options.drift.resweep_max_sweeps);
+  std::printf("kernel backend: %s\n", core::kernels::ActiveBackend().name);
+
+  Timer timer;
+  double admit_seconds = 0.0;
+  uint64_t admitted = 0, retired = 0;
+  for (size_t b = 0; b < batches; ++b) {
+    const size_t begin = initial + b * batch;
+    const data::Matrix points = SliceRows(data.features, begin, batch);
+    const data::SensitiveView view = SliceView(data.sensitive, begin, batch);
+    Timer admit_timer;
+    FAIRKM_ASSIGN_OR_RETURN(std::vector<uint64_t> ids,
+                            engine->Admit(points, &view));
+    admit_seconds += admit_timer.ElapsedSeconds();
+    admitted += ids.size();
+    const size_t to_retire =
+        static_cast<size_t>(retire_fraction * static_cast<double>(ids.size()));
+    if (to_retire > 0) {
+      ids.resize(to_retire);
+      FAIRKM_RETURN_NOT_OK(engine->Retire(ids));
+      retired += to_retire;
+    }
+  }
+  const double wall = timer.ElapsedSeconds();
+
+  const online::OnlineStats stats = engine->Stats();
+  std::printf(
+      "admit: %llu points in %zu batches, %.1f ms (%.0f points/s); "
+      "%llu retired\n",
+      static_cast<unsigned long long>(admitted), batches, admit_seconds * 1e3,
+      admit_seconds > 0.0 ? static_cast<double>(admitted) / admit_seconds
+                          : 0.0,
+      static_cast<unsigned long long>(retired));
+  std::printf("stream: %.1f ms wall\n", wall * 1e3);
+  std::printf(
+      "online: resweeps = %llu, flushes = %llu, generation = %llu, "
+      "live rows = %zu\n",
+      static_cast<unsigned long long>(stats.resweeps),
+      static_cast<unsigned long long>(stats.flushes),
+      static_cast<unsigned long long>(stats.generation), stats.live_rows);
+  std::printf("online: objective = %.6f (per point %.6f, baseline %.6f)\n",
+              stats.last_objective,
+              stats.live_rows > 0
+                  ? stats.last_objective / static_cast<double>(stats.live_rows)
+                  : 0.0,
+              stats.baseline_per_point);
+
+  // Oracle: the flushed live state must equal a from-scratch rebuild over
+  // the surviving rows — the consistency anchor of the whole engine.
+  FAIRKM_RETURN_NOT_OK(engine->Flush());
+  const data::Matrix survivors = engine->SurvivingPoints();
+  const data::SensitiveView survivor_view = engine->SurvivingSensitive();
+  FAIRKM_ASSIGN_OR_RETURN(
+      core::FairKMState fresh,
+      core::FairKMState::Create(&survivors, &survivor_view,
+                                engine->solver().k(),
+                                engine->CurrentAssignment()));
+  const core::FairKMState& live = engine->solver().state();
+  const bool oracle_ok =
+      live.KMeansTermCached() == fresh.KMeansTermCached() &&
+      live.FairnessTermCached() == fresh.FairnessTermCached();
+  std::printf("online: oracle = %s (flushed state vs from-scratch rebuild)\n",
+              oracle_ok ? "ok" : "MISMATCH");
+  const auto snapshot = service.snapshot();
+  std::printf("snapshot: v%llu published\n",
+              snapshot != nullptr
+                  ? static_cast<unsigned long long>(snapshot->version())
+                  : 0ULL);
+  if (!oracle_ok) {
+    return Status::Internal(
+        "online-bench oracle mismatch: flushed state diverged from the "
+        "from-scratch rebuild");
   }
   return Status::OK();
 }
@@ -551,6 +737,26 @@ int main(int argc, char** argv) {
   args.AddFlag("serve-queue-depth", "1024",
                "serve-bench: admission-queue depth; requests beyond it are "
                "shed immediately");
+  args.AddFlag("online-bench", "false",
+               "run the online fairness engine benchmark on the synthetic "
+               "Adult dataset: train on --online-initial rows, stream the "
+               "rest through Admit/Retire with the drift monitor live, then "
+               "verify the flushed state against a from-scratch rebuild");
+  args.AddFlag("online-initial", "2000",
+               "online-bench: initial training rows");
+  args.AddFlag("online-admit-batch", "32",
+               "online-bench: points per admit batch");
+  args.AddFlag("online-admit-batches", "20",
+               "online-bench: number of admit batches streamed in");
+  args.AddFlag("online-retire-fraction", "0.25",
+               "online-bench: fraction of each admitted batch retired "
+               "immediately (churn)");
+  args.AddFlag("drift-tolerance", "0.05",
+               "online-bench: per-point objective regression (relative to "
+               "the last re-train baseline) that triggers a bounded "
+               "re-sweep");
+  args.AddFlag("resweep-sweeps", "2",
+               "online-bench: sweep budget of each drift-triggered re-sweep");
   args.AddFlag("help", "false", "show usage");
   if (Status st = args.Parse(argc, argv); !st.ok()) {
     std::fprintf(stderr, "%s\n%s", st.ToString().c_str(),
@@ -561,7 +767,9 @@ int main(int argc, char** argv) {
     std::printf("%s", args.HelpString("fairkm_cli").c_str());
     return 0;
   }
-  if (Status st = args.GetBool("serve-bench") ? ServeBench(args) : Run(args);
+  if (Status st = args.GetBool("serve-bench")    ? ServeBench(args)
+                  : args.GetBool("online-bench") ? OnlineBench(args)
+                                                 : Run(args);
       !st.ok()) {
     std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
     return 1;
